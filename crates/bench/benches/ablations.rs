@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+//!
+//! Each group prints the *quality* impact of the ablated choice (admitted
+//! volume over a few seeds) and then times the variants, so the log shows
+//! both what the knob buys and what it costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgerep_bench::representative_instance;
+use edgerep_core::appro::{Appro, ApproConfig, QueryOrder};
+use edgerep_workload::{generate_instance, WorkloadParams};
+use std::hint::black_box;
+
+fn quality(cfg: ApproConfig) -> f64 {
+    let params = WorkloadParams::default();
+    (0..5u64)
+        .map(|seed| {
+            let inst = generate_instance(&params, seed);
+            let sol = Appro::with_config(cfg).run(&inst).solution;
+            sol.admitted_volume(&inst)
+        })
+        .sum::<f64>()
+        / 5.0
+}
+
+/// Ablation 1: the multiplicative price base `μ` (theory: `1 + |V|`).
+fn ablation_price_mu(c: &mut Criterion) {
+    println!("\n== ablation: primal-dual price base μ (mean admitted volume, 5 seeds) ==");
+    for (label, mu) in [
+        ("theory (1+|V|)", None),
+        ("mu=2", Some(2.0)),
+        ("mu=16", Some(16.0)),
+        ("mu=1024", Some(1024.0)),
+    ] {
+        let cfg = ApproConfig {
+            price_mu: mu,
+            ..Default::default()
+        };
+        println!("  {label:>16}: {:8.2} GB", quality(cfg));
+    }
+    let inst = representative_instance(32, 7, 3);
+    let mut g = c.benchmark_group("ablation_price_mu");
+    g.sample_size(10);
+    for (label, mu) in [("theory", None), ("mu=2", Some(2.0))] {
+        let cfg = ApproConfig {
+            price_mu: mu,
+            ..Default::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(Appro::with_config(cfg).run(black_box(&inst))))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2: the query commit order (paper: global cheapest-first).
+fn ablation_query_order(c: &mut Criterion) {
+    println!("\n== ablation: query commit order (mean admitted volume, 5 seeds) ==");
+    let orders = [
+        ("global-cheapest", QueryOrder::GlobalCheapestFirst),
+        ("input", QueryOrder::Input),
+        ("volume-desc", QueryOrder::VolumeDesc),
+        ("deadline-asc", QueryOrder::DeadlineAsc),
+    ];
+    for (label, order) in orders {
+        let cfg = ApproConfig {
+            order,
+            ..Default::default()
+        };
+        println!("  {label:>16}: {:8.2} GB", quality(cfg));
+    }
+    let inst = representative_instance(32, 7, 3);
+    let mut g = c.benchmark_group("ablation_query_order");
+    g.sample_size(10);
+    for (label, order) in orders {
+        let cfg = ApproConfig {
+            order,
+            ..Default::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(Appro::with_config(cfg).run(black_box(&inst))))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 3: the replica price term (replica reuse incentive).
+fn ablation_replica_price(c: &mut Criterion) {
+    println!("\n== ablation: replica price weight (mean admitted volume, 5 seeds) ==");
+    for (label, w) in [("on (1.0)", 1.0), ("strong (4.0)", 4.0), ("off (0.0)", 0.0)] {
+        let cfg = ApproConfig {
+            replica_weight: w,
+            ..Default::default()
+        };
+        println!("  {label:>16}: {:8.2} GB", quality(cfg));
+    }
+    let inst = representative_instance(32, 7, 3);
+    let mut g = c.benchmark_group("ablation_replica_price");
+    g.sample_size(10);
+    for (label, w) in [("on", 1.0), ("off", 0.0)] {
+        let cfg = ApproConfig {
+            replica_weight: w,
+            ..Default::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(Appro::with_config(cfg).run(black_box(&inst))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_price_mu,
+    ablation_query_order,
+    ablation_replica_price
+);
+criterion_main!(ablations);

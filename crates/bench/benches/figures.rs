@@ -1,0 +1,122 @@
+//! One Criterion group per evaluation figure.
+//!
+//! Before timing, each group prints the regenerated series (3 seeds per
+//! point, the `--quick` setting of the `repro` binary) so the bench log is
+//! itself a reproduction record; the timed portion benchmarks each
+//! algorithm of the figure's panel on a representative workload point.
+//! Full-fidelity series (15 seeds) come from
+//! `cargo run -p edgerep-exp --release --bin repro -- all`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edgerep_bench::representative_instance;
+use edgerep_exp::report::render_text;
+use edgerep_testbed::{build_testbed_instance, run_testbed, SimConfig, TestbedConfig};
+use std::hint::black_box;
+
+const PRINT_SEEDS: usize = 3;
+
+fn bench_panel(c: &mut Criterion, group: &str, inst: &edgerep_model::Instance, panel: Vec<edgerep_core::BoxedAlgorithm>) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for alg in panel {
+        g.bench_function(alg.name(), |b| {
+            b.iter(|| black_box(alg.solve(black_box(inst))))
+        });
+    }
+    g.finish();
+}
+
+fn fig2_special_case(c: &mut Criterion) {
+    println!("{}", render_text(&edgerep_exp::figures::fig2(PRINT_SEEDS)));
+    let inst = representative_instance(100, 1, 3);
+    bench_panel(c, "fig2_special_case", &inst, edgerep_core::special_panel());
+}
+
+fn fig3_general_case(c: &mut Criterion) {
+    println!("{}", render_text(&edgerep_exp::figures::fig3(PRINT_SEEDS)));
+    let inst = representative_instance(100, 7, 3);
+    bench_panel(c, "fig3_general_case", &inst, edgerep_core::simulation_panel());
+}
+
+fn fig4_vary_f(c: &mut Criterion) {
+    println!("{}", render_text(&edgerep_exp::figures::fig4(PRINT_SEEDS)));
+    let inst = representative_instance(32, 5, 3);
+    bench_panel(c, "fig4_vary_f", &inst, edgerep_core::simulation_panel());
+}
+
+fn fig5_vary_k(c: &mut Criterion) {
+    println!("{}", render_text(&edgerep_exp::figures::fig5(PRINT_SEEDS)));
+    let inst = representative_instance(32, 7, 7);
+    bench_panel(c, "fig5_vary_k", &inst, edgerep_core::simulation_panel());
+}
+
+fn fig7_testbed_vary_f(c: &mut Criterion) {
+    println!("{}", render_text(&edgerep_exp::figures::fig7(PRINT_SEEDS)));
+    let cfg = TestbedConfig::default().with_max_datasets_per_query(3);
+    let world = build_testbed_instance(&cfg, 42);
+    let sim = SimConfig::default();
+    let mut g = c.benchmark_group("fig7_testbed_vary_f");
+    g.sample_size(10);
+    g.bench_function("Appro-G/testbed-run", |b| {
+        b.iter_batched(
+            || world.clone(),
+            |w| {
+                black_box(run_testbed(
+                    &edgerep_core::appro::ApproG::default(),
+                    &w,
+                    &sim,
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("Popularity-G/testbed-run", |b| {
+        b.iter_batched(
+            || world.clone(),
+            |w| {
+                black_box(run_testbed(
+                    &edgerep_core::popularity::Popularity::general(),
+                    &w,
+                    &sim,
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn fig8_testbed_vary_k(c: &mut Criterion) {
+    println!("{}", render_text(&edgerep_exp::figures::fig8(PRINT_SEEDS)));
+    let cfg = TestbedConfig::default().with_max_replicas(5);
+    let world = build_testbed_instance(&cfg, 42);
+    let sim = SimConfig::default();
+    let mut g = c.benchmark_group("fig8_testbed_vary_k");
+    g.sample_size(10);
+    for k in [1usize, 4, 7] {
+        let cfg_k = TestbedConfig::default().with_max_replicas(k);
+        let world_k = build_testbed_instance(&cfg_k, 42);
+        g.bench_function(format!("Appro-G/K={k}"), |b| {
+            b.iter(|| {
+                black_box(run_testbed(
+                    &edgerep_core::appro::ApproG::default(),
+                    &world_k,
+                    &sim,
+                ))
+            })
+        });
+    }
+    let _ = world;
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig2_special_case,
+    fig3_general_case,
+    fig4_vary_f,
+    fig5_vary_k,
+    fig7_testbed_vary_f,
+    fig8_testbed_vary_k
+);
+criterion_main!(figures);

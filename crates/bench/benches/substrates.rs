@@ -1,0 +1,113 @@
+//! Substrate scaling benches: the foundations the algorithms stand on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgerep_graph::partition::partition_kway;
+use edgerep_graph::topology::{flat_random, FlatRandomConfig};
+use edgerep_graph::{DelayMatrix, Dijkstra, NodeId};
+use edgerep_lp_shim::knapsack_lp;
+use edgerep_workload::mobile_trace::{generate_trace, TraceConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Tiny local shim so the bench crate does not need a direct `edgerep-lp`
+/// dependency edge for one helper.
+mod edgerep_lp_shim {
+    use edgerep_core::ilp::lp_upper_bound;
+    use edgerep_workload::{generate_instance, WorkloadParams};
+
+    /// Builds a small instance and solves its LP relaxation.
+    pub fn knapsack_lp() -> f64 {
+        let params = WorkloadParams {
+            data_centers: 2,
+            cloudlets: 4,
+            switches: 1,
+            dataset_count: (4, 4),
+            query_count: (8, 8),
+            datasets_per_query: (1, 2),
+            ..Default::default()
+        };
+        let inst = generate_instance(&params, 7);
+        lp_upper_bound(&inst)
+    }
+}
+
+fn graph_of(n: usize) -> edgerep_graph::Graph {
+    let cfg = FlatRandomConfig {
+        nodes: n,
+        ..Default::default()
+    };
+    flat_random(&cfg, &mut SmallRng::seed_from_u64(1))
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_shortest_paths");
+    for n in [32usize, 100, 200] {
+        let graph = graph_of(n);
+        g.bench_function(format!("dijkstra/n={n}"), |b| {
+            b.iter(|| black_box(Dijkstra::run(black_box(&graph), NodeId(0))))
+        });
+        g.bench_function(format!("all_pairs/n={n}"), |b| {
+            b.iter(|| black_box(DelayMatrix::compute(black_box(&graph))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_partitioning");
+    g.sample_size(10);
+    for n in [32usize, 64] {
+        let graph = graph_of(n);
+        g.bench_function(format!("kernighan_lin/n={n},k=4"), |b| {
+            b.iter(|| black_box(partition_kway(black_box(&graph), 4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_lp");
+    g.sample_size(10);
+    g.bench_function("lp_relaxation_small_instance", |b| {
+        b.iter(|| black_box(knapsack_lp()))
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_trace");
+    g.sample_size(10);
+    let cfg = TraceConfig {
+        users: 1_000,
+        apps: 100,
+        days: 30,
+        ..Default::default()
+    };
+    g.bench_function("generate_trace/15k_sessions", |b| {
+        b.iter(|| black_box(generate_trace(black_box(&cfg), 5)))
+    });
+    g.finish();
+}
+
+fn bench_instance_generation(c: &mut Criterion) {
+    use edgerep_workload::{generate_instance, WorkloadParams};
+    let mut g = c.benchmark_group("substrate_instance_generation");
+    for n in [32usize, 100, 200] {
+        let params = WorkloadParams::default().with_network_size(n);
+        g.bench_function(format!("generate/n={n}"), |b| {
+            b.iter(|| black_box(generate_instance(black_box(&params), 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_shortest_paths,
+    bench_partitioning,
+    bench_lp,
+    bench_trace_generation,
+    bench_instance_generation
+);
+criterion_main!(substrates);

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Shared fixtures for the benchmark harness.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — one Criterion group per evaluation figure of the paper
+//!   (2, 3, 4, 5, 7, 8). Each group first prints the regenerated series
+//!   (a reduced-seed rendering of what `repro` produces) so `cargo bench`
+//!   output doubles as a reproduction record, then times every algorithm
+//!   on the figure's representative workload point.
+//! * `ablations` — design-choice benches called out in DESIGN.md: the
+//!   primal-dual price base `μ`, the query commit order, and the replica
+//!   price term.
+//! * `substrates` — scaling of the substrates (Dijkstra/all-pairs delays,
+//!   simplex, Kernighan–Lin, trace generation) so regressions in the
+//!   foundations are visible independently of the algorithms.
+
+use edgerep_model::Instance;
+use edgerep_workload::{generate_instance, WorkloadParams};
+
+/// A deterministic mid-size instance representative of one figure point.
+pub fn representative_instance(network_size: usize, f: usize, k: usize) -> Instance {
+    let params = WorkloadParams::default()
+        .with_network_size(network_size)
+        .with_max_datasets_per_query(f)
+        .with_max_replicas(k);
+    generate_instance(&params, 42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_reproducible() {
+        let a = representative_instance(60, 3, 3);
+        let b = representative_instance(60, 3, 3);
+        assert_eq!(a.queries(), b.queries());
+        assert_eq!(a.cloud().graph().node_count(), 60);
+    }
+}

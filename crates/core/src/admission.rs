@@ -1,0 +1,374 @@
+//! Shared admission state machine.
+//!
+//! Every placement algorithm mutates an [`AdmissionState`]: it tracks the
+//! remaining compute per node and the replica placements so far, and offers
+//! the three feasibility predicates of the ILP — capacity (2), replica
+//! availability / budget (3) + (5), and deadline (4) — plus transactional
+//! commit of a whole query (admission is all-or-nothing: a query counts
+//! only when *every* demanded dataset is served within its deadline, which
+//! is how the paper argues Fig. 4's throughput decline in `F`).
+
+use edgerep_model::delay::assignment_delay;
+use edgerep_model::{ComputeNodeId, DatasetId, Instance, QueryId, Solution};
+
+/// Mutable placement state shared by all algorithms.
+#[derive(Debug, Clone)]
+pub struct AdmissionState<'a> {
+    inst: &'a Instance,
+    /// Compute consumed per node so far.
+    used: Vec<f64>,
+    /// The solution under construction.
+    sol: Solution,
+}
+
+/// A planned service location for one demand of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedDemand {
+    /// Chosen node.
+    pub node: ComputeNodeId,
+    /// Advisory: whether the planner expected to place a new replica at
+    /// [`Self::node`]. Purely diagnostic — [`AdmissionState::commit`]
+    /// derives the actual placements itself (and
+    /// [`AdmissionState::plan_feasible`] re-validates), so a stale value
+    /// here can never corrupt state.
+    pub new_replica: bool,
+}
+
+impl<'a> AdmissionState<'a> {
+    /// Fresh state: no replicas, all capacity available.
+    pub fn new(inst: &'a Instance) -> Self {
+        Self {
+            inst,
+            used: vec![0.0; inst.cloud().compute_count()],
+            sol: Solution::empty(inst),
+        }
+    }
+
+    /// The instance this state is built over.
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// Compute already consumed at `v`.
+    pub fn used(&self, v: ComputeNodeId) -> f64 {
+        self.used[v.index()]
+    }
+
+    /// Remaining compute at `v`.
+    pub fn remaining(&self, v: ComputeNodeId) -> f64 {
+        self.inst.cloud().available(v) - self.used[v.index()]
+    }
+
+    /// Fraction of `v`'s availability consumed (0 when the node has none).
+    pub fn load_fraction(&self, v: ComputeNodeId) -> f64 {
+        let avail = self.inst.cloud().available(v);
+        if avail <= 0.0 {
+            // A node with zero available compute can serve nothing; treat
+            // it as saturated so price-based selection never picks it.
+            1.0
+        } else {
+            self.used[v.index()] / avail
+        }
+    }
+
+    /// The solution built so far (replicas + admitted queries).
+    pub fn solution(&self) -> &Solution {
+        &self.sol
+    }
+
+    /// Consumes the state, yielding the final solution.
+    pub fn into_solution(self) -> Solution {
+        self.sol
+    }
+
+    /// Whether `d` still has replica budget for a *new* location.
+    pub fn replica_budget_left(&self, d: DatasetId) -> bool {
+        self.sol.replica_count(d) < self.inst.max_replicas()
+    }
+
+    /// Whether `v` already holds a replica of `d`.
+    pub fn has_replica(&self, d: DatasetId, v: ComputeNodeId) -> bool {
+        self.sol.has_replica(d, v)
+    }
+
+    /// Current replica count of `d`.
+    pub fn replica_count(&self, d: DatasetId) -> usize {
+        self.sol.replica_count(d)
+    }
+
+    /// Places a replica without serving anything (used by algorithms whose
+    /// published procedure burns replica budget on failed probes, e.g.
+    /// `Greedy`). Returns `false` when the replica already existed.
+    ///
+    /// # Panics
+    /// Panics if the budget is already exhausted — callers check first.
+    pub fn place_replica(&mut self, d: DatasetId, v: ComputeNodeId) -> bool {
+        if self.sol.has_replica(d, v) {
+            return false;
+        }
+        assert!(
+            self.replica_budget_left(d),
+            "replica budget exhausted for {d}"
+        );
+        self.sol.place_replica(d, v)
+    }
+
+    /// The compute demand (GHz) that demand `demand_idx` of `q` puts on its
+    /// serving node: `|S_n| · r_m`.
+    pub fn compute_demand(&self, q: QueryId, demand_idx: usize) -> f64 {
+        let query = self.inst.query(q);
+        self.inst.size(query.demands[demand_idx].dataset) * query.compute_rate
+    }
+
+    /// Whether serving demand `demand_idx` of `q` at `v` satisfies
+    /// capacity, deadline, and replica availability/budget, given `extra`
+    /// compute already tentatively planned onto `v` by earlier demands of
+    /// the same query.
+    pub fn demand_feasible_with(
+        &self,
+        q: QueryId,
+        demand_idx: usize,
+        v: ComputeNodeId,
+        extra_load: f64,
+    ) -> bool {
+        let d = self.inst.query(q).demands[demand_idx].dataset;
+        if !self.has_replica(d, v) && !self.replica_budget_left(d) {
+            return false;
+        }
+        if self.used[v.index()] + extra_load + self.compute_demand(q, demand_idx)
+            > self.inst.cloud().available(v) + 1e-9
+        {
+            return false;
+        }
+        assignment_delay(self.inst, q, demand_idx, v) <= self.inst.query(q).deadline + 1e-12
+    }
+
+    /// [`Self::demand_feasible_with`] with no tentative extra load.
+    pub fn demand_feasible(&self, q: QueryId, demand_idx: usize, v: ComputeNodeId) -> bool {
+        self.demand_feasible_with(q, demand_idx, v, 0.0)
+    }
+
+    /// Validates a whole-query plan (one [`PlannedDemand`] per demand)
+    /// against the current state, accounting for intra-query load stacking
+    /// and replica-budget sharing between demands of the same dataset.
+    pub fn plan_feasible(&self, q: QueryId, plan: &[PlannedDemand]) -> bool {
+        let query = self.inst.query(q);
+        if plan.len() != query.demands.len() {
+            return false;
+        }
+        let mut extra = vec![0.0; self.used.len()];
+        let mut new_replicas: Vec<(DatasetId, ComputeNodeId)> = Vec::new();
+        for (idx, p) in plan.iter().enumerate() {
+            let d = query.demands[idx].dataset;
+            let have = self.has_replica(d, p.node)
+                || new_replicas.iter().any(|&(nd, nv)| nd == d && nv == p.node);
+            if !have {
+                let pending = new_replicas.iter().filter(|&&(nd, _)| nd == d).count();
+                if self.replica_count(d) + pending >= self.inst.max_replicas() {
+                    return false;
+                }
+                new_replicas.push((d, p.node));
+            }
+            if self.used[p.node.index()]
+                + extra[p.node.index()]
+                + self.compute_demand(q, idx)
+                > self.inst.cloud().available(p.node) + 1e-9
+            {
+                return false;
+            }
+            if assignment_delay(self.inst, q, idx, p.node) > query.deadline + 1e-12 {
+                return false;
+            }
+            extra[p.node.index()] += self.compute_demand(q, idx);
+        }
+        true
+    }
+
+    /// Commits a feasible plan: places any new replicas, consumes compute,
+    /// and admits the query.
+    ///
+    /// # Panics
+    /// Panics when the plan is not feasible — callers must check with
+    /// [`Self::plan_feasible`] (the double bookkeeping catches algorithm
+    /// bugs in debug runs and tests).
+    pub fn commit(&mut self, q: QueryId, plan: &[PlannedDemand]) {
+        assert!(self.plan_feasible(q, plan), "committing infeasible plan for {q}");
+        let query = self.inst.query(q);
+        let nodes: Vec<ComputeNodeId> = plan.iter().map(|p| p.node).collect();
+        for (idx, p) in plan.iter().enumerate() {
+            let d = query.demands[idx].dataset;
+            self.sol.place_replica(d, p.node);
+            self.used[p.node.index()] += self.compute_demand(q, idx);
+        }
+        self.sol.assign_query(q, nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgerep_model::prelude::*;
+
+    /// dc (cap 100, proc 0.001) --0.05-- cl (cap 8, proc 0.01).
+    /// S0 = 4 GB @ dc, S1 = 2 GB @ dc. q0 @ cl wants S0 (α .5, ddl 1).
+    /// q1 @ cl wants S0 + S1 (ddl 1). K = 2.
+    fn setup() -> Instance {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(4.0, dc);
+        let d1 = ib.add_dataset(2.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.build().unwrap()
+    }
+
+    const DC: ComputeNodeId = ComputeNodeId(0);
+    const CL: ComputeNodeId = ComputeNodeId(1);
+
+    #[test]
+    fn fresh_state_has_full_capacity() {
+        let inst = setup();
+        let st = AdmissionState::new(&inst);
+        assert_eq!(st.remaining(DC), 100.0);
+        assert_eq!(st.remaining(CL), 8.0);
+        assert_eq!(st.load_fraction(DC), 0.0);
+        assert_eq!(st.replica_count(DatasetId(0)), 0);
+    }
+
+    #[test]
+    fn demand_feasibility_checks_all_three_constraints() {
+        let inst = setup();
+        let st = AdmissionState::new(&inst);
+        // Both nodes feasible for q0's demand while budget remains.
+        assert!(st.demand_feasible(QueryId(0), 0, DC));
+        assert!(st.demand_feasible(QueryId(0), 0, CL));
+        // Capacity: q0 demand on CL costs 4 GHz of 8 — but with 5 extra
+        // tentative load it no longer fits.
+        assert!(!st.demand_feasible_with(QueryId(0), 0, CL, 5.0));
+    }
+
+    #[test]
+    fn replica_budget_blocks_new_locations() {
+        let inst = setup();
+        let mut st = AdmissionState::new(&inst);
+        st.place_replica(DatasetId(0), DC);
+        st.place_replica(DatasetId(0), CL);
+        assert!(!st.replica_budget_left(DatasetId(0)));
+        // Existing replica locations stay feasible…
+        assert!(st.demand_feasible(QueryId(0), 0, DC));
+        // …and place_replica on a fresh location would panic (checked via
+        // the budget query; the panic path is exercised below).
+    }
+
+    #[test]
+    #[should_panic(expected = "replica budget exhausted")]
+    fn place_replica_panics_over_budget() {
+        let inst = setup();
+        let mut st = AdmissionState::new(&inst);
+        st.place_replica(DatasetId(0), DC);
+        st.place_replica(DatasetId(0), CL);
+        // Third distinct location: over K = 2.
+        let mut b = EdgeCloudBuilder::new();
+        b.add_cloudlet(1.0, 0.1);
+        let _ = b; // silence unused in this panic test
+        st.place_replica(DatasetId(0), ComputeNodeId(0)); // duplicate: ok, returns false
+        // Force: dedupe returned false, so exhaust with a different id.
+        st.place_replica(DatasetId(0), ComputeNodeId(1)); // duplicate too
+        // Both nodes already hold replicas; fabricate a third node id to
+        // hit the budget assert.
+        st.place_replica(DatasetId(0), ComputeNodeId(2));
+    }
+
+    #[test]
+    fn commit_consumes_capacity_and_admits() {
+        let inst = setup();
+        let mut st = AdmissionState::new(&inst);
+        let plan = vec![PlannedDemand { node: DC, new_replica: true }];
+        assert!(st.plan_feasible(QueryId(0), &plan));
+        st.commit(QueryId(0), &plan);
+        assert!(st.solution().is_admitted(QueryId(0)));
+        assert_eq!(st.used(DC), 4.0);
+        assert!(st.has_replica(DatasetId(0), DC));
+        let sol = st.into_solution();
+        assert!(sol.validate(&inst).is_ok());
+        assert_eq!(sol.admitted_volume(&inst), 4.0);
+    }
+
+    #[test]
+    fn plan_feasibility_accounts_intra_query_stacking() {
+        let inst = setup();
+        let st = AdmissionState::new(&inst);
+        // q1 on CL: S0 costs 4 GHz, S1 costs 2 GHz, total 6 of 8: fits.
+        let plan = vec![
+            PlannedDemand { node: CL, new_replica: true },
+            PlannedDemand { node: CL, new_replica: true },
+        ];
+        assert!(st.plan_feasible(QueryId(1), &plan));
+        // A cloudlet with only 5 GHz cannot stack both.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(5.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(4.0, dc);
+        let d1 = ib.add_dataset(2.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        let tight = ib.build().unwrap();
+        let st = AdmissionState::new(&tight);
+        let plan = vec![
+            PlannedDemand { node: cl, new_replica: true },
+            PlannedDemand { node: cl, new_replica: true },
+        ];
+        assert!(!st.plan_feasible(QueryId(0), &plan));
+        // Splitting across nodes works.
+        let plan = vec![
+            PlannedDemand { node: cl, new_replica: true },
+            PlannedDemand { node: dc, new_replica: true },
+        ];
+        assert!(st.plan_feasible(QueryId(0), &plan));
+    }
+
+    #[test]
+    fn plan_feasibility_shares_replica_budget_within_query() {
+        // K = 1 and a query demanding the same dataset cannot spawn two
+        // replica locations through one plan.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(1.0, dc);
+        let d1 = ib.add_dataset(1.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 1.0)], 1.0, 10.0);
+        let inst = ib.build().unwrap();
+        let st = AdmissionState::new(&inst);
+        // Different datasets on different nodes: one new replica each, ok.
+        let plan = vec![
+            PlannedDemand { node: dc, new_replica: true },
+            PlannedDemand { node: cl, new_replica: true },
+        ];
+        assert!(st.plan_feasible(QueryId(0), &plan));
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible plan")]
+    fn commit_rejects_infeasible_plan() {
+        let inst = setup();
+        let mut st = AdmissionState::new(&inst);
+        // Wrong arity.
+        st.commit(QueryId(1), &[PlannedDemand { node: DC, new_replica: true }]);
+    }
+
+    #[test]
+    fn wrong_arity_plan_is_infeasible() {
+        let inst = setup();
+        let st = AdmissionState::new(&inst);
+        assert!(!st.plan_feasible(QueryId(1), &[]));
+    }
+}

@@ -1,0 +1,565 @@
+//! `Appro-S` / `Appro-G`: the paper's primal-dual approximation algorithms.
+//!
+//! # From pseudo-code to an executable algorithm
+//!
+//! Algorithm 1 of the paper raises the dual variables "uniformly by 1 in a
+//! unit time" until dual constraint (9) becomes tight for some
+//! (query, node) pair, then commits that pair (admitting the query, placing
+//! the replica, consuming capacity) and repeats. Discretizing the uniform
+//! raise gives the standard primal-dual dynamic update for online packing
+//! (Buchbinder–Naor): at every step the pair whose constraint tightens
+//! *first* is exactly the feasible pair with the **lowest current dual
+//! price**, where the price aggregates
+//!
+//! * a **capacity price** `θ_l` that grows multiplicatively with node
+//!   load — `θ(x) = (μ^x − 1)/(μ − 1)` with `μ = 1 + |V|`, near 0 for an
+//!   empty node and 1 for a full one;
+//! * a **delay price** `η`: the fraction of the query's deadline its
+//!   demand would consume at that node (`D(m,n,l)/d_qm ∈ [0,1]` for
+//!   feasible pairs). QoS-awareness is enforced by the *hard* deadline
+//!   filter (constraint (4)); the weighted price is an optional steering
+//!   term and defaults to **off** — the ablation bench shows that any
+//!   positive weight drags demands onto home-local cloudlets even while
+//!   they are the scarce resource, costing admitted volume at every `K`;
+//! * a **replica price** `μ_n`: `replicas(n)/K`, so reusing an existing
+//!   replica is free and fresh locations get dearer as the budget drains.
+//!
+//! Queries are admitted **globally cheapest-per-GB first** — the discrete
+//! image of "all constraints rise together, the first to tighten wins" —
+//! which is precisely the "overall perspective" the paper credits for
+//! `Appro`'s margin over the greedy and partitioning baselines (§4.2).
+//!
+//! Admission remains all-or-nothing per query and every hard constraint
+//! (capacity, deadline, `K`) is enforced by [`AdmissionState`]; the dual
+//! prices only *rank* the feasible choices. [`ApproReport::dual_bound`]
+//! assembles the feasible dual solution of program (8)–(14) implied by the
+//! final prices, giving a per-run upper bound used by the tests and the
+//! approximation-ratio experiment.
+//!
+//! `Appro-G` (Algorithm 2) reuses the single-dataset engine per demand,
+//! exactly as the paper invokes Algorithm 1 per (query, dataset) pair,
+//! with intra-query load stacking and replica-budget sharing handled by
+//! [`AdmissionState::plan_feasible`].
+
+use edgerep_model::delay::assignment_delay;
+use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+
+use crate::admission::{AdmissionState, PlannedDemand};
+use crate::PlacementAlgorithm;
+
+/// Order in which admissible queries are committed (ablation knob; the
+/// paper's algorithm corresponds to [`QueryOrder::GlobalCheapestFirst`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryOrder {
+    /// Repeatedly admit the pending query with the lowest dual price per
+    /// demanded GB (the primal-dual dynamic update).
+    #[default]
+    GlobalCheapestFirst,
+    /// One pass in input order (an online flavour).
+    Input,
+    /// One pass, largest demanded volume first.
+    VolumeDesc,
+    /// One pass, tightest deadline first.
+    DeadlineAsc,
+}
+
+/// Tunables for the primal-dual engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproConfig {
+    /// Multiplicative base of the capacity price; `None` uses the
+    /// theory-guided `1 + |V|`.
+    pub price_mu: Option<f64>,
+    /// Commit order (see [`QueryOrder`]).
+    pub order: QueryOrder,
+    /// Weight of the delay price relative to the capacity price.
+    pub delay_weight: f64,
+    /// Weight of the replica price.
+    pub replica_weight: f64,
+}
+
+impl Default for ApproConfig {
+    fn default() -> Self {
+        Self {
+            price_mu: None,
+            order: QueryOrder::GlobalCheapestFirst,
+            delay_weight: 0.0,
+            replica_weight: 1.0,
+        }
+    }
+}
+
+/// Outcome of a primal-dual run: the solution plus the dual certificate.
+#[derive(Debug, Clone)]
+pub struct ApproReport {
+    /// The feasible primal solution.
+    pub solution: Solution,
+    /// Value of the feasible dual solution (8) assembled from the final
+    /// prices — an upper bound on the optimum of the LP relaxation and
+    /// hence on every feasible placement's volume.
+    pub dual_bound: f64,
+    /// Final capacity price per node.
+    pub theta: Vec<f64>,
+}
+
+/// The shared primal-dual engine behind `Appro-S` and `Appro-G`.
+#[derive(Debug, Clone, Default)]
+pub struct Appro {
+    /// Engine configuration.
+    pub config: ApproConfig,
+}
+
+impl Appro {
+    /// Creates an engine with explicit configuration.
+    pub fn with_config(config: ApproConfig) -> Self {
+        Self { config }
+    }
+
+    fn mu(&self, inst: &Instance) -> f64 {
+        self.config
+            .price_mu
+            .unwrap_or(1.0 + inst.cloud().compute_count() as f64)
+    }
+
+    /// Capacity price of a node at load fraction `x ∈ [0, 1]`.
+    fn theta(&self, mu: f64, x: f64) -> f64 {
+        debug_assert!(mu > 1.0);
+        (mu.powf(x.clamp(0.0, 1.0)) - 1.0) / (mu - 1.0)
+    }
+
+    /// Price of serving demand `idx` of `q` at `v`, given tentative extra
+    /// load per node and replicas pending within the same plan. Returns
+    /// `None` when the pair is infeasible.
+    #[allow(clippy::too_many_arguments)]
+    fn demand_price(
+        &self,
+        st: &AdmissionState<'_>,
+        mu: f64,
+        q: QueryId,
+        idx: usize,
+        v: ComputeNodeId,
+        extra: &[f64],
+        pending_replicas: &[(u32, ComputeNodeId)],
+    ) -> Option<f64> {
+        let inst = st.instance();
+        let query = inst.query(q);
+        let d = query.demands[idx].dataset;
+        let pending_here = pending_replicas
+            .iter()
+            .any(|&(pd, pv)| pd == d.0 && pv == v);
+        let have = st.has_replica(d, v) || pending_here;
+        let pending_count = pending_replicas.iter().filter(|&&(pd, _)| pd == d.0).count();
+        if !have && st.replica_count(d) + pending_count >= inst.max_replicas() {
+            return None;
+        }
+        let need = st.compute_demand(q, idx);
+        let avail = inst.cloud().available(v);
+        if st.used(v) + extra[v.index()] + need > avail + 1e-9 {
+            return None;
+        }
+        let delay = assignment_delay(inst, q, idx, v);
+        if delay > query.deadline + 1e-12 {
+            return None;
+        }
+        // Current load fraction prices the congestion (the classic
+        // Buchbinder–Naor rule: price × demand, with the price frozen at
+        // the pre-assignment load — a post-assignment price would tax
+        // large demands quadratically and fragment capacity across many
+        // small queries, hurting exactly the big-volume admissions the
+        // objective rewards).
+        let x = if avail > 0.0 {
+            (st.used(v) + extra[v.index()]) / avail
+        } else {
+            1.0
+        };
+        let capacity_price = query.compute_rate * self.theta(mu, x);
+        let delay_price = self.config.delay_weight * delay / query.deadline;
+        let replica_price = if have {
+            0.0
+        } else {
+            self.config.replica_weight
+                * ((st.replica_count(d) + pending_count) as f64
+                    / inst.max_replicas() as f64)
+        };
+        Some(capacity_price + delay_price + replica_price)
+    }
+
+    /// Builds the cheapest feasible plan for `q` under the current state:
+    /// demands are planned hardest-first (largest compute demand), each at
+    /// its min-price node, with intra-plan stacking. Returns the plan and
+    /// its total price.
+    fn plan_query(
+        &self,
+        st: &AdmissionState<'_>,
+        mu: f64,
+        q: QueryId,
+    ) -> Option<(Vec<PlannedDemand>, f64)> {
+        let inst = st.instance();
+        let query = inst.query(q);
+        let n_demands = query.demands.len();
+        let mut order: Vec<usize> = (0..n_demands).collect();
+        order.sort_by(|&a, &b| {
+            st.compute_demand(q, b)
+                .partial_cmp(&st.compute_demand(q, a))
+                .expect("compute demands are finite")
+        });
+        let mut extra = vec![0.0; inst.cloud().compute_count()];
+        let mut pending: Vec<(u32, ComputeNodeId)> = Vec::new();
+        let mut plan = vec![
+            PlannedDemand {
+                node: ComputeNodeId(0),
+                new_replica: false,
+            };
+            n_demands
+        ];
+        let mut total_price = 0.0;
+        for &idx in &order {
+            let mut best: Option<(ComputeNodeId, f64)> = None;
+            for v in inst.cloud().compute_ids() {
+                if let Some(p) = self.demand_price(st, mu, q, idx, v, &extra, &pending) {
+                    if best.is_none_or(|(_, bp)| p < bp) {
+                        best = Some((v, p));
+                    }
+                }
+            }
+            let (v, p) = best?;
+            let d = query.demands[idx].dataset;
+            let new_replica = !st.has_replica(d, v)
+                && !pending.iter().any(|&(pd, pv)| pd == d.0 && pv == v);
+            if new_replica {
+                pending.push((d.0, v));
+            }
+            extra[v.index()] += st.compute_demand(q, idx);
+            plan[idx] = PlannedDemand { node: v, new_replica };
+            total_price += p;
+        }
+        debug_assert!(st.plan_feasible(q, &plan));
+        Some((plan, total_price))
+    }
+
+    /// Plans one query against an external [`AdmissionState`]: the
+    /// per-arrival step reused by the online controller
+    /// ([`crate::online::OnlineAppro`]). Returns the cheapest feasible
+    /// plan and its total dual price, or `None` when the query cannot be
+    /// served at all.
+    pub fn plan_query_public(
+        &self,
+        st: &AdmissionState<'_>,
+        q: QueryId,
+    ) -> Option<(Vec<PlannedDemand>, f64)> {
+        let mu = self.mu(st.instance());
+        self.plan_query(st, mu, q)
+    }
+
+    /// Runs the engine, returning the solution plus the dual certificate.
+    pub fn run(&self, inst: &Instance) -> ApproReport {
+        let mu = self.mu(inst);
+        let mut st = AdmissionState::new(inst);
+        match self.config.order {
+            QueryOrder::GlobalCheapestFirst => {
+                let mut pending: Vec<QueryId> = inst.query_ids().collect();
+                loop {
+                    let mut best: Option<(usize, Vec<PlannedDemand>, f64)> = None;
+                    for (i, &q) in pending.iter().enumerate() {
+                        if let Some((plan, price)) = self.plan_query(&st, mu, q) {
+                            // Cheapest dual price per admitted GB first:
+                            // the discrete uniform-raise winner.
+                            let density = price / inst.demanded_volume(q).max(1e-12);
+                            if best
+                                .as_ref()
+                                .is_none_or(|&(_, _, bd)| density < bd)
+                            {
+                                best = Some((i, plan, density));
+                            }
+                        }
+                    }
+                    let Some((i, plan, _)) = best else { break };
+                    let q = pending.swap_remove(i);
+                    st.commit(q, &plan);
+                }
+            }
+            one_pass => {
+                let mut queue: Vec<QueryId> = inst.query_ids().collect();
+                match one_pass {
+                    QueryOrder::Input => {}
+                    QueryOrder::VolumeDesc => queue.sort_by(|&a, &b| {
+                        inst.demanded_volume(b)
+                            .partial_cmp(&inst.demanded_volume(a))
+                            .expect("volumes are finite")
+                    }),
+                    QueryOrder::DeadlineAsc => queue.sort_by(|&a, &b| {
+                        inst.query(a)
+                            .deadline
+                            .partial_cmp(&inst.query(b).deadline)
+                            .expect("deadlines are finite")
+                    }),
+                    QueryOrder::GlobalCheapestFirst => unreachable!(),
+                }
+                for q in queue {
+                    if let Some((plan, _)) = self.plan_query(&st, mu, q) {
+                        st.commit(q, &plan);
+                    }
+                }
+            }
+        }
+
+        // Final capacity prices and the feasible dual certificate.
+        let theta: Vec<f64> = inst
+            .cloud()
+            .compute_ids()
+            .map(|v| self.theta(mu, st.load_fraction(v)))
+            .collect();
+        let dual_bound = self.dual_bound(inst, &theta);
+        ApproReport {
+            solution: st.into_solution(),
+            dual_bound,
+            theta,
+        }
+    }
+
+    /// Assembles the feasible dual solution of program (8)–(14) implied by
+    /// final capacity prices `theta` and returns its objective value:
+    ///
+    /// * `η_ml = 0`;
+    /// * `y_ml = max(0, |S_qm|·(1 − r_m·θ_l))` makes every constraint (9)
+    ///   hold;
+    /// * constraint (10) requires `Σ_m μ_qm ≥ Σ_m y_ml` at every node, so
+    ///   `Σ_m μ_qm = max_l Σ_m y_ml`;
+    /// * dual objective (8) = `Σ_l A(v_l)·θ_l + K·Σ_m μ_qm`.
+    ///
+    /// For multi-dataset queries the per-demand volumes replace `|S_qm|`,
+    /// mirroring how Algorithm 2 invokes Algorithm 1 per demand.
+    pub fn dual_bound(&self, inst: &Instance, theta: &[f64]) -> f64 {
+        let cloud = inst.cloud();
+        let capacity_part: f64 = cloud
+            .compute_ids()
+            .map(|v| cloud.available(v) * theta[v.index()])
+            .sum();
+        let mut worst_y_sum: f64 = 0.0;
+        for v in cloud.compute_ids() {
+            let mut y_sum = 0.0;
+            for q in inst.queries() {
+                for dem in &q.demands {
+                    let size = inst.size(dem.dataset);
+                    let y = size * (1.0 - q.compute_rate * theta[v.index()]);
+                    if y > 0.0 {
+                        y_sum += y;
+                    }
+                }
+            }
+            worst_y_sum = worst_y_sum.max(y_sum);
+        }
+        capacity_part + inst.max_replicas() as f64 * worst_y_sum
+    }
+}
+
+/// Algorithm 1 of the paper: the special case where every query demands a
+/// single dataset. The engine is shared with [`ApproG`]; the type exists so
+/// experiment panels and reports carry the paper's algorithm names.
+#[derive(Debug, Clone, Default)]
+pub struct ApproS {
+    /// Engine configuration.
+    pub config: ApproConfig,
+}
+
+impl PlacementAlgorithm for ApproS {
+    fn name(&self) -> &'static str {
+        "Appro-S"
+    }
+
+    fn solve(&self, inst: &Instance) -> Solution {
+        debug_assert!(
+            inst.queries().iter().all(|q| q.demands.len() == 1),
+            "Appro-S expects single-dataset queries (use Appro-G otherwise)"
+        );
+        Appro::with_config(self.config).run(inst).solution
+    }
+}
+
+/// Algorithm 2 of the paper: the general case with multi-dataset queries.
+#[derive(Debug, Clone, Default)]
+pub struct ApproG {
+    /// Engine configuration.
+    pub config: ApproConfig,
+}
+
+impl PlacementAlgorithm for ApproG {
+    fn name(&self) -> &'static str {
+        "Appro-G"
+    }
+
+    fn solve(&self, inst: &Instance) -> Solution {
+        Appro::with_config(self.config).run(inst).solution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgerep_model::prelude::*;
+
+    fn two_node_instance(k: usize) -> Instance {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, k);
+        let d0 = ib.add_dataset(4.0, dc);
+        let d1 = ib.add_dataset(2.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
+        ib.add_query(cl, vec![Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.build().unwrap()
+    }
+
+    #[test]
+    fn admits_everything_when_resources_abound() {
+        let inst = two_node_instance(2);
+        let report = Appro::default().run(&inst);
+        report.solution.validate(&inst).unwrap();
+        assert_eq!(report.solution.admitted_count(), 3);
+        assert_eq!(report.solution.admitted_volume(&inst), 4.0 + 2.0 + 6.0);
+    }
+
+    #[test]
+    fn dual_bound_dominates_primal() {
+        let inst = two_node_instance(2);
+        let report = Appro::default().run(&inst);
+        assert!(
+            report.dual_bound >= report.solution.admitted_volume(&inst) - 1e-9,
+            "dual {} < primal {}",
+            report.dual_bound,
+            report.solution.admitted_volume(&inst)
+        );
+    }
+
+    #[test]
+    fn theta_prices_rise_with_load() {
+        let inst = two_node_instance(2);
+        let report = Appro::default().run(&inst);
+        // Something was admitted, so at least one node carries load and a
+        // positive price.
+        assert!(report.theta.iter().any(|&t| t > 0.0));
+        assert!(report.theta.iter().all(|&t| (0.0..=1.0 + 1e-9).contains(&t)));
+    }
+
+    #[test]
+    fn respects_tight_deadline_by_rejecting() {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, cl, 10.0); // remote DC behind a terrible link
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(4.0, dc);
+        // Deadline so tight only local processing at cl would work, but cl
+        // also cannot process in time (0.01·4 = 0.04 > 0.03).
+        ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 0.03);
+        let inst = ib.build().unwrap();
+        let sol = ApproS::default().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 0);
+    }
+
+    #[test]
+    fn serves_at_home_cloudlet_when_deadline_requires() {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, cl, 10.0);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(4.0, dc);
+        // 0.04 processing at cl fits a 0.05 deadline; the DC path cannot.
+        ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        let inst = ib.build().unwrap();
+        let sol = ApproS::default().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 1);
+        assert_eq!(sol.assignment_of(QueryId(0)).unwrap(), &[cl]);
+        assert!(sol.has_replica(DatasetId(0), cl));
+    }
+
+    #[test]
+    fn replica_budget_respected_under_pressure() {
+        // Three cloudlets, each home to one query on the same dataset, all
+        // needing local service; K = 1 admits only one of the remote pair.
+        let mut b = EdgeCloudBuilder::new();
+        let c0 = b.add_cloudlet(8.0, 0.01);
+        let c1 = b.add_cloudlet(8.0, 0.01);
+        let c2 = b.add_cloudlet(8.0, 0.01);
+        b.link(c0, c1, 10.0);
+        b.link(c1, c2, 10.0);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(2.0, c0);
+        for home in [c0, c1, c2] {
+            ib.add_query(home, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        }
+        let inst = ib.build().unwrap();
+        let sol = ApproS::default().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.replica_count(DatasetId(0)), 1);
+        assert_eq!(sol.admitted_count(), 1);
+    }
+
+    #[test]
+    fn capacity_forces_selectivity() {
+        // One cloudlet (8 GHz), no other nodes; three 4-GB queries at
+        // r = 1 need 4 GHz each: only two fit.
+        let mut b = EdgeCloudBuilder::new();
+        let cl = b.add_cloudlet(8.0, 0.001);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 3);
+        let d0 = ib.add_dataset(4.0, cl);
+        for _ in 0..3 {
+            ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 1.0);
+        }
+        let inst = ib.build().unwrap();
+        let sol = ApproS::default().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 2);
+        assert_eq!(sol.admitted_volume(&inst), 8.0);
+    }
+
+    #[test]
+    fn all_orders_produce_feasible_solutions() {
+        let inst = two_node_instance(2);
+        for order in [
+            QueryOrder::GlobalCheapestFirst,
+            QueryOrder::Input,
+            QueryOrder::VolumeDesc,
+            QueryOrder::DeadlineAsc,
+        ] {
+            let cfg = ApproConfig { order, ..Default::default() };
+            let report = Appro::with_config(cfg).run(&inst);
+            report.solution.validate(&inst).unwrap_or_else(|e| {
+                panic!("order {order:?} produced infeasible solution: {e:?}")
+            });
+        }
+    }
+
+    #[test]
+    fn custom_mu_accepted() {
+        let inst = two_node_instance(2);
+        let cfg = ApproConfig { price_mu: Some(64.0), ..Default::default() };
+        let report = Appro::with_config(cfg).run(&inst);
+        report.solution.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn multi_demand_query_stacks_and_admits() {
+        let inst = two_node_instance(2);
+        let sol = ApproG::default().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert!(sol.is_admitted(QueryId(2)), "general query should fit");
+        let nodes = sol.assignment_of(QueryId(2)).unwrap();
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ApproS::default().name(), "Appro-S");
+        assert_eq!(ApproG::default().name(), "Appro-G");
+    }
+}

@@ -1,0 +1,219 @@
+//! `Centroid-G`: a delay-centroid placement baseline (extension).
+//!
+//! Not in the paper, but the natural "facility location" strawman a
+//! practitioner would try first: place each dataset's replicas at the
+//! 1-median of its consumers' homes (weighted by demanded volume), spread
+//! the remaining `K − 1` replicas over the homes with the worst service
+//! delay from the replicas placed so far, then admit queries volume-first
+//! at their cheapest feasible replica.
+//!
+//! It is deadline-aware at assignment time but, unlike `Appro`, its
+//! placement ignores capacity contention and each dataset is placed in
+//! isolation — which is exactly where the joint primal-dual view wins.
+//! `placement_study` and the online extension bench include it for
+//! context.
+
+use edgerep_graph::centrality::weighted_centroid;
+use edgerep_graph::NodeId;
+use edgerep_model::delay::assignment_delay;
+use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+
+use crate::admission::{AdmissionState, PlannedDemand};
+use crate::PlacementAlgorithm;
+
+/// The delay-centroid baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Centroid;
+
+impl PlacementAlgorithm for Centroid {
+    fn name(&self) -> &'static str {
+        "Centroid-G"
+    }
+
+    fn solve(&self, inst: &Instance) -> Solution {
+        let cloud = inst.cloud();
+        let delays = cloud.delay_matrix();
+        let mut st = AdmissionState::new(inst);
+        let candidates: Vec<NodeId> = cloud
+            .compute_ids()
+            .map(|v| cloud.node(v).graph_node)
+            .collect();
+        // Reverse map graph node -> compute id for the chosen centroids.
+        let compute_of: std::collections::HashMap<NodeId, ComputeNodeId> = cloud
+            .compute_ids()
+            .map(|v| (cloud.node(v).graph_node, v))
+            .collect();
+
+        // --- Placement: per dataset, 1-median then worst-served homes. --
+        for d in inst.dataset_ids() {
+            let consumers: Vec<(ComputeNodeId, f64)> = inst
+                .consumers_of(d)
+                .map(|q| (q.home, inst.size(d)))
+                .collect();
+            if consumers.is_empty() {
+                continue; // nothing demands it; keep the budget
+            }
+            let targets: Vec<(NodeId, f64)> = consumers
+                .iter()
+                .map(|&(home, w)| (cloud.node(home).graph_node, w))
+                .collect();
+            let Some(first) = weighted_centroid(delays, &candidates, &targets) else {
+                continue;
+            };
+            st.place_replica(d, compute_of[&first]);
+            // Remaining budget: repeatedly cover the consumer home whose
+            // best current replica delay is worst.
+            for _ in 1..inst.max_replicas() {
+                let worst = consumers
+                    .iter()
+                    .map(|&(home, _)| {
+                        let best = st
+                            .solution()
+                            .replicas_of(d)
+                            .iter()
+                            .map(|&r| cloud.min_delay(r, home))
+                            .fold(f64::INFINITY, f64::min);
+                        (home, best)
+                    })
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("delays comparable"));
+                let Some((worst_home, worst_delay)) = worst else { break };
+                if worst_delay <= 0.0 {
+                    break; // everyone already served locally
+                }
+                if st.has_replica(d, worst_home) {
+                    break; // no further improvement available
+                }
+                st.place_replica(d, worst_home);
+            }
+        }
+
+        // --- Assignment: volume-descending, cheapest feasible replica. --
+        let mut queries: Vec<QueryId> = inst.query_ids().collect();
+        queries.sort_by(|&a, &b| {
+            inst.demanded_volume(b)
+                .partial_cmp(&inst.demanded_volume(a))
+                .expect("volumes are finite")
+                .then(a.cmp(&b))
+        });
+        for q in queries {
+            let query = inst.query(q);
+            let mut plan = Vec::with_capacity(query.demands.len());
+            let mut extra = vec![0.0; cloud.compute_count()];
+            let mut complete = true;
+            for (idx, dem) in query.demands.iter().enumerate() {
+                let mut replicas: Vec<ComputeNodeId> =
+                    st.solution().replicas_of(dem.dataset).to_vec();
+                replicas.sort_by(|&a, &b| {
+                    assignment_delay(inst, q, idx, a)
+                        .partial_cmp(&assignment_delay(inst, q, idx, b))
+                        .expect("delays comparable")
+                        .then(a.cmp(&b))
+                });
+                match replicas
+                    .into_iter()
+                    .find(|&v| st.demand_feasible_with(q, idx, v, extra[v.index()]))
+                {
+                    Some(v) => {
+                        extra[v.index()] += st.compute_demand(q, idx);
+                        plan.push(PlannedDemand {
+                            node: v,
+                            new_replica: false,
+                        });
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete && st.plan_feasible(q, &plan) {
+                st.commit(q, &plan);
+            }
+        }
+        st.into_solution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgerep_model::prelude::*;
+
+    #[test]
+    fn places_at_the_consumer_centroid() {
+        // Homes at cl0, cl1 and cl2 on a path cl0 - cl1 - cl2: cl1 is the
+        // strict 1-median (0.01 + 0 + 0.01 < any alternative).
+        let mut b = EdgeCloudBuilder::new();
+        let c0 = b.add_cloudlet(50.0, 0.001);
+        let c1 = b.add_cloudlet(50.0, 0.001);
+        let c2 = b.add_cloudlet(50.0, 0.001);
+        b.link(c0, c1, 0.01);
+        b.link(c1, c2, 0.01);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d = ib.add_dataset(2.0, c0);
+        ib.add_query(c0, vec![Demand::new(d, 1.0)], 1.0, 1.0);
+        ib.add_query(c1, vec![Demand::new(d, 1.0)], 1.0, 1.0);
+        ib.add_query(c2, vec![Demand::new(d, 1.0)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        let sol = Centroid.solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert!(sol.has_replica(DatasetId(0), c1), "centroid is c1");
+        assert_eq!(sol.admitted_count(), 3);
+    }
+
+    #[test]
+    fn spreads_remaining_budget_to_worst_served_home() {
+        // Two distant homes, K = 2: both should end up with local copies.
+        let mut b = EdgeCloudBuilder::new();
+        let c0 = b.add_cloudlet(50.0, 0.001);
+        let c1 = b.add_cloudlet(50.0, 0.001);
+        b.link(c0, c1, 5.0);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d = ib.add_dataset(2.0, c0);
+        ib.add_query(c0, vec![Demand::new(d, 1.0)], 1.0, 0.1);
+        ib.add_query(c1, vec![Demand::new(d, 1.0)], 1.0, 0.1);
+        let inst = ib.build().unwrap();
+        let sol = Centroid.solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.replica_count(DatasetId(0)), 2);
+        assert_eq!(sol.admitted_count(), 2);
+    }
+
+    #[test]
+    fn unconsumed_dataset_gets_no_replicas() {
+        let mut b = EdgeCloudBuilder::new();
+        let c0 = b.add_cloudlet(50.0, 0.001);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d_used = ib.add_dataset(2.0, c0);
+        let _d_unused = ib.add_dataset(3.0, c0);
+        ib.add_query(c0, vec![Demand::new(d_used, 1.0)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        let sol = Centroid.solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.replica_count(DatasetId(1)), 0);
+    }
+
+    #[test]
+    fn feasible_on_random_instances_and_below_appro() {
+        use edgerep_workload::{generate_instance, WorkloadParams};
+        let params = WorkloadParams::default();
+        let mut centroid_total = 0.0;
+        let mut appro_total = 0.0;
+        for seed in 0..6 {
+            let inst = generate_instance(&params, seed);
+            let sol = Centroid.solve(&inst);
+            sol.validate(&inst).unwrap();
+            centroid_total += sol.admitted_volume(&inst);
+            appro_total += crate::appro::ApproG::default()
+                .solve(&inst)
+                .admitted_volume(&inst);
+        }
+        assert!(
+            appro_total >= centroid_total,
+            "Appro {appro_total} should dominate Centroid {centroid_total} on average"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! `Greedy-S` / `Greedy-G`: the paper's first simulation benchmark (§4.1).
+//!
+//! Published procedure, implemented literally: for each demanded dataset,
+//! the algorithm "selects a data center or cloudlet with largest available
+//! computing resource to place a replica. If the delay requirement cannot
+//! be satisfied, it then selects \[the\] second largest … This procedure
+//! continues until the query is admitted or there are already `K` replicas
+//! of the dataset in the system."
+//!
+//! Two consequences follow from that wording and explain the large margins
+//! the paper reports for `Appro` (Figs. 2–5):
+//!
+//! * replicas placed while probing **persist even when the probe fails**
+//!   the delay check — the budget burns on big-but-far nodes (typically
+//!   data centers, whose Internet links are slow), and
+//! * capacity is chased greedily with no view of the deadline or of other
+//!   queries.
+
+use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+
+use crate::admission::{AdmissionState, PlannedDemand};
+use crate::PlacementAlgorithm;
+
+/// The greedy benchmark; [`Greedy::special`] and [`Greedy::general`] only
+/// differ in display name (the procedure is per-demand either way).
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    name: &'static str,
+}
+
+impl Greedy {
+    /// `Greedy-S`: the single-dataset-per-query panels (Fig. 2).
+    pub fn special() -> Self {
+        Self { name: "Greedy-S" }
+    }
+
+    /// `Greedy-G`: the multi-dataset panels (Figs. 3–5).
+    pub fn general() -> Self {
+        Self { name: "Greedy-G" }
+    }
+}
+
+impl PlacementAlgorithm for Greedy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn solve(&self, inst: &Instance) -> Solution {
+        let mut st = AdmissionState::new(inst);
+        for q in inst.query_ids() {
+            attempt_query(&mut st, q);
+        }
+        st.into_solution()
+    }
+}
+
+/// Tries to admit one query; replica budget burnt by failed probes stays
+/// burnt (see module docs).
+fn attempt_query(st: &mut AdmissionState<'_>, q: QueryId) {
+    let inst = st.instance();
+    let n_demands = inst.query(q).demands.len();
+    let mut plan: Vec<PlannedDemand> = Vec::with_capacity(n_demands);
+    let mut extra = vec![0.0; inst.cloud().compute_count()];
+    for idx in 0..n_demands {
+        let d = inst.query(q).demands[idx].dataset;
+        // Nodes by available compute, descending (the published order),
+        // ties broken by node id for determinism.
+        let mut nodes: Vec<ComputeNodeId> = inst.cloud().compute_ids().collect();
+        nodes.sort_by(|&a, &b| {
+            st.remaining(b)
+                .partial_cmp(&st.remaining(a))
+                .expect("remaining capacity is finite")
+                .then(a.cmp(&b))
+        });
+        let mut chosen = None;
+        for v in nodes {
+            let had_replica = st.has_replica(d, v);
+            if !had_replica {
+                if !st.replica_budget_left(d) {
+                    continue; // cannot probe new locations any more
+                }
+                // The probe *places* the replica before checking the delay
+                // requirement — the published procedure's budget burn.
+                st.place_replica(d, v);
+            }
+            if st.demand_feasible_with(q, idx, v, extra[v.index()]) {
+                chosen = Some(v);
+                break;
+            }
+        }
+        let Some(v) = chosen else {
+            // Demand unservable: the query is rejected; replicas probed so
+            // far stay in the system.
+            return;
+        };
+        extra[v.index()] += st.compute_demand(q, idx);
+        plan.push(PlannedDemand {
+            node: v,
+            new_replica: false, // probe already placed it
+        });
+    }
+    if st.plan_feasible(q, &plan) {
+        st.commit(q, &plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgerep_model::prelude::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Greedy::special().name(), "Greedy-S");
+        assert_eq!(Greedy::general().name(), "Greedy-G");
+    }
+
+    #[test]
+    fn picks_largest_available_node_first() {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(500.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.01);
+        b.link(dc, cl, 0.01);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(2.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        let sol = Greedy::special().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.assignment_of(QueryId(0)).unwrap(), &[dc]);
+    }
+
+    #[test]
+    fn burns_replica_budget_on_failed_probes() {
+        // DC is huge but behind a slow link; cloudlet works. K = 1 means
+        // the failed DC probe exhausts the budget and the query dies even
+        // though the cloudlet alone would have served it.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(500.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.005);
+        b.link(dc, cl, 10.0);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(2.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        let inst = ib.build().unwrap();
+        let sol = Greedy::special().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 0, "budget burnt on the DC probe");
+        assert!(sol.has_replica(DatasetId(0), dc));
+        assert_eq!(sol.replica_count(DatasetId(0)), 1);
+    }
+
+    #[test]
+    fn second_probe_succeeds_with_budget() {
+        // Same setup but K = 2: after the DC probe fails, the cloudlet
+        // probe admits the query.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(500.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.005);
+        b.link(dc, cl, 10.0);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(2.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        let inst = ib.build().unwrap();
+        let sol = Greedy::special().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 1);
+        assert_eq!(sol.assignment_of(QueryId(0)).unwrap(), &[cl]);
+        assert_eq!(sol.replica_count(DatasetId(0)), 2);
+    }
+
+    #[test]
+    fn reuses_existing_replicas_without_budget() {
+        // Two queries on the same dataset at the same home: the second
+        // reuses the replica placed for the first.
+        let mut b = EdgeCloudBuilder::new();
+        let cl = b.add_cloudlet(10.0, 0.005);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(2.0, cl);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        let inst = ib.build().unwrap();
+        let sol = Greedy::special().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 2);
+        assert_eq!(sol.replica_count(DatasetId(0)), 1);
+    }
+
+    #[test]
+    fn multi_demand_all_or_nothing() {
+        // Second demand unservable -> whole query rejected, nothing
+        // assigned, but probed replicas persist.
+        let mut b = EdgeCloudBuilder::new();
+        let cl = b.add_cloudlet(10.0, 0.005);
+        let far = b.add_cloudlet(10.0, 0.005);
+        b.link(cl, far, 50.0);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(2.0, cl);
+        let d1 = ib.add_dataset(40.0, far); // too big for any node's deadline
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 1.0)],
+            1.0,
+            0.05,
+        );
+        let inst = ib.build().unwrap();
+        let sol = Greedy::general().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 0);
+    }
+
+    #[test]
+    fn solutions_always_validate_on_random_instances() {
+        use edgerep_workload::{generate_instance, WorkloadParams};
+        for seed in 0..5 {
+            let inst = generate_instance(&WorkloadParams::default(), seed);
+            let sol = Greedy::general().solve(&inst);
+            sol.validate(&inst).unwrap();
+        }
+    }
+}

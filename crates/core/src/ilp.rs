@@ -1,0 +1,244 @@
+//! The ILP formulation (1)–(7) of §3.2, generalized to multi-dataset
+//! queries with all-or-nothing admission.
+//!
+//! Decision variables:
+//!
+//! * `x_{n,l} ∈ {0,1}` — a replica of dataset `S_n` sits at node `v_l`;
+//! * `π_{m,i,l} ∈ {0,1}` — demand `i` of query `q_m` is served at `v_l`
+//!   (only generated for deadline-feasible pairs, which *is* constraint
+//!   (4));
+//! * `z_m ∈ {0,1}` — query `q_m` is admitted.
+//!
+//! For the paper's special case (`|S(q_m)| = 1`) `z_m` coincides with
+//! `Σ_l π_{m,l}` and this is exactly program (1)–(7). The general coupling
+//! `Σ_l π_{m,i,l} = z_m` encodes the all-or-nothing admission the paper's
+//! Fig. 4 analysis describes.
+
+use edgerep_lp::problem::{Cmp, LinearProgram, VarId};
+use edgerep_model::delay::assignment_delay;
+use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+
+/// Mapping from ILP columns back to model entities.
+#[derive(Debug, Clone)]
+pub struct IlpModel {
+    /// The assembled program (maximize admitted demanded volume).
+    pub lp: LinearProgram,
+    /// `x[d][v]` replica variables.
+    pub x: Vec<Vec<VarId>>,
+    /// `pi[m][i]` is the list of `(node, var)` pairs that are
+    /// deadline-feasible for demand `i` of query `m`.
+    pub pi: Vec<Vec<Vec<(ComputeNodeId, VarId)>>>,
+    /// `z[m]` admission variables.
+    pub z: Vec<VarId>,
+}
+
+/// Builds the ILP for an instance.
+pub fn build_ilp(inst: &Instance) -> IlpModel {
+    let mut lp = LinearProgram::new();
+    let v_count = inst.cloud().compute_count();
+    let n_datasets = inst.datasets().len();
+
+    // Replica variables.
+    let x: Vec<Vec<VarId>> = (0..n_datasets)
+        .map(|n| {
+            (0..v_count)
+                .map(|l| lp.add_binary_var(&format!("x_{n}_{l}"), 0.0))
+                .collect()
+        })
+        .collect();
+
+    // Admission variables carry the objective: volume demanded by q_m.
+    let z: Vec<VarId> = inst
+        .query_ids()
+        .map(|q| lp.add_binary_var(&format!("z_{}", q.0), inst.demanded_volume(q)))
+        .collect();
+
+    // Assignment variables, restricted to deadline-feasible pairs.
+    let mut pi: Vec<Vec<Vec<(ComputeNodeId, VarId)>>> = Vec::with_capacity(inst.queries().len());
+    for q in inst.query_ids() {
+        let query = inst.query(q);
+        let mut per_demand = Vec::with_capacity(query.demands.len());
+        for i in 0..query.demands.len() {
+            let mut feasible = Vec::new();
+            for v in inst.cloud().compute_ids() {
+                if assignment_delay(inst, q, i, v) <= query.deadline + 1e-12 {
+                    let var = lp.add_binary_var(&format!("pi_{}_{i}_{}", q.0, v.0), 0.0);
+                    feasible.push((v, var));
+                }
+            }
+            per_demand.push(feasible);
+        }
+        pi.push(per_demand);
+    }
+
+    // Coupling: Σ_l π_{m,i,l} = z_m  (admission is all-or-nothing); a
+    // demand with no feasible node forces z_m = 0.
+    for (qm, per_demand) in pi.iter().enumerate() {
+        for feasible in per_demand {
+            if feasible.is_empty() {
+                lp.add_constraint(vec![(z[qm], 1.0)], Cmp::Eq, 0.0);
+            } else {
+                let mut terms: Vec<(VarId, f64)> =
+                    feasible.iter().map(|&(_, var)| (var, 1.0)).collect();
+                terms.push((z[qm], -1.0));
+                lp.add_constraint(terms, Cmp::Eq, 0.0);
+            }
+        }
+    }
+
+    // Constraint (3): π ≤ x.
+    for (qm, per_demand) in pi.iter().enumerate() {
+        let query = inst.query(QueryId(qm as u32));
+        for (i, feasible) in per_demand.iter().enumerate() {
+            let d = query.demands[i].dataset;
+            for &(v, var) in feasible {
+                lp.add_constraint(
+                    vec![(var, 1.0), (x[d.index()][v.index()], -1.0)],
+                    Cmp::Le,
+                    0.0,
+                );
+            }
+        }
+    }
+
+    // Constraint (2): node capacity.
+    for v in inst.cloud().compute_ids() {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for (qm, per_demand) in pi.iter().enumerate() {
+            let query = inst.query(QueryId(qm as u32));
+            for (i, feasible) in per_demand.iter().enumerate() {
+                let coeff = inst.size(query.demands[i].dataset) * query.compute_rate;
+                for &(node, var) in feasible {
+                    if node == v {
+                        terms.push((var, coeff));
+                    }
+                }
+            }
+        }
+        if !terms.is_empty() {
+            lp.add_constraint(terms, Cmp::Le, inst.cloud().available(v));
+        }
+    }
+
+    // Constraint (5): replica budget.
+    for xs in &x {
+        let terms: Vec<(VarId, f64)> = xs.iter().map(|&var| (var, 1.0)).collect();
+        lp.add_constraint(terms, Cmp::Le, inst.max_replicas() as f64);
+    }
+
+    IlpModel { lp, x, pi, z }
+}
+
+/// Optimal objective of the LP relaxation — an upper bound on every
+/// feasible placement's admitted volume.
+pub fn lp_upper_bound(inst: &Instance) -> f64 {
+    let model = build_ilp(inst);
+    match edgerep_lp::solve(&model.lp) {
+        Ok(sol) => sol.objective,
+        // The ILP is always feasible (all-zero) and bounded (binary +
+        // bounded objective), so any solver error is a bug upstream.
+        Err(e) => panic!("LP relaxation of a feasible bounded ILP failed: {e}"),
+    }
+}
+
+/// Converts an ILP point (from branch-and-bound) back into a [`Solution`].
+pub fn extract_solution(inst: &Instance, model: &IlpModel, point: &[f64]) -> Solution {
+    let mut sol = Solution::empty(inst);
+    for (n, xs) in model.x.iter().enumerate() {
+        for (l, &var) in xs.iter().enumerate() {
+            if point[var.0] > 0.5 {
+                sol.place_replica(
+                    edgerep_model::DatasetId(n as u32),
+                    ComputeNodeId(l as u32),
+                );
+            }
+        }
+    }
+    for (qm, per_demand) in model.pi.iter().enumerate() {
+        if point[model.z[qm].0] <= 0.5 {
+            continue;
+        }
+        let mut nodes = Vec::with_capacity(per_demand.len());
+        for feasible in per_demand {
+            let serving = feasible
+                .iter()
+                .find(|&&(_, var)| point[var.0] > 0.5)
+                .map(|&(v, _)| v)
+                .expect("admitted query has a serving node per demand");
+            nodes.push(serving);
+        }
+        sol.assign_query(QueryId(qm as u32), nodes);
+    }
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgerep_model::prelude::*;
+
+    fn toy() -> Instance {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(4.0, dc);
+        let d1 = ib.add_dataset(2.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.build().unwrap()
+    }
+
+    #[test]
+    fn model_dimensions() {
+        let inst = toy();
+        let model = build_ilp(&inst);
+        assert_eq!(model.x.len(), 2);
+        assert_eq!(model.x[0].len(), 2);
+        assert_eq!(model.z.len(), 2);
+        assert_eq!(model.pi.len(), 2);
+        assert_eq!(model.pi[1].len(), 2);
+        // All pairs are deadline-feasible in this toy.
+        assert_eq!(model.pi[0][0].len(), 2);
+    }
+
+    #[test]
+    fn lp_bound_at_least_total_feasible_volume() {
+        let inst = toy();
+        // Everything fits here, so the bound reaches the full volume.
+        let bound = lp_upper_bound(&inst);
+        assert!(bound >= 10.0 - 1e-6, "bound {bound}");
+        // …and can never exceed the total demanded volume.
+        assert!(bound <= inst.total_demanded_volume() + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_pairs_pruned() {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, cl, 10.0); // slow: DC side infeasible for tight deadline
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(4.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        let inst = ib.build().unwrap();
+        let model = build_ilp(&inst);
+        assert_eq!(model.pi[0][0].len(), 1);
+        assert_eq!(model.pi[0][0][0].0, cl);
+    }
+
+    #[test]
+    fn unservable_query_forces_zero_admission() {
+        let mut b = EdgeCloudBuilder::new();
+        let cl = b.add_cloudlet(8.0, 10.0); // can't process in time
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(4.0, cl);
+        ib.add_query(cl, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        let inst = ib.build().unwrap();
+        assert_eq!(lp_upper_bound(&inst), 0.0);
+    }
+}

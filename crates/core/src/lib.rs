@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! QoS-aware proactive data replication and placement for big data
+//! analytics in two-tier edge clouds.
+//!
+//! This crate implements the contribution of Xia et al. (ICPP 2019
+//! Workshops) together with every benchmark the paper evaluates against:
+//!
+//! * [`appro`] — the paper's primal-dual approximation algorithms
+//!   [`appro::ApproS`] (Algorithm 1; single-dataset queries) and
+//!   [`appro::ApproG`] (Algorithm 2; multi-dataset queries), including the
+//!   feasible-dual bound used to check the approximation empirically.
+//! * [`greedy`] — `Greedy-S`/`Greedy-G`: largest-available-compute-first
+//!   placement (§4.1, benchmark 1).
+//! * [`graphpart`] — `Graph-S`/`Graph-G`: replica placement plus
+//!   Kernighan–Lin partitioning, after Golab et al. SSDBM'14 (§4.1,
+//!   benchmark 2).
+//! * [`popularity`] — `Popularity-S`/`Popularity-G`: popularity-driven
+//!   placement after Hou et al. (§4.3, the testbed benchmark).
+//! * [`ilp`] / [`optimal`] — the ILP (1)–(7) of §3.2 built on
+//!   `edgerep-lp`, giving an exact optimum on small instances and the LP
+//!   relaxation upper bound on medium ones.
+//! * [`admission`] — the shared admission state machine enforcing the
+//!   capacity, deadline, and replica-budget constraints identically for
+//!   every algorithm.
+//!
+//! Every algorithm implements [`PlacementAlgorithm`] and returns a
+//! [`edgerep_model::Solution`] that passes
+//! [`edgerep_model::Solution::validate`]; the experiment harness treats
+//! them uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use edgerep_core::{appro::ApproG, PlacementAlgorithm};
+//! use edgerep_workload::{generate_instance, WorkloadParams};
+//!
+//! let inst = generate_instance(&WorkloadParams::default(), 7);
+//! let sol = ApproG::default().solve(&inst);
+//! sol.validate(&inst).expect("Appro solutions are always feasible");
+//! println!("admitted volume: {:.1} GB", sol.admitted_volume(&inst));
+//! ```
+
+pub mod admission;
+pub mod appro;
+pub mod centroid;
+pub mod graphpart;
+pub mod greedy;
+pub mod ilp;
+pub mod online;
+pub mod optimal;
+pub mod popularity;
+pub mod refine;
+
+use edgerep_model::{Instance, Solution};
+
+/// A proactive data replication and placement algorithm.
+pub trait PlacementAlgorithm {
+    /// Short display name used in experiment tables (e.g. `"Appro-G"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes a feasible replication + assignment solution.
+    ///
+    /// Implementations must return a solution that passes
+    /// [`Solution::validate`] on `inst`; the test suite holds every
+    /// algorithm in this crate to that contract.
+    fn solve(&self, inst: &Instance) -> Solution;
+}
+
+/// Boxed algorithm handle used by the experiment harness to line up
+/// algorithm panels per figure.
+pub type BoxedAlgorithm = Box<dyn PlacementAlgorithm + Send + Sync>;
+
+/// The standard simulation panel of the paper's figures:
+/// Appro vs Greedy vs Graph, in the figure's display order.
+pub fn simulation_panel() -> Vec<BoxedAlgorithm> {
+    vec![
+        Box::new(appro::ApproG::default()),
+        Box::new(greedy::Greedy::general()),
+        Box::new(graphpart::GraphPartition::general()),
+    ]
+}
+
+/// The special-case panel (single-dataset queries): Appro-S vs Greedy-S vs
+/// Graph-S.
+pub fn special_panel() -> Vec<BoxedAlgorithm> {
+    vec![
+        Box::new(appro::ApproS::default()),
+        Box::new(greedy::Greedy::special()),
+        Box::new(graphpart::GraphPartition::special()),
+    ]
+}

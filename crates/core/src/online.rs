@@ -1,0 +1,240 @@
+//! Online admission control (extension beyond the paper).
+//!
+//! The paper's setting is offline: all queries are known before replicas
+//! are placed. In production, queries arrive one at a time and decisions
+//! are irreversible. This module extends the primal-dual engine to that
+//! regime, which is exactly where the Buchbinder–Naor machinery shines:
+//!
+//! * nodes keep the same multiplicative capacity price
+//!   `θ(x) = (μ^x − 1)/(μ − 1)`;
+//! * an arriving query is planned at its cheapest feasible nodes, like
+//!   [`crate::appro`], but is admitted **only if its price per demanded GB
+//!   is below a threshold** — a nearly-full node prices itself out, so
+//!   capacity is reserved for future arrivals instead of being handed to
+//!   whichever query shows up first;
+//! * rejections are final and replicas are never moved.
+//!
+//! With `admission_threshold = ∞` this degenerates to greedy-feasible
+//! online admission ([`crate::appro::QueryOrder::Input`]); with a finite
+//! threshold it trades a little early volume for robustness against
+//! adversarial arrival orders. `tests/` and the `ablations` bench quantify
+//! the trade-off; `OnlineAppro` is also the natural controller mode for
+//! the testbed's rolling operation.
+
+use edgerep_model::{Instance, QueryId, Solution};
+
+use crate::admission::AdmissionState;
+use crate::appro::{Appro, ApproConfig};
+use crate::PlacementAlgorithm;
+
+/// Configuration of the online controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Price engine settings (the commit order is ignored — arrivals set
+    /// the order).
+    pub engine: ApproConfig,
+    /// Maximum tolerated price per demanded GB; `f64::INFINITY` admits
+    /// every feasible arrival.
+    pub admission_threshold: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            engine: ApproConfig::default(),
+            // One unit of price per GB corresponds to a fully-priced node
+            // (θ = 1) at unit compute rate: beyond that the query would
+            // displace more future value than it brings.
+            admission_threshold: 1.0,
+        }
+    }
+}
+
+/// Statistics of one online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// The final (feasible) solution.
+    pub solution: Solution,
+    /// Queries rejected because no feasible plan existed.
+    pub rejected_infeasible: usize,
+    /// Queries rejected by the price threshold despite being feasible.
+    pub rejected_by_price: usize,
+}
+
+/// The online primal-dual controller.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineAppro {
+    /// Controller configuration.
+    pub config: OnlineConfig,
+}
+
+impl OnlineAppro {
+    /// Creates a controller with explicit configuration.
+    pub fn with_config(config: OnlineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Processes queries in the given arrival order and reports what
+    /// happened to each.
+    pub fn run_order(&self, inst: &Instance, arrivals: &[QueryId]) -> OnlineReport {
+        let engine = Appro::with_config(self.config.engine);
+        let mut st = AdmissionState::new(inst);
+        let mut rejected_infeasible = 0;
+        let mut rejected_by_price = 0;
+        for &q in arrivals {
+            match engine.plan_query_public(&st, q) {
+                None => rejected_infeasible += 1,
+                Some((plan, price)) => {
+                    let density = price / inst.demanded_volume(q).max(1e-12);
+                    if density <= self.config.admission_threshold {
+                        st.commit(q, &plan);
+                    } else {
+                        rejected_by_price += 1;
+                    }
+                }
+            }
+        }
+        OnlineReport {
+            solution: st.into_solution(),
+            rejected_infeasible,
+            rejected_by_price,
+        }
+    }
+
+    /// Processes queries in instance (input) order.
+    pub fn run(&self, inst: &Instance) -> OnlineReport {
+        let arrivals: Vec<QueryId> = inst.query_ids().collect();
+        self.run_order(inst, &arrivals)
+    }
+}
+
+impl PlacementAlgorithm for OnlineAppro {
+    fn name(&self) -> &'static str {
+        "Online-Appro"
+    }
+
+    fn solve(&self, inst: &Instance) -> Solution {
+        self.run(inst).solution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appro::ApproG;
+    use edgerep_model::prelude::*;
+    use edgerep_workload::{generate_instance, WorkloadParams};
+
+    #[test]
+    fn online_is_feasible_on_random_instances() {
+        let params = WorkloadParams::default();
+        for seed in 0..5 {
+            let inst = generate_instance(&params, seed);
+            let report = OnlineAppro::default().run(&inst);
+            report.solution.validate(&inst).unwrap();
+            let total = report.solution.admitted_count()
+                + report.rejected_infeasible
+                + report.rejected_by_price;
+            assert_eq!(total, inst.queries().len());
+        }
+    }
+
+    #[test]
+    fn infinite_threshold_admits_every_feasible_arrival() {
+        let params = WorkloadParams::default();
+        let inst = generate_instance(&params, 3);
+        let cfg = OnlineConfig {
+            admission_threshold: f64::INFINITY,
+            ..Default::default()
+        };
+        let report = OnlineAppro::with_config(cfg).run(&inst);
+        assert_eq!(report.rejected_by_price, 0);
+    }
+
+    #[test]
+    fn zero_threshold_rejects_everything_pricable() {
+        // With threshold 0 only zero-price plans commit; on a loaded
+        // system nothing is free once replicas cost budget, so admissions
+        // collapse.
+        let params = WorkloadParams::default();
+        let inst = generate_instance(&params, 4);
+        let strict = OnlineAppro::with_config(OnlineConfig {
+            admission_threshold: 0.0,
+            ..Default::default()
+        })
+        .run(&inst);
+        let lax = OnlineAppro::default().run(&inst);
+        assert!(strict.solution.admitted_count() <= lax.solution.admitted_count());
+    }
+
+    #[test]
+    fn online_never_beats_offline_materially() {
+        // Offline sees all queries; online commits in arrival order. Over
+        // several seeds the offline volume must dominate on average (tiny
+        // per-seed inversions are possible since both are heuristics).
+        let params = WorkloadParams::default();
+        let mut online_total = 0.0;
+        let mut offline_total = 0.0;
+        for seed in 0..8 {
+            let inst = generate_instance(&params, seed);
+            online_total += OnlineAppro::default()
+                .run(&inst)
+                .solution
+                .admitted_volume(&inst);
+            offline_total += ApproG::default().solve(&inst).admitted_volume(&inst);
+        }
+        assert!(
+            offline_total >= online_total,
+            "offline {offline_total} below online {online_total}"
+        );
+        // And online should still be competitive (>= 60% here).
+        assert!(
+            online_total >= 0.6 * offline_total,
+            "online {online_total} not competitive with offline {offline_total}"
+        );
+    }
+
+    #[test]
+    fn arrival_order_changes_outcomes_but_not_feasibility() {
+        let params = WorkloadParams::default();
+        let inst = generate_instance(&params, 6);
+        let forward: Vec<QueryId> = inst.query_ids().collect();
+        let mut backward = forward.clone();
+        backward.reverse();
+        let a = OnlineAppro::default().run_order(&inst, &forward);
+        let b = OnlineAppro::default().run_order(&inst, &backward);
+        a.solution.validate(&inst).unwrap();
+        b.solution.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn price_threshold_reserves_capacity_for_tight_queries() {
+        // One cloudlet, 8 GHz. First arrival: a slack query that could go
+        // anywhere. Second: a tight query that can only run locally. With
+        // an aggressive threshold the slack query is priced away from the
+        // nearly-full node, so the tight one still fits.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(8.0, 0.005);
+        b.link(dc, cl, 0.1);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(5.0, dc);
+        let d1 = ib.add_dataset(5.0, dc);
+        // Slack query (deadline loose enough for the DC).
+        ib.add_query(cl, vec![Demand::new(d0, 0.2)], 1.0, 5.0);
+        // Tight query (only the cloudlet meets 0.1 s).
+        ib.add_query(cl, vec![Demand::new(d1, 0.2)], 1.0, 0.1);
+        let inst = ib.build().unwrap();
+        let report = OnlineAppro::default().run(&inst);
+        report.solution.validate(&inst).unwrap();
+        assert_eq!(
+            report.solution.admitted_count(),
+            2,
+            "both queries should fit when the slack one yields the cloudlet"
+        );
+        // The slack query must have been pushed to the DC.
+        assert_eq!(report.solution.assignment_of(QueryId(0)).unwrap(), &[dc]);
+        assert_eq!(report.solution.assignment_of(QueryId(1)).unwrap(), &[cl]);
+    }
+}

@@ -1,0 +1,208 @@
+//! `Popularity-S` / `Popularity-G`: the testbed benchmark (§4.3), after
+//! Hou et al., "Proactive content caching by exploiting transfer learning
+//! for mobile edge computing".
+//!
+//! Published sketch: "first calculates the popularity of a node (cloudlet
+//! and data center) according to the ratio of the number of dataset
+//! replicas on the node to the total number of dataset replicas of all
+//! nodes. It then selects a node with the highest popularity for each
+//! dataset, and places a replica of the dataset if the delay requirement
+//! of a query can be satisfied; otherwise, it … selects another node with
+//! the second highest popularity … until the query is admitted or there
+//! are already `K` replicas."
+//!
+//! Popularity is recomputed as replicas accumulate — a rich-get-richer
+//! rule that concentrates replicas on a few hub nodes, which is exactly
+//! why it trails `Appro` on capacity-constrained cloudlets (Figs. 7–8).
+//! Ties (including the all-zero start) break toward larger available
+//! compute, then node id, so runs are deterministic.
+
+use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+
+use crate::admission::{AdmissionState, PlannedDemand};
+use crate::PlacementAlgorithm;
+
+/// The popularity-driven benchmark.
+#[derive(Debug, Clone)]
+pub struct Popularity {
+    name: &'static str,
+}
+
+impl Popularity {
+    /// `Popularity-S`: single-dataset testbed panels (Fig. 7).
+    pub fn special() -> Self {
+        Self {
+            name: "Popularity-S",
+        }
+    }
+
+    /// `Popularity-G`: multi-dataset testbed panels (Fig. 8).
+    pub fn general() -> Self {
+        Self {
+            name: "Popularity-G",
+        }
+    }
+}
+
+impl PlacementAlgorithm for Popularity {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn solve(&self, inst: &Instance) -> Solution {
+        let mut st = AdmissionState::new(inst);
+        let v_count = inst.cloud().compute_count();
+        // Replicas per node, maintained incrementally for the popularity
+        // ratio (the denominator is the total, which cancels in ranking).
+        let mut replicas_on = vec![0usize; v_count];
+        for q in inst.query_ids() {
+            attempt_query(&mut st, q, &mut replicas_on);
+        }
+        st.into_solution()
+    }
+}
+
+fn attempt_query(st: &mut AdmissionState<'_>, q: QueryId, replicas_on: &mut [usize]) {
+    let inst = st.instance();
+    let n_demands = inst.query(q).demands.len();
+    let mut plan: Vec<PlannedDemand> = Vec::with_capacity(n_demands);
+    let mut extra = vec![0.0; inst.cloud().compute_count()];
+    let mut placed_this_query: Vec<ComputeNodeId> = Vec::new();
+    for idx in 0..n_demands {
+        let d = inst.query(q).demands[idx].dataset;
+        let mut nodes: Vec<ComputeNodeId> = inst.cloud().compute_ids().collect();
+        nodes.sort_by(|&a, &b| {
+            replicas_on[b.index()]
+                .cmp(&replicas_on[a.index()])
+                .then_with(|| {
+                    st.remaining(b)
+                        .partial_cmp(&st.remaining(a))
+                        .expect("remaining capacity is finite")
+                })
+                .then(a.cmp(&b))
+        });
+        let mut chosen = None;
+        for v in nodes {
+            let had_replica = st.has_replica(d, v);
+            if !had_replica && !st.replica_budget_left(d) {
+                continue;
+            }
+            if st.demand_feasible_with(q, idx, v, extra[v.index()]) {
+                if !had_replica {
+                    st.place_replica(d, v);
+                    replicas_on[v.index()] += 1;
+                    placed_this_query.push(v);
+                }
+                chosen = Some(v);
+                break;
+            }
+        }
+        let Some(v) = chosen else {
+            // Reject; replicas placed for earlier demands of this query
+            // persist (they were placed because a feasible probe chose
+            // them, matching the benchmark's proactive framing).
+            return;
+        };
+        extra[v.index()] += st.compute_demand(q, idx);
+        plan.push(PlannedDemand {
+            node: v,
+            new_replica: false,
+        });
+    }
+    if st.plan_feasible(q, &plan) {
+        st.commit(q, &plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgerep_model::prelude::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Popularity::special().name(), "Popularity-S");
+        assert_eq!(Popularity::general().name(), "Popularity-G");
+    }
+
+    #[test]
+    fn rich_get_richer_concentration() {
+        // Two equal cloudlets; q0 seeds a replica on the first (tie-break
+        // by capacity then id), and later datasets follow the popular node
+        // while it still satisfies their deadlines.
+        let mut b = EdgeCloudBuilder::new();
+        let c0 = b.add_cloudlet(100.0, 0.001);
+        let c1 = b.add_cloudlet(100.0, 0.001);
+        b.link(c0, c1, 0.001);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(1.0, c0);
+        let d1 = ib.add_dataset(1.0, c0);
+        let d2 = ib.add_dataset(1.0, c0);
+        ib.add_query(c0, vec![Demand::new(d0, 1.0)], 1.0, 1.0);
+        ib.add_query(c1, vec![Demand::new(d1, 1.0)], 1.0, 1.0);
+        ib.add_query(c0, vec![Demand::new(d2, 1.0)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        let sol = Popularity::special().solve(&inst);
+        sol.validate(&inst).unwrap();
+        // All three queries admitted; the popular node hosts most replicas.
+        assert_eq!(sol.admitted_count(), 3);
+        let on_c0 = inst
+            .dataset_ids()
+            .filter(|&d| sol.has_replica(d, c0))
+            .count();
+        assert!(on_c0 >= 2, "expected concentration on c0, got {on_c0}");
+    }
+
+    #[test]
+    fn respects_deadline_over_popularity() {
+        // The popular node cannot meet q1's deadline; the algorithm must
+        // fall to the second-ranked node.
+        let mut b = EdgeCloudBuilder::new();
+        let hub = b.add_cloudlet(100.0, 0.001);
+        let edge = b.add_cloudlet(100.0, 0.001);
+        b.link(hub, edge, 1.0); // slow path between them
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(1.0, hub);
+        let d1 = ib.add_dataset(1.0, hub);
+        ib.add_query(hub, vec![Demand::new(d0, 1.0)], 1.0, 1.0);
+        // Home at `edge`, deadline too tight for the hub->edge transfer.
+        ib.add_query(edge, vec![Demand::new(d1, 1.0)], 1.0, 0.01);
+        let inst = ib.build().unwrap();
+        let sol = Popularity::special().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 2);
+        assert_eq!(sol.assignment_of(QueryId(1)).unwrap(), &[edge]);
+    }
+
+    #[test]
+    fn budget_exhaustion_rejects() {
+        // K = 1 and two homes that each need a local replica of the same
+        // dataset: only the first gets it.
+        let mut b = EdgeCloudBuilder::new();
+        let c0 = b.add_cloudlet(100.0, 0.001);
+        let c1 = b.add_cloudlet(100.0, 0.001);
+        b.link(c0, c1, 10.0);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d0 = ib.add_dataset(1.0, c0);
+        ib.add_query(c0, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        ib.add_query(c1, vec![Demand::new(d0, 1.0)], 1.0, 0.05);
+        let inst = ib.build().unwrap();
+        let sol = Popularity::special().solve(&inst);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.admitted_count(), 1);
+        assert_eq!(sol.replica_count(DatasetId(0)), 1);
+    }
+
+    #[test]
+    fn random_instances_validate() {
+        use edgerep_workload::{generate_instance, WorkloadParams};
+        for seed in 0..5 {
+            let inst = generate_instance(&WorkloadParams::default(), seed);
+            let sol = Popularity::general().solve(&inst);
+            sol.validate(&inst).unwrap();
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Local-search refinement (extension beyond the paper).
+//!
+//! Every algorithm in this crate is constructive: once a query is rejected
+//! it stays rejected even when later decisions would have made room for
+//! it. [`refine`] runs a bounded local search on top of any feasible
+//! solution:
+//!
+//! 1. **Prune pass** — replicas serving no assigned demand are removed
+//!    (replica *relocation*: a burnt budget slot is freed so the rescue
+//!    pass can place the copy somewhere useful — this is what resurrects
+//!    `Greedy`, whose published procedure strands replicas on
+//!    deadline-infeasible data centers);
+//! 2. **Rescue pass** — for each rejected query (largest demanded volume
+//!    first), try to admit it against the current residual state, allowed
+//!    to place replicas with leftover budget;
+//! 3. **Swap pass** — if a rejected query `q` is blocked only by capacity,
+//!    try evicting one admitted query with *smaller* demanded volume whose
+//!    removal frees enough compute on the nodes `q` needs; commit the swap
+//!    only when it strictly increases total admitted volume.
+//!
+//! Passes repeat until a fixed point or the iteration cap. The result
+//! never loses volume (every accepted move is strictly improving) and is
+//! re-validated by the caller-facing API. `Refined<A>` wraps any
+//! [`PlacementAlgorithm`] so panels can compare `X` vs `X+refine` — the
+//! ablation the paper's "Appro places replicas from an overall
+//! perspective" argument invites.
+
+use edgerep_model::{Instance, QueryId, Solution};
+
+use crate::admission::{AdmissionState, PlannedDemand};
+use crate::appro::{Appro, ApproConfig};
+use crate::PlacementAlgorithm;
+
+/// Upper bound on full rescue+swap rounds (each round is O(|Q|²·|V|) in
+/// the worst case; two rounds almost always reach the fixed point).
+const MAX_ROUNDS: usize = 4;
+
+/// Rebuilds an [`AdmissionState`] that mirrors `sol` on `inst`.
+fn state_of<'a>(inst: &'a Instance, sol: &Solution) -> AdmissionState<'a> {
+    let mut st = AdmissionState::new(inst);
+    // Replicas first (they may exceed what assignments need, e.g. budget
+    // burnt by Greedy probes).
+    for d in inst.dataset_ids() {
+        for &v in sol.replicas_of(d) {
+            st.place_replica(d, v);
+        }
+    }
+    for q in sol.admitted_queries() {
+        let nodes = sol.assignment_of(q).expect("admitted");
+        let plan: Vec<PlannedDemand> = nodes
+            .iter()
+            .map(|&node| PlannedDemand {
+                node,
+                new_replica: false,
+            })
+            .collect();
+        st.commit(q, &plan);
+    }
+    st
+}
+
+/// Attempts to admit `q` against the residual state using the primal-dual
+/// planner (cheapest feasible nodes, replica budget respected).
+fn try_admit(st: &mut AdmissionState<'_>, engine: &Appro, q: QueryId) -> bool {
+    if let Some((plan, _)) = engine.plan_query_public(st, q) {
+        st.commit(q, &plan);
+        true
+    } else {
+        false
+    }
+}
+
+/// Refines `sol`, returning an improved (or identical) feasible solution.
+pub fn refine(inst: &Instance, sol: &Solution) -> Solution {
+    debug_assert!(sol.validate(inst).is_ok(), "refine expects a feasible input");
+    let engine = Appro::with_config(ApproConfig::default());
+    let mut best = sol.clone();
+    for _ in 0..MAX_ROUNDS {
+        let mut improved = false;
+
+        // --- Prune pass: drop replicas serving nothing -------------------
+        // (Relocation: freeing the budget lets the rescue pass place the
+        // copy where a rejected query can actually use it. Never changes
+        // the objective by itself.)
+        for d in inst.dataset_ids() {
+            let unused: Vec<_> = best
+                .replicas_of(d)
+                .iter()
+                .copied()
+                .filter(|&v| !best.replica_in_use(inst, d, v))
+                .collect();
+            for v in unused {
+                best.remove_replica(d, v);
+            }
+        }
+
+        // --- Rescue pass -------------------------------------------------
+        let mut st = state_of(inst, &best);
+        let mut rejected: Vec<QueryId> = inst
+            .query_ids()
+            .filter(|&q| !best.is_admitted(q))
+            .collect();
+        rejected.sort_by(|&a, &b| {
+            inst.demanded_volume(b)
+                .partial_cmp(&inst.demanded_volume(a))
+                .expect("volumes are finite")
+        });
+        for q in &rejected {
+            if try_admit(&mut st, &engine, *q) {
+                improved = true;
+            }
+        }
+        if improved {
+            best = st.into_solution();
+            continue; // restart with the richer base
+        }
+
+        // --- Swap pass ----------------------------------------------------
+        // For each still-rejected query, try evicting one smaller admitted
+        // query and re-admitting both orders.
+        let rejected: Vec<QueryId> = inst
+            .query_ids()
+            .filter(|&q| !best.is_admitted(q))
+            .collect();
+        'outer: for &q in &rejected {
+            let q_vol = inst.demanded_volume(q);
+            let mut victims: Vec<QueryId> = best
+                .admitted_queries()
+                .filter(|&v| inst.demanded_volume(v) < q_vol)
+                .collect();
+            // Evict the smallest viable victim first.
+            victims.sort_by(|&a, &b| {
+                inst.demanded_volume(a)
+                    .partial_cmp(&inst.demanded_volume(b))
+                    .expect("volumes are finite")
+            });
+            for victim in victims {
+                let mut candidate = best.clone();
+                candidate.unassign_query(victim);
+                let mut st = state_of(inst, &candidate);
+                if try_admit(&mut st, &engine, q) {
+                    // Try to keep the victim too; if not, the swap alone
+                    // already gains volume (victim < q).
+                    try_admit(&mut st, &engine, victim);
+                    let next = st.into_solution();
+                    if next.admitted_volume(inst) > best.admitted_volume(inst) + 1e-9 {
+                        best = next;
+                        improved = true;
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    debug_assert!(best.validate(inst).is_ok());
+    best
+}
+
+/// Wraps any algorithm with the refinement pass.
+#[derive(Debug, Clone)]
+pub struct Refined<A> {
+    inner: A,
+    name: &'static str,
+}
+
+impl<A: PlacementAlgorithm> Refined<A> {
+    /// Wraps `inner`; `name` is the display label (e.g. `"Appro-G+ref"`).
+    pub fn new(inner: A, name: &'static str) -> Self {
+        Self { inner, name }
+    }
+}
+
+impl<A: PlacementAlgorithm> PlacementAlgorithm for Refined<A> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn solve(&self, inst: &Instance) -> Solution {
+        refine(inst, &self.inner.solve(inst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appro::ApproG;
+    use crate::greedy::Greedy;
+    use edgerep_model::prelude::*;
+    use edgerep_workload::{generate_instance, WorkloadParams};
+
+    #[test]
+    fn refine_never_loses_volume() {
+        let params = WorkloadParams::default();
+        for seed in 0..6 {
+            let inst = generate_instance(&params, seed);
+            for alg in [
+                Box::new(ApproG::default()) as Box<dyn PlacementAlgorithm>,
+                Box::new(Greedy::general()),
+            ] {
+                let base = alg.solve(&inst);
+                let refined = refine(&inst, &base);
+                refined.validate(&inst).unwrap();
+                assert!(
+                    refined.admitted_volume(&inst) >= base.admitted_volume(&inst) - 1e-9,
+                    "{} lost volume after refinement",
+                    alg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refine_rescues_greedy_substantially() {
+        // Greedy burns replica budget; refinement re-admits what fits in
+        // the leftover state. Aggregate over seeds.
+        let params = WorkloadParams::default();
+        let mut base_total = 0.0;
+        let mut refined_total = 0.0;
+        for seed in 0..6 {
+            let inst = generate_instance(&params, seed);
+            let base = Greedy::general().solve(&inst);
+            base_total += base.admitted_volume(&inst);
+            refined_total += refine(&inst, &base).admitted_volume(&inst);
+        }
+        assert!(
+            refined_total > base_total * 1.05,
+            "refinement should lift Greedy noticeably ({base_total} -> {refined_total})"
+        );
+    }
+
+    #[test]
+    fn swap_pass_evicts_smaller_for_larger() {
+        // One node with 6 GHz. A small query (2 GB) is admitted; a big
+        // query (5 GB) was rejected. Refinement must swap them.
+        let mut b = EdgeCloudBuilder::new();
+        let cl = b.add_cloudlet(6.0, 0.001);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let small = ib.add_dataset(2.0, cl);
+        let big = ib.add_dataset(5.0, cl);
+        let q_small = ib.add_query(cl, vec![Demand::new(small, 1.0)], 1.0, 1.0);
+        let q_big = ib.add_query(cl, vec![Demand::new(big, 1.0)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        // Hand-build the bad solution: small admitted, big rejected.
+        let mut sol = Solution::empty(&inst);
+        sol.place_replica(small, cl);
+        sol.assign_query(q_small, vec![cl]);
+        sol.validate(&inst).unwrap();
+        let refined = refine(&inst, &sol);
+        refined.validate(&inst).unwrap();
+        assert!(refined.is_admitted(q_big), "big query should win the swap");
+        assert_eq!(refined.admitted_volume(&inst), 5.0);
+    }
+
+    #[test]
+    fn rescue_pass_admits_forgotten_feasible_query() {
+        let mut b = EdgeCloudBuilder::new();
+        let cl = b.add_cloudlet(10.0, 0.001);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d = ib.add_dataset(2.0, cl);
+        let q = ib.add_query(cl, vec![Demand::new(d, 1.0)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        let empty = Solution::empty(&inst);
+        let refined = refine(&inst, &empty);
+        assert!(refined.is_admitted(q));
+    }
+
+    #[test]
+    fn refined_wrapper_behaves_like_refine() {
+        let params = WorkloadParams::default();
+        let inst = generate_instance(&params, 3);
+        let wrapped = Refined::new(Greedy::general(), "Greedy-G+ref");
+        assert_eq!(wrapped.name(), "Greedy-G+ref");
+        let a = wrapped.solve(&inst);
+        let b = refine(&inst, &Greedy::general().solve(&inst));
+        assert_eq!(a.admitted_volume(&inst), b.admitted_volume(&inst));
+    }
+
+    #[test]
+    fn fixed_point_is_stable() {
+        let params = WorkloadParams::default();
+        let inst = generate_instance(&params, 9);
+        let once = refine(&inst, &ApproG::default().solve(&inst));
+        let twice = refine(&inst, &once);
+        assert!((twice.admitted_volume(&inst) - once.admitted_volume(&inst)).abs() < 1e-9);
+    }
+}

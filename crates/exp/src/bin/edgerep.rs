@@ -1,0 +1,187 @@
+//! `edgerep` — generate, inspect and solve placement instances from the
+//! command line.
+//!
+//! ```text
+//! edgerep gen --seed 7 --network-size 60 --k 3 -o instance.json
+//! edgerep inspect -i instance.json
+//! edgerep solve -i instance.json --alg appro-g
+//! edgerep solve -i instance.json --alg all
+//! ```
+//!
+//! Instance files are the JSON encoding of
+//! [`edgerep_model::spec::InstanceSpec`], so hand-written and generated
+//! instances go through the same validation.
+
+use edgerep_core::{
+    appro::{ApproG, ApproS},
+    centroid::Centroid,
+    graphpart::GraphPartition,
+    greedy::Greedy,
+    online::OnlineAppro,
+    optimal::Optimal,
+    popularity::Popularity,
+    BoxedAlgorithm,
+};
+use edgerep_model::spec::InstanceSpec;
+use edgerep_model::{Instance, Metrics};
+use edgerep_workload::{generate_instance, WorkloadParams};
+
+const USAGE: &str = "usage:
+  edgerep gen [--seed N] [--network-size N] [--f F] [--k K] [--queries LO HI] -o FILE
+  edgerep inspect -i FILE
+  edgerep solve -i FILE --alg NAME [--metrics-json]
+    NAME: appro-g | appro-s | greedy-g | graph-g | popularity-g | centroid |
+          online | optimal | all";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("--help") | Some("-h") => println!("{USAGE}"),
+        _ => die(USAGE),
+    }
+}
+
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_or_die<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("cannot parse {what}: '{s}'")))
+}
+
+fn cmd_gen(args: &[String]) {
+    let seed: u64 = opt_value(args, "--seed").map_or(0, |s| parse_or_die(s, "--seed"));
+    let mut params = WorkloadParams::default();
+    if let Some(n) = opt_value(args, "--network-size") {
+        params = params.with_network_size(parse_or_die(n, "--network-size"));
+    }
+    if let Some(f) = opt_value(args, "--f") {
+        params = params.with_max_datasets_per_query(parse_or_die(f, "--f"));
+    }
+    if let Some(k) = opt_value(args, "--k") {
+        params = params.with_max_replicas(parse_or_die(k, "--k"));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--queries") {
+        let lo = args.get(i + 1).map(|s| parse_or_die(s, "--queries lo"));
+        let hi = args.get(i + 2).map(|s| parse_or_die(s, "--queries hi"));
+        match (lo, hi) {
+            (Some(lo), Some(hi)) => params.query_count = (lo, hi),
+            _ => die("--queries needs LO and HI"),
+        }
+    }
+    let out = opt_value(args, "-o").unwrap_or_else(|| die("gen needs -o FILE"));
+    let inst = generate_instance(&params, seed);
+    let spec = InstanceSpec::from_instance(&inst);
+    let json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+    std::fs::write(out, json).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+    println!(
+        "wrote {out}: {} nodes, {} datasets, {} queries, K = {}",
+        inst.cloud().graph().node_count(),
+        inst.datasets().len(),
+        inst.queries().len(),
+        inst.max_replicas()
+    );
+}
+
+fn load_instance(args: &[String]) -> Instance {
+    let path = opt_value(args, "-i").unwrap_or_else(|| die("need -i FILE"));
+    let json =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let spec: InstanceSpec =
+        serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+    spec.to_instance()
+        .unwrap_or_else(|e| die(&format!("invalid instance in {path}: {e}")))
+}
+
+fn cmd_inspect(args: &[String]) {
+    let inst = load_instance(args);
+    let cloud = inst.cloud();
+    println!(
+        "edge cloud: {} data centers, {} cloudlets, {} graph nodes, {} links",
+        cloud.data_center_count(),
+        cloud.cloudlet_count(),
+        cloud.graph().node_count(),
+        cloud.graph().edge_count()
+    );
+    println!(
+        "compute: {:.1} GHz available total",
+        cloud.total_available()
+    );
+    println!(
+        "workload: {} datasets ({:.1} GB total), {} queries demanding {:.1} GB, K = {}",
+        inst.datasets().len(),
+        inst.datasets().iter().map(|d| d.size_gb).sum::<f64>(),
+        inst.queries().len(),
+        inst.total_demanded_volume(),
+        inst.max_replicas()
+    );
+    let tightest = inst
+        .queries()
+        .iter()
+        .map(|q| q.deadline)
+        .fold(f64::INFINITY, f64::min);
+    let loosest = inst.queries().iter().map(|q| q.deadline).fold(0.0, f64::max);
+    println!("deadlines: {tightest:.3}s .. {loosest:.3}s");
+}
+
+fn panel_for(name: &str, single_dataset: bool) -> Vec<BoxedAlgorithm> {
+    match name {
+        "appro-g" => vec![Box::new(ApproG::default())],
+        "appro-s" => {
+            if !single_dataset {
+                die("appro-s requires a single-dataset instance; use appro-g");
+            }
+            vec![Box::new(ApproS::default())]
+        }
+        "greedy-g" => vec![Box::new(Greedy::general())],
+        "graph-g" => vec![Box::new(GraphPartition::general())],
+        "popularity-g" => vec![Box::new(Popularity::general())],
+        "centroid" => vec![Box::new(Centroid)],
+        "online" => vec![Box::new(OnlineAppro::default())],
+        "optimal" => vec![Box::new(Optimal::default())],
+        "all" => vec![
+            Box::new(ApproG::default()),
+            Box::new(Greedy::general()),
+            Box::new(GraphPartition::general()),
+            Box::new(Popularity::general()),
+            Box::new(Centroid),
+            Box::new(OnlineAppro::default()),
+        ],
+        other => die(&format!("unknown algorithm '{other}'\n{USAGE}")),
+    }
+}
+
+fn cmd_solve(args: &[String]) {
+    let inst = load_instance(args);
+    let alg = opt_value(args, "--alg").unwrap_or("appro-g");
+    let as_json = args.iter().any(|a| a == "--metrics-json");
+    let single = inst.queries().iter().all(|q| q.demands.len() == 1);
+    for algorithm in panel_for(alg, single) {
+        let sol = algorithm.solve(&inst);
+        sol.validate(&inst).unwrap_or_else(|e| {
+            die(&format!("{} produced an infeasible solution: {e:?}", algorithm.name()))
+        });
+        let metrics = Metrics::of(&inst, &sol);
+        if as_json {
+            println!(
+                "{{\"algorithm\":\"{}\",\"metrics\":{}}}",
+                algorithm.name(),
+                serde_json::to_string(&metrics).expect("metrics serialize")
+            );
+        } else {
+            println!("{:>14}: {}", algorithm.name(), metrics);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,156 @@
+//! `repro` — regenerate the paper's figures.
+//!
+//! ```text
+//! repro all                # every figure at the paper's 15 seeds
+//! repro fig2 fig5          # a subset
+//! repro fig4 --seeds 30    # more repetitions
+//! repro all --quick        # 3 seeds (CI smoke run)
+//! repro all --csv out/     # additionally write CSV files
+//! ```
+
+use std::io::Write as _;
+
+use edgerep_exp::figures;
+use edgerep_exp::plot::{figure_to_svg, Panel, PlotStyle};
+use edgerep_exp::report::{render_csv, render_markdown, render_text};
+use edgerep_exp::{extensions, FigureData};
+
+const USAGE: &str = "usage: repro [fig1|...|fig8|all|ext-online|ext-netbenefit|ext-refine|ext-topology|ext-faults|ext-rolling|ext]... \
+[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures_wanted: Vec<String> = Vec::new();
+    let mut seeds = edgerep_workload::presets::TOPOLOGIES_PER_POINT;
+    let mut csv_dir: Option<String> = None;
+    let mut svg_dir: Option<String> = None;
+    let mut md_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seeds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seeds needs a positive integer"));
+                if seeds == 0 {
+                    die("--seeds needs a positive integer")
+                }
+            }
+            "--quick" => seeds = 3,
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--csv needs a directory")),
+                );
+            }
+            "--svg" => {
+                i += 1;
+                svg_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--svg needs a directory")),
+                );
+            }
+            "--md" => {
+                i += 1;
+                md_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--md needs a directory")),
+                );
+            }
+            "all" => figures_wanted.extend(
+                ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            ),
+            "ext" => figures_wanted.extend(
+                ["ext-online", "ext-netbenefit", "ext-refine", "ext-topology", "ext-faults", "ext-rolling"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            ),
+            f @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
+                | "ext-online" | "ext-netbenefit" | "ext-refine" | "ext-topology" | "ext-faults"
+                | "ext-rolling") => {
+                figures_wanted.push(f.to_owned())
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if figures_wanted.is_empty() {
+        die(USAGE);
+    }
+    figures_wanted.dedup();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for fig in &figures_wanted {
+        let data = match fig.as_str() {
+            "fig1" => {
+                let _ = writeln!(out, "{}", figures::fig1_text());
+                continue;
+            }
+            "fig6" => {
+                let _ = writeln!(out, "{}", figures::fig6_text());
+                continue;
+            }
+            "fig2" => figures::fig2(seeds),
+            "ext-online" => extensions::ext_online(seeds),
+            "ext-netbenefit" => extensions::ext_net_benefit(seeds),
+            "ext-refine" => extensions::ext_refine(seeds),
+            "ext-topology" => extensions::ext_topology(seeds),
+            "ext-faults" => extensions::ext_faults(seeds),
+            "ext-rolling" => extensions::ext_rolling(seeds),
+            "fig3" => figures::fig3(seeds),
+            "fig4" => figures::fig4(seeds),
+            "fig5" => figures::fig5(seeds),
+            "fig7" => figures::fig7(seeds),
+            "fig8" => figures::fig8(seeds),
+            _ => unreachable!("validated above"),
+        };
+        let _ = writeln!(out, "{}", render_text(&data));
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir {dir}: {e}")));
+            let path = format!("{dir}/{}.csv", data.id);
+            std::fs::write(&path, render_csv(&data))
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            let _ = writeln!(out, "[csv written to {path}]\n");
+        }
+        if let Some(dir) = &svg_dir {
+            write_svgs(&data, dir, &mut out);
+        }
+        if let Some(dir) = &md_dir {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir {dir}: {e}")));
+            let path = format!("{dir}/{}.md", data.id);
+            std::fs::write(&path, render_markdown(&data))
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            let _ = writeln!(out, "[markdown written to {path}]\n");
+        }
+    }
+}
+
+fn write_svgs(data: &FigureData, dir: &str, out: &mut impl std::io::Write) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir {dir}: {e}")));
+    let style = PlotStyle::default();
+    for panel in [Panel::Volume, Panel::Throughput] {
+        let path = format!("{dir}/{}_{}.svg", data.id, panel.suffix());
+        std::fs::write(&path, figure_to_svg(data, panel, &style))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        let _ = writeln!(out, "[svg written to {path}]");
+    }
+    let _ = writeln!(out);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,429 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! * [`ext_net_benefit`] — the paper motivates the replica budget `K` with
+//!   the cost of keeping replicas consistent but never quantifies the
+//!   trade-off. This driver sweeps `K` on the testbed with dynamic data
+//!   (§2.4 updates firing) and reports the *net benefit*
+//!   `admitted volume − γ · consistency traffic`, exposing the optimal
+//!   budget per consistency-cost weight `γ`.
+//! * [`ext_online`] — compares the offline `Appro-G` (all queries known)
+//!   with the online controller (`Online-Appro`, arrivals committed one at
+//!   a time) across admission thresholds: the price the system pays for
+//!   not knowing the future.
+
+use edgerep_core::appro::ApproG;
+use edgerep_core::graphpart::GraphPartition;
+use edgerep_core::greedy::Greedy;
+use edgerep_core::online::{OnlineAppro, OnlineConfig};
+use edgerep_core::refine::Refined;
+use edgerep_core::{BoxedAlgorithm, PlacementAlgorithm};
+use edgerep_testbed::rolling::{run_rolling, ReplanPolicy, RollingConfig};
+use edgerep_testbed::{
+    run_testbed, run_testbed_with_faults, ConsistencyConfig, NodeFailure, SimConfig,
+    TestbedConfig,
+};
+use edgerep_workload::params::TopologyModel;
+use edgerep_workload::{generate_instance, WorkloadParams};
+
+use crate::parallel::par_map;
+use crate::runner::AlgResult;
+use crate::stats::Summary;
+use crate::figures::{FigureData, FigureRow};
+
+/// Consistency-cost weights γ reported by [`ext_net_benefit`].
+pub const GAMMA_VALUES: [f64; 3] = [0.0, 0.5, 2.0];
+
+/// Net-benefit sweep over `K` on the dynamic testbed.
+///
+/// Returns one figure whose "algorithms" are the γ values: series
+/// `net(γ) = measured volume − γ · consistency GB` per `K`.
+pub fn ext_net_benefit(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let ks = [1usize, 2, 3, 4, 5, 6, 7];
+    let rows = ks
+        .iter()
+        .map(|&k| {
+            let cfg = TestbedConfig::default().with_max_replicas(k);
+            let seed_list: Vec<u64> = (0..seeds as u64).collect();
+            // volume and consistency traffic per seed.
+            let samples: Vec<(f64, f64)> = par_map(&seed_list, |&seed| {
+                let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
+                let sim = SimConfig {
+                    seed,
+                    arrival_rate_per_s: 0.2,
+                    consistency: Some(ConsistencyConfig {
+                        growth_gb_per_hour: 30.0,
+                        threshold: 0.05,
+                        check_interval_s: 20.0,
+                    }),
+                    ..Default::default()
+                };
+                let report = run_testbed(&ApproG::default(), &world, &sim);
+                (report.measured_volume, report.consistency_gb)
+            });
+            let results = GAMMA_VALUES
+                .iter()
+                .map(|&gamma| {
+                    let nets: Vec<f64> = samples
+                        .iter()
+                        .map(|&(vol, cons)| vol - gamma * cons)
+                        .collect();
+                    let fraction_cost: Vec<f64> = samples
+                        .iter()
+                        .map(|&(vol, cons)| if vol > 0.0 { cons / vol } else { 0.0 })
+                        .collect();
+                    AlgResult {
+                        name: format!("net benefit (γ={gamma})"),
+                        volume: Summary::of(&nets),
+                        throughput: Summary::of(&fraction_cost),
+                    }
+                })
+                .collect();
+            FigureRow {
+                x: k as f64,
+                results,
+            }
+        })
+        .collect();
+    FigureData {
+        id: "ext-netbenefit".to_owned(),
+        title: "Extension: net benefit of the replica budget under §2.4 consistency updates \
+                (volume − γ·consistency GB; panel (b) shows consistency GB per admitted GB)"
+            .to_owned(),
+        x_label: "K".to_owned(),
+        rows,
+    }
+}
+
+/// Online-vs-offline sweep over the admission threshold.
+pub fn ext_online(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let thresholds = [0.25f64, 0.5, 1.0, 2.0, f64::INFINITY];
+    let params = WorkloadParams::default();
+    let seed_list: Vec<u64> = (0..seeds as u64).collect();
+    let rows = thresholds
+        .iter()
+        .map(|&thr| {
+            let samples: Vec<(f64, f64, f64, f64)> = par_map(&seed_list, |&seed| {
+                let inst = generate_instance(&params, seed);
+                let online = OnlineAppro::with_config(OnlineConfig {
+                    admission_threshold: thr,
+                    ..Default::default()
+                })
+                .run(&inst);
+                let offline = ApproG::default().solve(&inst);
+                (
+                    online.solution.admitted_volume(&inst),
+                    online.solution.throughput(&inst),
+                    offline.admitted_volume(&inst),
+                    offline.throughput(&inst),
+                )
+            });
+            let pick = |f: fn(&(f64, f64, f64, f64)) -> f64| -> Vec<f64> {
+                samples.iter().map(f).collect()
+            };
+            FigureRow {
+                x: if thr.is_finite() { thr } else { 99.0 },
+                results: vec![
+                    AlgResult {
+                        name: "Online-Appro".to_owned(),
+                        volume: Summary::of(&pick(|s| s.0)),
+                        throughput: Summary::of(&pick(|s| s.1)),
+                    },
+                    AlgResult {
+                        name: "Appro-G (offline)".to_owned(),
+                        volume: Summary::of(&pick(|s| s.2)),
+                        throughput: Summary::of(&pick(|s| s.3)),
+                    },
+                ],
+            }
+        })
+        .collect();
+    FigureData {
+        id: "ext-online".to_owned(),
+        title: "Extension: online admission control vs the offline algorithm \
+                (x = admission threshold; 99 = unbounded)"
+            .to_owned(),
+        x_label: "threshold".to_owned(),
+        rows,
+    }
+}
+
+/// Refinement ablation: each simulation algorithm with and without the
+/// local-search post-pass, at the paper-default configuration. The x axis
+/// indexes the base algorithm (0 = Appro-G, 1 = Greedy-G, 2 = Graph-G);
+/// panel columns are base vs refined.
+pub fn ext_refine(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let panel: Vec<BoxedAlgorithm> = vec![
+        Box::new(ApproG::default()),
+        Box::new(Refined::new(ApproG::default(), "Appro-G+refine")),
+        Box::new(Greedy::general()),
+        Box::new(Refined::new(Greedy::general(), "Greedy-G+refine")),
+        Box::new(GraphPartition::general()),
+        Box::new(Refined::new(GraphPartition::general(), "Graph-G+refine")),
+    ];
+    let params = WorkloadParams::default();
+    let rows = vec![FigureRow {
+        x: 0.0,
+        results: crate::runner::run_simulation_point(&params, &panel, seeds),
+    }];
+    FigureData {
+        id: "ext-refine".to_owned(),
+        title: "Extension: local-search refinement on top of each algorithm                 (paper-default workload; one row, base vs +refine columns)"
+            .to_owned(),
+        x_label: "-".to_owned(),
+        rows,
+    }
+}
+
+/// Topology-robustness check: the Fig. 3 panel on the paper's flat
+/// GT-ITM model vs the transit-stub hierarchy (x = 0 flat, x = 1
+/// transit-stub). The paper's ordering should hold on both.
+pub fn ext_topology(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let rows = [TopologyModel::FlatRandom, TopologyModel::TransitStub]
+        .iter()
+        .enumerate()
+        .map(|(i, &topology)| {
+            let params = WorkloadParams {
+                topology,
+                ..Default::default()
+            };
+            FigureRow {
+                x: i as f64,
+                results: crate::runner::run_simulation_point(
+                    &params,
+                    &edgerep_core::simulation_panel(),
+                    seeds,
+                ),
+            }
+        })
+        .collect();
+    FigureData {
+        id: "ext-topology".to_owned(),
+        title: "Extension: Fig. 3 panel across topology families                 (x = 0 flat GT-ITM, x = 1 transit-stub)"
+            .to_owned(),
+        x_label: "topology".to_owned(),
+        rows,
+    }
+}
+
+/// Fault-tolerance sweep: the busiest cloudlet VM fails at t = 0; measured
+/// volume and throughput vs `K` quantify how replication buys
+/// availability. Panel columns: fault-free vs faulty run of `Appro-G`.
+pub fn ext_faults(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let ks = [1usize, 2, 3, 4, 5];
+    let rows = ks
+        .iter()
+        .map(|&k| {
+            let cfg = TestbedConfig::default().with_max_replicas(k);
+            let seed_list: Vec<u64> = (0..seeds as u64).collect();
+            let samples: Vec<((f64, f64), (f64, f64))> = par_map(&seed_list, |&seed| {
+                let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
+                let sim = SimConfig { seed, ..Default::default() };
+                let clean = run_testbed(&ApproG::default(), &world, &sim);
+                // Kill the cloudlet the clean plan leans on hardest.
+                let loads = clean.plan.node_loads(&world.instance);
+                let busiest = loads
+                    .iter()
+                    .enumerate()
+                    .skip(4) // the four DC VMs
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+                    .map(|(i, _)| edgerep_model::ComputeNodeId(i as u32))
+                    .expect("testbed has cloudlets");
+                let faulty = run_testbed_with_faults(
+                    &ApproG::default(),
+                    &world,
+                    &sim,
+                    &[NodeFailure { node: busiest, at_s: 0.0 }],
+                );
+                (
+                    (clean.measured_volume, clean.measured_throughput),
+                    (faulty.measured_volume, faulty.measured_throughput),
+                )
+            });
+            let results = vec![
+                AlgResult {
+                    name: "Appro-G (fault-free)".to_owned(),
+                    volume: Summary::of(&samples.iter().map(|s| s.0 .0).collect::<Vec<_>>()),
+                    throughput: Summary::of(&samples.iter().map(|s| s.0 .1).collect::<Vec<_>>()),
+                },
+                AlgResult {
+                    name: "Appro-G (busiest VM down)".to_owned(),
+                    volume: Summary::of(&samples.iter().map(|s| s.1 .0).collect::<Vec<_>>()),
+                    throughput: Summary::of(&samples.iter().map(|s| s.1 .1).collect::<Vec<_>>()),
+                },
+            ];
+            FigureRow { x: k as f64, results }
+        })
+        .collect();
+    FigureData {
+        id: "ext-faults".to_owned(),
+        title: "Extension: availability under a busiest-VM failure                 (measured, failover enabled; more replicas = smaller gap)"
+            .to_owned(),
+        x_label: "K".to_owned(),
+        rows,
+    }
+}
+
+/// Rolling-operation sweep: volume per epoch under a drifting query
+/// hotspot, static placement vs periodic replanning (panel (b) reuses the
+/// throughput column for per-epoch migration GB normalized by the
+/// epoch-0 placement volume).
+pub fn ext_rolling(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let epochs = 6usize;
+    let seed_list: Vec<u64> = (0..seeds as u64).collect();
+    // For each seed, run both policies once and collect per-epoch series.
+    let runs: Vec<PolicyRuns> = par_map(&seed_list, |&seed| {
+        let cfg = RollingConfig {
+            epochs,
+            seed,
+            ..Default::default()
+        };
+        let alg = ApproG::default();
+        let fixed = run_rolling(&alg, &cfg, ReplanPolicy::Static);
+        let periodic = run_rolling(&alg, &cfg, ReplanPolicy::Periodic);
+        let to_samples = |r: &edgerep_testbed::rolling::RollingReport| {
+            r.per_epoch
+                .iter()
+                .map(|e| EpochSample {
+                    volume: e.volume,
+                    migration: e.migration_gb,
+                })
+                .collect::<Vec<_>>()
+        };
+        (to_samples(&fixed), to_samples(&periodic))
+    });
+    let rows = (0..epochs)
+        .map(|e| {
+            let stat = |pick: &dyn Fn(&PolicyRuns) -> EpochSample| {
+                let vols: Vec<f64> = runs.iter().map(|r| pick(r).volume).collect();
+                let migs: Vec<f64> = runs.iter().map(|r| pick(r).migration).collect();
+                (Summary::of(&vols), Summary::of(&migs))
+            };
+            let (fv, fm) = stat(&|r| r.0[e]);
+            let (pv, pm) = stat(&|r| r.1[e]);
+            FigureRow {
+                x: e as f64,
+                results: vec![
+                    AlgResult {
+                        name: "Static placement".to_owned(),
+                        volume: fv,
+                        throughput: fm,
+                    },
+                    AlgResult {
+                        name: "Periodic replan".to_owned(),
+                        volume: pv,
+                        throughput: pm,
+                    },
+                ],
+            }
+        })
+        .collect();
+    FigureData {
+        id: "ext-rolling".to_owned(),
+        title: "Extension: rolling operation under workload drift                 (panel (a) admitted volume per epoch; panel (b) column reports                 migration GB per epoch, not throughput)"
+            .to_owned(),
+        x_label: "epoch".to_owned(),
+        rows,
+    }
+}
+
+#[derive(Clone, Copy)]
+struct EpochSample {
+    volume: f64,
+    migration: f64,
+}
+
+/// One seed's per-epoch series for both rolling policies (static, periodic).
+type PolicyRuns = (Vec<EpochSample>, Vec<EpochSample>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_benefit_rows_cover_k_and_gammas() {
+        let fig = ext_net_benefit(1);
+        assert_eq!(fig.rows.len(), 7);
+        for row in &fig.rows {
+            assert_eq!(row.results.len(), GAMMA_VALUES.len());
+            // γ = 0 net benefit equals the measured volume: >= the γ = 2
+            // series at the same K.
+            assert!(row.results[0].volume.mean >= row.results[2].volume.mean - 1e-9);
+        }
+    }
+
+    #[test]
+    fn refinement_never_hurts() {
+        let fig = ext_refine(2);
+        let row = &fig.rows[0];
+        for pair in row.results.chunks(2) {
+            assert!(
+                pair[1].volume.mean >= pair[0].volume.mean - 1e-9,
+                "refinement lost volume for {}",
+                pair[0].name
+            );
+        }
+    }
+
+    #[test]
+    fn topology_robustness_preserves_ordering() {
+        let fig = ext_topology(3);
+        for row in &fig.rows {
+            let appro = row.results[0].volume.mean;
+            let greedy = row.results[1].volume.mean;
+            let graph = row.results[2].volume.mean;
+            assert!(appro > greedy, "x={}: ordering broken", row.x);
+            assert!(appro > graph, "x={}: ordering broken", row.x);
+        }
+    }
+
+    #[test]
+    fn faults_extension_gap_closes_with_k() {
+        let fig = ext_faults(3);
+        for row in &fig.rows {
+            let clean = row.results[0].volume.mean;
+            let faulty = row.results[1].volume.mean;
+            assert!(faulty <= clean + 1e-9, "K={}: fault helped?!", row.x);
+        }
+        // Relative damage at K = 1 exceeds damage at K = 5.
+        let damage = |row: &FigureRow| {
+            let clean = row.results[0].volume.mean.max(1e-9);
+            1.0 - row.results[1].volume.mean / clean
+        };
+        assert!(
+            damage(&fig.rows[0]) >= damage(&fig.rows[fig.rows.len() - 1]) - 0.05,
+            "replication should blunt the failure"
+        );
+    }
+
+    #[test]
+    fn rolling_extension_shapes() {
+        let fig = ext_rolling(2);
+        assert_eq!(fig.rows.len(), 6);
+        // Epoch 0 identical across policies.
+        let r0 = &fig.rows[0];
+        assert!((r0.results[0].volume.mean - r0.results[1].volume.mean).abs() < 1e-9);
+        // Static placement never migrates after epoch 0.
+        for row in fig.rows.iter().skip(1) {
+            assert_eq!(row.results[0].throughput.mean, 0.0);
+        }
+    }
+
+    #[test]
+    fn online_extension_shapes() {
+        let fig = ext_online(2);
+        assert_eq!(fig.rows.len(), 5);
+        for row in &fig.rows {
+            // The offline reference is threshold-independent.
+            let offline = row.results[1].volume.mean;
+            assert!((offline - fig.rows[0].results[1].volume.mean).abs() < 1e-9);
+            // Online never exceeds offline by more than noise on means.
+            assert!(row.results[0].volume.mean <= offline * 1.05 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-figure drivers.
+//!
+//! Each `figN` function regenerates the data behind one figure of the
+//! paper (both panels — (a) admitted volume and (b) system throughput —
+//! come back in the same [`FigureData`]). Figures 1 and 6 are topology
+//! illustrations; [`fig1_text`] and [`fig6_text`] render them as ASCII.
+
+use edgerep_core::BoxedAlgorithm;
+use edgerep_testbed::{SimConfig, TestbedConfig};
+use edgerep_workload::presets;
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{run_simulation_point, run_testbed_point, AlgResult};
+
+/// One x-axis point of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// The swept parameter value (network size, `F`, or `K`).
+    pub x: f64,
+    /// Per-algorithm results at this point.
+    pub results: Vec<AlgResult>,
+}
+
+/// A regenerated figure: id, axis labels, and all rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Paper figure id, e.g. `"fig2"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Rows in x order.
+    pub rows: Vec<FigureRow>,
+}
+
+/// Fig. 2: Appro-S vs Greedy-S vs Graph-S over network size (special
+/// case: one dataset per query).
+pub fn fig2(seeds: usize) -> FigureData {
+    sweep_network_sizes(
+        "fig2",
+        "Appro-S vs Greedy-S vs Graph-S (single-dataset queries)",
+        seeds,
+        true,
+    )
+}
+
+/// Fig. 3: Appro-G vs Greedy-G vs Graph-G over network size (general
+/// case: multi-dataset queries).
+pub fn fig3(seeds: usize) -> FigureData {
+    sweep_network_sizes(
+        "fig3",
+        "Appro-G vs Greedy-G vs Graph-G (multi-dataset queries)",
+        seeds,
+        false,
+    )
+}
+
+fn sweep_network_sizes(id: &str, title: &str, seeds: usize, special: bool) -> FigureData {
+    let rows = presets::NETWORK_SIZES
+        .iter()
+        .map(|&n| {
+            let params = if special {
+                presets::fig2_special_case(n)
+            } else {
+                presets::fig3_general_case(n)
+            };
+            let panel = if special {
+                edgerep_core::special_panel()
+            } else {
+                edgerep_core::simulation_panel()
+            };
+            FigureRow {
+                x: n as f64,
+                results: run_simulation_point(&params, &panel, seeds),
+            }
+        })
+        .collect();
+    FigureData {
+        id: id.to_owned(),
+        title: title.to_owned(),
+        x_label: "network size".to_owned(),
+        rows,
+    }
+}
+
+/// Fig. 4: impact of the max number `F` of datasets demanded per query.
+pub fn fig4(seeds: usize) -> FigureData {
+    let rows = presets::F_VALUES
+        .iter()
+        .map(|&f| FigureRow {
+            x: f as f64,
+            results: run_simulation_point(
+                &presets::fig4_vary_f(f),
+                &edgerep_core::simulation_panel(),
+                seeds,
+            ),
+        })
+        .collect();
+    FigureData {
+        id: "fig4".to_owned(),
+        title: "Impact of max datasets per query F (Appro-G vs Greedy-G vs Graph-G)".to_owned(),
+        x_label: "F".to_owned(),
+        rows,
+    }
+}
+
+/// Fig. 5: impact of the max number `K` of replicas per dataset.
+pub fn fig5(seeds: usize) -> FigureData {
+    let rows = presets::K_VALUES
+        .iter()
+        .map(|&k| FigureRow {
+            x: k as f64,
+            results: run_simulation_point(
+                &presets::fig5_vary_k(k),
+                &edgerep_core::simulation_panel(),
+                seeds,
+            ),
+        })
+        .collect();
+    FigureData {
+        id: "fig5".to_owned(),
+        title: "Impact of max replicas K (Appro-G vs Greedy-G vs Graph-G)".to_owned(),
+        x_label: "K".to_owned(),
+        rows,
+    }
+}
+
+/// The testbed panel of Fig. 7: Appro-S vs Popularity-S.
+fn testbed_special_panel() -> Vec<BoxedAlgorithm> {
+    vec![
+        Box::new(edgerep_core::appro::ApproS::default()),
+        Box::new(edgerep_core::popularity::Popularity::special()),
+    ]
+}
+
+/// The testbed panel of Fig. 8: Appro-G vs Popularity-G.
+fn testbed_general_panel() -> Vec<BoxedAlgorithm> {
+    vec![
+        Box::new(edgerep_core::appro::ApproG::default()),
+        Box::new(edgerep_core::popularity::Popularity::general()),
+    ]
+}
+
+/// Fig. 7: testbed, `F` sweep, Appro-S vs Popularity-S (single dataset
+/// per query at `F = 1`; the sweep raises the cap as the paper does).
+pub fn fig7(seeds: usize) -> FigureData {
+    let rows = [1usize, 2, 3, 4, 5, 6]
+        .iter()
+        .map(|&f| {
+            let cfg = TestbedConfig::default().with_max_datasets_per_query(f);
+            let panel = if f == 1 {
+                testbed_special_panel()
+            } else {
+                testbed_general_panel()
+            };
+            let mut results = run_testbed_point(&cfg, &panel, seeds, &SimConfig::default());
+            // The panel switches from the -S to the -G algorithms at
+            // F > 1; the figure's series are conceptually "Appro" vs
+            // "Popularity", so normalize the names or the table header
+            // (taken from row 0) would mislabel later rows.
+            results[0].name = "Appro".to_owned();
+            results[1].name = "Popularity".to_owned();
+            FigureRow {
+                x: f as f64,
+                results,
+            }
+        })
+        .collect();
+    FigureData {
+        id: "fig7".to_owned(),
+        title: "Testbed: Appro vs Popularity over F (measured)".to_owned(),
+        x_label: "F".to_owned(),
+        rows,
+    }
+}
+
+/// Fig. 8: testbed, `K` sweep, Appro-G vs Popularity-G.
+pub fn fig8(seeds: usize) -> FigureData {
+    let rows = [1usize, 2, 3, 4, 5, 6, 7]
+        .iter()
+        .map(|&k| {
+            let cfg = TestbedConfig::default().with_max_replicas(k);
+            FigureRow {
+                x: k as f64,
+                results: run_testbed_point(
+                    &cfg,
+                    &testbed_general_panel(),
+                    seeds,
+                    &SimConfig::default(),
+                ),
+            }
+        })
+        .collect();
+    FigureData {
+        id: "fig8".to_owned(),
+        title: "Testbed: Appro-G vs Popularity-G over K (measured)".to_owned(),
+        x_label: "K".to_owned(),
+        rows,
+    }
+}
+
+/// Fig. 1: the two-tier edge cloud illustration, as ASCII.
+pub fn fig1_text() -> String {
+    r#"Fig. 1 — A two-tier edge cloud G = (BS ∪ SW ∪ CL ∪ DC, E)
+
+                    Internet
+     DC1   DC2   DC3  ...        (remote data centers, tier 2)
+       \    |    /
+      [gateway switches]
+       /    |    \
+   SW --- SW --- SW              (WMAN switches)
+   |  \    |    /  |
+  CL1  CL2 CL3 ... CLn           (edge cloudlets, tier 1,
+   |    |   |       |             co-located with switches)
+  BS   BS  BS  ... BS            (base stations / access points)
+   |    |   |       |
+ users users users users
+"#
+    .to_owned()
+}
+
+/// Fig. 6: the testbed topology, as ASCII.
+pub fn fig6_text() -> String {
+    r#"Fig. 6 — Testbed topology (20 VMs + controller + 2 switches)
+
+   [SFO DC]   [NYC DC]   [TOR DC]   [SGP DC]     4 VMs as data centers
+       \         |           |         /
+        +--------+-----------+--------+          WAN links (Internet)
+                 |           |
+              [SW 0]------[SW 1]                 2 metro switches
+              /  |  \      /  |  \
+          CL0  CL2 ... CL1  CL3 ... CL15         16 VMs as cloudlets
+                 (metro region)
+          [controller: runs the placement algorithms]
+"#
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_rows_cover_f_values() {
+        let data = fig4(1);
+        assert_eq!(data.rows.len(), 6);
+        assert_eq!(data.rows[0].x, 1.0);
+        assert_eq!(data.rows[5].x, 6.0);
+        for row in &data.rows {
+            assert_eq!(row.results.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fig2_uses_special_panel() {
+        let data = fig2(1);
+        assert_eq!(data.rows[0].results[0].name, "Appro-S");
+        assert_eq!(data.rows[0].results[1].name, "Greedy-S");
+        assert_eq!(data.rows[0].results[2].name, "Graph-S");
+    }
+
+    #[test]
+    fn topology_figures_render() {
+        assert!(fig1_text().contains("two-tier"));
+        assert!(fig6_text().contains("SGP DC"));
+    }
+}

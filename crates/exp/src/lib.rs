@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Experiment harness regenerating every figure of the paper.
+//!
+//! * [`stats`] — sample summaries (mean, standard deviation, 95% CI).
+//! * [`parallel`] — a crossbeam-based deterministic parallel map used to
+//!   spread the 15-topology repetitions of each figure point over cores.
+//! * [`runner`] — evaluates an algorithm panel over seeded instances and
+//!   aggregates the paper's two metrics.
+//! * [`figures`] — one driver per figure (2, 3, 4, 5, 7, 8 — Figs. 1 and 6
+//!   are topology illustrations, rendered as text by the `repro` binary).
+//! * [`report`] — text/CSV rendering of figure series.
+//!
+//! The `repro` binary ties it together:
+//!
+//! ```text
+//! cargo run -p edgerep-exp --release --bin repro -- all
+//! cargo run -p edgerep-exp --release --bin repro -- fig4 --seeds 30
+//! cargo run -p edgerep-exp --release --bin repro -- fig7 --quick
+//! ```
+
+pub mod extensions;
+pub mod figures;
+pub mod parallel;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use figures::{FigureData, FigureRow};
+pub use stats::Summary;

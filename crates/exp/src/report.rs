@@ -1,0 +1,196 @@
+//! Rendering figure data as text tables and CSV.
+
+use std::fmt::Write as _;
+
+use crate::figures::FigureData;
+
+/// Renders a figure as the paper-style two-panel text table: panel (a)
+/// admitted volume, panel (b) system throughput.
+pub fn render_text(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", fig.id, fig.title);
+    let names: Vec<&str> = fig
+        .rows
+        .first()
+        .map(|r| r.results.iter().map(|a| a.name.as_str()).collect())
+        .unwrap_or_default();
+
+    let _ = writeln!(out, "\n(a) volume of datasets demanded by admitted queries [GB]");
+    let _ = write!(out, "{:>12}", fig.x_label);
+    for n in &names {
+        let _ = write!(out, " | {n:>20}");
+    }
+    let _ = writeln!(out);
+    for row in &fig.rows {
+        let _ = write!(out, "{:>12}", trim_float(row.x));
+        for a in &row.results {
+            let _ = write!(out, " | {:>20}", a.volume.display_ci());
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out, "\n(b) system throughput [admitted/total]");
+    let _ = write!(out, "{:>12}", fig.x_label);
+    for n in &names {
+        let _ = write!(out, " | {n:>20}");
+    }
+    let _ = writeln!(out);
+    for row in &fig.rows {
+        let _ = write!(out, "{:>12}", trim_float(row.x));
+        for a in &row.results {
+            let _ = write!(
+                out,
+                " | {:>20}",
+                format!("{:.3} ± {:.3}", a.throughput.mean, a.throughput.ci95)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a figure as CSV: one row per (x, algorithm) pair.
+pub fn render_csv(fig: &FigureData) -> String {
+    let mut out = String::from(
+        "figure,x,algorithm,volume_mean,volume_std,volume_ci95,throughput_mean,throughput_std,throughput_ci95,seeds\n",
+    );
+    for row in &fig.rows {
+        for a in &row.results {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}",
+                fig.id,
+                trim_float(row.x),
+                a.name,
+                a.volume.mean,
+                a.volume.std_dev,
+                a.volume.ci95,
+                a.throughput.mean,
+                a.throughput.std_dev,
+                a.throughput.ci95,
+                a.volume.n,
+            );
+        }
+    }
+    out
+}
+
+/// Renders a figure as a GitHub-flavoured markdown section: one combined
+/// table with volume and throughput columns per algorithm — the format
+/// EXPERIMENTS.md uses, so regenerated data can be pasted straight in.
+pub fn render_markdown(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {} — {}
+", fig.id, fig.title);
+    let names: Vec<&str> = fig
+        .rows
+        .first()
+        .map(|r| r.results.iter().map(|a| a.name.as_str()).collect())
+        .unwrap_or_default();
+    let _ = write!(out, "| {} |", fig.x_label);
+    for n in &names {
+        let _ = write!(out, " {n} vol |");
+    }
+    for n in &names {
+        let _ = write!(out, " {n} thr |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|--:|");
+    for _ in 0..names.len() {
+        let _ = write!(out, "---------------:|");
+    }
+    for _ in 0..names.len() {
+        let _ = write!(out, "------:|");
+    }
+    let _ = writeln!(out);
+    for row in &fig.rows {
+        let _ = write!(out, "| {} |", trim_float(row.x));
+        for a in &row.results {
+            let _ = write!(out, " {} |", a.volume.display_ci());
+        }
+        for a in &row.results {
+            let _ = write!(out, " {:.3} |", a.throughput.mean);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigureRow;
+    use crate::runner::AlgResult;
+    use crate::stats::Summary;
+
+    fn sample_fig() -> FigureData {
+        FigureData {
+            id: "figX".into(),
+            title: "sample".into(),
+            x_label: "K".into(),
+            rows: vec![FigureRow {
+                x: 2.0,
+                results: vec![
+                    AlgResult {
+                        name: "Appro-G".into(),
+                        volume: Summary::of(&[10.0, 12.0]),
+                        throughput: Summary::of(&[0.5, 0.6]),
+                    },
+                    AlgResult {
+                        name: "Greedy-G".into(),
+                        volume: Summary::of(&[3.0, 5.0]),
+                        throughput: Summary::of(&[0.2, 0.3]),
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn text_has_both_panels_and_all_algorithms() {
+        let text = render_text(&sample_fig());
+        assert!(text.contains("(a) volume"));
+        assert!(text.contains("(b) system throughput"));
+        assert!(text.contains("Appro-G"));
+        assert!(text.contains("Greedy-G"));
+        assert!(text.contains("11.00")); // volume mean
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = render_csv(&sample_fig());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 algorithms
+        assert!(lines[0].starts_with("figure,x,algorithm"));
+        assert!(lines[1].starts_with("figX,2,Appro-G,"));
+        assert_eq!(lines[1].split(',').count(), 10);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = render_markdown(&sample_fig());
+        let lines: Vec<&str> = md.lines().collect();
+        assert!(lines[0].starts_with("## figX"));
+        // Header + separator + one data row.
+        let table: Vec<&str> = lines.iter().filter(|l| l.starts_with('|')).copied().collect();
+        assert_eq!(table.len(), 3);
+        // 1 x column + 2 vol + 2 thr = 5 content columns -> 6 pipes+1.
+        assert_eq!(table[0].matches('|').count(), 6);
+        assert!(table[2].contains("11.00 ±"));
+        assert!(table[2].contains("0.550"));
+    }
+
+    #[test]
+    fn integer_x_renders_without_decimals() {
+        assert_eq!(trim_float(5.0), "5");
+        assert_eq!(trim_float(2.5), "2.5");
+    }
+}

@@ -1,0 +1,151 @@
+//! Panel evaluation over seeded repetitions.
+
+use edgerep_core::BoxedAlgorithm;
+use edgerep_testbed::{run_testbed, SimConfig, TestbedConfig};
+use edgerep_workload::{generate_instance, WorkloadParams};
+use serde::{Deserialize, Serialize};
+
+use crate::parallel::par_map;
+use crate::stats::Summary;
+
+/// One algorithm's aggregated metrics at one figure point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgResult {
+    /// Algorithm display name (e.g. `"Appro-G"`).
+    pub name: String,
+    /// Volume of datasets demanded by admitted queries, GB.
+    pub volume: Summary,
+    /// System throughput (admitted / total).
+    pub throughput: Summary,
+}
+
+/// Evaluates a simulation panel at one parameter point over `seeds`
+/// seeded topologies (the paper uses 15). Every algorithm sees the *same*
+/// instances; every returned solution is validated.
+pub fn run_simulation_point(
+    params: &WorkloadParams,
+    panel: &[BoxedAlgorithm],
+    seeds: usize,
+) -> Vec<AlgResult> {
+    assert!(seeds >= 1, "need at least one repetition");
+    let seed_list: Vec<u64> = (0..seeds as u64).collect();
+    // One parallel task per seed: generates the instance once and runs the
+    // whole panel on it, so algorithms always compete on identical inputs.
+    let per_seed: Vec<Vec<(f64, f64)>> = par_map(&seed_list, |&seed| {
+        let inst = generate_instance(params, seed);
+        panel
+            .iter()
+            .map(|alg| {
+                let sol = alg.solve(&inst);
+                sol.validate(&inst).unwrap_or_else(|e| {
+                    panic!("{} produced an infeasible solution: {e:?}", alg.name())
+                });
+                (sol.admitted_volume(&inst), sol.throughput(&inst))
+            })
+            .collect()
+    });
+    collect_panel(panel.iter().map(|a| a.name()), &per_seed)
+}
+
+/// Evaluates a testbed panel: each seed builds a fresh world and runs the
+/// full discrete-event experiment; metrics are the *measured* volume and
+/// throughput (queries that actually met their deadline).
+pub fn run_testbed_point(
+    cfg: &TestbedConfig,
+    panel: &[BoxedAlgorithm],
+    seeds: usize,
+    sim: &SimConfig,
+) -> Vec<AlgResult> {
+    assert!(seeds >= 1, "need at least one repetition");
+    let seed_list: Vec<u64> = (0..seeds as u64).collect();
+    let per_seed: Vec<Vec<(f64, f64)>> = par_map(&seed_list, |&seed| {
+        let world = edgerep_testbed::build_testbed_instance(cfg, seed);
+        let sim_cfg = SimConfig { seed, ..*sim };
+        panel
+            .iter()
+            .map(|alg| {
+                let report = run_testbed(alg.as_ref(), &world, &sim_cfg);
+                (report.measured_volume, report.measured_throughput)
+            })
+            .collect()
+    });
+    collect_panel(panel.iter().map(|a| a.name()), &per_seed)
+}
+
+/// Transposes per-seed metric rows into per-algorithm summaries.
+fn collect_panel<'a>(
+    names: impl Iterator<Item = &'a str>,
+    per_seed: &[Vec<(f64, f64)>],
+) -> Vec<AlgResult> {
+    names
+        .enumerate()
+        .map(|(ai, name)| {
+            let volumes: Vec<f64> = per_seed.iter().map(|row| row[ai].0).collect();
+            let throughputs: Vec<f64> = per_seed.iter().map(|row| row[ai].1).collect();
+            AlgResult {
+                name: name.to_owned(),
+                volume: Summary::of(&volumes),
+                throughput: Summary::of(&throughputs),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgerep_core::{simulation_panel, special_panel};
+
+    #[test]
+    fn simulation_point_aggregates_panel() {
+        let params = WorkloadParams {
+            query_count: (10, 20),
+            ..Default::default()
+        };
+        let results = run_simulation_point(&params, &simulation_panel(), 3);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].name, "Appro-G");
+        assert_eq!(results[1].name, "Greedy-G");
+        assert_eq!(results[2].name, "Graph-G");
+        for r in &results {
+            assert_eq!(r.volume.n, 3);
+            assert!(r.volume.mean >= 0.0);
+            assert!(r.throughput.mean >= 0.0 && r.throughput.mean <= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        // The special panel requires single-dataset queries (Fig. 2).
+        let params = WorkloadParams {
+            query_count: (10, 15),
+            ..Default::default()
+        }
+        .with_max_datasets_per_query(1);
+        let a = run_simulation_point(&params, &special_panel(), 2);
+        let b = run_simulation_point(&params, &special_panel(), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn testbed_point_runs() {
+        let cfg = TestbedConfig {
+            query_count: 10,
+            trace: edgerep_workload::mobile_trace::TraceConfig {
+                users: 100,
+                apps: 20,
+                days: 5,
+                ..Default::default()
+            },
+            windows: 4,
+            ..Default::default()
+        };
+        let panel: Vec<BoxedAlgorithm> = vec![
+            Box::new(edgerep_core::appro::ApproG::default()),
+            Box::new(edgerep_core::popularity::Popularity::general()),
+        ];
+        let results = run_testbed_point(&cfg, &panel, 2, &SimConfig::default());
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.throughput.mean <= 1.0));
+    }
+}

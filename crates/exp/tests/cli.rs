@@ -1,0 +1,128 @@
+//! End-to-end tests of the `edgerep` and `repro` binaries.
+
+use std::process::Command;
+
+fn edgerep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_edgerep"))
+}
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn gen_inspect_solve_round_trip() {
+    let dir = std::env::temp_dir().join(format!("edgerep-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.json");
+
+    let out = edgerep()
+        .args([
+            "gen",
+            "--seed",
+            "3",
+            "--network-size",
+            "32",
+            "--k",
+            "2",
+            "-o",
+            inst.to_str().unwrap(),
+        ])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success(), "gen failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("32 nodes"));
+
+    let out = edgerep()
+        .args(["inspect", "-i", inst.to_str().unwrap()])
+        .output()
+        .expect("inspect runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("edge cloud:"));
+    assert!(text.contains("K = 2"));
+
+    let out = edgerep()
+        .args(["solve", "-i", inst.to_str().unwrap(), "--alg", "appro-g"])
+        .output()
+        .expect("solve runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Appro-G"));
+
+    // JSON metrics mode parses as JSON.
+    let out = edgerep()
+        .args([
+            "solve",
+            "-i",
+            inst.to_str().unwrap(),
+            "--alg",
+            "greedy-g",
+            "--metrics-json",
+        ])
+        .output()
+        .expect("solve json runs");
+    assert!(out.status.success());
+    let line = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value =
+        serde_json::from_str(line.lines().next().unwrap()).expect("valid JSON");
+    assert_eq!(parsed["algorithm"], "Greedy-G");
+    assert!(parsed["metrics"]["admitted_volume"].is_number());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_rejects_unknown_algorithm() {
+    let dir = std::env::temp_dir().join(format!("edgerep-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.json");
+    edgerep()
+        .args(["gen", "--seed", "1", "-o", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = edgerep()
+        .args(["solve", "-i", inst.to_str().unwrap(), "--alg", "nonsense"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_without_output_fails() {
+    let out = edgerep().args(["gen", "--seed", "1"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn inspect_rejects_garbage_file() {
+    let dir = std::env::temp_dir().join(format!("edgerep-cli-garbage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, "{not json").unwrap();
+    let out = edgerep()
+        .args(["inspect", "-i", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_renders_topology_figures_instantly() {
+    let out = repro().args(["fig1", "fig6"]).output().expect("repro runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("two-tier edge cloud"));
+    assert!(text.contains("SGP DC"));
+}
+
+#[test]
+fn repro_help_and_bad_args() {
+    let out = repro().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+    let out = repro().args(["figZZ"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,170 @@
+//! Delay-centrality measures.
+//!
+//! Used by the `Centroid` placement baseline in `edgerep-core`: a replica
+//! placed at a node with low total delay to a dataset's consumers serves
+//! them all cheaply. Closeness here is defined over *shortest path delays*
+//! (not hop counts), matching how the edge cloud routes intermediate
+//! results.
+
+use crate::graph::{Graph, NodeId};
+use crate::shortest::DelayMatrix;
+
+/// Closeness centrality of every node: `(reachable − 1) / Σ delays` with
+/// the standard Wasserman–Faust correction for disconnected graphs
+/// (multiply by `(reachable − 1)/(n − 1)`). Nodes that reach nothing get 0.
+pub fn closeness(g: &Graph, delays: &DelayMatrix) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    if n <= 1 {
+        return out;
+    }
+    for u in g.nodes() {
+        let mut sum = 0.0;
+        let mut reachable = 0usize;
+        for v in g.nodes() {
+            if u == v {
+                continue;
+            }
+            let d = delays.delay_or_inf(u, v);
+            if d.is_finite() {
+                sum += d;
+                reachable += 1;
+            }
+        }
+        if reachable > 0 && sum > 0.0 {
+            let r = reachable as f64;
+            out[u.index()] = (r / sum) * (r / (n as f64 - 1.0));
+        } else if reachable > 0 {
+            // All reachable at zero delay: maximal closeness.
+            out[u.index()] = reachable as f64 / (n as f64 - 1.0);
+        }
+    }
+    out
+}
+
+/// The node minimizing the *weighted* total delay to a set of
+/// `(target, weight)` pairs — the 1-median / delay centroid. Candidates
+/// may be restricted; ties break to the smallest node id. Returns `None`
+/// when `candidates` is empty or no candidate reaches every target.
+pub fn weighted_centroid(
+    delays: &DelayMatrix,
+    candidates: &[NodeId],
+    targets: &[(NodeId, f64)],
+) -> Option<NodeId> {
+    let mut best: Option<(NodeId, f64)> = None;
+    for &c in candidates {
+        let mut total = 0.0;
+        for &(t, w) in targets {
+            total += delays.delay_or_inf(c, t) * w;
+        }
+        if !total.is_finite() {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bn, bt)) => total < bt - 1e-15 || (total <= bt + 1e-15 && c < bn),
+        };
+        if better {
+            best = Some((c, total));
+        }
+    }
+    best.map(|(n, _)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A path graph 0 - 1 - 2 - 3 with unit delays: node 1 and 2 are the
+    /// most central.
+    fn path4() -> (Graph, DelayMatrix) {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        let m = DelayMatrix::compute(&g);
+        (g, m)
+    }
+
+    #[test]
+    fn closeness_peaks_in_the_middle_of_a_path() {
+        let (g, m) = path4();
+        let c = closeness(&g, &m);
+        assert!(c[1] > c[0]);
+        assert!(c[2] > c[3]);
+        assert!((c[1] - c[2]).abs() < 1e-12);
+        // Endpoint: sum = 1+2+3 = 6, closeness = 3/6 = 0.5.
+        assert!((c[0] - 0.5).abs() < 1e-12);
+        // Middle: sum = 1+1+2 = 4, closeness = 3/4.
+        assert!((c[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_zero_for_isolated_nodes() {
+        let g = Graph::with_nodes(3);
+        let m = DelayMatrix::compute(&g);
+        assert_eq!(closeness(&g, &m), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn closeness_disconnected_correction() {
+        // Two components: 0-1 (close pair) and 2 alone. The pair's nodes
+        // only reach 1 of 2 others, so the correction halves them.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let m = DelayMatrix::compute(&g);
+        let c = closeness(&g, &m);
+        assert!((c[0] - 0.5).abs() < 1e-12); // (1/1)·(1/2)
+        assert_eq!(c[2], 0.0);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = Graph::with_nodes(1);
+        let m = DelayMatrix::compute(&g);
+        assert_eq!(closeness(&g, &m), vec![0.0]);
+    }
+
+    #[test]
+    fn centroid_of_weighted_targets() {
+        let (_, m) = path4();
+        let all: Vec<NodeId> = (0..4).map(NodeId).collect();
+        // Targets {0, 3} with equal weight: on a path every interior node
+        // ties (total 3), so the smallest id wins.
+        let c = weighted_centroid(&m, &all, &[(NodeId(0), 1.0), (NodeId(3), 1.0)]);
+        assert_eq!(c, Some(NodeId(0)));
+        // Targets {0, 1, 3}: node 1 is strictly optimal (1+0+2 = 3).
+        let c = weighted_centroid(
+            &m,
+            &all,
+            &[(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(3), 1.0)],
+        );
+        assert_eq!(c, Some(NodeId(1)));
+        // Heavy weight at 3 pulls the centroid right.
+        let c = weighted_centroid(&m, &all, &[(NodeId(0), 1.0), (NodeId(3), 10.0)]);
+        assert_eq!(c, Some(NodeId(3)));
+    }
+
+    #[test]
+    fn centroid_restricted_candidates() {
+        let (_, m) = path4();
+        let c = weighted_centroid(
+            &m,
+            &[NodeId(0), NodeId(3)],
+            &[(NodeId(1), 1.0), (NodeId(2), 1.0)],
+        );
+        assert_eq!(c, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn centroid_none_for_unreachable_targets() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let m = DelayMatrix::compute(&g);
+        // Node 2 is unreachable from both candidates.
+        let c = weighted_centroid(&m, &[NodeId(0), NodeId(1)], &[(NodeId(2), 1.0)]);
+        assert_eq!(c, None);
+        // Empty candidate set.
+        assert_eq!(weighted_centroid(&m, &[], &[(NodeId(0), 1.0)]), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Connectivity queries and repair.
+//!
+//! The paper's GT-ITM-style generator draws each link with probability 0.2,
+//! which routinely leaves small networks disconnected; a disconnected
+//! topology would make every cross-component query inadmissible for a
+//! structural (not algorithmic) reason, so the generators repair
+//! connectivity with [`connect_components`] before handing topologies to the
+//! experiments.
+
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+
+/// Breadth-first order of nodes reachable from `source` (inclusive).
+pub fn bfs_order(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    assert!(g.contains_node(source), "unknown source {source}");
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for nb in g.neighbors(n) {
+            if !seen[nb.node.index()] {
+                seen[nb.node.index()] = true;
+                queue.push_back(nb.node);
+            }
+        }
+    }
+    order
+}
+
+/// Assigns each node a component label in `0..k` and returns `(labels, k)`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut k = 0;
+    for start in g.nodes() {
+        if label[start.index()] != usize::MAX {
+            continue;
+        }
+        for reached in bfs_order(g, start) {
+            label[reached.index()] = k;
+        }
+        k += 1;
+    }
+    (label, k)
+}
+
+/// Whether every node can reach every other node (vacuously true for empty
+/// and single-node graphs).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() <= 1 {
+        return true;
+    }
+    connected_components(g).1 == 1
+}
+
+/// Connects a disconnected graph by adding one random bridge edge between
+/// consecutive components. Returns the number of edges added.
+///
+/// Bridge endpoints are drawn uniformly inside each component so repair does
+/// not bias toward low node ids; bridge weights are drawn from
+/// `weight_range`.
+pub fn connect_components<R: Rng>(
+    g: &mut Graph,
+    rng: &mut R,
+    weight_range: (f64, f64),
+) -> usize {
+    let (labels, k) = connected_components(g);
+    if k <= 1 {
+        return 0;
+    }
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for n in g.nodes() {
+        members[labels[n.index()]].push(n);
+    }
+    let (lo, hi) = weight_range;
+    assert!(lo <= hi && lo >= 0.0, "invalid weight range");
+    for pair in 0..k - 1 {
+        let a = members[pair][rng.gen_range(0..members[pair].len())];
+        let b = members[pair + 1][rng.gen_range(0..members[pair + 1].len())];
+        let w = if lo == hi { lo } else { rng.gen_range(lo..hi) };
+        g.add_edge(a, b, w);
+    }
+    k - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn two_components() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(3), NodeId(4), 1.0);
+        g
+    }
+
+    #[test]
+    fn bfs_reaches_component_only() {
+        let g = two_components();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order.len(), 3);
+        assert!(order.contains(&NodeId(2)));
+        assert!(!order.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn bfs_starts_at_source() {
+        let g = two_components();
+        assert_eq!(bfs_order(&g, NodeId(3))[0], NodeId(3));
+    }
+
+    #[test]
+    fn components_labelled_consistently() {
+        let g = two_components();
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn connectivity_predicates() {
+        assert!(is_connected(&Graph::new()));
+        assert!(is_connected(&Graph::with_nodes(1)));
+        assert!(!is_connected(&Graph::with_nodes(2)));
+        assert!(!is_connected(&two_components()));
+    }
+
+    #[test]
+    fn repair_connects_everything() {
+        let mut g = two_components();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let added = connect_components(&mut g, &mut rng, (0.5, 1.5));
+        assert_eq!(added, 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn repair_noop_on_connected_graph() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(connect_components(&mut g, &mut rng, (1.0, 2.0)), 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn repair_handles_all_isolated_nodes() {
+        let mut g = Graph::with_nodes(6);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let added = connect_components(&mut g, &mut rng, (1.0, 1.0));
+        assert_eq!(added, 5);
+        assert!(is_connected(&g));
+        for e in g.edges() {
+            assert_eq!(e.weight, 1.0);
+        }
+    }
+
+    #[test]
+    fn repair_weights_within_range() {
+        let mut g = Graph::with_nodes(10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        connect_components(&mut g, &mut rng, (2.0, 4.0));
+        for e in g.edges() {
+            assert!((2.0..4.0).contains(&e.weight));
+        }
+    }
+}

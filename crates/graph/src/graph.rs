@@ -1,0 +1,350 @@
+//! Undirected, edge-weighted adjacency-list graph.
+//!
+//! Nodes are dense `u32` indices so the rest of the workspace can use them
+//! directly as array offsets; edge weights are `f64` per-unit-data
+//! transmission delays (seconds per GB in the edge-cloud model).
+
+use serde::{Deserialize, Serialize};
+
+/// A node handle: a dense index into the graph's node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An edge handle: a dense index into the graph's edge table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One endpoint record stored in a node's adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The adjacent node.
+    pub node: NodeId,
+    /// The connecting edge.
+    pub edge: EdgeId,
+    /// Per-unit-data delay of the connecting edge (copied here so shortest
+    /// path relaxation does not chase the edge table).
+    pub weight: f64,
+}
+
+/// A stored undirected edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// First endpoint (the smaller id as inserted).
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// Per-unit-data transmission delay.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Given one endpoint, return the other. Panics if `n` is not an
+    /// endpoint of this edge.
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.u {
+            self.v
+        } else {
+            assert_eq!(n, self.v, "node {n} is not an endpoint of this edge");
+            self.u
+        }
+    }
+}
+
+/// An undirected, edge-weighted graph with dense node indices.
+///
+/// Parallel edges are permitted (shortest-path code simply relaxes both);
+/// self-loops are rejected because a zero-length loop never participates in
+/// a shortest path and routinely signals a generator bug.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<Neighbor>>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self {
+            adjacency: Vec::with_capacity(nodes),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(u32::try_from(self.adjacency.len()).expect("graph node overflow"));
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds `count` nodes and returns their ids in insertion order.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds an undirected edge with the given per-unit-data delay.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, or non-finite /
+    /// negative weights (delays are physical quantities).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> EdgeId {
+        assert!(u != v, "self-loop at {u} rejected");
+        assert!(u.index() < self.adjacency.len(), "unknown node {u}");
+        assert!(v.index() < self.adjacency.len(), "unknown node {v}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "edge delay must be finite and non-negative, got {weight}"
+        );
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("graph edge overflow"));
+        self.edges.push(Edge { u, v, weight });
+        self.adjacency[u.index()].push(Neighbor {
+            node: v,
+            edge: id,
+            weight,
+        });
+        self.adjacency[v.index()].push(Neighbor {
+            node: u,
+            edge: id,
+            weight,
+        });
+        id
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len() as u32).map(NodeId)
+    }
+
+    /// Slice of all stored edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The stored edge for an id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Adjacency list of `n`.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[Neighbor] {
+        &self.adjacency[n.index()]
+    }
+
+    /// Degree (number of incident edge endpoints) of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// Whether any edge directly connects `u` and `v`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Scan the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacency[a.index()].iter().any(|nb| nb.node == b)
+    }
+
+    /// The minimum direct-edge weight between `u` and `v`, if any edge exists.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.adjacency[u.index()]
+            .iter()
+            .filter(|nb| nb.node == v)
+            .map(|nb| nb.weight)
+            .fold(None, |best, w| {
+                Some(best.map_or(w, |b: f64| b.min(w)))
+            })
+    }
+
+    /// Total weight over all edges (used by partition quality metrics).
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Checks a node id is valid for this graph.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        n.index() < self.adjacency.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 2.0);
+        g.add_edge(a, c, 4.0);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(b), 2);
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(b, a));
+        assert!(g.has_edge(a, c));
+        assert_eq!(g.edge_weight(b, c), Some(2.0));
+        assert_eq!(g.edge_weight(c, b), Some(2.0));
+    }
+
+    #[test]
+    fn with_nodes_creates_isolated_nodes() {
+        let g = Graph::with_nodes(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_take_min_weight() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 5.0);
+        g.add_edge(a, b, 2.0);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_weight(a, b), Some(2.0));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let (g, a, b, _) = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.other(a), b);
+        assert_eq!(e.other(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.add_edge(a, a, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_weight_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn out_of_range_endpoint_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.add_edge(a, NodeId(7), 1.0);
+    }
+
+    #[test]
+    fn missing_edge_weight_is_none() {
+        let mut g = Graph::with_nodes(2);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), None);
+        g.add_edge(NodeId(0), NodeId(1), 3.0);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(3.0));
+    }
+
+    #[test]
+    fn total_edge_weight_sums_all_edges() {
+        let (g, ..) = triangle();
+        assert!((g.total_edge_weight() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_nodes_returns_sequential_ids() {
+        let mut g = Graph::new();
+        let ids = g.add_nodes(4);
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+    }
+}

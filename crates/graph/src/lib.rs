@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the `edgerep` workspace.
+//!
+//! The ICPP'19 paper evaluates its replication algorithms on random
+//! topologies produced by the GT-ITM tool and routes intermediate results
+//! along minimum-transmission-delay paths. This crate provides everything the
+//! rest of the workspace needs from a graph library, built from scratch
+//! because the offline dependency set contains none:
+//!
+//! * [`Graph`] — an undirected, edge-weighted adjacency-list graph with
+//!   `f64` per-unit-data delay weights.
+//! * [`shortest`] — binary-heap Dijkstra, all-pairs [`shortest::DelayMatrix`],
+//!   path reconstruction, and a Bellman–Ford reference used for
+//!   cross-checking.
+//! * [`connectivity`] — BFS, connected components, and connectivity repair
+//!   used by the random generators.
+//! * [`topology`] — GT-ITM-style random topology generation (flat
+//!   Erdős–Rényi with the paper's link probability, Waxman geometric graphs,
+//!   and a layered two-tier skeleton).
+//! * [`partition`] — Kernighan–Lin graph partitioning backing the
+//!   `Graph-S`/`Graph-G` baseline (Golab et al., SSDBM'14).
+//!
+//! # Example
+//!
+//! ```
+//! use edgerep_graph::{Graph, shortest::Dijkstra};
+//!
+//! let mut g = Graph::new();
+//! let a = g.add_node();
+//! let b = g.add_node();
+//! let c = g.add_node();
+//! g.add_edge(a, b, 1.5);
+//! g.add_edge(b, c, 2.0);
+//! let sp = Dijkstra::run(&g, a);
+//! assert_eq!(sp.delay_to(c), Some(3.5));
+//! assert_eq!(sp.path_to(c), Some(vec![a, b, c]));
+//! ```
+
+pub mod centrality;
+pub mod connectivity;
+pub mod graph;
+pub mod partition;
+pub mod shortest;
+pub mod topology;
+
+pub use graph::{EdgeId, Graph, NodeId};
+pub use shortest::{DelayMatrix, Dijkstra};

@@ -1,0 +1,267 @@
+//! Kernighan–Lin graph partitioning.
+//!
+//! Backs the `Graph-S` / `Graph-G` baseline of the paper (§4.1), which is
+//! adapted from Golab et al., "Distributed data placement to minimize
+//! communication costs via graph partitioning" (SSDBM'14): the affinity
+//! graph between queries and replica-hosting nodes is partitioned to
+//! minimize cross-partition communication, then queries are served within
+//! their partition.
+//!
+//! [`partition_kway`] recursively bisects with the classic Kernighan–Lin
+//! improvement heuristic. It is deterministic given the initial split, so
+//! experiment runs are reproducible per seed.
+
+use crate::graph::{Graph, NodeId};
+
+/// Sum of weights of edges whose endpoints carry different labels.
+pub fn cut_weight(g: &Graph, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), g.node_count(), "label/node count mismatch");
+    g.edges()
+        .iter()
+        .filter(|e| labels[e.u.index()] != labels[e.v.index()])
+        .map(|e| e.weight)
+        .sum()
+}
+
+/// External-minus-internal cost of `n` with respect to a 2-way split of
+/// `members` (only edges between members count).
+fn kl_gain(g: &Graph, n: NodeId, side: &[bool], in_part: &[bool]) -> f64 {
+    let mut gain = 0.0;
+    for nb in g.neighbors(n) {
+        if !in_part[nb.node.index()] {
+            continue;
+        }
+        if side[nb.node.index()] != side[n.index()] {
+            gain += nb.weight; // external edge: moving n would internalize it
+        } else {
+            gain -= nb.weight; // internal edge: moving n would cut it
+        }
+    }
+    gain
+}
+
+/// One Kernighan–Lin bisection of `members` (a subset of `g`'s nodes) into
+/// two balanced halves. Returns a boolean side per node (indexed by node
+/// id; nodes outside `members` keep `false` but are ignored).
+fn kl_bisect(g: &Graph, members: &[NodeId]) -> Vec<bool> {
+    let n_total = g.node_count();
+    let mut side = vec![false; n_total];
+    let mut in_part = vec![false; n_total];
+    for m in members {
+        in_part[m.index()] = true;
+    }
+    // Initial balanced split by position in `members` (callers shuffle the
+    // member order when a randomized start is wanted).
+    let half = members.len() / 2;
+    for (i, m) in members.iter().enumerate() {
+        side[m.index()] = i >= half;
+    }
+    if members.len() < 4 {
+        return side;
+    }
+
+    // Classic KL passes: repeatedly build a sequence of best swaps, keep the
+    // best prefix, stop when a pass yields no improvement.
+    const MAX_PASSES: usize = 10;
+    for _ in 0..MAX_PASSES {
+        let mut locked = vec![false; n_total];
+        let mut gains: Vec<f64> = vec![0.0; n_total];
+        for m in members {
+            gains[m.index()] = kl_gain(g, *m, &side, &in_part);
+        }
+        let mut swap_seq: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        let mut working_side = side.clone();
+        for _ in 0..half {
+            // Pick the unlocked cross pair (a, b) maximizing
+            // gain(a) + gain(b) - 2*w(a,b).
+            let mut best: Option<(NodeId, NodeId, f64)> = None;
+            for &a in members.iter().filter(|m| {
+                !locked[m.index()] && !working_side[m.index()]
+            }) {
+                for &b in members.iter().filter(|m| {
+                    !locked[m.index()] && working_side[m.index()]
+                }) {
+                    let w_ab = g.edge_weight(a, b).unwrap_or(0.0);
+                    let gain = gains[a.index()] + gains[b.index()] - 2.0 * w_ab;
+                    if best.is_none_or(|(_, _, bg)| gain > bg) {
+                        best = Some((a, b, gain));
+                    }
+                }
+            }
+            let Some((a, b, gain)) = best else { break };
+            locked[a.index()] = true;
+            locked[b.index()] = true;
+            working_side[a.index()] = true;
+            working_side[b.index()] = false;
+            // Update gains of unlocked members for the tentative swap.
+            for &m in members.iter().filter(|m| !locked[m.index()]) {
+                gains[m.index()] = kl_gain(g, m, &working_side, &in_part);
+            }
+            swap_seq.push((a, b, gain));
+        }
+        // Best prefix of cumulative gains.
+        let mut best_prefix = 0;
+        let mut best_total = 0.0;
+        let mut running = 0.0;
+        for (i, (_, _, gain)) in swap_seq.iter().enumerate() {
+            running += gain;
+            if running > best_total + 1e-12 {
+                best_total = running;
+                best_prefix = i + 1;
+            }
+        }
+        if best_prefix == 0 {
+            break;
+        }
+        for (a, b, _) in swap_seq.into_iter().take(best_prefix) {
+            side[a.index()] = true;
+            side[b.index()] = false;
+        }
+    }
+    side
+}
+
+/// Partitions the graph's nodes into `k` balanced parts by recursive
+/// Kernighan–Lin bisection; returns a part label in `0..k` per node.
+///
+/// `k` must be ≥ 1; `k = 1` labels everything `0`. `k` larger than the node
+/// count degenerates gracefully (trailing parts stay empty).
+pub fn partition_kway(g: &Graph, k: usize) -> Vec<usize> {
+    assert!(k >= 1, "k must be at least 1");
+    let mut labels = vec![0usize; g.node_count()];
+    let all: Vec<NodeId> = g.nodes().collect();
+    recurse(g, &all, k, 0, &mut labels);
+    labels
+}
+
+fn recurse(g: &Graph, members: &[NodeId], k: usize, base: usize, labels: &mut [usize]) {
+    if k <= 1 || members.len() <= 1 {
+        for m in members {
+            labels[m.index()] = base;
+        }
+        return;
+    }
+    let side = kl_bisect(g, members);
+    let (left, right): (Vec<NodeId>, Vec<NodeId>) =
+        members.iter().partition(|m| !side[m.index()]);
+    let k_left = k / 2 + k % 2;
+    let k_right = k / 2;
+    recurse(g, &left, k_left, base, labels);
+    recurse(g, &right, k_right, base + k_left, labels);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two dense clusters joined by a single light edge — the canonical
+    /// partitioning test case.
+    fn two_clusters() -> Graph {
+        let mut g = Graph::with_nodes(8);
+        let heavy = 10.0;
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                g.add_edge(NodeId(u), NodeId(v), heavy);
+            }
+        }
+        for u in 4..8u32 {
+            for v in (u + 1)..8 {
+                g.add_edge(NodeId(u), NodeId(v), heavy);
+            }
+        }
+        g.add_edge(NodeId(0), NodeId(4), 0.5);
+        g
+    }
+
+    #[test]
+    fn bisection_finds_the_light_cut() {
+        let g = two_clusters();
+        let labels = partition_kway(&g, 2);
+        assert_eq!(cut_weight(&g, &labels), 0.5);
+        // Each cluster is uniform.
+        for v in 1..4 {
+            assert_eq!(labels[0], labels[v]);
+        }
+        for v in 5..8 {
+            assert_eq!(labels[4], labels[v]);
+        }
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn k1_labels_everything_zero() {
+        let g = two_clusters();
+        let labels = partition_kway(&g, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn labels_in_range_for_kway() {
+        let g = two_clusters();
+        for k in 1..=8 {
+            let labels = partition_kway(&g, k);
+            assert!(labels.iter().all(|&l| l < k), "k={k} labels={labels:?}");
+        }
+    }
+
+    #[test]
+    fn kway_parts_roughly_balanced() {
+        let g = two_clusters();
+        let labels = partition_kway(&g, 4);
+        let mut counts = [0usize; 4];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        for c in counts {
+            assert!((1..=3).contains(&c), "unbalanced counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn cut_weight_zero_for_uniform_labels() {
+        let g = two_clusters();
+        let labels = vec![0; g.node_count()];
+        assert_eq!(cut_weight(&g, &labels), 0.0);
+    }
+
+    #[test]
+    fn cut_weight_counts_every_cross_edge() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 2.0);
+        g.add_edge(NodeId(0), NodeId(2), 4.0);
+        let labels = vec![0, 1, 0];
+        assert_eq!(cut_weight(&g, &labels), 3.0);
+    }
+
+    #[test]
+    fn empty_graph_partitions() {
+        let g = Graph::new();
+        assert!(partition_kway(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn single_node_partitions() {
+        let g = Graph::with_nodes(1);
+        assert_eq!(partition_kway(&g, 2), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k0_rejected() {
+        partition_kway(&Graph::with_nodes(2), 0);
+    }
+
+    #[test]
+    fn k_bigger_than_nodes_degenerates() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let labels = partition_kway(&g, 10);
+        assert!(labels.iter().all(|&l| l < 10));
+        // At most one node per part.
+        let mut seen = std::collections::HashSet::new();
+        for &l in &labels {
+            assert!(seen.insert(l), "part {l} reused");
+        }
+    }
+}

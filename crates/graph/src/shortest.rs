@@ -1,0 +1,334 @@
+//! Shortest-path machinery over per-unit-data delay weights.
+//!
+//! The edge-cloud model routes every intermediate result along a
+//! minimum-transmission-delay path (§2.2 of the paper), so all algorithms
+//! consume shortest *delays*. [`Dijkstra`] is the workhorse; the all-pairs
+//! [`DelayMatrix`] caches one Dijkstra tree per node and is shared by every
+//! placement algorithm. [`bellman_ford`] exists purely as an independent
+//! reference implementation for tests.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Graph, NodeId};
+
+/// A (delay, node) heap entry ordered as a min-heap over the delay.
+///
+/// Delays are finite non-negative `f64` by the [`Graph`] construction
+/// invariant, so the total order below never observes NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    delay: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap (a max-heap) pops the smallest delay first;
+        // tie-break on node id for determinism.
+        other
+            .delay
+            .partial_cmp(&self.delay)
+            .expect("delays are never NaN")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shortest-path tree produced by one Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct Dijkstra {
+    source: NodeId,
+    delay: Vec<f64>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl Dijkstra {
+    /// Runs Dijkstra from `source` over all nodes of `g`.
+    pub fn run(g: &Graph, source: NodeId) -> Self {
+        assert!(g.contains_node(source), "unknown source {source}");
+        let n = g.node_count();
+        let mut delay = vec![f64::INFINITY; n];
+        let mut parent = vec![None; n];
+        let mut settled = vec![false; n];
+        let mut heap = BinaryHeap::with_capacity(n);
+        delay[source.index()] = 0.0;
+        heap.push(HeapEntry {
+            delay: 0.0,
+            node: source,
+        });
+        while let Some(HeapEntry { delay: d, node }) = heap.pop() {
+            if settled[node.index()] {
+                continue;
+            }
+            settled[node.index()] = true;
+            for nb in g.neighbors(node) {
+                let cand = d + nb.weight;
+                if cand < delay[nb.node.index()] {
+                    delay[nb.node.index()] = cand;
+                    parent[nb.node.index()] = Some(node);
+                    heap.push(HeapEntry {
+                        delay: cand,
+                        node: nb.node,
+                    });
+                }
+            }
+        }
+        Self {
+            source,
+            delay,
+            parent,
+        }
+    }
+
+    /// The source this tree was grown from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Shortest delay from the source to `target`, or `None` if unreachable.
+    pub fn delay_to(&self, target: NodeId) -> Option<f64> {
+        let d = self.delay[target.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// All delays, `INFINITY` marking unreachable nodes.
+    pub fn delays(&self) -> &[f64] {
+        &self.delay
+    }
+
+    /// Reconstructs the node sequence of the shortest path `source → target`.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if !self.delay[target.index()].is_finite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// All-pairs shortest per-unit-data delays.
+///
+/// Stores an `n × n` row-major matrix; `n` is at most a few hundred in every
+/// paper experiment, so the quadratic memory is trivial and the dense layout
+/// keeps the hot admission loops cache-friendly.
+#[derive(Debug, Clone)]
+pub struct DelayMatrix {
+    n: usize,
+    delays: Vec<f64>,
+}
+
+impl DelayMatrix {
+    /// Computes the matrix by running Dijkstra from every node.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut delays = Vec::with_capacity(n * n);
+        for s in g.nodes() {
+            delays.extend_from_slice(Dijkstra::run(g, s).delays());
+        }
+        Self { n, delays }
+    }
+
+    /// Number of nodes this matrix covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest delay between `u` and `v` (`0.0` when `u == v`), or `None`
+    /// when disconnected.
+    #[inline]
+    pub fn delay(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let d = self.delays[u.index() * self.n + v.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// Raw shortest delay, `INFINITY` when disconnected. Hot-path accessor
+    /// for the admission loops which treat unreachable as "deadline
+    /// violated" anyway.
+    #[inline]
+    pub fn delay_or_inf(&self, u: NodeId, v: NodeId) -> f64 {
+        self.delays[u.index() * self.n + v.index()]
+    }
+
+    /// The largest finite delay in the matrix (network "diameter" in delay
+    /// terms), or `None` for an empty graph.
+    pub fn max_finite_delay(&self) -> Option<f64> {
+        self.delays
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+    }
+}
+
+/// Bellman–Ford single-source shortest delays: an independent O(V·E)
+/// implementation used by tests to cross-check [`Dijkstra`].
+pub fn bellman_ford(g: &Graph, source: NodeId) -> Vec<f64> {
+    let n = g.node_count();
+    let mut delay = vec![f64::INFINITY; n];
+    delay[source.index()] = 0.0;
+    for _ in 1..n.max(1) {
+        let mut changed = false;
+        for e in g.edges() {
+            let (ui, vi) = (e.u.index(), e.v.index());
+            if delay[ui] + e.weight < delay[vi] {
+                delay[vi] = delay[ui] + e.weight;
+                changed = true;
+            }
+            if delay[vi] + e.weight < delay[ui] {
+                delay[ui] = delay[vi] + e.weight;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    delay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small weighted graph with a known shortest-path structure:
+    ///
+    /// ```text
+    ///   0 --1.0-- 1 --1.0-- 2
+    ///   |                   |
+    ///   +------10.0---------+       3 (isolated)
+    /// ```
+    fn diamond() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 10.0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        let g = diamond();
+        let sp = Dijkstra::run(&g, NodeId(0));
+        assert_eq!(sp.delay_to(NodeId(2)), Some(2.0));
+        assert_eq!(
+            sp.path_to(NodeId(2)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn dijkstra_source_delay_zero() {
+        let g = diamond();
+        let sp = Dijkstra::run(&g, NodeId(1));
+        assert_eq!(sp.delay_to(NodeId(1)), Some(0.0));
+        assert_eq!(sp.path_to(NodeId(1)), Some(vec![NodeId(1)]));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let g = diamond();
+        let sp = Dijkstra::run(&g, NodeId(0));
+        assert_eq!(sp.delay_to(NodeId(3)), None);
+        assert_eq!(sp.path_to(NodeId(3)), None);
+    }
+
+    #[test]
+    fn dijkstra_zero_weight_edges() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 0.0);
+        g.add_edge(NodeId(1), NodeId(2), 0.0);
+        let sp = Dijkstra::run(&g, NodeId(0));
+        assert_eq!(sp.delay_to(NodeId(2)), Some(0.0));
+    }
+
+    #[test]
+    fn dijkstra_parallel_edges_use_cheapest() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 9.0);
+        g.add_edge(NodeId(0), NodeId(1), 4.0);
+        let sp = Dijkstra::run(&g, NodeId(0));
+        assert_eq!(sp.delay_to(NodeId(1)), Some(4.0));
+    }
+
+    #[test]
+    fn delay_matrix_matches_per_source_runs() {
+        let g = diamond();
+        let m = DelayMatrix::compute(&g);
+        for s in g.nodes() {
+            let sp = Dijkstra::run(&g, s);
+            for t in g.nodes() {
+                assert_eq!(m.delay(s, t), sp.delay_to(t), "mismatch {s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn delay_matrix_symmetric_for_undirected_graph() {
+        let g = diamond();
+        let m = DelayMatrix::compute(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m.delay(u, v), m.delay(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn delay_matrix_max_finite() {
+        let g = diamond();
+        let m = DelayMatrix::compute(&g);
+        assert_eq!(m.max_finite_delay(), Some(2.0));
+    }
+
+    #[test]
+    fn delay_matrix_empty_graph() {
+        let g = Graph::new();
+        let m = DelayMatrix::compute(&g);
+        assert_eq!(m.node_count(), 0);
+        assert_eq!(m.max_finite_delay(), None);
+    }
+
+    #[test]
+    fn bellman_ford_agrees_on_diamond() {
+        let g = diamond();
+        let bf = bellman_ford(&g, NodeId(0));
+        let dj = Dijkstra::run(&g, NodeId(0));
+        for t in g.nodes() {
+            let d = dj.delay_to(t).unwrap_or(f64::INFINITY);
+            assert!((bf[t.index()] - d).abs() < 1e-12 || (bf[t.index()].is_infinite() && d.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn path_edges_exist_in_graph() {
+        let g = diamond();
+        let sp = Dijkstra::run(&g, NodeId(0));
+        let path = sp.path_to(NodeId(2)).unwrap();
+        for w in path.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn delay_or_inf_matches_option_api() {
+        let g = diamond();
+        let m = DelayMatrix::compute(&g);
+        assert_eq!(m.delay_or_inf(NodeId(0), NodeId(2)), 2.0);
+        assert!(m.delay_or_inf(NodeId(0), NodeId(3)).is_infinite());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the graph substrate.
+
+use edgerep_graph::connectivity::{connect_components, connected_components, is_connected};
+use edgerep_graph::partition::{cut_weight, partition_kway};
+use edgerep_graph::shortest::bellman_ford;
+use edgerep_graph::topology::{flat_random, FlatRandomConfig};
+use edgerep_graph::{DelayMatrix, Dijkstra, Graph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: an arbitrary graph as (node count, edge list with weights).
+fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let edge = (0..n, 0..n, 0.0f64..10.0);
+        proptest::collection::vec(edge, 0..=max_edges).prop_map(move |edges| {
+            let mut g = Graph::with_nodes(n);
+            for (u, v, w) in edges {
+                if u != v {
+                    g.add_edge(NodeId(u as u32), NodeId(v as u32), w);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    /// Dijkstra agrees with the independent Bellman–Ford implementation.
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in arb_graph(12, 30)) {
+        for s in g.nodes() {
+            let dj = Dijkstra::run(&g, s);
+            let bf = bellman_ford(&g, s);
+            for t in g.nodes() {
+                let d = dj.delay_to(t).unwrap_or(f64::INFINITY);
+                let b = bf[t.index()];
+                prop_assert!(
+                    (d.is_infinite() && b.is_infinite()) || (d - b).abs() < 1e-9,
+                    "s={s} t={t} dijkstra={d} bellman_ford={b}"
+                );
+            }
+        }
+    }
+
+    /// Shortest delays satisfy the triangle inequality.
+    #[test]
+    fn delay_matrix_triangle_inequality(g in arb_graph(10, 25)) {
+        let m = DelayMatrix::compute(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                for c in g.nodes() {
+                    let ab = m.delay_or_inf(a, b);
+                    let bc = m.delay_or_inf(b, c);
+                    let ac = m.delay_or_inf(a, c);
+                    prop_assert!(ac <= ab + bc + 1e-9, "{a}->{c} {ac} > {ab}+{bc}");
+                }
+            }
+        }
+    }
+
+    /// Reconstructed shortest paths have the reported total delay.
+    #[test]
+    fn path_delay_matches_reported(g in arb_graph(10, 25)) {
+        for s in g.nodes() {
+            let dj = Dijkstra::run(&g, s);
+            for t in g.nodes() {
+                if let Some(path) = dj.path_to(t) {
+                    let mut total = 0.0;
+                    for w in path.windows(2) {
+                        total += g.edge_weight(w[0], w[1]).expect("path edge exists");
+                    }
+                    prop_assert!((total - dj.delay_to(t).unwrap()).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Connectivity repair always yields a connected graph, and component
+    /// labels are consistent with reachability.
+    #[test]
+    fn repair_always_connects(g in arb_graph(15, 20), seed in any::<u64>()) {
+        let mut g = g;
+        let (labels, k) = connected_components(&g);
+        prop_assert_eq!(labels.len(), g.node_count());
+        prop_assert!(k >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        connect_components(&mut g, &mut rng, (0.1, 1.0));
+        prop_assert!(is_connected(&g));
+    }
+
+    /// Partition labels are always within range and the cut never exceeds
+    /// the total edge weight.
+    #[test]
+    fn partition_invariants(g in arb_graph(14, 40), k in 1usize..6) {
+        let labels = partition_kway(&g, k);
+        prop_assert_eq!(labels.len(), g.node_count());
+        prop_assert!(labels.iter().all(|&l| l < k));
+        let cut = cut_weight(&g, &labels);
+        prop_assert!(cut >= -1e-12);
+        prop_assert!(cut <= g.total_edge_weight() + 1e-9);
+    }
+
+    /// The flat random generator respects its delay range and produces a
+    /// connected graph for any seed.
+    #[test]
+    fn flat_random_contract(seed in any::<u64>(), n in 2usize..40) {
+        let cfg = FlatRandomConfig { nodes: n, ..Default::default() };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = flat_random(&cfg, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(is_connected(&g));
+        let (lo, hi) = cfg.delay_range;
+        for e in g.edges() {
+            prop_assert!(e.weight >= lo && e.weight < hi);
+        }
+    }
+}

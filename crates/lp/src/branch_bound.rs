@@ -1,0 +1,258 @@
+//! Branch-and-bound for 0/1 integer programs.
+//!
+//! Depth-first search over the binary variables of a [`LinearProgram`],
+//! bounding each node with the LP relaxation from [`crate::simplex`] and
+//! pruning against the incumbent. Fixings are expressed as equality rows
+//! appended to a scratch copy of the program, which keeps the solver simple
+//! at a small constant-factor cost — acceptable for the small-instance
+//! `Optimal` reference this backs.
+
+use crate::problem::{Cmp, LinearProgram, VarId};
+use crate::simplex::{solve, LpError};
+
+/// Result of an ILP solve.
+#[derive(Debug, Clone)]
+pub enum IlpOutcome {
+    /// Proven optimal integer solution.
+    Optimal {
+        /// Optimal objective value.
+        objective: f64,
+        /// Optimal values (binaries are exactly 0.0 or 1.0).
+        x: Vec<f64>,
+    },
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// Node budget exhausted; carries the best incumbent if any was found.
+    NodeLimit {
+        /// Best integer solution found before the budget ran out, if any.
+        incumbent: Option<(f64, Vec<f64>)>,
+    },
+}
+
+const INT_EPS: f64 = 1e-6;
+
+/// Solves `lp` with all [`LinearProgram::binary_vars`] restricted to
+/// {0, 1}, exploring at most `node_limit` branch-and-bound nodes.
+pub fn solve_ilp(lp: &LinearProgram, node_limit: usize) -> IlpOutcome {
+    let binaries = lp.binary_vars();
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut nodes_used = 0usize;
+    let mut stack: Vec<Vec<(VarId, f64)>> = vec![Vec::new()];
+
+    while let Some(fixings) = stack.pop() {
+        if nodes_used >= node_limit {
+            return IlpOutcome::NodeLimit { incumbent: best };
+        }
+        nodes_used += 1;
+
+        // Apply fixings as equality rows on a scratch copy.
+        let mut node_lp = lp.clone();
+        for &(v, val) in &fixings {
+            node_lp.add_constraint(vec![(v, 1.0)], Cmp::Eq, val);
+        }
+        let relax = match solve(&node_lp) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            // An unbounded relaxation with all binaries bounded means the
+            // continuous part is unbounded; surface it as no-solution.
+            Err(LpError::Unbounded) | Err(LpError::IterationLimit) => continue,
+        };
+
+        // Bound: prune when even the relaxation cannot beat the incumbent.
+        if let Some((inc_obj, _)) = &best {
+            if relax.objective <= inc_obj + 1e-9 {
+                continue;
+            }
+        }
+
+        // Find the most fractional binary.
+        let mut branch_var: Option<(VarId, f64)> = None;
+        let mut best_frac = INT_EPS;
+        for &b in &binaries {
+            let val = relax.x[b.0];
+            let frac = (val - val.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some((b, val));
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible: candidate incumbent.
+                let mut x = relax.x.clone();
+                for &b in &binaries {
+                    x[b.0] = x[b.0].round();
+                }
+                let obj = lp.objective_at(&x);
+                if best.as_ref().is_none_or(|(bo, _)| obj > *bo) {
+                    best = Some((obj, x));
+                }
+            }
+            Some((v, val)) => {
+                // Explore the nearer branch first (DFS finds incumbents
+                // faster that way).
+                let mut zero = fixings.clone();
+                zero.push((v, 0.0));
+                let mut one = fixings;
+                one.push((v, 1.0));
+                if val >= 0.5 {
+                    stack.push(zero);
+                    stack.push(one);
+                } else {
+                    stack.push(one);
+                    stack.push(zero);
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((objective, x)) => IlpOutcome::Optimal { objective, x },
+        None => IlpOutcome::Infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, LinearProgram};
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> LinearProgram {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| lp.add_binary_var(&format!("x{i}"), v))
+            .collect();
+        let terms = vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect();
+        lp.add_constraint(terms, Cmp::Le, cap);
+        lp
+    }
+
+    #[test]
+    fn knapsack_optimum() {
+        // Items (value, weight): (10,5) (6,4) (4,3), cap 7 -> take {6,4} = 10
+        // vs {10} = 10; but (10,5)+(4,3)=8 > 7. Optimal = 10.
+        let lp = knapsack(&[10.0, 6.0, 4.0], &[5.0, 4.0, 3.0], 7.0);
+        let IlpOutcome::Optimal { objective, x } = solve_ilp(&lp, 1000) else {
+            panic!("expected optimal");
+        };
+        assert!((objective - 10.0).abs() < 1e-6);
+        for xi in &x {
+            assert!((xi - xi.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn knapsack_beats_lp_rounding() {
+        // LP relaxation picks fractional b; ILP must settle on integers.
+        let lp = knapsack(&[10.0, 6.0, 4.0], &[5.0, 4.0, 3.0], 7.0);
+        let relax = crate::simplex::solve(&lp).unwrap();
+        assert!(relax.objective >= 10.0); // 13 fractional
+        let IlpOutcome::Optimal { objective, .. } = solve_ilp(&lp, 1000) else {
+            panic!();
+        };
+        assert!(objective <= relax.objective + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_ilp() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_binary_var("a", 1.0);
+        let b = lp.add_binary_var("b", 1.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Cmp::Ge, 3.0);
+        assert!(matches!(solve_ilp(&lp, 100), IlpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn pure_continuous_passthrough() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", Some(4.0), 2.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 3.0);
+        let IlpOutcome::Optimal { objective, x } = solve_ilp(&lp, 10) else {
+            panic!();
+        };
+        assert!((objective - 6.0).abs() < 1e-6);
+        assert!((x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 5b + x st b + x <= 1.5, x <= 1 -> b=1, x=0.5 -> 5.5.
+        let mut lp = LinearProgram::new();
+        let b = lp.add_binary_var("b", 5.0);
+        let x = lp.add_var("x", Some(1.0), 1.0);
+        lp.add_constraint(vec![(b, 1.0), (x, 1.0)], Cmp::Le, 1.5);
+        let IlpOutcome::Optimal { objective, x: sol } = solve_ilp(&lp, 100) else {
+            panic!();
+        };
+        assert!((objective - 5.5).abs() < 1e-6);
+        assert!((sol[0] - 1.0).abs() < 1e-6);
+        assert!((sol[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // A 12-item knapsack with a tiny node budget.
+        let values: Vec<f64> = (1..=12).map(|i| (i * 7 % 13) as f64 + 1.0).collect();
+        let weights: Vec<f64> = (1..=12).map(|i| (i * 5 % 11) as f64 + 1.0).collect();
+        let lp = knapsack(&values, &weights, 20.0);
+        match solve_ilp(&lp, 2) {
+            IlpOutcome::NodeLimit { .. } => {}
+            other => panic!("expected node limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_coupled_binaries() {
+        // max a + b st a + b = 1 -> exactly one chosen.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_binary_var("a", 1.0);
+        let b = lp.add_binary_var("b", 1.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Cmp::Eq, 1.0);
+        let IlpOutcome::Optimal { objective, x } = solve_ilp(&lp, 100) else {
+            panic!();
+        };
+        assert!((objective - 1.0).abs() < 1e-6);
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exhaustive_cross_check_small_random() {
+        // Brute-force all binary patterns and compare with B&B on a batch
+        // of pseudo-random 6-item knapsacks with a side constraint.
+        for seed in 0..10u64 {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 97) as f64 / 10.0 + 0.5
+            };
+            let values: Vec<f64> = (0..6).map(|_| next()).collect();
+            let weights: Vec<f64> = (0..6).map(|_| next()).collect();
+            let cap = weights.iter().sum::<f64>() * 0.45;
+            let mut lp = knapsack(&values, &weights, cap);
+            // Side constraint: x0 + x1 <= 1.
+            lp.add_constraint(vec![(VarId(0), 1.0), (VarId(1), 1.0)], Cmp::Le, 1.0);
+
+            let mut brute = f64::NEG_INFINITY;
+            for mask in 0..64u32 {
+                let x: Vec<f64> = (0..6)
+                    .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+                    .collect();
+                if lp.is_feasible(&x, 1e-9) {
+                    brute = brute.max(lp.objective_at(&x));
+                }
+            }
+            let IlpOutcome::Optimal { objective, .. } = solve_ilp(&lp, 100_000) else {
+                panic!("seed {seed}: expected optimal");
+            };
+            assert!(
+                (objective - brute).abs() < 1e-6,
+                "seed {seed}: bb {objective} vs brute {brute}"
+            );
+        }
+    }
+}

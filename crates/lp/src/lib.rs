@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Linear and 0/1-integer programming substrate.
+//!
+//! The paper formulates proactive data replication and placement as the ILP
+//! (1)–(7) and reasons about its LP dual (8)–(14). The offline dependency
+//! set contains no solver, so this crate implements one from scratch:
+//!
+//! * [`problem::LinearProgram`] — a small modelling layer (maximize, `≤ / ≥
+//!   / =` rows, non-negative variables with optional upper bounds, binary
+//!   markers).
+//! * [`simplex`] — a dense two-phase primal simplex with Bland's
+//!   anti-cycling rule; reports primal values, objective, and dual values
+//!   per row.
+//! * [`branch_bound`] — depth-first best-bound branch-and-bound over the
+//!   binary variables, with incumbent pruning and a node budget.
+//!
+//! Scale expectations: instances are dense tableaus, fine for the
+//! small-instance `Optimal` reference (hundreds of variables) used to
+//! validate the approximation algorithms; the production-path algorithms in
+//! `edgerep-core` never call into this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use edgerep_lp::problem::{Cmp, LinearProgram};
+//!
+//! // max 3x + 2y  s.t.  x + y <= 4,  x <= 2
+//! let mut lp = LinearProgram::new();
+//! let x = lp.add_var("x", Some(2.0), 3.0);
+//! let y = lp.add_var("y", None, 2.0);
+//! lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+//! let sol = edgerep_lp::simplex::solve(&lp).unwrap();
+//! assert!((sol.objective - 10.0).abs() < 1e-9);
+//! ```
+
+pub mod branch_bound;
+pub mod problem;
+pub mod simplex;
+
+pub use branch_bound::{solve_ilp, IlpOutcome};
+pub use problem::{Cmp, LinearProgram, VarId};
+pub use simplex::{solve, LpError, LpSolution};

@@ -1,0 +1,237 @@
+//! Modelling layer: variables, rows, and validation.
+
+/// Handle to a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Row comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A decision variable: non-negative, optionally upper-bounded, optionally
+/// marked binary for the branch-and-bound layer.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// Diagnostic name (shows up in panics and debug dumps).
+    pub name: String,
+    /// Optional upper bound (`None` = unbounded above).
+    pub upper: Option<f64>,
+    /// Objective coefficient (the LP always maximizes).
+    pub objective: f64,
+    /// Whether branch-and-bound must drive this variable to {0, 1}.
+    pub binary: bool,
+}
+
+/// A linear constraint row.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse (variable, coefficient) terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A maximization linear program over non-negative variables.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// All variables, indexed by [`VarId`].
+    pub variables: Vec<Variable>,
+    /// All constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable `0 ≤ x (≤ upper)` with the given objective
+    /// coefficient.
+    pub fn add_var(&mut self, name: &str, upper: Option<f64>, objective: f64) -> VarId {
+        assert!(objective.is_finite(), "objective for {name} must be finite");
+        if let Some(u) = upper {
+            assert!(u.is_finite() && u >= 0.0, "upper bound for {name} invalid");
+        }
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            name: name.to_owned(),
+            upper,
+            objective,
+            binary: false,
+        });
+        id
+    }
+
+    /// Adds a binary variable `x ∈ {0, 1}` (relaxed to `[0, 1]` by the LP).
+    pub fn add_binary_var(&mut self, name: &str, objective: f64) -> VarId {
+        let id = self.add_var(name, Some(1.0), objective);
+        self.variables[id.0].binary = true;
+        id
+    }
+
+    /// Adds a constraint row. Zero-coefficient terms are dropped; duplicate
+    /// variables are merged.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            assert!(v.0 < self.variables.len(), "unknown variable in row");
+            assert!(c.is_finite(), "coefficient must be finite");
+            if c == 0.0 {
+                continue;
+            }
+            if let Some(entry) = merged.iter_mut().find(|(ev, _)| *ev == v) {
+                entry.1 += c;
+            } else {
+                merged.push((v, c));
+            }
+        }
+        self.constraints.push(Constraint {
+            terms: merged,
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraint rows (excluding variable bounds).
+    pub fn row_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Ids of the binary variables.
+    pub fn binary_vars(&self) -> Vec<VarId> {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.binary)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.variables.len());
+        self.variables
+            .iter()
+            .zip(x.iter())
+            .map(|(v, xi)| v.objective * xi)
+            .sum()
+    }
+
+    /// Whether `x` satisfies every row and bound to tolerance `eps`.
+    pub fn is_feasible(&self, x: &[f64], eps: f64) -> bool {
+        if x.len() != self.variables.len() {
+            return false;
+        }
+        for (v, &xi) in self.variables.iter().zip(x.iter()) {
+            if xi < -eps {
+                return false;
+            }
+            if let Some(u) = v.upper {
+                if xi > u + eps {
+                    return false;
+                }
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.0]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + eps,
+                Cmp::Ge => lhs >= c.rhs - eps,
+                Cmp::Eq => (lhs - c.rhs).abs() <= eps,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_program() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", Some(2.0), 3.0);
+        let y = lp.add_var("y", None, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        assert_eq!(lp.var_count(), 2);
+        assert_eq!(lp.row_count(), 1);
+        assert_eq!(lp.objective_at(&[1.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn duplicate_terms_merge() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (x, 2.0)], Cmp::Le, 3.0);
+        assert_eq!(lp.constraints[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn zero_terms_dropped() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        let y = lp.add_var("y", None, 1.0);
+        lp.add_constraint(vec![(x, 0.0), (y, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(lp.constraints[0].terms, vec![(y, 1.0)]);
+    }
+
+    #[test]
+    fn binary_vars_tracked() {
+        let mut lp = LinearProgram::new();
+        lp.add_var("x", None, 1.0);
+        let b = lp.add_binary_var("b", 1.0);
+        assert_eq!(lp.binary_vars(), vec![b]);
+        assert_eq!(lp.variables[b.0].upper, Some(1.0));
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_rows() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", Some(2.0), 1.0);
+        let y = lp.add_var("y", None, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Ge, 1.0);
+        lp.add_constraint(vec![(x, 2.0)], Cmp::Eq, 2.0);
+        assert!(lp.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.0, 3.5], 1e-9)); // row 1 violated
+        assert!(!lp.is_feasible(&[1.0, 0.5], 1e-9)); // row 2 violated
+        assert!(!lp.is_feasible(&[0.5, 1.0], 1e-9)); // eq violated
+        assert!(!lp.is_feasible(&[-0.1, 1.2], 1e-9)); // lower bound
+        assert!(!lp.is_feasible(&[1.0], 1e-9)); // arity
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn unknown_var_in_row_rejected() {
+        let mut lp = LinearProgram::new();
+        lp.add_constraint(vec![(VarId(3), 1.0)], Cmp::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rhs_rejected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, f64::NAN);
+    }
+}

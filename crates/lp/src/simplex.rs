@@ -1,0 +1,487 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `max cᵀx` s.t. the rows of a [`LinearProgram`], `x ≥ 0`, with
+//! variable upper bounds rewritten as explicit rows. Bland's rule is used
+//! for both pivot choices, which guarantees termination on degenerate
+//! tableaus at the cost of some extra pivots — a fine trade for the
+//! small-instance `Optimal` reference this crate backs.
+//!
+//! Dual values are recovered from the final tableau: the columns that
+//! started as the identity (slacks and artificials) hold `B⁻¹`, so
+//! `y = c_B B⁻¹` is a dot product per row. Signs follow the max-LP
+//! convention: `≤` rows get `y ≥ 0`, `≥` rows `y ≤ 0`, `=` rows free.
+
+use crate::problem::{Cmp, LinearProgram};
+
+/// Why the solver could not return an optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No point satisfies all rows.
+    Infeasible,
+    /// The objective increases without bound.
+    Unbounded,
+    /// Pivot budget exhausted (numerical trouble; never seen in tests).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible"),
+            LpError::Unbounded => write!(f, "unbounded"),
+            LpError::IterationLimit => write!(f, "iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal primal values, indexed by `VarId`.
+    pub x: Vec<f64>,
+    /// Dual value per original constraint row (not per bound row).
+    pub duals: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Internal standard-form tableau.
+struct Tableau {
+    /// `rows × (cols + 1)`; last column is the RHS.
+    t: Vec<Vec<f64>>,
+    /// Basic variable (column index) per row.
+    basis: Vec<usize>,
+    /// Total structural + slack + artificial columns.
+    cols: usize,
+    /// Columns that are artificial (banned from entering in phase 2).
+    artificial: Vec<bool>,
+    /// Identity column introduced for each standard-form row.
+    identity_col: Vec<usize>,
+}
+
+impl Tableau {
+    /// One pivot: enter `col`, leave via row `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.t[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for x in &mut self.t[row] {
+            *x *= inv;
+        }
+        let pivot_row = self.t[row].clone();
+        for (r, trow) in self.t.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = trow[col];
+            if factor.abs() <= EPS {
+                trow[col] = 0.0;
+                continue;
+            }
+            for (x, p) in trow.iter_mut().zip(pivot_row.iter()) {
+                *x -= factor * p;
+            }
+            trow[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex loop maximizing `obj` (a cost per column), with
+    /// artificial columns excluded from entering when `ban_artificials`.
+    /// Returns the optimal objective value or an error.
+    ///
+    /// Reduced costs `z_j − c_j` are kept in an explicit objective row that
+    /// is recomputed once at entry (the basis changed between phases) and
+    /// then updated incrementally by each pivot, so an iteration costs one
+    /// O(cols) scan plus one O(rows·cols) pivot.
+    fn optimize(&mut self, obj: &[f64], ban_artificials: bool) -> Result<f64, LpError> {
+        let rows = self.t.len();
+        // Build the objective row from scratch for the current basis:
+        // zrow[j] = c_B B^{-1} A_j - c_j, zrow[cols] = c_B B^{-1} b.
+        let cb: Vec<f64> = self.basis.iter().map(|&b| obj[b]).collect();
+        let mut zrow = vec![0.0; self.cols + 1];
+        for (j, z) in zrow.iter_mut().enumerate() {
+            let zj: f64 = (0..rows).map(|r| cb[r] * self.t[r][j]).sum();
+            *z = if j < self.cols { zj - obj[j] } else { zj };
+        }
+        let max_iters = 50_000 + 200 * (rows + self.cols);
+        for _ in 0..max_iters {
+            // Entering column: Bland — smallest index with negative
+            // reduced cost (i.e. increasing it improves the objective).
+            let mut entering = None;
+            for (j, &z) in zrow.iter().take(self.cols).enumerate() {
+                if ban_artificials && self.artificial[j] {
+                    continue;
+                }
+                if z < -EPS && !self.basis.contains(&j) {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(zrow[self.cols]);
+            };
+            // Leaving row: min ratio; Bland tie-break on basis index.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..rows {
+                let a = self.t[r][col];
+                if a > EPS {
+                    let ratio = self.t[r][self.cols] / a;
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lratio)) => {
+                            ratio < lratio - EPS
+                                || (ratio < lratio + EPS && self.basis[r] < self.basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+            // Update the objective row against the (now unit) pivot row.
+            let factor = zrow[col];
+            if factor.abs() > EPS {
+                for (z, p) in zrow.iter_mut().zip(self.t[row].iter()) {
+                    *z -= factor * p;
+                }
+            }
+            zrow[col] = 0.0;
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Solves the program to optimality.
+pub fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    let n = lp.var_count();
+    let original_rows = lp.row_count();
+
+    // Assemble standard-form rows: (dense coeffs, cmp, rhs), with variable
+    // upper bounds appended as `x_i <= u` rows.
+    let mut rows: Vec<(Vec<f64>, Cmp, f64)> = Vec::with_capacity(original_rows);
+    for c in &lp.constraints {
+        let mut coeffs = vec![0.0; n];
+        for &(v, a) in &c.terms {
+            coeffs[v.0] = a;
+        }
+        rows.push((coeffs, c.cmp, c.rhs));
+    }
+    for (i, v) in lp.variables.iter().enumerate() {
+        if let Some(u) = v.upper {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push((coeffs, Cmp::Le, u));
+        }
+    }
+
+    // Normalize RHS >= 0.
+    for (coeffs, cmp, rhs) in &mut rows {
+        if *rhs < 0.0 {
+            for c in coeffs.iter_mut() {
+                *c = -*c;
+            }
+            *rhs = -*rhs;
+            *cmp = match *cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    // Column layout: structurals | slacks/surpluses | artificials.
+    let m = rows.len();
+    let mut slack_count = 0;
+    let mut art_count = 0;
+    for (_, cmp, _) in &rows {
+        match cmp {
+            Cmp::Le => slack_count += 1,
+            Cmp::Ge => {
+                slack_count += 1;
+                art_count += 1;
+            }
+            Cmp::Eq => art_count += 1,
+        }
+    }
+    let cols = n + slack_count + art_count;
+    let mut t = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut artificial = vec![false; cols];
+    let mut identity_col = vec![0usize; m];
+    let mut next_slack = n;
+    let mut next_art = n + slack_count;
+    for (r, (coeffs, cmp, rhs)) in rows.iter().enumerate() {
+        t[r][..n].copy_from_slice(coeffs);
+        t[r][cols] = *rhs;
+        match cmp {
+            Cmp::Le => {
+                t[r][next_slack] = 1.0;
+                basis[r] = next_slack;
+                identity_col[r] = next_slack;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                t[r][next_slack] = -1.0;
+                next_slack += 1;
+                t[r][next_art] = 1.0;
+                artificial[next_art] = true;
+                basis[r] = next_art;
+                identity_col[r] = next_art;
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                t[r][next_art] = 1.0;
+                artificial[next_art] = true;
+                basis[r] = next_art;
+                identity_col[r] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut tab = Tableau {
+        t,
+        basis,
+        cols,
+        artificial,
+        identity_col,
+    };
+
+    // Phase 1: maximize -Σ artificials; feasible iff optimum is ~0.
+    if art_count > 0 {
+        let mut phase1 = vec![0.0; cols];
+        for (j, is_art) in tab.artificial.iter().enumerate() {
+            if *is_art {
+                phase1[j] = -1.0;
+            }
+        }
+        let v = tab.optimize(&phase1, false)?;
+        if v < -1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive lingering artificial basics out where a structural pivot
+        // exists; rows that stay artificial are redundant (RHS ~ 0).
+        for r in 0..m {
+            if tab.artificial[tab.basis[r]] {
+                if let Some(col) =
+                    (0..cols).find(|&j| !tab.artificial[j] && tab.t[r][j].abs() > EPS)
+                {
+                    tab.pivot(r, col);
+                }
+            }
+        }
+    }
+
+    // Phase 2: the real objective; artificials banned from entering.
+    let mut obj = vec![0.0; cols];
+    for (i, v) in lp.variables.iter().enumerate() {
+        obj[i] = v.objective;
+    }
+    let objective = tab.optimize(&obj, true)?;
+
+    // Extract primal values.
+    let mut x = vec![0.0; n];
+    for (r, &b) in tab.basis.iter().enumerate() {
+        if b < n {
+            x[b] = tab.t[r][tab.cols];
+        }
+    }
+    // Clamp -0.0 / tiny negatives from roundoff.
+    for xi in &mut x {
+        if xi.abs() < EPS {
+            *xi = 0.0;
+        }
+    }
+
+    // Duals for the original rows: y = c_B B^{-1}, where B^{-1}'s columns
+    // sit at each row's initial identity column.
+    let cb: Vec<f64> = tab.basis.iter().map(|&b| obj[b]).collect();
+    let mut duals = Vec::with_capacity(original_rows);
+    for r0 in 0..original_rows {
+        let col = tab.identity_col[r0];
+        let mut y: f64 = (0..m).map(|r| cb[r] * tab.t[r][col]).sum();
+        // A `≥` row's identity column is its artificial (+1); the surplus
+        // column is -1·identity, and the conventional dual for the original
+        // (un-normalized) row keeps the artificial's sign, so no flip here.
+        // Rows normalized by ×(-1) flip their dual sign back.
+        if lp.constraints[r0].rhs < 0.0 {
+            y = -y;
+        }
+        duals.push(y);
+    }
+
+    Ok(LpSolution { objective, x, duals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, LinearProgram};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_two_vars() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 3.0);
+        let y = lp.add_var("y", None, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", Some(2.0), 3.0);
+        let y = lp.add_var("y", None, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 10.0); // x=2, y=2
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn ge_and_eq_rows() {
+        // max x + y st x + y = 5, x >= 2 -> 5, any split with x >= 2.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        let y = lp.add_var("y", None, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 5.0);
+        assert!(s.x[0] >= 2.0 - 1e-9);
+        assert_close(s.x[0] + s.x[1], 5.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        let y = lp.add_var("y", None, 0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // max -x st -x >= -3  (i.e. x <= 3) -> objective 0 at x = 0.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, -1.0);
+        lp.add_constraint(vec![(x, -1.0)], Cmp::Ge, -3.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 0.0);
+        // And forcing x >= 1 via negative-rhs Le: -x <= -1.
+        lp.add_constraint(vec![(x, -1.0)], Cmp::Le, -1.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, -1.0);
+        assert_close(s.x[0], 1.0);
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // Classic degeneracy: multiple rows tight at the optimum.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        let y = lp.add_var("y", None, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 0.0)], Cmp::Le, 1.0);
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 2.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn duals_of_le_program() {
+        // max 3x + 5y; duals of the tight rows from the textbook case:
+        // y2 = 3/2, y3 = 1, y1 = 0.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 3.0);
+        let y = lp.add_var("y", None, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.duals[0], 0.0);
+        assert_close(s.duals[1], 1.5);
+        assert_close(s.duals[2], 1.0);
+        // Strong duality: b^T y == objective.
+        let dual_obj = 4.0 * s.duals[0] + 12.0 * s.duals[1] + 18.0 * s.duals[2];
+        assert_close(dual_obj, s.objective);
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // max x st x = 2.5 (plus y to keep it interesting).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Eq, 2.5);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 2.5);
+        assert_close(s.x[0], 2.5);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, 1.0);
+        let y = lp.add_var("y", None, 0.5);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
+        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Eq, 8.0); // redundant
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 4.0); // all weight on x
+        assert_close(s.x[0], 4.0);
+    }
+
+    #[test]
+    fn zero_rhs_feasible_origin() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", None, -1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 0.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn fractional_lp_relaxation_of_knapsack() {
+        // max 10a + 6b + 4c st 5a + 4b + 3c <= 7, binaries relaxed.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_binary_var("a", 10.0);
+        let b = lp.add_binary_var("b", 6.0);
+        let c = lp.add_binary_var("c", 4.0);
+        lp.add_constraint(vec![(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, 7.0);
+        let s = solve(&lp).unwrap();
+        // LP optimum: a = 1, b = 0.5, c = 0 -> 13.
+        assert_close(s.objective, 13.0);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 0.5);
+    }
+}

@@ -1,0 +1,161 @@
+//! The paper's delay law and deadline feasibility (§2.3, constraint (4)).
+//!
+//! Evaluating query `q_m`'s demand on dataset `S_n` at node `v_l` costs
+//!
+//! ```text
+//! D(m, n, l) = d(v_l)·|S_n|  +  dt(p(v_l, h_m))·α_nm·|S_n|
+//! ```
+//!
+//! — processing the whole dataset at `v_l`, then shipping the
+//! `α_nm`-fraction intermediate result along the minimum-delay path to the
+//! query's home. Demands of one query are evaluated in parallel, so the
+//! query experiences the **max** over its demands.
+
+use crate::instance::Instance;
+use crate::network::ComputeNodeId;
+use crate::query::QueryId;
+
+/// Delay of serving demand index `demand_idx` of query `q` at node `v`.
+///
+/// Returns `INFINITY` when `v` cannot reach the query's home, which the
+/// admission logic treats as a deadline violation.
+#[inline]
+pub fn assignment_delay(inst: &Instance, q: QueryId, demand_idx: usize, v: ComputeNodeId) -> f64 {
+    let query = inst.query(q);
+    let dem = &query.demands[demand_idx];
+    let size = inst.size(dem.dataset);
+    let proc = inst.cloud().proc_delay(v) * size;
+    let trans = inst.cloud().min_delay(v, query.home) * dem.selectivity * size;
+    proc + trans
+}
+
+/// Whether serving demand `demand_idx` of `q` at `v` meets the deadline
+/// `d_qm` (constraint (4)).
+#[inline]
+pub fn is_deadline_feasible(
+    inst: &Instance,
+    q: QueryId,
+    demand_idx: usize,
+    v: ComputeNodeId,
+) -> bool {
+    assignment_delay(inst, q, demand_idx, v) <= inst.query(q).deadline + 1e-12
+}
+
+/// End-to-end delay of a fully assigned query: the max over its demands
+/// (per-dataset processing and result shipping run in parallel, §2.3).
+///
+/// `nodes` must align with `query.demands`.
+pub fn query_delay(inst: &Instance, q: QueryId, nodes: &[ComputeNodeId]) -> f64 {
+    let query = inst.query(q);
+    assert_eq!(
+        nodes.len(),
+        query.demands.len(),
+        "assignment arity mismatch for {q}"
+    );
+    (0..nodes.len())
+        .map(|i| assignment_delay(inst, q, i, nodes[i]))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::network::EdgeCloudBuilder;
+    use crate::query::Demand;
+
+    /// dc(proc 0.001) --0.05-- cl(proc 0.01); dataset of 4 GB at dc;
+    /// query at cl with α = 0.5, deadline 1.0.
+    fn toy() -> Instance {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d = ib.add_dataset(4.0, dc);
+        ib.add_query(cl, vec![Demand::new(d, 0.5)], 1.0, 1.0);
+        ib.build().unwrap()
+    }
+
+    #[test]
+    fn delay_at_remote_node_includes_transfer() {
+        let inst = toy();
+        // At the DC: proc = 0.001·4, transfer = 0.05·0.5·4 = 0.1.
+        let d = assignment_delay(&inst, QueryId(0), 0, ComputeNodeId(0));
+        assert!((d - (0.004 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_at_home_node_has_no_transfer() {
+        let inst = toy();
+        let d = assignment_delay(&inst, QueryId(0), 0, ComputeNodeId(1));
+        assert!((d - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_respects_deadline() {
+        let inst = toy();
+        assert!(is_deadline_feasible(&inst, QueryId(0), 0, ComputeNodeId(0)));
+        assert!(is_deadline_feasible(&inst, QueryId(0), 0, ComputeNodeId(1)));
+    }
+
+    #[test]
+    fn infeasible_when_deadline_tiny() {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d = ib.add_dataset(4.0, dc);
+        ib.add_query(cl, vec![Demand::new(d, 0.5)], 1.0, 0.01);
+        let inst = ib.build().unwrap();
+        assert!(!is_deadline_feasible(&inst, QueryId(0), 0, ComputeNodeId(0)));
+        // Processing at home costs 0.04 > 0.01: also infeasible.
+        assert!(!is_deadline_feasible(&inst, QueryId(0), 0, ComputeNodeId(1)));
+    }
+
+    #[test]
+    fn unreachable_node_is_infinite() {
+        let mut b = EdgeCloudBuilder::new();
+        let a = b.add_cloudlet(8.0, 0.01);
+        let c = b.add_cloudlet(8.0, 0.01);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 1);
+        let d = ib.add_dataset(1.0, a);
+        ib.add_query(a, vec![Demand::new(d, 1.0)], 1.0, 100.0);
+        let inst = ib.build().unwrap();
+        assert!(assignment_delay(&inst, QueryId(0), 0, c).is_infinite());
+        assert!(!is_deadline_feasible(&inst, QueryId(0), 0, c));
+    }
+
+    #[test]
+    fn query_delay_is_max_over_demands() {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(4.0, dc);
+        let d1 = ib.add_dataset(1.0, dc);
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 0.5), Demand::new(d1, 1.0)],
+            1.0,
+            1.0,
+        );
+        let inst = ib.build().unwrap();
+        let d_both = query_delay(&inst, QueryId(0), &[ComputeNodeId(0), ComputeNodeId(1)]);
+        let d_first = assignment_delay(&inst, QueryId(0), 0, ComputeNodeId(0));
+        assert_eq!(d_both, d_first);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn query_delay_rejects_wrong_arity() {
+        let inst = toy();
+        query_delay(&inst, QueryId(0), &[]);
+    }
+}

@@ -1,0 +1,444 @@
+//! Validated problem instances.
+//!
+//! An [`Instance`] bundles the edge cloud, the dataset collection `S`, the
+//! query set `Q`, and the per-dataset replica budget `K`, after checking all
+//! cross-references and numeric ranges. Every placement algorithm takes an
+//! `&Instance`, which guarantees it never sees a dangling dataset id, a
+//! non-positive size, or a selectivity outside `(0, 1]`.
+
+use crate::data::{Dataset, DatasetId};
+use crate::network::{ComputeNodeId, EdgeCloud};
+use crate::query::{Demand, Query, QueryId};
+
+/// Errors detected while building an [`Instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// `K` must be ≥ 1 (the paper assumes `K ∈ Z+`).
+    ZeroReplicaBudget,
+    /// A dataset size was non-positive or non-finite.
+    InvalidDatasetSize(DatasetId, f64),
+    /// A dataset's origin node does not exist.
+    UnknownOrigin(DatasetId, ComputeNodeId),
+    /// A query's home node does not exist.
+    UnknownHome(QueryId, ComputeNodeId),
+    /// A query references a dataset that does not exist.
+    UnknownDataset(QueryId, DatasetId),
+    /// A query demands the same dataset twice.
+    DuplicateDemand(QueryId, DatasetId),
+    /// A selectivity was outside `(0, 1]`.
+    InvalidSelectivity(QueryId, DatasetId, f64),
+    /// A compute rate was non-positive or non-finite.
+    InvalidComputeRate(QueryId, f64),
+    /// A deadline was non-positive or non-finite.
+    InvalidDeadline(QueryId, f64),
+    /// A query demands no datasets at all.
+    EmptyDemands(QueryId),
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::ZeroReplicaBudget => write!(f, "replica budget K must be >= 1"),
+            InstanceError::InvalidDatasetSize(d, s) => {
+                write!(f, "dataset {d} has invalid size {s}")
+            }
+            InstanceError::UnknownOrigin(d, v) => {
+                write!(f, "dataset {d} originates at unknown node {v}")
+            }
+            InstanceError::UnknownHome(q, v) => write!(f, "query {q} has unknown home {v}"),
+            InstanceError::UnknownDataset(q, d) => {
+                write!(f, "query {q} demands unknown dataset {d}")
+            }
+            InstanceError::DuplicateDemand(q, d) => {
+                write!(f, "query {q} demands dataset {d} more than once")
+            }
+            InstanceError::InvalidSelectivity(q, d, a) => {
+                write!(f, "query {q} has selectivity {a} on {d}, outside (0, 1]")
+            }
+            InstanceError::InvalidComputeRate(q, r) => {
+                write!(f, "query {q} has invalid compute rate {r}")
+            }
+            InstanceError::InvalidDeadline(q, d) => {
+                write!(f, "query {q} has invalid deadline {d}")
+            }
+            InstanceError::EmptyDemands(q) => write!(f, "query {q} demands no datasets"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A validated proactive data replication and placement instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    cloud: EdgeCloud,
+    datasets: Vec<Dataset>,
+    queries: Vec<Query>,
+    max_replicas: usize,
+}
+
+impl Instance {
+    /// The edge cloud.
+    pub fn cloud(&self) -> &EdgeCloud {
+        &self.cloud
+    }
+
+    /// The dataset collection `S`, indexed by [`DatasetId`].
+    pub fn datasets(&self) -> &[Dataset] {
+        &self.datasets
+    }
+
+    /// The query set `Q`, indexed by [`QueryId`].
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The replica budget `K`.
+    pub fn max_replicas(&self) -> usize {
+        self.max_replicas
+    }
+
+    /// One dataset by id.
+    #[inline]
+    pub fn dataset(&self, d: DatasetId) -> &Dataset {
+        &self.datasets[d.index()]
+    }
+
+    /// One query by id.
+    #[inline]
+    pub fn query(&self, q: QueryId) -> &Query {
+        &self.queries[q.index()]
+    }
+
+    /// Size `|S_n|` of a dataset.
+    #[inline]
+    pub fn size(&self, d: DatasetId) -> f64 {
+        self.datasets[d.index()].size_gb
+    }
+
+    /// Total volume demanded by a query: `Σ_{S_n ∈ S(q_m)} |S_n|`.
+    pub fn demanded_volume(&self, q: QueryId) -> f64 {
+        self.queries[q.index()]
+            .demands
+            .iter()
+            .map(|dem| self.size(dem.dataset))
+            .sum()
+    }
+
+    /// Total volume demanded over all queries (upper bound on the
+    /// objective).
+    pub fn total_demanded_volume(&self) -> f64 {
+        self.queries
+            .iter()
+            .map(|q| self.demanded_volume(q.id))
+            .sum()
+    }
+
+    /// Iterator over query ids.
+    pub fn query_ids(&self) -> impl ExactSizeIterator<Item = QueryId> + '_ {
+        (0..self.queries.len() as u32).map(QueryId)
+    }
+
+    /// Iterator over dataset ids.
+    pub fn dataset_ids(&self) -> impl ExactSizeIterator<Item = DatasetId> + '_ {
+        (0..self.datasets.len() as u32).map(DatasetId)
+    }
+
+    /// Queries demanding a given dataset.
+    pub fn consumers_of(&self, d: DatasetId) -> impl Iterator<Item = &Query> + '_ {
+        self.queries.iter().filter(move |q| q.demands_dataset(d))
+    }
+}
+
+/// Builder that accumulates datasets and queries, then validates.
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    cloud: EdgeCloud,
+    datasets: Vec<Dataset>,
+    queries: Vec<Query>,
+    max_replicas: usize,
+}
+
+impl InstanceBuilder {
+    /// Starts an instance over `cloud` with replica budget `max_replicas`.
+    pub fn new(cloud: EdgeCloud, max_replicas: usize) -> Self {
+        Self {
+            cloud,
+            datasets: Vec::new(),
+            queries: Vec::new(),
+            max_replicas,
+        }
+    }
+
+    /// Adds a dataset and returns its id.
+    pub fn add_dataset(&mut self, size_gb: f64, origin: ComputeNodeId) -> DatasetId {
+        let id = DatasetId(self.datasets.len() as u32);
+        self.datasets.push(Dataset::new(id, size_gb, origin));
+        id
+    }
+
+    /// Adds a query and returns its id.
+    pub fn add_query(
+        &mut self,
+        home: ComputeNodeId,
+        demands: Vec<Demand>,
+        compute_rate: f64,
+        deadline: f64,
+    ) -> QueryId {
+        let id = QueryId(self.queries.len() as u32);
+        self.queries
+            .push(Query::new(id, home, demands, compute_rate, deadline));
+        id
+    }
+
+    /// Number of datasets added so far.
+    pub fn dataset_count(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Size of an already-added dataset (generators size deadlines off the
+    /// demands they just drew).
+    pub fn dataset_size(&self, d: DatasetId) -> f64 {
+        self.datasets[d.index()].size_gb
+    }
+
+    /// Validates all cross-references and numeric ranges.
+    pub fn build(self) -> Result<Instance, InstanceError> {
+        if self.max_replicas == 0 {
+            return Err(InstanceError::ZeroReplicaBudget);
+        }
+        let v = self.cloud.compute_count() as u32;
+        let s = self.datasets.len() as u32;
+        for d in &self.datasets {
+            if !(d.size_gb.is_finite() && d.size_gb > 0.0) {
+                return Err(InstanceError::InvalidDatasetSize(d.id, d.size_gb));
+            }
+            if d.origin.0 >= v {
+                return Err(InstanceError::UnknownOrigin(d.id, d.origin));
+            }
+        }
+        for q in &self.queries {
+            if q.home.0 >= v {
+                return Err(InstanceError::UnknownHome(q.id, q.home));
+            }
+            if q.demands.is_empty() {
+                return Err(InstanceError::EmptyDemands(q.id));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for dem in &q.demands {
+                if dem.dataset.0 >= s {
+                    return Err(InstanceError::UnknownDataset(q.id, dem.dataset));
+                }
+                if !seen.insert(dem.dataset) {
+                    return Err(InstanceError::DuplicateDemand(q.id, dem.dataset));
+                }
+                if !(dem.selectivity.is_finite()
+                    && dem.selectivity > 0.0
+                    && dem.selectivity <= 1.0)
+                {
+                    return Err(InstanceError::InvalidSelectivity(
+                        q.id,
+                        dem.dataset,
+                        dem.selectivity,
+                    ));
+                }
+            }
+            if !(q.compute_rate.is_finite() && q.compute_rate > 0.0) {
+                return Err(InstanceError::InvalidComputeRate(q.id, q.compute_rate));
+            }
+            if !(q.deadline.is_finite() && q.deadline > 0.0) {
+                return Err(InstanceError::InvalidDeadline(q.id, q.deadline));
+            }
+        }
+        Ok(Instance {
+            cloud: self.cloud,
+            datasets: self.datasets,
+            queries: self.queries,
+            max_replicas: self.max_replicas,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::EdgeCloudBuilder;
+
+    fn cloud() -> EdgeCloud {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.01);
+        b.link(dc, cl, 0.05);
+        b.build().unwrap()
+    }
+
+    fn valid_builder() -> InstanceBuilder {
+        let mut ib = InstanceBuilder::new(cloud(), 2);
+        let d0 = ib.add_dataset(2.0, ComputeNodeId(0));
+        let d1 = ib.add_dataset(5.0, ComputeNodeId(1));
+        ib.add_query(
+            ComputeNodeId(1),
+            vec![Demand::new(d0, 0.5)],
+            1.0,
+            3.0,
+        );
+        ib.add_query(
+            ComputeNodeId(0),
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.25)],
+            0.8,
+            6.0,
+        );
+        ib
+    }
+
+    #[test]
+    fn valid_instance_builds() {
+        let inst = valid_builder().build().unwrap();
+        assert_eq!(inst.datasets().len(), 2);
+        assert_eq!(inst.queries().len(), 2);
+        assert_eq!(inst.max_replicas(), 2);
+        assert_eq!(inst.size(DatasetId(1)), 5.0);
+    }
+
+    #[test]
+    fn demanded_volume_sums_demands() {
+        let inst = valid_builder().build().unwrap();
+        assert_eq!(inst.demanded_volume(QueryId(0)), 2.0);
+        assert_eq!(inst.demanded_volume(QueryId(1)), 7.0);
+        assert_eq!(inst.total_demanded_volume(), 9.0);
+    }
+
+    #[test]
+    fn consumers_of_filters_queries() {
+        let inst = valid_builder().build().unwrap();
+        let consumers: Vec<QueryId> = inst.consumers_of(DatasetId(0)).map(|q| q.id).collect();
+        assert_eq!(consumers, vec![QueryId(0), QueryId(1)]);
+        let consumers: Vec<QueryId> = inst.consumers_of(DatasetId(1)).map(|q| q.id).collect();
+        assert_eq!(consumers, vec![QueryId(1)]);
+    }
+
+    #[test]
+    fn zero_replica_budget_rejected() {
+        let ib = InstanceBuilder::new(cloud(), 0);
+        assert_eq!(ib.build().unwrap_err(), InstanceError::ZeroReplicaBudget);
+    }
+
+    #[test]
+    fn bad_dataset_size_rejected() {
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        ib.add_dataset(0.0, ComputeNodeId(0));
+        assert!(matches!(
+            ib.build().unwrap_err(),
+            InstanceError::InvalidDatasetSize(_, _)
+        ));
+    }
+
+    #[test]
+    fn unknown_origin_rejected() {
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        ib.add_dataset(1.0, ComputeNodeId(9));
+        assert_eq!(
+            ib.build().unwrap_err(),
+            InstanceError::UnknownOrigin(DatasetId(0), ComputeNodeId(9))
+        );
+    }
+
+    #[test]
+    fn unknown_home_rejected() {
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        let d = ib.add_dataset(1.0, ComputeNodeId(0));
+        ib.add_query(ComputeNodeId(5), vec![Demand::new(d, 1.0)], 1.0, 1.0);
+        assert!(matches!(
+            ib.build().unwrap_err(),
+            InstanceError::UnknownHome(_, _)
+        ));
+    }
+
+    #[test]
+    fn unknown_dataset_rejected() {
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        ib.add_query(
+            ComputeNodeId(0),
+            vec![Demand::new(DatasetId(3), 1.0)],
+            1.0,
+            1.0,
+        );
+        assert!(matches!(
+            ib.build().unwrap_err(),
+            InstanceError::UnknownDataset(_, _)
+        ));
+    }
+
+    #[test]
+    fn duplicate_demand_rejected() {
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        let d = ib.add_dataset(1.0, ComputeNodeId(0));
+        ib.add_query(
+            ComputeNodeId(0),
+            vec![Demand::new(d, 1.0), Demand::new(d, 0.5)],
+            1.0,
+            1.0,
+        );
+        assert!(matches!(
+            ib.build().unwrap_err(),
+            InstanceError::DuplicateDemand(_, _)
+        ));
+    }
+
+    #[test]
+    fn selectivity_range_enforced() {
+        for alpha in [0.0, -0.5, 1.5, f64::NAN] {
+            let mut ib = InstanceBuilder::new(cloud(), 1);
+            let d = ib.add_dataset(1.0, ComputeNodeId(0));
+            ib.add_query(ComputeNodeId(0), vec![Demand::new(d, alpha)], 1.0, 1.0);
+            assert!(
+                matches!(
+                    ib.build().unwrap_err(),
+                    InstanceError::InvalidSelectivity(_, _, _)
+                ),
+                "alpha = {alpha}"
+            );
+        }
+        // Exactly 1.0 is allowed.
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        let d = ib.add_dataset(1.0, ComputeNodeId(0));
+        ib.add_query(ComputeNodeId(0), vec![Demand::new(d, 1.0)], 1.0, 1.0);
+        assert!(ib.build().is_ok());
+    }
+
+    #[test]
+    fn empty_demands_rejected() {
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        ib.add_query(ComputeNodeId(0), vec![], 1.0, 1.0);
+        assert!(matches!(
+            ib.build().unwrap_err(),
+            InstanceError::EmptyDemands(_)
+        ));
+    }
+
+    #[test]
+    fn bad_rate_and_deadline_rejected() {
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        let d = ib.add_dataset(1.0, ComputeNodeId(0));
+        ib.add_query(ComputeNodeId(0), vec![Demand::new(d, 1.0)], 0.0, 1.0);
+        assert!(matches!(
+            ib.build().unwrap_err(),
+            InstanceError::InvalidComputeRate(_, _)
+        ));
+
+        let mut ib = InstanceBuilder::new(cloud(), 1);
+        let d = ib.add_dataset(1.0, ComputeNodeId(0));
+        ib.add_query(ComputeNodeId(0), vec![Demand::new(d, 1.0)], 1.0, -2.0);
+        assert!(matches!(
+            ib.build().unwrap_err(),
+            InstanceError::InvalidDeadline(_, _)
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_offender() {
+        let err = InstanceError::UnknownDataset(QueryId(3), DatasetId(7));
+        assert!(err.to_string().contains("q3"));
+        assert!(err.to_string().contains("S7"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Evaluation metrics.
+//!
+//! The paper reports two metrics per experiment (§4.2): the **volume of
+//! datasets demanded by admitted queries** (the objective, equation (1)) and
+//! the **system throughput** (admitted queries / total queries). [`Metrics`]
+//! additionally records utilization diagnostics used by the ablation benches
+//! and the testbed reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::delay::query_delay;
+use crate::instance::Instance;
+use crate::solution::Solution;
+
+/// Aggregated quality measures of one solution on one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Objective (1): total demanded volume over admitted queries, GB.
+    pub admitted_volume: f64,
+    /// Number of admitted queries.
+    pub admitted_queries: usize,
+    /// Total queries in the instance.
+    pub total_queries: usize,
+    /// `admitted_queries / total_queries` (0 when no queries).
+    pub throughput: f64,
+    /// Total replicas placed.
+    pub replicas_placed: usize,
+    /// Mean end-to-end delay over admitted queries (seconds; 0 when none).
+    pub mean_admitted_delay: f64,
+    /// Mean fraction of per-node available compute consumed.
+    pub mean_utilization: f64,
+    /// Highest per-node consumed fraction.
+    pub peak_utilization: f64,
+}
+
+impl Metrics {
+    /// Computes all metrics of `sol` on `inst`.
+    pub fn of(inst: &Instance, sol: &Solution) -> Self {
+        let admitted: Vec<_> = sol.admitted_queries().collect();
+        let mean_admitted_delay = if admitted.is_empty() {
+            0.0
+        } else {
+            admitted
+                .iter()
+                .map(|&q| query_delay(inst, q, sol.assignment_of(q).expect("admitted")))
+                .sum::<f64>()
+                / admitted.len() as f64
+        };
+        let loads = sol.node_loads(inst);
+        let mut util_sum = 0.0;
+        let mut util_peak: f64 = 0.0;
+        let mut counted = 0usize;
+        for (vi, &used) in loads.iter().enumerate() {
+            let avail = inst.cloud().available(crate::network::ComputeNodeId(vi as u32));
+            if avail > 0.0 {
+                let u = used / avail;
+                util_sum += u;
+                util_peak = util_peak.max(u);
+                counted += 1;
+            }
+        }
+        Self {
+            admitted_volume: sol.admitted_volume(inst),
+            admitted_queries: admitted.len(),
+            total_queries: inst.queries().len(),
+            throughput: sol.throughput(inst),
+            replicas_placed: sol.total_replicas(),
+            mean_admitted_delay,
+            mean_utilization: if counted == 0 {
+                0.0
+            } else {
+                util_sum / counted as f64
+            },
+            peak_utilization: util_peak,
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "volume {:.2} GB | throughput {:.1}% ({}/{}) | {} replicas | mean delay {:.3}s | util mean {:.1}% peak {:.1}%",
+            self.admitted_volume,
+            self.throughput * 100.0,
+            self.admitted_queries,
+            self.total_queries,
+            self.replicas_placed,
+            self.mean_admitted_delay,
+            self.mean_utilization * 100.0,
+            self.peak_utilization * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::network::EdgeCloudBuilder;
+    use crate::query::Demand;
+    use crate::data::DatasetId;
+    use crate::query::QueryId;
+
+    fn setup() -> (Instance, Solution) {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(4.0, dc);
+        ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
+        ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        let mut sol = Solution::empty(&inst);
+        sol.place_replica(DatasetId(0), dc);
+        sol.assign_query(QueryId(0), vec![dc]);
+        (inst, sol)
+    }
+
+    #[test]
+    fn metrics_reflect_partial_admission() {
+        let (inst, sol) = setup();
+        let m = Metrics::of(&inst, &sol);
+        assert_eq!(m.admitted_volume, 4.0);
+        assert_eq!(m.admitted_queries, 1);
+        assert_eq!(m.total_queries, 2);
+        assert_eq!(m.throughput, 0.5);
+        assert_eq!(m.replicas_placed, 1);
+        // Delay at dc: 0.001·4 + 0.05·0.5·4 = 0.104.
+        assert!((m.mean_admitted_delay - 0.104).abs() < 1e-12);
+        // Load 4 GHz of 100 at dc, 0 at cl.
+        assert!((m.peak_utilization - 0.04).abs() < 1e-12);
+        assert!((m.mean_utilization - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_of_empty_solution() {
+        let (inst, _) = setup();
+        let m = Metrics::of(&inst, &Solution::empty(&inst));
+        assert_eq!(m.admitted_volume, 0.0);
+        assert_eq!(m.throughput, 0.0);
+        assert_eq!(m.mean_admitted_delay, 0.0);
+        assert_eq!(m.peak_utilization, 0.0);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let (inst, sol) = setup();
+        let text = Metrics::of(&inst, &sol).to_string();
+        assert!(text.contains("volume 4.00 GB"));
+        assert!(text.contains("(1/2)"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (inst, sol) = setup();
+        let m = Metrics::of(&inst, &sol);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.admitted_queries, back.admitted_queries);
+        assert_eq!(m.total_queries, back.total_queries);
+        assert_eq!(m.replicas_placed, back.replicas_placed);
+        assert!((m.admitted_volume - back.admitted_volume).abs() < 1e-9);
+        assert!((m.mean_admitted_delay - back.mean_admitted_delay).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,440 @@
+//! The two-tier edge cloud `G = (BS ∪ SW ∪ CL ∪ DC, E)`.
+//!
+//! Base stations and switches only route traffic; the *compute nodes*
+//! `V = CL ∪ DC` additionally process queries and host replicas. Compute
+//! nodes get dense [`ComputeNodeId`]s so the placement algorithms can use
+//! plain arrays; the underlying transport graph keeps its own
+//! [`edgerep_graph::NodeId`]s, and minimum-transmission-delay distances
+//! between all graph nodes are cached in a [`edgerep_graph::DelayMatrix`]
+//! at build time (the algorithms are pure lookups afterwards).
+
+use edgerep_graph::{DelayMatrix, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Role of a node in the two-tier edge cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Access point through which users connect; routing only.
+    BaseStation,
+    /// WMAN switch (possibly a gateway to remote data centers); routing only.
+    Switch,
+    /// Edge cloudlet co-located with a switch: small compute + storage.
+    Cloudlet,
+    /// Remote data center: large compute + storage.
+    DataCenter,
+}
+
+impl NodeKind {
+    /// Whether nodes of this kind evaluate queries and host replicas.
+    pub fn is_compute(self) -> bool {
+        matches!(self, NodeKind::Cloudlet | NodeKind::DataCenter)
+    }
+}
+
+/// Dense index over the compute nodes `V = CL ∪ DC` (the paper's `v_l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ComputeNodeId(pub u32);
+
+impl ComputeNodeId {
+    /// The index as `usize` for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ComputeNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// Attributes of one compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeNode {
+    /// Role, always `Cloudlet` or `DataCenter`.
+    pub kind: NodeKind,
+    /// Graph node this compute node lives at.
+    pub graph_node: NodeId,
+    /// Computing capacity `B(v)` in GHz.
+    pub capacity: f64,
+    /// Currently available compute `A(v)` in GHz (`≤ capacity`).
+    pub available: f64,
+    /// Processing delay `d(v)`: seconds to process one GB per allocated GHz.
+    pub proc_delay: f64,
+}
+
+/// Errors detected while constructing an [`EdgeCloud`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// No cloudlet or data center exists; nothing can host a replica.
+    NoComputeNodes,
+    /// A capacity, availability, or delay was negative or non-finite.
+    InvalidAttribute(String),
+    /// Available compute exceeded capacity at a node.
+    AvailableExceedsCapacity(ComputeNodeId),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::NoComputeNodes => {
+                write!(f, "edge cloud has no cloudlets or data centers")
+            }
+            NetworkError::InvalidAttribute(msg) => write!(f, "invalid attribute: {msg}"),
+            NetworkError::AvailableExceedsCapacity(v) => {
+                write!(f, "available compute exceeds capacity at {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A validated two-tier edge cloud.
+///
+/// Construct with [`EdgeCloudBuilder`]. All minimum transmission delays are
+/// precomputed; `min_delay` lookups are O(1).
+#[derive(Debug, Clone)]
+pub struct EdgeCloud {
+    graph: Graph,
+    kinds: Vec<NodeKind>,
+    compute: Vec<ComputeNode>,
+    delays: DelayMatrix,
+}
+
+impl EdgeCloud {
+    /// The underlying transport graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Role of a graph node.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    /// All compute nodes, indexed by [`ComputeNodeId`].
+    pub fn compute_nodes(&self) -> &[ComputeNode] {
+        &self.compute
+    }
+
+    /// Number of compute nodes `|V|`.
+    pub fn compute_count(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// Iterator over compute node ids.
+    pub fn compute_ids(&self) -> impl ExactSizeIterator<Item = ComputeNodeId> + '_ {
+        (0..self.compute.len() as u32).map(ComputeNodeId)
+    }
+
+    /// Attributes of one compute node.
+    #[inline]
+    pub fn node(&self, v: ComputeNodeId) -> &ComputeNode {
+        &self.compute[v.index()]
+    }
+
+    /// Computing capacity `B(v)`.
+    pub fn capacity(&self, v: ComputeNodeId) -> f64 {
+        self.compute[v.index()].capacity
+    }
+
+    /// Available compute `A(v)`.
+    pub fn available(&self, v: ComputeNodeId) -> f64 {
+        self.compute[v.index()].available
+    }
+
+    /// Per-unit processing delay `d(v)`.
+    pub fn proc_delay(&self, v: ComputeNodeId) -> f64 {
+        self.compute[v.index()].proc_delay
+    }
+
+    /// Minimum transmission delay `dt(p(u, v))` between two compute nodes,
+    /// `INFINITY` when disconnected.
+    #[inline]
+    pub fn min_delay(&self, u: ComputeNodeId, v: ComputeNodeId) -> f64 {
+        self.delays
+            .delay_or_inf(self.compute[u.index()].graph_node, self.compute[v.index()].graph_node)
+    }
+
+    /// Minimum transmission delay between arbitrary graph nodes.
+    pub fn min_delay_graph(&self, u: NodeId, v: NodeId) -> f64 {
+        self.delays.delay_or_inf(u, v)
+    }
+
+    /// The cached all-pairs delay matrix.
+    pub fn delay_matrix(&self) -> &DelayMatrix {
+        &self.delays
+    }
+
+    /// Cloudlet count.
+    pub fn cloudlet_count(&self) -> usize {
+        self.compute
+            .iter()
+            .filter(|c| c.kind == NodeKind::Cloudlet)
+            .count()
+    }
+
+    /// Data center count.
+    pub fn data_center_count(&self) -> usize {
+        self.compute
+            .iter()
+            .filter(|c| c.kind == NodeKind::DataCenter)
+            .count()
+    }
+
+    /// Total available compute over all nodes (used by workload scaling).
+    pub fn total_available(&self) -> f64 {
+        self.compute.iter().map(|c| c.available).sum()
+    }
+}
+
+/// Builder assembling an [`EdgeCloud`] from roles, attributes and links.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeCloudBuilder {
+    graph: Graph,
+    kinds: Vec<NodeKind>,
+    compute: Vec<ComputeNode>,
+}
+
+impl EdgeCloudBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_compute(&mut self, kind: NodeKind, capacity: f64, proc_delay: f64) -> ComputeNodeId {
+        let graph_node = self.graph.add_node();
+        self.kinds.push(kind);
+        let id = ComputeNodeId(self.compute.len() as u32);
+        self.compute.push(ComputeNode {
+            kind,
+            graph_node,
+            capacity,
+            available: capacity,
+            proc_delay,
+        });
+        id
+    }
+
+    /// Adds a data center with the given capacity (GHz) and per-unit
+    /// processing delay; all capacity starts available.
+    pub fn add_data_center(&mut self, capacity: f64, proc_delay: f64) -> ComputeNodeId {
+        self.add_compute(NodeKind::DataCenter, capacity, proc_delay)
+    }
+
+    /// Adds an edge cloudlet with the given capacity and processing delay.
+    pub fn add_cloudlet(&mut self, capacity: f64, proc_delay: f64) -> ComputeNodeId {
+        self.add_compute(NodeKind::Cloudlet, capacity, proc_delay)
+    }
+
+    /// Adds a routing-only switch and returns its graph node.
+    pub fn add_switch(&mut self) -> NodeId {
+        let n = self.graph.add_node();
+        self.kinds.push(NodeKind::Switch);
+        n
+    }
+
+    /// Adds a routing-only base station and returns its graph node.
+    pub fn add_base_station(&mut self) -> NodeId {
+        let n = self.graph.add_node();
+        self.kinds.push(NodeKind::BaseStation);
+        n
+    }
+
+    /// Reduces the available compute at `v` (models pre-existing load).
+    pub fn set_available(&mut self, v: ComputeNodeId, available: f64) {
+        self.compute[v.index()].available = available;
+    }
+
+    /// Graph node backing a compute node (for linking).
+    pub fn graph_node(&self, v: ComputeNodeId) -> NodeId {
+        self.compute[v.index()].graph_node
+    }
+
+    /// Links two compute nodes with a per-unit-data transmission delay.
+    pub fn link(&mut self, u: ComputeNodeId, v: ComputeNodeId, delay: f64) {
+        let (gu, gv) = (self.graph_node(u), self.graph_node(v));
+        self.graph.add_edge(gu, gv, delay);
+    }
+
+    /// Links two arbitrary graph nodes (switches, base stations, …).
+    pub fn link_graph(&mut self, u: NodeId, v: NodeId, delay: f64) {
+        self.graph.add_edge(u, v, delay);
+    }
+
+    /// Number of compute nodes added so far.
+    pub fn compute_count(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// Validates and freezes the edge cloud, computing all-pairs delays.
+    pub fn build(self) -> Result<EdgeCloud, NetworkError> {
+        if self.compute.is_empty() {
+            return Err(NetworkError::NoComputeNodes);
+        }
+        for (i, c) in self.compute.iter().enumerate() {
+            let id = ComputeNodeId(i as u32);
+            if !(c.capacity.is_finite() && c.capacity >= 0.0) {
+                return Err(NetworkError::InvalidAttribute(format!(
+                    "capacity {} at {id}",
+                    c.capacity
+                )));
+            }
+            if !(c.proc_delay.is_finite() && c.proc_delay >= 0.0) {
+                return Err(NetworkError::InvalidAttribute(format!(
+                    "processing delay {} at {id}",
+                    c.proc_delay
+                )));
+            }
+            if !(c.available.is_finite() && c.available >= 0.0) {
+                return Err(NetworkError::InvalidAttribute(format!(
+                    "available {} at {id}",
+                    c.available
+                )));
+            }
+            if c.available > c.capacity {
+                return Err(NetworkError::AvailableExceedsCapacity(id));
+            }
+        }
+        let delays = DelayMatrix::compute(&self.graph);
+        Ok(EdgeCloud {
+            graph: self.graph,
+            kinds: self.kinds,
+            compute: self.compute,
+            delays,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cloud() -> EdgeCloud {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(400.0, 0.001);
+        let cl1 = b.add_cloudlet(10.0, 0.01);
+        let cl2 = b.add_cloudlet(16.0, 0.02);
+        let sw = b.add_switch();
+        b.link(dc, cl1, 0.05);
+        b.link_graph(b.graph_node(cl1), sw, 0.01);
+        b.link_graph(b.graph_node(cl2), sw, 0.01);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_roles_and_ids() {
+        let c = small_cloud();
+        assert_eq!(c.compute_count(), 3);
+        assert_eq!(c.data_center_count(), 1);
+        assert_eq!(c.cloudlet_count(), 2);
+        assert_eq!(c.node(ComputeNodeId(0)).kind, NodeKind::DataCenter);
+        assert_eq!(c.kind(c.node(ComputeNodeId(1)).graph_node), NodeKind::Cloudlet);
+        assert_eq!(c.graph().node_count(), 4);
+    }
+
+    #[test]
+    fn capacities_start_fully_available() {
+        let c = small_cloud();
+        for v in c.compute_ids() {
+            assert_eq!(c.available(v), c.capacity(v));
+        }
+        assert_eq!(c.capacity(ComputeNodeId(0)), 400.0);
+        assert_eq!(c.total_available(), 426.0);
+    }
+
+    #[test]
+    fn min_delay_uses_shortest_path() {
+        let c = small_cloud();
+        // cl1 -> cl2 via the switch: 0.01 + 0.01.
+        let d = c.min_delay(ComputeNodeId(1), ComputeNodeId(2));
+        assert!((d - 0.02).abs() < 1e-12);
+        // dc -> cl2: direct dc-cl1 (0.05) then via switch (0.02) = 0.07.
+        let d = c.min_delay(ComputeNodeId(0), ComputeNodeId(2));
+        assert!((d - 0.07).abs() < 1e-12);
+        assert_eq!(c.min_delay(ComputeNodeId(1), ComputeNodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn node_kind_compute_predicate() {
+        assert!(NodeKind::Cloudlet.is_compute());
+        assert!(NodeKind::DataCenter.is_compute());
+        assert!(!NodeKind::Switch.is_compute());
+        assert!(!NodeKind::BaseStation.is_compute());
+    }
+
+    #[test]
+    fn empty_cloud_rejected() {
+        let b = EdgeCloudBuilder::new();
+        assert_eq!(b.build().unwrap_err(), NetworkError::NoComputeNodes);
+        let mut b = EdgeCloudBuilder::new();
+        b.add_switch();
+        assert_eq!(b.build().unwrap_err(), NetworkError::NoComputeNodes);
+    }
+
+    #[test]
+    fn invalid_capacity_rejected() {
+        let mut b = EdgeCloudBuilder::new();
+        b.add_cloudlet(f64::NAN, 0.01);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetworkError::InvalidAttribute(_)
+        ));
+        let mut b = EdgeCloudBuilder::new();
+        b.add_cloudlet(-5.0, 0.01);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetworkError::InvalidAttribute(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_proc_delay_rejected() {
+        let mut b = EdgeCloudBuilder::new();
+        b.add_data_center(10.0, -1.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetworkError::InvalidAttribute(_)
+        ));
+    }
+
+    #[test]
+    fn available_above_capacity_rejected() {
+        let mut b = EdgeCloudBuilder::new();
+        let v = b.add_cloudlet(10.0, 0.01);
+        b.set_available(v, 11.0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetworkError::AvailableExceedsCapacity(v)
+        );
+    }
+
+    #[test]
+    fn set_available_models_preexisting_load() {
+        let mut b = EdgeCloudBuilder::new();
+        let v = b.add_cloudlet(10.0, 0.01);
+        b.set_available(v, 4.0);
+        let c = b.build().unwrap();
+        assert_eq!(c.available(v), 4.0);
+        assert_eq!(c.capacity(v), 10.0);
+    }
+
+    #[test]
+    fn disconnected_compute_nodes_have_infinite_delay() {
+        let mut b = EdgeCloudBuilder::new();
+        let a = b.add_cloudlet(8.0, 0.01);
+        let c = b.add_cloudlet(8.0, 0.01);
+        let cloud = b.build().unwrap();
+        assert!(cloud.min_delay(a, c).is_infinite());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(NetworkError::NoComputeNodes.to_string().contains("no cloudlets"));
+        assert!(NetworkError::AvailableExceedsCapacity(ComputeNodeId(2))
+            .to_string()
+            .contains("V2"));
+    }
+}

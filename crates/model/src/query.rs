@@ -1,0 +1,136 @@
+//! Big-data analytics queries `q_m` and their QoS requirements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::DatasetId;
+use crate::network::ComputeNodeId;
+
+/// Dense query index (the paper's `m`, `1 ≤ m ≤ M`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The index as `usize` for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// One demanded dataset of a query, with the query-specific selectivity
+/// `α_nm ∈ (0, 1]`: the intermediate result shipped back to the query's home
+/// has size `α_nm · |S_n|` (§2.2, after Rao et al., SoCC'12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// The demanded dataset.
+    pub dataset: DatasetId,
+    /// Intermediate-result fraction `α_nm`.
+    pub selectivity: f64,
+}
+
+impl Demand {
+    /// Creates a demand record.
+    pub fn new(dataset: DatasetId, selectivity: f64) -> Self {
+        Self {
+            dataset,
+            selectivity,
+        }
+    }
+}
+
+/// An analytics query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// This query's id.
+    pub id: QueryId,
+    /// Home location `h_m` where intermediate results are aggregated.
+    pub home: ComputeNodeId,
+    /// Demanded dataset collection `S(q_m)` with per-dataset selectivities.
+    pub demands: Vec<Demand>,
+    /// Compute rate `r_m`: GHz allocated per GB of processed data.
+    pub compute_rate: f64,
+    /// QoS deadline `d_qm` in seconds.
+    pub deadline: f64,
+}
+
+impl Query {
+    /// Creates a query record.
+    pub fn new(
+        id: QueryId,
+        home: ComputeNodeId,
+        demands: Vec<Demand>,
+        compute_rate: f64,
+        deadline: f64,
+    ) -> Self {
+        Self {
+            id,
+            home,
+            demands,
+            compute_rate,
+            deadline,
+        }
+    }
+
+    /// Number of demanded datasets.
+    pub fn demand_count(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Whether this query demands `dataset`.
+    pub fn demands_dataset(&self, dataset: DatasetId) -> bool {
+        self.demands.iter().any(|d| d.dataset == dataset)
+    }
+
+    /// Selectivity of this query on `dataset`, if demanded.
+    pub fn selectivity_on(&self, dataset: DatasetId) -> Option<f64> {
+        self.demands
+            .iter()
+            .find(|d| d.dataset == dataset)
+            .map(|d| d.selectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Query {
+        Query::new(
+            QueryId(0),
+            ComputeNodeId(1),
+            vec![Demand::new(DatasetId(0), 0.3), Demand::new(DatasetId(2), 1.0)],
+            1.0,
+            5.0,
+        )
+    }
+
+    #[test]
+    fn demand_queries() {
+        let q = q();
+        assert_eq!(q.demand_count(), 2);
+        assert!(q.demands_dataset(DatasetId(0)));
+        assert!(q.demands_dataset(DatasetId(2)));
+        assert!(!q.demands_dataset(DatasetId(1)));
+        assert_eq!(q.selectivity_on(DatasetId(0)), Some(0.3));
+        assert_eq!(q.selectivity_on(DatasetId(1)), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(QueryId(7).to_string(), "q7");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = q();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+}

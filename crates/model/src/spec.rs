@@ -1,0 +1,325 @@
+//! Serializable instance specifications.
+//!
+//! [`Instance`] itself is not serializable — it caches an all-pairs delay
+//! matrix and enforces invariants through its builder. [`InstanceSpec`] is
+//! its plain-data mirror: every node, link, dataset and query, exactly as a
+//! user would write them in a JSON file. Round-tripping re-runs the full
+//! validation, so a loaded instance is as trustworthy as a built one.
+//!
+//! ```
+//! use edgerep_model::prelude::*;
+//! use edgerep_model::spec::InstanceSpec;
+//!
+//! let mut b = EdgeCloudBuilder::new();
+//! let dc = b.add_data_center(100.0, 0.001);
+//! let cl = b.add_cloudlet(8.0, 0.01);
+//! b.link(dc, cl, 0.05);
+//! let mut ib = InstanceBuilder::new(b.build().unwrap(), 2);
+//! let d = ib.add_dataset(4.0, dc);
+//! ib.add_query(cl, vec![Demand::new(d, 0.5)], 1.0, 1.0);
+//! let inst = ib.build().unwrap();
+//!
+//! let spec = InstanceSpec::from_instance(&inst);
+//! let rebuilt = spec.to_instance().unwrap();
+//! assert_eq!(rebuilt.queries(), inst.queries());
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::instance::{Instance, InstanceBuilder, InstanceError};
+use crate::network::{ComputeNodeId, EdgeCloudBuilder, NetworkError, NodeKind};
+use crate::query::Query;
+
+/// One node of the transport graph in plain-data form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Role of the node.
+    pub kind: NodeKind,
+    /// Computing capacity `B(v)` in GHz (ignored for routing-only nodes;
+    /// must be absent for them).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub capacity: Option<f64>,
+    /// Available compute `A(v)`; defaults to the full capacity.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub available: Option<f64>,
+    /// Per-unit processing delay `d(v)` in s/GB (compute nodes only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub proc_delay: Option<f64>,
+}
+
+/// One undirected link with its per-unit-data delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// First endpoint: index into [`InstanceSpec::nodes`].
+    pub a: u32,
+    /// Second endpoint.
+    pub b: u32,
+    /// Transmission delay, s/GB.
+    pub delay: f64,
+}
+
+/// A whole problem instance in plain-data form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// All graph nodes; compute nodes must carry capacity and proc delay.
+    pub nodes: Vec<NodeSpec>,
+    /// All links (indices into `nodes`).
+    pub links: Vec<LinkSpec>,
+    /// Datasets (origins are *compute-node* indices, i.e. positions among
+    /// the compute nodes in `nodes` order, matching [`ComputeNodeId`]).
+    pub datasets: Vec<Dataset>,
+    /// Queries (homes and demands use the same id spaces as [`Instance`]).
+    pub queries: Vec<Query>,
+    /// Replica budget `K`.
+    pub max_replicas: usize,
+}
+
+/// Errors raised while converting a spec into an [`Instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A compute node is missing capacity or processing delay, or a
+    /// routing node carries them.
+    NodeAttributeMismatch(usize),
+    /// A link references a node index outside `nodes`.
+    DanglingLink(usize),
+    /// The edge cloud failed validation.
+    Network(NetworkError),
+    /// Datasets/queries failed instance validation.
+    Instance(InstanceError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NodeAttributeMismatch(i) => {
+                write!(f, "node {i}: attributes inconsistent with its kind")
+            }
+            SpecError::DanglingLink(i) => write!(f, "link {i} references an unknown node"),
+            SpecError::Network(e) => write!(f, "network: {e}"),
+            SpecError::Instance(e) => write!(f, "instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl InstanceSpec {
+    /// Captures an existing instance as a plain-data spec.
+    pub fn from_instance(inst: &Instance) -> Self {
+        let cloud = inst.cloud();
+        let graph = cloud.graph();
+        // Compute nodes know their graph node; build the reverse map so we
+        // can emit nodes in graph order.
+        let mut compute_of_graph: Vec<Option<ComputeNodeId>> = vec![None; graph.node_count()];
+        for v in cloud.compute_ids() {
+            compute_of_graph[cloud.node(v).graph_node.index()] = Some(v);
+        }
+        let nodes = graph
+            .nodes()
+            .map(|n| match compute_of_graph[n.index()] {
+                Some(v) => {
+                    let c = cloud.node(v);
+                    NodeSpec {
+                        kind: c.kind,
+                        capacity: Some(c.capacity),
+                        available: Some(c.available),
+                        proc_delay: Some(c.proc_delay),
+                    }
+                }
+                None => NodeSpec {
+                    kind: cloud.kind(n),
+                    capacity: None,
+                    available: None,
+                    proc_delay: None,
+                },
+            })
+            .collect();
+        let links = graph
+            .edges()
+            .iter()
+            .map(|e| LinkSpec {
+                a: e.u.0,
+                b: e.v.0,
+                delay: e.weight,
+            })
+            .collect();
+        Self {
+            nodes,
+            links,
+            datasets: inst.datasets().to_vec(),
+            queries: inst.queries().to_vec(),
+            max_replicas: inst.max_replicas(),
+        }
+    }
+
+    /// Validates and builds a full [`Instance`].
+    ///
+    /// Compute-node ids are assigned in `nodes` order over the compute
+    /// nodes, which is exactly how [`Self::from_instance`] emits them, so
+    /// round-trips preserve every id.
+    pub fn to_instance(&self) -> Result<Instance, SpecError> {
+        let mut builder = EdgeCloudBuilder::new();
+        let mut graph_ids = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.kind.is_compute() {
+                let (Some(capacity), Some(proc_delay)) = (n.capacity, n.proc_delay) else {
+                    return Err(SpecError::NodeAttributeMismatch(i));
+                };
+                let v = match n.kind {
+                    NodeKind::DataCenter => builder.add_data_center(capacity, proc_delay),
+                    NodeKind::Cloudlet => builder.add_cloudlet(capacity, proc_delay),
+                    _ => unreachable!("is_compute covers exactly these"),
+                };
+                if let Some(avail) = n.available {
+                    builder.set_available(v, avail);
+                }
+                graph_ids.push(builder.graph_node(v));
+            } else {
+                if n.capacity.is_some() || n.proc_delay.is_some() || n.available.is_some() {
+                    return Err(SpecError::NodeAttributeMismatch(i));
+                }
+                let g = match n.kind {
+                    NodeKind::Switch => builder.add_switch(),
+                    NodeKind::BaseStation => builder.add_base_station(),
+                    _ => unreachable!("non-compute kinds"),
+                };
+                graph_ids.push(g);
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            let (Some(&ga), Some(&gb)) = (
+                graph_ids.get(l.a as usize),
+                graph_ids.get(l.b as usize),
+            ) else {
+                return Err(SpecError::DanglingLink(i));
+            };
+            builder.link_graph(ga, gb, l.delay);
+        }
+        let cloud = builder.build().map_err(SpecError::Network)?;
+        let mut ib = InstanceBuilder::new(cloud, self.max_replicas);
+        for d in &self.datasets {
+            ib.add_dataset(d.size_gb, d.origin);
+        }
+        for q in &self.queries {
+            ib.add_query(q.home, q.demands.clone(), q.compute_rate, q.deadline);
+        }
+        ib.build().map_err(SpecError::Instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Demand;
+
+    fn sample_instance() -> Instance {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl1 = b.add_cloudlet(8.0, 0.01);
+        let cl2 = b.add_cloudlet(12.0, 0.02);
+        b.set_available(cl2, 9.0);
+        let sw = b.add_switch();
+        let bs = b.add_base_station();
+        b.link(dc, cl1, 0.3);
+        b.link_graph(b.graph_node(cl1), sw, 0.02);
+        b.link_graph(b.graph_node(cl2), sw, 0.03);
+        b.link_graph(bs, b.graph_node(cl1), 0.001);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d0 = ib.add_dataset(4.0, dc);
+        let d1 = ib.add_dataset(2.0, cl1);
+        ib.add_query(cl1, vec![Demand::new(d0, 0.5)], 1.0, 0.5);
+        ib.add_query(cl2, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.3)], 0.9, 0.8);
+        ib.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let inst = sample_instance();
+        let spec = InstanceSpec::from_instance(&inst);
+        let back = spec.to_instance().unwrap();
+        assert_eq!(back.datasets(), inst.datasets());
+        assert_eq!(back.queries(), inst.queries());
+        assert_eq!(back.max_replicas(), inst.max_replicas());
+        assert_eq!(back.cloud().graph(), inst.cloud().graph());
+        assert_eq!(back.cloud().compute_nodes(), inst.cloud().compute_nodes());
+        // Delay lookups survive (the matrix is recomputed, not copied).
+        for u in inst.cloud().compute_ids() {
+            for v in inst.cloud().compute_ids() {
+                assert_eq!(back.cloud().min_delay(u, v), inst.cloud().min_delay(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let inst = sample_instance();
+        let spec = InstanceSpec::from_instance(&inst);
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let parsed: InstanceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, spec);
+        let back = parsed.to_instance().unwrap();
+        assert_eq!(back.queries(), inst.queries());
+    }
+
+    #[test]
+    fn routing_nodes_serialize_without_compute_fields() {
+        let inst = sample_instance();
+        let spec = InstanceSpec::from_instance(&inst);
+        let json = serde_json::to_string(&spec).unwrap();
+        // Exactly three compute nodes carry "capacity".
+        assert_eq!(json.matches("\"capacity\"").count(), 3);
+    }
+
+    #[test]
+    fn compute_node_without_capacity_rejected() {
+        let mut spec = InstanceSpec::from_instance(&sample_instance());
+        spec.nodes[0].capacity = None;
+        assert_eq!(
+            spec.to_instance().unwrap_err(),
+            SpecError::NodeAttributeMismatch(0)
+        );
+    }
+
+    #[test]
+    fn switch_with_capacity_rejected() {
+        let mut spec = InstanceSpec::from_instance(&sample_instance());
+        // Node 3 is the switch in sample order (dc, cl1, cl2, sw, bs).
+        spec.nodes[3].capacity = Some(5.0);
+        assert_eq!(
+            spec.to_instance().unwrap_err(),
+            SpecError::NodeAttributeMismatch(3)
+        );
+    }
+
+    #[test]
+    fn dangling_link_rejected() {
+        let mut spec = InstanceSpec::from_instance(&sample_instance());
+        spec.links.push(LinkSpec {
+            a: 0,
+            b: 99,
+            delay: 0.1,
+        });
+        let idx = spec.links.len() - 1;
+        assert_eq!(spec.to_instance().unwrap_err(), SpecError::DanglingLink(idx));
+    }
+
+    #[test]
+    fn invalid_payload_surfaces_instance_error() {
+        let mut spec = InstanceSpec::from_instance(&sample_instance());
+        spec.max_replicas = 0;
+        assert!(matches!(
+            spec.to_instance().unwrap_err(),
+            SpecError::Instance(InstanceError::ZeroReplicaBudget)
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = SpecError::DanglingLink(4);
+        assert!(e.to_string().contains("link 4"));
+        let e = SpecError::Network(NetworkError::NoComputeNodes);
+        assert!(e.to_string().contains("network"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The analytics query engine.
+//!
+//! The paper's testbed issues real queries over the mobile-app-usage data:
+//! "the most popular applications, at what time the found applications
+//! would be used, and the usage pattern of some mobile applications"
+//! (§4.3). This module executes those three classes over trace records so
+//! the testbed exercises a genuine scan-and-aggregate data path (the
+//! simulator charges time for it; this code produces the answers).
+
+use edgerep_workload::mobile_trace::Record;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The paper's three query classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnalyticsKind {
+    /// Top-`k` apps by total usage duration.
+    TopApps {
+        /// How many apps to report.
+        k: usize,
+    },
+    /// Usage histogram over the 24 hours of the day for one app.
+    UsageByHour {
+        /// The app whose diurnal profile is requested.
+        app: u32,
+    },
+    /// Per-user usage pattern: sessions, total duration, distinct apps.
+    UserPattern {
+        /// The user whose pattern is requested.
+        user: u32,
+    },
+}
+
+impl AnalyticsKind {
+    /// Draws a random query class with plausible parameters.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        match rng.gen_range(0..3) {
+            0 => AnalyticsKind::TopApps {
+                k: rng.gen_range(3..10),
+            },
+            1 => AnalyticsKind::UsageByHour {
+                app: rng.gen_range(0..20),
+            },
+            _ => AnalyticsKind::UserPattern {
+                user: rng.gen_range(0..100),
+            },
+        }
+    }
+}
+
+/// Result of evaluating one analytics query over one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnalyticsResult {
+    /// `(app, total_duration_s)` pairs, descending by duration.
+    TopApps(Vec<(u32, u64)>),
+    /// Seconds of usage per hour-of-day (24 buckets).
+    UsageByHour([u64; 24]),
+    /// `(sessions, total_duration_s, distinct_apps)` for the user.
+    UserPattern {
+        /// Number of sessions the user had in this dataset.
+        sessions: usize,
+        /// Total usage seconds.
+        total_duration_s: u64,
+        /// Number of distinct apps used.
+        distinct_apps: usize,
+    },
+}
+
+/// Evaluates a query class over one dataset's records.
+pub fn evaluate(kind: AnalyticsKind, records: &[Record]) -> AnalyticsResult {
+    match kind {
+        AnalyticsKind::TopApps { k } => {
+            let mut durations: std::collections::HashMap<u32, u64> =
+                std::collections::HashMap::new();
+            for r in records {
+                *durations.entry(r.app).or_insert(0) += r.duration_s as u64;
+            }
+            let mut pairs: Vec<(u32, u64)> = durations.into_iter().collect();
+            pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            pairs.truncate(k);
+            AnalyticsResult::TopApps(pairs)
+        }
+        AnalyticsKind::UsageByHour { app } => {
+            let mut hist = [0u64; 24];
+            for r in records.iter().filter(|r| r.app == app) {
+                let hour = ((r.start % 86_400) / 3_600) as usize;
+                hist[hour] += r.duration_s as u64;
+            }
+            AnalyticsResult::UsageByHour(hist)
+        }
+        AnalyticsKind::UserPattern { user } => {
+            let mut sessions = 0usize;
+            let mut total = 0u64;
+            let mut apps = std::collections::HashSet::new();
+            for r in records.iter().filter(|r| r.user == user) {
+                sessions += 1;
+                total += r.duration_s as u64;
+                apps.insert(r.app);
+            }
+            AnalyticsResult::UserPattern {
+                sessions,
+                total_duration_s: total,
+                distinct_apps: apps.len(),
+            }
+        }
+    }
+}
+
+/// Merges per-dataset partial results at the query's home location (the
+/// aggregation step of §2.2: intermediate results join at `h_m`).
+pub fn merge(partials: Vec<AnalyticsResult>) -> Option<AnalyticsResult> {
+    let mut iter = partials.into_iter();
+    let first = iter.next()?;
+    let merged = iter.fold(first, |acc, next| match (acc, next) {
+        (AnalyticsResult::TopApps(a), AnalyticsResult::TopApps(b)) => {
+            let mut durations: std::collections::HashMap<u32, u64> =
+                std::collections::HashMap::new();
+            for (app, d) in a.into_iter().chain(b) {
+                *durations.entry(app).or_insert(0) += d;
+            }
+            let mut pairs: Vec<(u32, u64)> = durations.into_iter().collect();
+            pairs.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+            AnalyticsResult::TopApps(pairs)
+        }
+        (AnalyticsResult::UsageByHour(mut a), AnalyticsResult::UsageByHour(b)) => {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += y;
+            }
+            AnalyticsResult::UsageByHour(a)
+        }
+        (
+            AnalyticsResult::UserPattern {
+                sessions: s1,
+                total_duration_s: t1,
+                distinct_apps: a1,
+            },
+            AnalyticsResult::UserPattern {
+                sessions: s2,
+                total_duration_s: t2,
+                distinct_apps: a2,
+            },
+        ) => AnalyticsResult::UserPattern {
+            sessions: s1 + s2,
+            total_duration_s: t1 + t2,
+            // Partial results do not carry app sets, so the merged count
+            // upper-bounds the true distinct count; fine for a testbed
+            // answer and documented here.
+            distinct_apps: a1.max(a2),
+        },
+        // Mixed kinds never merge: each query has one class.
+        (a, _) => a,
+    });
+    Some(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u32, app: u32, start: u64, dur: u32) -> Record {
+        Record {
+            user,
+            app,
+            start,
+            duration_s: dur,
+            bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn top_apps_orders_by_duration() {
+        let records = vec![
+            rec(0, 1, 0, 100),
+            rec(1, 2, 10, 300),
+            rec(2, 1, 20, 150),
+            rec(3, 3, 30, 50),
+        ];
+        let AnalyticsResult::TopApps(pairs) =
+            evaluate(AnalyticsKind::TopApps { k: 2 }, &records)
+        else {
+            panic!()
+        };
+        assert_eq!(pairs, vec![(2, 300), (1, 250)]);
+    }
+
+    #[test]
+    fn top_apps_tie_breaks_by_app_id() {
+        let records = vec![rec(0, 5, 0, 100), rec(0, 2, 0, 100)];
+        let AnalyticsResult::TopApps(pairs) =
+            evaluate(AnalyticsKind::TopApps { k: 5 }, &records)
+        else {
+            panic!()
+        };
+        assert_eq!(pairs, vec![(2, 100), (5, 100)]);
+    }
+
+    #[test]
+    fn usage_by_hour_buckets_correctly() {
+        let records = vec![
+            rec(0, 7, 3_600, 60),        // hour 1
+            rec(1, 7, 90_000, 40),       // next day, hour 1
+            rec(2, 7, 7_200, 10),        // hour 2
+            rec(3, 8, 3_700, 999),       // other app, ignored
+        ];
+        let AnalyticsResult::UsageByHour(hist) =
+            evaluate(AnalyticsKind::UsageByHour { app: 7 }, &records)
+        else {
+            panic!()
+        };
+        assert_eq!(hist[1], 100);
+        assert_eq!(hist[2], 10);
+        assert_eq!(hist.iter().sum::<u64>(), 110);
+    }
+
+    #[test]
+    fn user_pattern_aggregates_one_user() {
+        let records = vec![
+            rec(9, 1, 0, 10),
+            rec(9, 2, 100, 20),
+            rec(9, 1, 200, 30),
+            rec(4, 3, 300, 999),
+        ];
+        let r = evaluate(AnalyticsKind::UserPattern { user: 9 }, &records);
+        assert_eq!(
+            r,
+            AnalyticsResult::UserPattern {
+                sessions: 3,
+                total_duration_s: 60,
+                distinct_apps: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_results() {
+        assert_eq!(
+            evaluate(AnalyticsKind::TopApps { k: 3 }, &[]),
+            AnalyticsResult::TopApps(vec![])
+        );
+        let r = evaluate(AnalyticsKind::UserPattern { user: 0 }, &[]);
+        assert_eq!(
+            r,
+            AnalyticsResult::UserPattern {
+                sessions: 0,
+                total_duration_s: 0,
+                distinct_apps: 0
+            }
+        );
+    }
+
+    #[test]
+    fn merge_top_apps_sums_durations() {
+        let a = AnalyticsResult::TopApps(vec![(1, 100), (2, 50)]);
+        let b = AnalyticsResult::TopApps(vec![(2, 60), (3, 10)]);
+        let AnalyticsResult::TopApps(m) = merge(vec![a, b]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(m, vec![(2, 110), (1, 100), (3, 10)]);
+    }
+
+    #[test]
+    fn merge_usage_histograms() {
+        let mut h1 = [0u64; 24];
+        h1[3] = 5;
+        let mut h2 = [0u64; 24];
+        h2[3] = 7;
+        h2[20] = 1;
+        let AnalyticsResult::UsageByHour(m) =
+            merge(vec![AnalyticsResult::UsageByHour(h1), AnalyticsResult::UsageByHour(h2)])
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(m[3], 12);
+        assert_eq!(m[20], 1);
+    }
+
+    #[test]
+    fn merge_empty_is_none() {
+        assert_eq!(merge(vec![]), None);
+    }
+
+    #[test]
+    fn random_kind_is_well_formed() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        use rand::SeedableRng;
+        for _ in 0..50 {
+            match AnalyticsKind::random(&mut rng) {
+                AnalyticsKind::TopApps { k } => assert!((3..10).contains(&k)),
+                AnalyticsKind::UsageByHour { app } => assert!(app < 20),
+                AnalyticsKind::UserPattern { user } => assert!(user < 100),
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Geography: regions, great-circle distances, and per-GB transfer delays.
+//!
+//! The paper's DC VMs sit in San Francisco, New York, Toronto and
+//! Singapore; its cloudlets and users share one metro area. Transfer delay
+//! per GB between two VMs is modelled as
+//!
+//! ```text
+//! dt = 8 / bandwidth_gbps  +  propagation_negligible_for_GB_payloads
+//! ```
+//!
+//! i.e. GB-scale payloads are bandwidth-dominated; propagation (tens of
+//! ms) matters only for the tiny query messages the paper already declares
+//! negligible (§2.3). Inter-region paths get WAN bandwidth, metro paths
+//! get LAN/MAN bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// A deployment region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// San Francisco (DigitalOcean SFO).
+    SanFrancisco,
+    /// New York (NYC).
+    NewYork,
+    /// Toronto (TOR).
+    Toronto,
+    /// Singapore (SGP).
+    Singapore,
+    /// The metro area hosting the cloudlets, switches and users.
+    Metro,
+}
+
+impl Region {
+    /// All four DC regions in the paper's order.
+    pub const DC_REGIONS: [Region; 4] = [
+        Region::SanFrancisco,
+        Region::NewYork,
+        Region::Toronto,
+        Region::Singapore,
+    ];
+
+    /// Latitude/longitude in degrees.
+    pub fn coordinates(self) -> (f64, f64) {
+        match self {
+            Region::SanFrancisco => (37.77, -122.42),
+            Region::NewYork => (40.71, -74.01),
+            Region::Toronto => (43.65, -79.38),
+            Region::Singapore => (1.35, 103.82),
+            // Place the metro near Toronto (the paper's lab is a local
+            // server room; any fixed location works, this one keeps one DC
+            // close and one far, like a real deployment).
+            Region::Metro => (43.0, -80.0),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::SanFrancisco => "San Francisco",
+            Region::NewYork => "New York",
+            Region::Toronto => "Toronto",
+            Region::Singapore => "Singapore",
+            Region::Metro => "Metro",
+        }
+    }
+}
+
+/// Great-circle distance in kilometres.
+pub fn haversine_km(a: Region, b: Region) -> f64 {
+    let (lat1, lon1) = a.coordinates();
+    let (lat2, lon2) = b.coordinates();
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let dphi = (lat2 - lat1).to_radians();
+    let dlambda = (lon2 - lon1).to_radians();
+    let h = (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+    2.0 * 6371.0 * h.sqrt().asin()
+}
+
+/// One-way propagation delay in seconds (fibre: ~2/3 c, 1.4× route factor).
+pub fn propagation_delay_s(a: Region, b: Region) -> f64 {
+    let km = haversine_km(a, b);
+    1.4 * km * 1000.0 / 2.0e8
+}
+
+/// Effective bandwidth between two regions in Gbit/s.
+///
+/// Metro-internal paths are 10G LAN; continental WAN paths 1G; the
+/// trans-Pacific hop to Singapore 0.4G — round figures consistent with
+/// public cloud egress measurements.
+pub fn bandwidth_gbps(a: Region, b: Region) -> f64 {
+    use Region::*;
+    if a == b {
+        return 10.0;
+    }
+    match (a, b) {
+        (Metro, Toronto) | (Toronto, Metro) => 2.5,
+        (Singapore, _) | (_, Singapore) => 0.4,
+        (Metro, _) | (_, Metro) => 1.0,
+        _ => 1.0,
+    }
+}
+
+/// Per-GB transfer delay in seconds between two regions: bandwidth term
+/// plus propagation (the latter is negligible for GB payloads but kept so
+/// tiny transfers still cost something).
+pub fn transfer_delay_per_gb(a: Region, b: Region) -> f64 {
+    8.0 / bandwidth_gbps(a, b) + propagation_delay_s(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_sanity() {
+        // SF–NY is about 4,130 km.
+        let d = haversine_km(Region::SanFrancisco, Region::NewYork);
+        assert!((3_900.0..4_400.0).contains(&d), "{d}");
+        // Symmetric, zero on the diagonal.
+        assert_eq!(
+            haversine_km(Region::NewYork, Region::SanFrancisco),
+            haversine_km(Region::SanFrancisco, Region::NewYork)
+        );
+        assert_eq!(haversine_km(Region::Toronto, Region::Toronto), 0.0);
+    }
+
+    #[test]
+    fn singapore_is_farthest() {
+        let from_metro = |r| haversine_km(Region::Metro, r);
+        assert!(from_metro(Region::Singapore) > from_metro(Region::SanFrancisco));
+        assert!(from_metro(Region::Singapore) > from_metro(Region::NewYork));
+        assert!(from_metro(Region::Singapore) > from_metro(Region::Toronto));
+    }
+
+    #[test]
+    fn propagation_within_physical_bounds() {
+        for a in Region::DC_REGIONS {
+            for b in Region::DC_REGIONS {
+                let d = propagation_delay_s(a, b);
+                assert!((0.0..0.3).contains(&d), "{a:?}-{b:?}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_delay_orders_by_bandwidth() {
+        // Metro-local beats metro->Toronto beats metro->Singapore.
+        let local = transfer_delay_per_gb(Region::Metro, Region::Metro);
+        let tor = transfer_delay_per_gb(Region::Metro, Region::Toronto);
+        let sgp = transfer_delay_per_gb(Region::Metro, Region::Singapore);
+        assert!(local < tor && tor < sgp, "{local} {tor} {sgp}");
+        // 10G local: 0.8 s/GB plus epsilon.
+        assert!((local - 0.8).abs() < 0.05, "{local}");
+    }
+
+    #[test]
+    fn metro_toronto_uses_fat_pipe() {
+        assert_eq!(bandwidth_gbps(Region::Metro, Region::Toronto), 2.5);
+        assert_eq!(bandwidth_gbps(Region::Toronto, Region::Metro), 2.5);
+        assert_eq!(bandwidth_gbps(Region::Metro, Region::Singapore), 0.4);
+    }
+}

@@ -1,0 +1,354 @@
+//! Rolling multi-epoch operation (extension beyond the paper).
+//!
+//! The paper plans once for a known query set and notes (§2.4) that
+//! dynamic data is handled by threshold-triggered updates. A real
+//! deployment also faces *workload drift*: tomorrow's queries come from
+//! different homes than today's. This module runs the testbed over
+//! several epochs with a drifting hotspot and compares replanning
+//! policies:
+//!
+//! * [`ReplanPolicy::Static`] — place replicas once, on epoch 0's
+//!   workload; later epochs may only *assign* against those replicas
+//!   (zero migration traffic, decaying fit);
+//! * [`ReplanPolicy::Periodic`] — rerun the placement algorithm every
+//!   epoch; replicas that appear at new locations are **migrated** and
+//!   their volume is accounted as migration traffic.
+//!
+//! The `ext-rolling` driver in `edgerep-exp` turns this into the
+//! volume-vs-migration trade-off curve; the tests pin the qualitative
+//! behaviour (static placement decays under drift, periodic pays traffic
+//! to avoid the decay).
+
+use edgerep_core::admission::{AdmissionState, PlannedDemand};
+use edgerep_core::PlacementAlgorithm;
+use edgerep_model::delay::assignment_delay;
+use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::topology::{build_fig6_topology, TestbedConfig};
+
+/// Replica replanning policy across epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanPolicy {
+    /// Plan replicas on epoch 0 only; later epochs assign-only.
+    Static,
+    /// Rerun the full placement algorithm every epoch.
+    Periodic,
+}
+
+/// Rolling-operation configuration.
+#[derive(Debug, Clone)]
+pub struct RollingConfig {
+    /// Testbed shape and per-epoch workload parameters.
+    pub testbed: TestbedConfig,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Number of cloudlet groups the query hotspot rotates over (the
+    /// drift: epoch `e` homes cluster on group `e % groups`).
+    pub hotspot_groups: usize,
+    /// Probability that a query's home falls inside the epoch's hotspot.
+    pub hotspot_probability: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RollingConfig {
+    fn default() -> Self {
+        Self {
+            testbed: TestbedConfig::default(),
+            epochs: 6,
+            hotspot_groups: 4,
+            hotspot_probability: 0.8,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Admitted demanded volume this epoch, GB.
+    pub volume: f64,
+    /// Admitted / total queries this epoch.
+    pub throughput: f64,
+    /// GB of replicas newly materialized this epoch (0 under `Static`
+    /// after epoch 0).
+    pub migration_gb: f64,
+}
+
+/// Outcome of a full rolling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingReport {
+    /// Per-epoch stats in order.
+    pub per_epoch: Vec<EpochStats>,
+    /// Total admitted volume over all epochs.
+    pub total_volume: f64,
+    /// Total migration traffic over all epochs.
+    pub total_migration_gb: f64,
+}
+
+/// Builds the epoch-`e` instance: same topology geometry and datasets
+/// (regenerated deterministically from `cfg.seed`), fresh queries whose
+/// homes cluster on the epoch's hotspot group.
+fn epoch_instance(cfg: &RollingConfig, epoch: usize) -> Instance {
+    // Topology and datasets must be identical across epochs: rebuild them
+    // from the same seed, then draw queries from an epoch-specific stream.
+    let mut topo_rng = SmallRng::seed_from_u64(cfg.seed);
+    let (builder, _regions) = build_fig6_topology(&cfg.testbed, &mut topo_rng);
+    let cloud = builder.build().expect("testbed topology is valid");
+    let compute_ids: Vec<ComputeNodeId> = cloud.compute_ids().collect();
+    let dc_count = 4usize;
+    let cloudlets = &compute_ids[dc_count..];
+
+    let mut ib = edgerep_model::InstanceBuilder::new(cloud, cfg.testbed.max_replicas);
+    // Datasets: deterministic across epochs (sizes from the topo stream).
+    let mut ds_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xda7a);
+    let (glo, ghi) = cfg.testbed.dataset_size_gb;
+    for _ in 0..cfg.testbed.windows {
+        let size = ds_rng.gen_range(glo..ghi.max(glo + 1e-9));
+        let origin = compute_ids[ds_rng.gen_range(0..dc_count)];
+        ib.add_dataset(size, origin);
+    }
+
+    // Queries: epoch-specific stream with a rotating home hotspot.
+    let mut q_rng = SmallRng::seed_from_u64(cfg.seed ^ (0x9e37 + epoch as u64));
+    let groups = cfg.hotspot_groups.max(1).min(cloudlets.len().max(1));
+    let group = epoch % groups;
+    let group_size = cloudlets.len().div_ceil(groups);
+    let hot: Vec<ComputeNodeId> = cloudlets
+        .iter()
+        .copied()
+        .skip(group * group_size)
+        .take(group_size)
+        .collect();
+    let draw = |rng: &mut SmallRng, (lo, hi): (f64, f64)| {
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        }
+    };
+    for _ in 0..cfg.testbed.query_count {
+        let home = if !hot.is_empty() && q_rng.gen_bool(cfg.hotspot_probability) {
+            hot[q_rng.gen_range(0..hot.len())]
+        } else {
+            cloudlets[q_rng.gen_range(0..cloudlets.len())]
+        };
+        let f = q_rng
+            .gen_range(cfg.testbed.datasets_per_query.0..=cfg.testbed.datasets_per_query.1)
+            .min(cfg.testbed.windows);
+        let mut pool: Vec<u32> = (0..cfg.testbed.windows as u32).collect();
+        let mut demands = Vec::with_capacity(f);
+        let mut largest: f64 = 0.0;
+        for slot in 0..f {
+            let pick = q_rng.gen_range(slot..pool.len());
+            pool.swap(slot, pick);
+            let d = edgerep_model::DatasetId(pool[slot]);
+            largest = largest.max(ib.dataset_size(d));
+            demands.push(edgerep_model::Demand::new(
+                d,
+                draw(&mut q_rng, cfg.testbed.selectivity),
+            ));
+        }
+        let deadline = draw(&mut q_rng, cfg.testbed.deadline_base)
+            + largest * draw(&mut q_rng, cfg.testbed.deadline_per_gb);
+        ib.add_query(
+            home,
+            demands,
+            draw(&mut q_rng, cfg.testbed.compute_rate),
+            deadline,
+        );
+    }
+    ib.build().expect("epoch instance is valid")
+}
+
+/// Assignment-only admission against a frozen replica layout: queries in
+/// volume-descending order take their lowest-delay feasible replica.
+fn assign_only(inst: &Instance, replicas: &Solution) -> Solution {
+    let mut st = AdmissionState::new(inst);
+    for d in inst.dataset_ids() {
+        for &v in replicas.replicas_of(d) {
+            st.place_replica(d, v);
+        }
+    }
+    let mut queries: Vec<QueryId> = inst.query_ids().collect();
+    queries.sort_by(|&a, &b| {
+        inst.demanded_volume(b)
+            .partial_cmp(&inst.demanded_volume(a))
+            .expect("volumes are finite")
+            .then(a.cmp(&b))
+    });
+    for q in queries {
+        let query = inst.query(q);
+        let mut plan = Vec::with_capacity(query.demands.len());
+        let mut extra = vec![0.0; inst.cloud().compute_count()];
+        let mut complete = true;
+        for (idx, dem) in query.demands.iter().enumerate() {
+            let mut nodes: Vec<ComputeNodeId> = replicas.replicas_of(dem.dataset).to_vec();
+            nodes.sort_by(|&a, &b| {
+                assignment_delay(inst, q, idx, a)
+                    .partial_cmp(&assignment_delay(inst, q, idx, b))
+                    .expect("delays comparable")
+                    .then(a.cmp(&b))
+            });
+            match nodes
+                .into_iter()
+                .find(|&v| st.demand_feasible_with(q, idx, v, extra[v.index()]))
+            {
+                Some(v) => {
+                    extra[v.index()] += st.compute_demand(q, idx);
+                    plan.push(PlannedDemand {
+                        node: v,
+                        new_replica: false,
+                    });
+                }
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete && st.plan_feasible(q, &plan) {
+            st.commit(q, &plan);
+        }
+    }
+    st.into_solution()
+}
+
+/// GB of replicas present in `now` at locations absent from `before`.
+fn migration_gb(inst: &Instance, before: Option<&Solution>, now: &Solution) -> f64 {
+    let mut total = 0.0;
+    for d in inst.dataset_ids() {
+        for &v in now.replicas_of(d) {
+            let already = match before {
+                Some(prev) => prev.has_replica(d, v),
+                None => false,
+            } || inst.dataset(d).origin == v;
+            if !already {
+                total += inst.size(d);
+            }
+        }
+    }
+    total
+}
+
+/// Runs the rolling experiment under one policy.
+pub fn run_rolling(
+    alg: &dyn PlacementAlgorithm,
+    cfg: &RollingConfig,
+    policy: ReplanPolicy,
+) -> RollingReport {
+    assert!(cfg.epochs >= 1, "need at least one epoch");
+    let mut per_epoch = Vec::with_capacity(cfg.epochs);
+    let mut frozen: Option<Solution> = None;
+    let mut previous: Option<Solution> = None;
+    for epoch in 0..cfg.epochs {
+        let inst = epoch_instance(cfg, epoch);
+        let sol = match (policy, &frozen) {
+            (ReplanPolicy::Static, Some(layout)) => assign_only(&inst, layout),
+            _ => {
+                let s = alg.solve(&inst);
+                s.validate(&inst).expect("algorithm returned feasible plan");
+                s
+            }
+        };
+        let migration = migration_gb(&inst, previous.as_ref(), &sol);
+        per_epoch.push(EpochStats {
+            volume: sol.admitted_volume(&inst),
+            throughput: sol.throughput(&inst),
+            migration_gb: migration,
+        });
+        if policy == ReplanPolicy::Static && frozen.is_none() {
+            frozen = Some(sol.clone());
+        }
+        previous = Some(sol);
+    }
+    RollingReport {
+        total_volume: per_epoch.iter().map(|e| e.volume).sum(),
+        total_migration_gb: per_epoch.iter().map(|e| e.migration_gb).sum(),
+        per_epoch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgerep_core::appro::ApproG;
+
+    fn small_cfg() -> RollingConfig {
+        RollingConfig {
+            testbed: TestbedConfig {
+                query_count: 25,
+                windows: 6,
+                trace: edgerep_workload::mobile_trace::TraceConfig {
+                    users: 100,
+                    apps: 20,
+                    days: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            epochs: 4,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let cfg = small_cfg();
+        let a = run_rolling(&ApproG::default(), &cfg, ReplanPolicy::Periodic);
+        let b = run_rolling(&ApproG::default(), &cfg, ReplanPolicy::Periodic);
+        assert_eq!(a, b);
+        assert_eq!(a.per_epoch.len(), 4);
+        assert!(a.total_volume > 0.0);
+    }
+
+    #[test]
+    fn static_policy_pays_no_migration_after_epoch_zero() {
+        let cfg = small_cfg();
+        let report = run_rolling(&ApproG::default(), &cfg, ReplanPolicy::Static);
+        for (e, stats) in report.per_epoch.iter().enumerate().skip(1) {
+            assert_eq!(
+                stats.migration_gb, 0.0,
+                "epoch {e} moved replicas under Static"
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_replanning_wins_volume_under_drift() {
+        let cfg = small_cfg();
+        let fixed = run_rolling(&ApproG::default(), &cfg, ReplanPolicy::Static);
+        let periodic = run_rolling(&ApproG::default(), &cfg, ReplanPolicy::Periodic);
+        assert!(
+            periodic.total_volume >= fixed.total_volume,
+            "replanning should not lose volume ({} vs {})",
+            periodic.total_volume,
+            fixed.total_volume
+        );
+        assert!(
+            periodic.total_migration_gb >= fixed.total_migration_gb,
+            "replanning moves at least as much data"
+        );
+    }
+
+    #[test]
+    fn epoch_zero_identical_across_policies() {
+        let cfg = small_cfg();
+        let fixed = run_rolling(&ApproG::default(), &cfg, ReplanPolicy::Static);
+        let periodic = run_rolling(&ApproG::default(), &cfg, ReplanPolicy::Periodic);
+        assert_eq!(fixed.per_epoch[0], periodic.per_epoch[0]);
+    }
+
+    #[test]
+    fn epoch_instances_share_world_but_not_queries() {
+        let cfg = small_cfg();
+        let e0 = epoch_instance(&cfg, 0);
+        let e1 = epoch_instance(&cfg, 1);
+        assert_eq!(e0.datasets(), e1.datasets());
+        assert_eq!(e0.cloud().graph(), e1.cloud().graph());
+        assert_ne!(e0.queries(), e1.queries());
+    }
+}

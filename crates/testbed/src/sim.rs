@@ -1,0 +1,662 @@
+//! The testbed simulator.
+//!
+//! One run mirrors one §4.3 experiment:
+//!
+//! 1. the **controller** executes a [`PlacementAlgorithm`] over the
+//!    instance (exactly what the paper's local server does);
+//! 2. the **replication phase** copies each placed replica from its
+//!    dataset's origin VM along the minimum-delay path (timed and
+//!    accounted, but — per §2.3 — not charged against query QoS);
+//! 3. the **query phase** releases the queries as a Poisson process;
+//!    each admitted query's demands contend for node compute (FIFO
+//!    queueing per VM), run the real analytics engine over the trace
+//!    records, and ship their intermediate results home; the **measured**
+//!    response time decides whether the query met its QoS deadline;
+//! 4. optionally, datasets **grow** at their origins and the §2.4
+//!    consistency rule fires: when new data exceeds the threshold ratio,
+//!    an update is pushed to every replica and the traffic is accounted.
+//!
+//! Queueing is what the static model of `edgerep-core` does not capture:
+//! a placement that packs a popular VM admits on paper but misses
+//! deadlines here — exactly the gap between `Appro` and `Popularity`
+//! in Figs. 7 and 8.
+
+use edgerep_core::PlacementAlgorithm;
+use edgerep_model::{ComputeNodeId, QueryId, Solution};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::analytics::{evaluate, merge, AnalyticsResult};
+use crate::event::{EventQueue, SimTime};
+use crate::topology::TestbedWorld;
+
+/// §2.4 dynamic-data consistency configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsistencyConfig {
+    /// New data accrued at each dataset's origin, GB per simulated hour.
+    pub growth_gb_per_hour: f64,
+    /// Update threshold: ratio of new to original volume that triggers
+    /// replica synchronization.
+    pub threshold: f64,
+    /// How often origins check the threshold, seconds.
+    pub check_interval_s: f64,
+}
+
+impl Default for ConsistencyConfig {
+    fn default() -> Self {
+        Self {
+            growth_gb_per_hour: 0.5,
+            threshold: 0.1,
+            check_interval_s: 60.0,
+        }
+    }
+}
+
+/// A node failure to inject: `node` goes down permanently at `at_s`.
+///
+/// Failures model VM outages in the leased testbed: demands already
+/// running or queued on the node are lost (their queries miss), while
+/// queries arriving later **fail over** to another live replica of the
+/// demanded dataset when one exists — which is precisely the availability
+/// argument the paper makes for `K > 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFailure {
+    /// The compute node that fails.
+    pub node: ComputeNodeId,
+    /// Failure time in simulated seconds.
+    pub at_s: f64,
+}
+
+/// Simulation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Query arrival rate (Poisson), queries per second.
+    pub arrival_rate_per_s: f64,
+    /// Serialize result transfers on each node's egress NIC (FIFO). When
+    /// off, transfers overlap freely (pure path-delay model).
+    pub nic_contention: bool,
+    /// Optional dynamic-data consistency behaviour.
+    pub consistency: Option<ConsistencyConfig>,
+    /// RNG seed for arrivals (placement is deterministic given the world).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            arrival_rate_per_s: 0.4,
+            nic_contention: true,
+            consistency: None,
+            seed: 1,
+        }
+    }
+}
+
+/// Everything one testbed run measures.
+#[derive(Debug, Clone)]
+pub struct TestbedReport {
+    /// Name of the placement algorithm the controller ran.
+    pub algorithm: &'static str,
+    /// The controller's plan (validated).
+    pub plan: Solution,
+    /// Volume the controller *planned* to admit, GB.
+    pub planned_volume: f64,
+    /// Queries the controller planned to admit.
+    pub planned_admitted: usize,
+    /// Volume of queries that actually met their deadline, GB.
+    pub measured_volume: f64,
+    /// Queries that actually met their deadline.
+    pub measured_admitted: usize,
+    /// Total queries issued.
+    pub total_queries: usize,
+    /// Measured throughput: met / total.
+    pub measured_throughput: f64,
+    /// Mean measured response time over completed queries, seconds.
+    pub mean_response_s: f64,
+    /// Median measured response time, seconds.
+    pub p50_response_s: f64,
+    /// 95th-percentile measured response time, seconds.
+    pub p95_response_s: f64,
+    /// Worst measured response time, seconds.
+    pub max_response_s: f64,
+    /// GB moved to materialize replicas (proactive phase).
+    pub replication_gb: f64,
+    /// Wall-clock of the slowest replica transfer, seconds.
+    pub replication_time_s: f64,
+    /// GB of consistency updates pushed to replicas (§2.4).
+    pub consistency_gb: f64,
+    /// Number of consistency synchronization rounds.
+    pub consistency_rounds: usize,
+    /// Demands redirected to an alternative live replica after a fault.
+    pub failovers: usize,
+    /// Queries lost to faults (no live feasible replica, or in flight on a
+    /// failing node).
+    pub queries_lost_to_faults: usize,
+    /// Analytics answers produced (one per completed query).
+    pub answers: Vec<(QueryId, AnalyticsResult)>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival { q: QueryId },
+    ProcDone { q: QueryId, demand: usize, node: ComputeNodeId },
+    TransferDone { q: QueryId, demand: usize },
+    ConsistencyCheck,
+    NodeDown { node: ComputeNodeId },
+}
+
+#[derive(Debug, Clone)]
+struct QueryRun {
+    arrival: SimTime,
+    outstanding: usize,
+    finish: SimTime,
+    partials: Vec<Option<AnalyticsResult>>,
+    /// Serving node per demand, with failovers applied.
+    nodes: Vec<ComputeNodeId>,
+    /// Which demands are still incomplete (no TransferDone yet).
+    incomplete: Vec<bool>,
+}
+
+/// A pending demand waiting for compute at a node.
+#[derive(Debug, Clone, Copy)]
+struct Waiting {
+    q: QueryId,
+    demand: usize,
+    need_ghz: f64,
+}
+
+/// Runs one full testbed experiment without fault injection.
+pub fn run_testbed(
+    alg: &dyn PlacementAlgorithm,
+    world: &TestbedWorld,
+    cfg: &SimConfig,
+) -> TestbedReport {
+    run_testbed_with_faults(alg, world, cfg, &[])
+}
+
+/// Runs one full testbed experiment with injected node failures.
+pub fn run_testbed_with_faults(
+    alg: &dyn PlacementAlgorithm,
+    world: &TestbedWorld,
+    cfg: &SimConfig,
+    faults: &[NodeFailure],
+) -> TestbedReport {
+    let inst = &world.instance;
+    let cloud = inst.cloud();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // --- 1. Controller -------------------------------------------------
+    let plan = alg.solve(inst);
+    plan.validate(inst)
+        .expect("controller produced an infeasible plan");
+
+    // --- 2. Replication phase ------------------------------------------
+    let mut replication_gb = 0.0;
+    let mut replication_time_s: f64 = 0.0;
+    for d in inst.dataset_ids() {
+        let origin = inst.dataset(d).origin;
+        for &v in plan.replicas_of(d) {
+            if v == origin {
+                continue; // the origin already holds the data
+            }
+            let gb = inst.size(d);
+            let t = cloud.min_delay(origin, v) * gb;
+            replication_gb += gb;
+            replication_time_s = replication_time_s.max(t);
+        }
+    }
+
+    // --- 3. Query phase --------------------------------------------------
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut t = SimTime::ZERO;
+    let mut order: Vec<QueryId> = inst.query_ids().collect();
+    // Shuffle arrival order (Fisher-Yates) then draw exponential gaps.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for q in order {
+        let gap = -rng.gen::<f64>().max(1e-12).ln() / cfg.arrival_rate_per_s;
+        t = t.after_secs(gap);
+        queue.push(t, Event::Arrival { q });
+    }
+    let query_horizon = t;
+    for f in faults {
+        assert!(
+            (f.node.0 as usize) < cloud.compute_count(),
+            "fault on unknown node {}",
+            f.node
+        );
+        queue.push(SimTime::from_secs_f64(f.at_s), Event::NodeDown { node: f.node });
+    }
+    if let Some(c) = cfg.consistency {
+        queue.push(
+            SimTime::from_secs_f64(c.check_interval_s),
+            Event::ConsistencyCheck,
+        );
+    }
+
+    let mut runs: Vec<Option<QueryRun>> = vec![None; inst.queries().len()];
+    let mut free_ghz: Vec<f64> = cloud.compute_ids().map(|v| cloud.available(v)).collect();
+    let mut waiting: Vec<std::collections::VecDeque<Waiting>> =
+        vec![std::collections::VecDeque::new(); cloud.compute_count()];
+    let mut completed: Vec<(QueryId, SimTime, SimTime)> = Vec::new(); // (q, arrival, finish)
+    let mut answers = Vec::new();
+    let mut consistency_gb = 0.0;
+    let mut consistency_rounds = 0usize;
+    let mut new_data_gb: Vec<f64> = vec![0.0; inst.datasets().len()];
+    let mut last_growth = SimTime::ZERO;
+    let mut dead = vec![false; cloud.compute_count()];
+    let mut failovers = 0usize;
+    let mut queries_lost = 0usize;
+    // Per-node NIC: the instant the egress link frees up.
+    let mut nic_free_at = vec![SimTime::ZERO; cloud.compute_count()];
+
+    let start_demand = |now: SimTime,
+                        q: QueryId,
+                        demand: usize,
+                        node: ComputeNodeId,
+                        free: &mut [f64],
+                        waiting: &mut [std::collections::VecDeque<Waiting>],
+                        queue: &mut EventQueue<Event>,
+                        inst: &edgerep_model::Instance| {
+        let need = inst.size(inst.query(q).demands[demand].dataset) * inst.query(q).compute_rate;
+        if free[node.index()] + 1e-9 >= need {
+            free[node.index()] -= need;
+            let proc = cloud.proc_delay(node) * inst.size(inst.query(q).demands[demand].dataset);
+            queue.push(now.after_secs(proc), Event::ProcDone { q, demand, node });
+        } else {
+            waiting[node.index()].push_back(Waiting {
+                q,
+                demand,
+                need_ghz: need,
+            });
+        }
+    };
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Event::Arrival { q } => {
+                let Some(nodes) = plan.assignment_of(q) else {
+                    continue; // controller rejected it; counted in totals
+                };
+                // Resolve dead serving nodes to live replicas (failover).
+                let mut resolved = Vec::with_capacity(nodes.len());
+                let mut this_failovers = 0usize;
+                let mut servable = true;
+                for (demand, &node) in nodes.iter().enumerate() {
+                    if !dead[node.index()] {
+                        resolved.push(node);
+                        continue;
+                    }
+                    let d = inst.query(q).demands[demand].dataset;
+                    let alt = plan
+                        .replicas_of(d)
+                        .iter()
+                        .copied()
+                        .filter(|v| !dead[v.index()])
+                        .filter(|&v| {
+                            edgerep_model::delay::assignment_delay(inst, q, demand, v)
+                                <= inst.query(q).deadline + 1e-12
+                        })
+                        .min_by(|&a, &b| {
+                            edgerep_model::delay::assignment_delay(inst, q, demand, a)
+                                .partial_cmp(&edgerep_model::delay::assignment_delay(
+                                    inst, q, demand, b,
+                                ))
+                                .expect("delays comparable")
+                        });
+                    match alt {
+                        Some(v) => {
+                            this_failovers += 1;
+                            resolved.push(v);
+                        }
+                        None => {
+                            servable = false;
+                            break;
+                        }
+                    }
+                }
+                if !servable {
+                    queries_lost += 1;
+                    continue;
+                }
+                failovers += this_failovers;
+                let n = resolved.len();
+                runs[q.index()] = Some(QueryRun {
+                    arrival: now,
+                    outstanding: n,
+                    finish: now,
+                    partials: vec![None; n],
+                    nodes: resolved.clone(),
+                    incomplete: vec![true; n],
+                });
+                for (demand, node) in resolved.into_iter().enumerate() {
+                    start_demand(now, q, demand, node, &mut free_ghz, &mut waiting, &mut queue, inst);
+                }
+            }
+            Event::ProcDone { q, demand, node } => {
+                if dead[node.index()] {
+                    continue; // the node died mid-processing; work is lost
+                }
+                // Release compute and wake queued demands regardless of
+                // whether the owning query is still alive.
+                let d = inst.query(q).demands[demand].dataset;
+                let need = inst.size(d) * inst.query(q).compute_rate;
+                free_ghz[node.index()] += need;
+                while let Some(w) = waiting[node.index()].front().copied() {
+                    if free_ghz[node.index()] + 1e-9 >= w.need_ghz {
+                        waiting[node.index()].pop_front();
+                        free_ghz[node.index()] -= w.need_ghz;
+                        let proc = cloud.proc_delay(node)
+                            * inst.size(inst.query(w.q).demands[w.demand].dataset);
+                        queue.push(
+                            now.after_secs(proc),
+                            Event::ProcDone {
+                                q: w.q,
+                                demand: w.demand,
+                                node,
+                            },
+                        );
+                    } else {
+                        break;
+                    }
+                }
+                // Poisoned queries produce nothing further.
+                let Some(run) = runs[q.index()].as_mut() else {
+                    continue;
+                };
+                // Evaluate the analytics for real, then ship the result.
+                let partial = evaluate(world.query_kinds[q.index()], &world.records[d.index()]);
+                run.partials[demand] = Some(partial);
+                let query = inst.query(q);
+                let trans = cloud.min_delay(node, query.home)
+                    * query.demands[demand].selectivity
+                    * inst.size(d);
+                // Results leaving the same VM serialize on its NIC.
+                let start = if cfg.nic_contention {
+                    nic_free_at[node.index()].max(now)
+                } else {
+                    now
+                };
+                let done = start.after_secs(trans);
+                if cfg.nic_contention {
+                    nic_free_at[node.index()] = done;
+                }
+                queue.push(done, Event::TransferDone { q, demand });
+            }
+            Event::TransferDone { q, demand } => {
+                let Some(run) = runs[q.index()].as_mut() else {
+                    continue; // poisoned by a fault mid-flight
+                };
+                run.incomplete[demand] = false;
+                run.outstanding -= 1;
+                run.finish = run.finish.max(now);
+                if run.outstanding == 0 {
+                    completed.push((q, run.arrival, run.finish));
+                    let partials: Vec<AnalyticsResult> =
+                        run.partials.iter().flatten().cloned().collect();
+                    if let Some(answer) = merge(partials) {
+                        answers.push((q, answer));
+                    }
+                }
+            }
+            Event::NodeDown { node } => {
+                if dead[node.index()] {
+                    continue;
+                }
+                dead[node.index()] = true;
+                waiting[node.index()].clear();
+                // Poison every active query with an incomplete demand on
+                // the failing node: its in-flight work is gone.
+                for run_slot in runs.iter_mut() {
+                    let poisoned = run_slot.as_ref().is_some_and(|run| {
+                        run.nodes
+                            .iter()
+                            .zip(run.incomplete.iter())
+                            .any(|(&n, &inc)| inc && n == node)
+                    });
+                    if poisoned {
+                        *run_slot = None;
+                        queries_lost += 1;
+                    }
+                }
+            }
+            Event::ConsistencyCheck => {
+                let c = cfg.consistency.expect("check scheduled only with config");
+                // Accrue growth since the last check.
+                let dt_h = (now.as_secs_f64() - last_growth.as_secs_f64()) / 3600.0;
+                last_growth = now;
+                for g in &mut new_data_gb {
+                    *g += c.growth_gb_per_hour * dt_h;
+                }
+                // Push updates where the threshold is crossed.
+                for d in inst.dataset_ids() {
+                    let original = inst.size(d);
+                    if new_data_gb[d.index()] / original >= c.threshold {
+                        let replicas = plan.replicas_of(d);
+                        let origin = inst.dataset(d).origin;
+                        let synced = replicas.iter().filter(|&&v| v != origin).count();
+                        if synced > 0 {
+                            consistency_gb += new_data_gb[d.index()] * synced as f64;
+                            consistency_rounds += 1;
+                        }
+                        new_data_gb[d.index()] = 0.0;
+                    }
+                }
+                // Keep checking until the query phase has drained.
+                let next = now.after_secs(c.check_interval_s);
+                if now <= query_horizon {
+                    queue.push(next, Event::ConsistencyCheck);
+                }
+            }
+        }
+    }
+
+    // --- 4. Report -------------------------------------------------------
+    let mut measured_volume = 0.0;
+    let mut measured_admitted = 0usize;
+    let mut response_sum = 0.0;
+    let mut response_max: f64 = 0.0;
+    let mut responses = Vec::with_capacity(completed.len());
+    for &(q, arrival, finish) in &completed {
+        let resp = finish.as_secs_f64() - arrival.as_secs_f64();
+        response_sum += resp;
+        response_max = response_max.max(resp);
+        responses.push(resp);
+        if resp <= inst.query(q).deadline + 1e-9 {
+            measured_admitted += 1;
+            measured_volume += inst.demanded_volume(q);
+        }
+    }
+    responses.sort_by(|a, b| a.partial_cmp(b).expect("finite responses"));
+    let percentile = |p: f64| -> f64 {
+        if responses.is_empty() {
+            0.0
+        } else {
+            let idx = ((responses.len() as f64 - 1.0) * p).round() as usize;
+            responses[idx]
+        }
+    };
+    let planned_volume = plan.admitted_volume(inst);
+    let planned_admitted = plan.admitted_count();
+    TestbedReport {
+        algorithm: alg.name(),
+        planned_volume,
+        planned_admitted,
+        measured_volume,
+        measured_admitted,
+        total_queries: inst.queries().len(),
+        measured_throughput: if inst.queries().is_empty() {
+            0.0
+        } else {
+            measured_admitted as f64 / inst.queries().len() as f64
+        },
+        mean_response_s: if completed.is_empty() {
+            0.0
+        } else {
+            response_sum / completed.len() as f64
+        },
+        p50_response_s: percentile(0.5),
+        p95_response_s: percentile(0.95),
+        max_response_s: response_max,
+        replication_gb,
+        replication_time_s,
+        consistency_gb,
+        consistency_rounds,
+        failovers,
+        queries_lost_to_faults: queries_lost,
+        answers,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{build_testbed_instance, TestbedConfig};
+    use edgerep_core::appro::{ApproG, ApproS};
+    use edgerep_core::popularity::Popularity;
+
+    fn small_world(f: usize, k: usize) -> TestbedWorld {
+        let cfg = TestbedConfig {
+            trace: edgerep_workload::mobile_trace::TraceConfig {
+                users: 200,
+                apps: 30,
+                days: 10,
+                ..Default::default()
+            },
+            windows: 6,
+            query_count: 20,
+            ..Default::default()
+        }
+        .with_max_datasets_per_query(f)
+        .with_max_replicas(k);
+        build_testbed_instance(&cfg, 11)
+    }
+
+    #[test]
+    fn run_produces_consistent_accounting() {
+        let world = small_world(2, 3);
+        let report = run_testbed(&ApproG::default(), &world, &SimConfig::default());
+        assert_eq!(report.total_queries, 20);
+        assert!(report.measured_admitted <= report.planned_admitted);
+        assert!(report.p50_response_s <= report.p95_response_s);
+        assert!(report.p95_response_s <= report.max_response_s + 1e-12);
+        assert!(report.p50_response_s >= 0.0);
+        assert!(report.measured_volume <= report.planned_volume + 1e-9);
+        assert!(report.measured_throughput <= 1.0);
+        assert!(report.replication_gb >= 0.0);
+        // Every completed query got an answer.
+        assert_eq!(
+            report.answers.len(),
+            report.plan.admitted_count(),
+            "all planned-admitted queries complete eventually"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let world = small_world(2, 3);
+        let a = run_testbed(&ApproG::default(), &world, &SimConfig::default());
+        let b = run_testbed(&ApproG::default(), &world, &SimConfig::default());
+        assert_eq!(a.measured_admitted, b.measured_admitted);
+        assert_eq!(a.measured_volume, b.measured_volume);
+        assert_eq!(a.mean_response_s, b.mean_response_s);
+    }
+
+    #[test]
+    fn appro_beats_popularity_on_the_testbed() {
+        // The Fig. 7/8 headline, at one configuration point.
+        let world = small_world(3, 2);
+        let appro = run_testbed(&ApproG::default(), &world, &SimConfig::default());
+        let pop = run_testbed(&Popularity::general(), &world, &SimConfig::default());
+        assert!(
+            appro.measured_volume >= pop.measured_volume,
+            "appro {} < popularity {}",
+            appro.measured_volume,
+            pop.measured_volume
+        );
+    }
+
+    #[test]
+    fn single_dataset_world_runs_with_appro_s() {
+        let world = small_world(1, 3);
+        let report = run_testbed(&ApproS::default(), &world, &SimConfig::default());
+        assert!(report.measured_admitted <= report.total_queries);
+    }
+
+    #[test]
+    fn consistency_updates_account_traffic() {
+        let world = small_world(2, 3);
+        let cfg = SimConfig {
+            arrival_rate_per_s: 0.05, // long horizon: many check intervals
+            consistency: Some(ConsistencyConfig {
+                growth_gb_per_hour: 100.0, // aggressive growth
+                threshold: 0.05,
+                check_interval_s: 10.0,
+            }),
+            seed: 3,
+            ..Default::default()
+        };
+        let report = run_testbed(&ApproG::default(), &world, &cfg);
+        assert!(
+            report.consistency_rounds > 0,
+            "aggressive growth must trigger synchronization"
+        );
+        assert!(report.consistency_gb > 0.0);
+    }
+
+    #[test]
+    fn no_consistency_config_no_traffic() {
+        let world = small_world(2, 3);
+        let report = run_testbed(&ApproG::default(), &world, &SimConfig::default());
+        assert_eq!(report.consistency_rounds, 0);
+        assert_eq!(report.consistency_gb, 0.0);
+    }
+
+    #[test]
+    fn rejected_queries_never_execute() {
+        let world = small_world(4, 1); // tight K: rejections guaranteed
+        let report = run_testbed(&ApproG::default(), &world, &SimConfig::default());
+        let planned = report.planned_admitted;
+        assert!(planned < report.total_queries, "need rejections for this test");
+        assert!(report.answers.len() <= planned);
+    }
+
+    #[test]
+    fn nic_contention_only_slows_things_down() {
+        let world = small_world(3, 3);
+        let storm = SimConfig {
+            arrival_rate_per_s: 50.0, // heavy overlap: NICs matter
+            ..Default::default()
+        };
+        let free = SimConfig {
+            nic_contention: false,
+            ..storm
+        };
+        let with_nic = run_testbed(&ApproG::default(), &world, &storm);
+        let without = run_testbed(&ApproG::default(), &world, &free);
+        assert!(
+            with_nic.mean_response_s >= without.mean_response_s - 1e-9,
+            "serialized NICs cannot be faster ({} vs {})",
+            with_nic.mean_response_s,
+            without.mean_response_s
+        );
+        assert!(with_nic.measured_admitted <= without.measured_admitted);
+    }
+
+    #[test]
+    fn replication_skips_origin_copies() {
+        // A plan whose only replica sits at the origin moves zero bytes.
+        let world = small_world(1, 1);
+        let report = run_testbed(&ApproG::default(), &world, &SimConfig::default());
+        // Volume moved is bounded by replicas * max size.
+        let max_possible: f64 = world
+            .instance
+            .datasets()
+            .iter()
+            .map(|d| d.size_gb * world.instance.max_replicas() as f64)
+            .sum();
+        assert!(report.replication_gb <= max_possible + 1e-9);
+    }
+}

@@ -1,0 +1,319 @@
+//! The Fig. 6 testbed topology and its workload.
+//!
+//! 20 leased VMs — 4 "data center" VMs in San Francisco, New York, Toronto
+//! and Singapore, 16 "cloudlet" VMs in the metro — plus 2 switches, with a
+//! controller running the placement algorithms (the controller does not
+//! appear in the model: it only *computes* placements). Datasets are
+//! time-partitioned slices of the synthetic mobile-app-usage trace,
+//! randomly distributed over the VMs exactly as §4.3 describes.
+
+use edgerep_model::prelude::*;
+use edgerep_workload::mobile_trace::{self, Record, TraceConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::analytics::AnalyticsKind;
+use crate::geo::{transfer_delay_per_gb, Region};
+
+/// Testbed shape and workload configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedConfig {
+    /// Cloudlet VMs (paper: 16).
+    pub cloudlet_vms: usize,
+    /// DC VM compute capacity range, GHz (VM-scale, not data-center-scale —
+    /// the paper itself notes its testbed DCs are small).
+    pub dc_vm_capacity: (f64, f64),
+    /// Cloudlet VM compute capacity range, GHz.
+    pub cloudlet_vm_capacity: (f64, f64),
+    /// DC VM processing delay, s/GB.
+    pub dc_proc_delay: (f64, f64),
+    /// Cloudlet VM processing delay, s/GB.
+    pub cloudlet_proc_delay: (f64, f64),
+    /// Synthetic trace standing in for the proprietary 3M-user dataset.
+    pub trace: TraceConfig,
+    /// Number of time windows the trace is partitioned into (= datasets).
+    pub windows: usize,
+    /// Dataset size range the trace volumes are normalized into, GB.
+    pub dataset_size_gb: (f64, f64),
+    /// Number of analytics queries issued.
+    pub query_count: usize,
+    /// Datasets demanded per query `[lo, hi]` (Fig. 7's `F` = hi).
+    pub datasets_per_query: (usize, usize),
+    /// Compute rate range, GHz/GB.
+    pub compute_rate: (f64, f64),
+    /// Selectivity range.
+    pub selectivity: (f64, f64),
+    /// Deadline base, seconds (testbed payloads are GB-scale, so seconds).
+    pub deadline_base: (f64, f64),
+    /// Deadline per GB of the largest demanded dataset, s/GB.
+    pub deadline_per_gb: (f64, f64),
+    /// Replica budget `K` (Fig. 8's x-axis).
+    pub max_replicas: usize,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        Self {
+            cloudlet_vms: 16,
+            dc_vm_capacity: (16.0, 32.0),
+            cloudlet_vm_capacity: (4.0, 8.0),
+            dc_proc_delay: (0.002, 0.005),
+            cloudlet_proc_delay: (0.005, 0.015),
+            trace: TraceConfig {
+                users: 2_000,
+                apps: 150,
+                days: 90,
+                ..Default::default()
+            },
+            windows: 12,
+            dataset_size_gb: (1.0, 6.0),
+            query_count: 60,
+            datasets_per_query: (1, 4),
+            compute_rate: (0.75, 1.25),
+            selectivity: (0.1, 1.0),
+            deadline_base: (1.0, 6.0),
+            deadline_per_gb: (0.2, 1.0),
+            max_replicas: 3,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// Sets the `F` knob (Fig. 7).
+    pub fn with_max_datasets_per_query(mut self, f: usize) -> Self {
+        assert!(f >= 1);
+        self.datasets_per_query = (self.datasets_per_query.0.min(f), f);
+        self
+    }
+
+    /// Sets the `K` knob (Fig. 8).
+    pub fn with_max_replicas(mut self, k: usize) -> Self {
+        assert!(k >= 1);
+        self.max_replicas = k;
+        self
+    }
+}
+
+/// The built world: the model instance plus everything the simulator needs
+/// that the model doesn't carry.
+#[derive(Debug, Clone)]
+pub struct TestbedWorld {
+    /// The placement-problem instance (given to the controller).
+    pub instance: Instance,
+    /// Region of each compute node.
+    pub regions: Vec<Region>,
+    /// Trace records per dataset (the query engine scans these).
+    pub records: Vec<Vec<Record>>,
+    /// Analytics class of each query.
+    pub query_kinds: Vec<AnalyticsKind>,
+}
+
+/// Builds the Fig. 6 edge cloud: DC VMs per region, metro cloudlets
+/// hanging off two switches, WAN links from switches to DCs.
+pub fn build_fig6_topology(cfg: &TestbedConfig, rng: &mut SmallRng) -> (EdgeCloudBuilder, Vec<Region>) {
+    let mut b = EdgeCloudBuilder::new();
+    let mut regions = Vec::new();
+    let draw = |rng: &mut SmallRng, (lo, hi): (f64, f64)| {
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        }
+    };
+
+    // DC VMs, one per region.
+    let mut dcs = Vec::new();
+    for region in Region::DC_REGIONS {
+        let dc = b.add_data_center(
+            draw(rng, cfg.dc_vm_capacity),
+            draw(rng, cfg.dc_proc_delay),
+        );
+        regions.push(region);
+        dcs.push((dc, region));
+    }
+    // Cloudlet VMs in the metro.
+    let mut cloudlets = Vec::new();
+    for _ in 0..cfg.cloudlet_vms {
+        let cl = b.add_cloudlet(
+            draw(rng, cfg.cloudlet_vm_capacity),
+            draw(rng, cfg.cloudlet_proc_delay),
+        );
+        regions.push(Region::Metro);
+        cloudlets.push(cl);
+    }
+    // Two metro switches; cloudlets split between them, switches bridged.
+    let sw0 = b.add_switch();
+    let sw1 = b.add_switch();
+    let metro_local = transfer_delay_per_gb(Region::Metro, Region::Metro);
+    b.link_graph(sw0, sw1, metro_local);
+    for (i, &cl) in cloudlets.iter().enumerate() {
+        let sw = if i % 2 == 0 { sw0 } else { sw1 };
+        b.link_graph(b.graph_node(cl), sw, metro_local);
+    }
+    // WAN links: each switch is a gateway to every DC (§2.1: DCs are
+    // reached via the Internet through gateway switches).
+    for &(dc, region) in &dcs {
+        let wan = transfer_delay_per_gb(Region::Metro, region);
+        b.link_graph(b.graph_node(dc), sw0, wan);
+        b.link_graph(b.graph_node(dc), sw1, wan);
+    }
+    // DC-to-DC backbone.
+    for i in 0..dcs.len() {
+        for j in (i + 1)..dcs.len() {
+            let (dci, ri) = dcs[i];
+            let (dcj, rj) = dcs[j];
+            b.link(dci, dcj, transfer_delay_per_gb(ri, rj));
+        }
+    }
+    (b, regions)
+}
+
+/// Builds the whole testbed world from a seed: topology, trace-backed
+/// datasets, and analytics queries.
+pub fn build_testbed_instance(cfg: &TestbedConfig, seed: u64) -> TestbedWorld {
+    assert!(cfg.windows >= 1, "need at least one dataset window");
+    assert!(cfg.query_count >= 1, "need at least one query");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (builder, regions) = build_fig6_topology(cfg, &mut rng);
+    let cloud = builder.build().expect("testbed topology is valid");
+    let compute_ids: Vec<ComputeNodeId> = cloud.compute_ids().collect();
+    let dc_count = 4usize;
+
+    // Trace → time-partitioned datasets with sizes normalized into the
+    // configured GB range ("we divide the data into a number of datasets
+    // according to the data creation time", §4.3).
+    let trace = mobile_trace::generate_trace(&cfg.trace, seed ^ 0x5eed);
+    let parts = mobile_trace::partition_by_time(&trace, cfg.windows);
+    let volumes: Vec<u64> = parts.iter().map(|p| mobile_trace::volume_bytes(p)).collect();
+    let vmin = *volumes.iter().min().expect("windows >= 1") as f64;
+    let vmax = *volumes.iter().max().expect("windows >= 1") as f64;
+    let (glo, ghi) = cfg.dataset_size_gb;
+    let mut ib = InstanceBuilder::new(cloud, cfg.max_replicas);
+    for &v in &volumes {
+        let t = if vmax > vmin { (v as f64 - vmin) / (vmax - vmin) } else { 0.5 };
+        let size = glo + t * (ghi - glo);
+        // "randomly distribute the datasets into the data centers and
+        // cloudlets": origin drawn over all VMs, biased to DCs where the
+        // legacy services live.
+        let origin = if rng.gen_bool(0.7) {
+            compute_ids[rng.gen_range(0..dc_count)]
+        } else {
+            compute_ids[rng.gen_range(dc_count..compute_ids.len())]
+        };
+        ib.add_dataset(size.max(0.05), origin);
+    }
+
+    // Queries: homes at cloudlets, analytics classes drawn per query.
+    let mut query_kinds = Vec::with_capacity(cfg.query_count);
+    let draw = |rng: &mut SmallRng, (lo, hi): (f64, f64)| {
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        }
+    };
+    for _ in 0..cfg.query_count {
+        let home = compute_ids[rng.gen_range(dc_count..compute_ids.len())];
+        let f = rng
+            .gen_range(cfg.datasets_per_query.0..=cfg.datasets_per_query.1)
+            .min(cfg.windows);
+        let mut pool: Vec<u32> = (0..cfg.windows as u32).collect();
+        let mut demands = Vec::with_capacity(f);
+        let mut largest: f64 = 0.0;
+        for slot in 0..f {
+            let pick = rng.gen_range(slot..pool.len());
+            pool.swap(slot, pick);
+            let d = DatasetId(pool[slot]);
+            largest = largest.max(ib.dataset_size(d));
+            demands.push(Demand::new(d, draw(&mut rng, cfg.selectivity)));
+        }
+        let deadline =
+            draw(&mut rng, cfg.deadline_base) + largest * draw(&mut rng, cfg.deadline_per_gb);
+        ib.add_query(home, demands, draw(&mut rng, cfg.compute_rate), deadline);
+        query_kinds.push(AnalyticsKind::random(&mut rng));
+    }
+
+    TestbedWorld {
+        instance: ib.build().expect("testbed instance is valid"),
+        regions,
+        records: parts,
+        query_kinds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape() {
+        let cfg = TestbedConfig::default();
+        let world = build_testbed_instance(&cfg, 1);
+        let cloud = world.instance.cloud();
+        assert_eq!(cloud.data_center_count(), 4);
+        assert_eq!(cloud.cloudlet_count(), 16);
+        // 4 DCs + 16 cloudlets + 2 switches.
+        assert_eq!(cloud.graph().node_count(), 22);
+        assert!(edgerep_graph::connectivity::is_connected(cloud.graph()));
+        assert_eq!(world.regions.len(), 20);
+        assert_eq!(&world.regions[0..4], &Region::DC_REGIONS);
+        assert!(world.regions[4..].iter().all(|&r| r == Region::Metro));
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let cfg = TestbedConfig::default();
+        let a = build_testbed_instance(&cfg, 7);
+        let b = build_testbed_instance(&cfg, 7);
+        assert_eq!(a.instance.queries(), b.instance.queries());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.query_kinds, b.query_kinds);
+    }
+
+    #[test]
+    fn datasets_match_windows_with_sizes_in_range() {
+        let cfg = TestbedConfig::default();
+        let world = build_testbed_instance(&cfg, 3);
+        assert_eq!(world.instance.datasets().len(), cfg.windows);
+        assert_eq!(world.records.len(), cfg.windows);
+        for d in world.instance.datasets() {
+            assert!(d.size_gb >= 1.0 - 1e-9 && d.size_gb <= 6.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn metro_paths_faster_than_wan() {
+        let cfg = TestbedConfig::default();
+        let world = build_testbed_instance(&cfg, 2);
+        let cloud = world.instance.cloud();
+        // cloudlet->cloudlet beats cloudlet->Singapore DC.
+        let cl_a = ComputeNodeId(4);
+        let cl_b = ComputeNodeId(5);
+        let sgp = ComputeNodeId(3); // 4th DC region = Singapore
+        assert!(cloud.min_delay(cl_a, cl_b) < cloud.min_delay(cl_a, sgp));
+    }
+
+    #[test]
+    fn queries_home_on_cloudlets() {
+        let cfg = TestbedConfig::default();
+        let world = build_testbed_instance(&cfg, 5);
+        for q in world.instance.queries() {
+            assert!(q.home.0 >= 4, "query {} homes on a DC", q.id);
+        }
+        assert_eq!(world.query_kinds.len(), cfg.query_count);
+    }
+
+    #[test]
+    fn f_and_k_knobs() {
+        let cfg = TestbedConfig::default()
+            .with_max_datasets_per_query(2)
+            .with_max_replicas(5);
+        let world = build_testbed_instance(&cfg, 9);
+        assert_eq!(world.instance.max_replicas(), 5);
+        assert!(world
+            .instance
+            .queries()
+            .iter()
+            .all(|q| q.demands.len() <= 2));
+    }
+}

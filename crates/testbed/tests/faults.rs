@@ -1,0 +1,164 @@
+//! Fault-injection tests: node failures, replica failover, and the
+//! availability value of `K > 1`.
+
+use edgerep_core::appro::ApproG;
+use edgerep_testbed::sim::{run_testbed_with_faults, NodeFailure};
+use edgerep_testbed::{build_testbed_instance, run_testbed, SimConfig, TestbedConfig};
+use edgerep_model::ComputeNodeId;
+
+fn world(k: usize, seed: u64) -> edgerep_testbed::TestbedWorld {
+    let cfg = TestbedConfig {
+        query_count: 30,
+        windows: 6,
+        trace: edgerep_workload::mobile_trace::TraceConfig {
+            users: 200,
+            apps: 30,
+            days: 10,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_max_replicas(k);
+    build_testbed_instance(&cfg, seed)
+}
+
+#[test]
+fn no_faults_no_fault_accounting() {
+    let w = world(3, 1);
+    let report = run_testbed(&ApproG::default(), &w, &SimConfig::default());
+    assert_eq!(report.failovers, 0);
+    assert_eq!(report.queries_lost_to_faults, 0);
+}
+
+#[test]
+fn early_fault_never_increases_admissions() {
+    let w = world(3, 2);
+    let sim = SimConfig::default();
+    let clean = run_testbed(&ApproG::default(), &w, &sim);
+    // Kill the busiest cloudlet before any query arrives.
+    let loads = clean.plan.node_loads(&w.instance);
+    let busiest = loads
+        .iter()
+        .enumerate()
+        .skip(4) // skip the DC VMs; cloudlets carry the edge load
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| ComputeNodeId(i as u32))
+        .unwrap();
+    let faulty = run_testbed_with_faults(
+        &ApproG::default(),
+        &w,
+        &sim,
+        &[NodeFailure {
+            node: busiest,
+            at_s: 0.0,
+        }],
+    );
+    assert!(faulty.measured_admitted <= clean.measured_admitted);
+    assert!(faulty.measured_volume <= clean.measured_volume + 1e-9);
+    // Something was affected: failovers happened or queries were lost
+    // (the busiest cloudlet served work in the clean run).
+    assert!(
+        faulty.failovers > 0 || faulty.queries_lost_to_faults > 0,
+        "killing the busiest node must affect something"
+    );
+}
+
+#[test]
+fn replication_enables_failover() {
+    // With K = 1 a failed node's datasets are simply gone; with K = 3
+    // arriving queries can fail over. Aggregated over seeds to dodge
+    // per-topology noise.
+    let mut lost_k1 = 0usize;
+    let mut lost_k3 = 0usize;
+    let mut failovers_k3 = 0usize;
+    for seed in 0..6u64 {
+        for (k, lost, fo) in [(1usize, &mut lost_k1, None), (3, &mut lost_k3, Some(&mut failovers_k3))] {
+            let w = world(k, seed);
+            let fault = NodeFailure {
+                node: ComputeNodeId(4), // first cloudlet VM
+                at_s: 0.0,
+            };
+            let report = run_testbed_with_faults(
+                &ApproG::default(),
+                &w,
+                &SimConfig { seed, ..Default::default() },
+                &[fault],
+            );
+            *lost += report.queries_lost_to_faults;
+            if let Some(fo) = fo {
+                *fo += report.failovers;
+            }
+        }
+    }
+    assert!(
+        failovers_k3 > 0,
+        "K = 3 should produce at least one successful failover across 6 seeds"
+    );
+    assert!(
+        lost_k3 <= lost_k1,
+        "more replicas must not lose more queries ({lost_k3} vs {lost_k1})"
+    );
+}
+
+#[test]
+fn mid_run_fault_poisons_in_flight_queries() {
+    let w = world(3, 5);
+    // Storm arrivals so plenty of work is in flight, then kill a cloudlet
+    // mid-run.
+    let sim = SimConfig {
+        arrival_rate_per_s: 100.0,
+        ..Default::default()
+    };
+    let clean = run_testbed(&ApproG::default(), &w, &sim);
+    let faults: Vec<NodeFailure> = (4..8)
+        .map(|i| NodeFailure {
+            node: ComputeNodeId(i),
+            at_s: 0.05,
+        })
+        .collect();
+    let faulty = run_testbed_with_faults(&ApproG::default(), &w, &sim, &faults);
+    assert!(faulty.measured_admitted <= clean.measured_admitted);
+    // Accounting stays coherent.
+    assert!(
+        faulty.queries_lost_to_faults + faulty.answers.len() <= faulty.total_queries
+    );
+}
+
+#[test]
+fn all_nodes_down_loses_everything() {
+    let w = world(2, 7);
+    let faults: Vec<NodeFailure> = w
+        .instance
+        .cloud()
+        .compute_ids()
+        .map(|v| NodeFailure { node: v, at_s: 0.0 })
+        .collect();
+    let report = run_testbed_with_faults(
+        &ApproG::default(),
+        &w,
+        &SimConfig::default(),
+        &faults,
+    );
+    assert_eq!(report.measured_admitted, 0);
+    assert_eq!(report.answers.len(), 0);
+    assert_eq!(
+        report.queries_lost_to_faults,
+        report.planned_admitted,
+        "every planned query is lost when the whole fleet is down"
+    );
+}
+
+#[test]
+#[should_panic(expected = "unknown node")]
+fn fault_on_unknown_node_rejected() {
+    let w = world(2, 8);
+    run_testbed_with_faults(
+        &ApproG::default(),
+        &w,
+        &SimConfig::default(),
+        &[NodeFailure {
+            node: ComputeNodeId(999),
+            at_s: 1.0,
+        }],
+    );
+}

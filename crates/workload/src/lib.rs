@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Workload generation for the `edgerep` experiments.
+//!
+//! Reproduces the evaluation setup of §4.1 of the paper:
+//!
+//! * [`params::WorkloadParams`] — every knob of the simulation environment
+//!   (node counts, link probability 0.2, capacity ranges `[200, 700]` /
+//!   `[8, 16]` GHz, dataset volumes `[1, 6]` GB, compute rates
+//!   `[0.75, 1.25]` GHz/GB, dataset counts `[5, 20]`, query counts
+//!   `[10, 100]`, datasets-per-query `[1, 7]`, volume-scaled deadlines).
+//! * [`generator`] — draws a two-tier edge cloud plus datasets and queries
+//!   from a seeded RNG; every experiment value in the paper is a mean over
+//!   15 such draws.
+//! * [`presets`] — per-figure scenario builders (network-size sweeps,
+//!   `F` sweeps, `K` sweeps).
+//! * [`mobile_trace`] — the synthetic stand-in for the proprietary
+//!   3-million-user mobile-app-usage dataset used by the paper's testbed
+//!   (§4.3): Zipf-distributed app popularity, diurnal activity, and
+//!   time-windowed partitioning into datasets.
+
+pub mod generator;
+pub mod mobile_trace;
+pub mod params;
+pub mod presets;
+
+pub use generator::generate_instance;
+pub use params::WorkloadParams;

@@ -1,0 +1,286 @@
+//! Synthetic mobile-app-usage trace.
+//!
+//! The paper's testbed analyzes "mobile application usage information from
+//! 3 million anonymous mobile users for a period of three months" (§4.3) —
+//! a proprietary dataset we cannot ship. This module generates a synthetic
+//! trace with the same schema and the aggregate structure that matters to
+//! the replication layer and the testbed's query engine:
+//!
+//! * **Zipf app popularity** — a few apps dominate usage, so "most popular
+//!   apps" queries have skewed, stable answers;
+//! * **diurnal activity** — session start times follow a day/night cycle,
+//!   so "at what time is app X used" queries have structure;
+//! * **per-user rates** — heavy and light users, Zipf-distributed;
+//! * **time-window partitioning** — the paper "divide\[s\] the data into a
+//!   number of datasets according to the data creation time"; so does
+//!   [`partition_by_time`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One app-usage session record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Anonymous user id.
+    pub user: u32,
+    /// App id (0 is the most popular app).
+    pub app: u32,
+    /// Session start, seconds since the trace epoch.
+    pub start: u64,
+    /// Session duration in seconds.
+    pub duration_s: u32,
+    /// Bytes transferred during the session.
+    pub bytes: u64,
+}
+
+/// Trace generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of distinct users.
+    pub users: u32,
+    /// Number of distinct apps.
+    pub apps: u32,
+    /// Trace length in days (the paper's dataset covers ~90).
+    pub days: u32,
+    /// Mean sessions per user per day.
+    pub sessions_per_user_day: f64,
+    /// Zipf exponent for app popularity (≈1 matches app-store data).
+    pub app_zipf_exponent: f64,
+    /// Zipf exponent for user activity.
+    pub user_zipf_exponent: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            users: 3_000,
+            apps: 200,
+            days: 90,
+            sessions_per_user_day: 0.5,
+            app_zipf_exponent: 1.0,
+            user_zipf_exponent: 0.8,
+        }
+    }
+}
+
+/// A discrete Zipf sampler over ranks `0..n` built from cumulative weights.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with the given exponent.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(exponent >= 0.0 && exponent.is_finite(), "bad exponent");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Samples a rank in `0..n`; rank 0 is the most likely.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn mass(&self, r: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if r == 0 { 0.0 } else { self.cumulative[r - 1] };
+        (self.cumulative[r] - prev) / total
+    }
+}
+
+/// Diurnal weight for a second-of-day: low 2am, peak 8pm, never zero.
+fn diurnal_weight(second_of_day: u64) -> f64 {
+    let hour = (second_of_day as f64) / 3600.0;
+    // Cosine day cycle with trough at 02:00 and crest at 14:00 plus an
+    // evening bump; normalized into (0.05, 1.0].
+    let base = 0.5 + 0.5 * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+    let evening = (-((hour - 20.0) / 3.0).powi(2)).exp() * 0.5;
+    (0.05 + base + evening) / 1.55
+}
+
+/// Generates the trace, sorted by start time.
+pub fn generate_trace(cfg: &TraceConfig, seed: u64) -> Vec<Record> {
+    assert!(cfg.users > 0 && cfg.apps > 0 && cfg.days > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let app_zipf = Zipf::new(cfg.apps as usize, cfg.app_zipf_exponent);
+    let user_zipf = Zipf::new(cfg.users as usize, cfg.user_zipf_exponent);
+    let total_sessions =
+        (cfg.users as f64 * cfg.days as f64 * cfg.sessions_per_user_day).round() as usize;
+    let horizon = cfg.days as u64 * 86_400;
+    let mut records = Vec::with_capacity(total_sessions);
+    while records.len() < total_sessions {
+        // Rejection-sample a start time against the diurnal profile.
+        let start = rng.gen_range(0..horizon);
+        if rng.gen::<f64>() > diurnal_weight(start % 86_400) {
+            continue;
+        }
+        let user = user_zipf.sample(&mut rng) as u32;
+        let app = app_zipf.sample(&mut rng) as u32;
+        // Log-normal-ish session lengths: most sessions are short.
+        let duration_s = (30.0 * (-(rng.gen::<f64>()).ln())).ceil().min(7_200.0) as u32 + 5;
+        let bytes = (duration_s as u64) * rng.gen_range(2_000..200_000);
+        records.push(Record {
+            user,
+            app,
+            start,
+            duration_s,
+            bytes,
+        });
+    }
+    records.sort_by_key(|r| r.start);
+    records
+}
+
+/// Splits a time-sorted trace into `windows` datasets by creation time
+/// (equal-width windows over the trace horizon), as the paper does before
+/// distributing datasets over the testbed.
+pub fn partition_by_time(records: &[Record], windows: usize) -> Vec<Vec<Record>> {
+    assert!(windows > 0, "need at least one window");
+    let mut parts = vec![Vec::new(); windows];
+    if records.is_empty() {
+        return parts;
+    }
+    let start = records.first().expect("non-empty").start;
+    let end = records.last().expect("non-empty").start;
+    let span = (end - start).max(1);
+    for &r in records {
+        let idx = (((r.start - start) as u128 * windows as u128) / (span as u128 + 1)) as usize;
+        parts[idx.min(windows - 1)].push(r);
+    }
+    parts
+}
+
+/// Total bytes of a record slice, the "volume" the testbed maps to GB.
+pub fn volume_bytes(records: &[Record]) -> u64 {
+    records.iter().map(|r| r.bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig {
+            users: 100,
+            apps: 20,
+            days: 7,
+            sessions_per_user_day: 1.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trace_has_expected_size_and_order() {
+        let cfg = small_cfg();
+        let t = generate_trace(&cfg, 1);
+        assert_eq!(t.len(), 700);
+        assert!(t.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(t.iter().all(|r| r.user < 100 && r.app < 20));
+        assert!(t.iter().all(|r| r.start < 7 * 86_400));
+        assert!(t.iter().all(|r| r.duration_s >= 5 && r.bytes > 0));
+    }
+
+    #[test]
+    fn trace_deterministic_per_seed() {
+        let cfg = small_cfg();
+        assert_eq!(generate_trace(&cfg, 9), generate_trace(&cfg, 9));
+        assert_ne!(generate_trace(&cfg, 9), generate_trace(&cfg, 10));
+    }
+
+    #[test]
+    fn app_popularity_is_skewed() {
+        let cfg = TraceConfig {
+            users: 500,
+            apps: 50,
+            days: 30,
+            sessions_per_user_day: 1.0,
+            ..Default::default()
+        };
+        let t = generate_trace(&cfg, 3);
+        let mut counts = vec![0usize; 50];
+        for r in &t {
+            counts[r.app as usize] += 1;
+        }
+        // Rank-0 app must beat the median app by a wide margin.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert!(counts[0] > 4 * sorted[25], "not Zipf-y: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_masses_decrease() {
+        let z = Zipf::new(10, 1.0);
+        for r in 1..10 {
+            assert!(z.mass(r) <= z.mass(r - 1) + 1e-12);
+        }
+        let total: f64 = (0..10).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.mass(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = Zipf::new(7, 1.2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn diurnal_never_zero_and_peaks_in_evening() {
+        let night = diurnal_weight(2 * 3600);
+        let evening = diurnal_weight(20 * 3600);
+        assert!(night > 0.0);
+        assert!(evening > 2.0 * night, "evening {evening} night {night}");
+    }
+
+    #[test]
+    fn partition_covers_all_records() {
+        let t = generate_trace(&small_cfg(), 4);
+        let parts = partition_by_time(&t, 6);
+        assert_eq!(parts.len(), 6);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), t.len());
+        // Window boundaries respect time order.
+        for w in parts.windows(2) {
+            if let (Some(last), Some(first)) = (w[0].last(), w[1].first()) {
+                assert!(last.start <= first.start);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_handles_empty_and_single_window() {
+        assert_eq!(partition_by_time(&[], 3).len(), 3);
+        let t = generate_trace(&small_cfg(), 2);
+        let parts = partition_by_time(&t, 1);
+        assert_eq!(parts[0].len(), t.len());
+    }
+
+    #[test]
+    fn volume_sums_bytes() {
+        let records = vec![
+            Record { user: 0, app: 0, start: 0, duration_s: 10, bytes: 100 },
+            Record { user: 1, app: 1, start: 5, duration_s: 10, bytes: 250 },
+        ];
+        assert_eq!(volume_bytes(&records), 350);
+    }
+}

@@ -1,0 +1,67 @@
+//! Approximation quality: on small instances where the exact ILP optimum
+//! is computable, sandwich `Appro-G` between the optimum and the LP / dual
+//! upper bounds and report the empirical approximation ratio against the
+//! theorem's `max(|Q|·|S|, |V|·|S|/K)` guarantee.
+//!
+//! ```text
+//! cargo run --release -p edgerep-exp --example approximation_quality
+//! ```
+
+use edgerep_core::appro::Appro;
+use edgerep_core::ilp::lp_upper_bound;
+use edgerep_core::optimal::{Optimal, OptimalStatus};
+use edgerep_workload::{generate_instance, WorkloadParams};
+
+fn main() {
+    let params = WorkloadParams {
+        data_centers: 2,
+        cloudlets: 4,
+        switches: 1,
+        dataset_count: (3, 5),
+        query_count: (6, 10),
+        datasets_per_query: (1, 2),
+        ..Default::default()
+    };
+    println!(
+        "{:>5} | {:>10} | {:>10} | {:>10} | {:>10} | {:>9} | {:>9}",
+        "seed", "Appro [GB]", "OPT [GB]", "LP bound", "dual bnd", "OPT/Appro", "theorem"
+    );
+    println!("{}", "-".repeat(84));
+    let mut worst: f64 = 1.0;
+    for seed in 0..10u64 {
+        let inst = generate_instance(&params, seed);
+        let report = Appro::default().run(&inst);
+        let appro = report.solution.admitted_volume(&inst);
+        let (opt_sol, status) = Optimal::default().solve_with_status(&inst);
+        let opt = opt_sol.admitted_volume(&inst);
+        let lp = lp_upper_bound(&inst);
+        let q = inst.queries().len() as f64;
+        let s = inst.datasets().len() as f64;
+        let v = inst.cloud().compute_count() as f64;
+        let k = inst.max_replicas() as f64;
+        let theorem = (q * s).max(v * s / k);
+        let ratio = if appro > 0.0 { opt / appro } else { f64::INFINITY };
+        worst = worst.max(ratio);
+        println!(
+            "{:>5} | {:>10.2} | {:>8.2}{} | {:>10.2} | {:>10.2} | {:>9.3} | {:>9.1}",
+            seed,
+            appro,
+            opt,
+            match status {
+                OptimalStatus::Proven => " ",
+                OptimalStatus::Incumbent => "*",
+                OptimalStatus::Unknown => "?",
+            },
+            lp,
+            report.dual_bound,
+            ratio,
+            theorem,
+        );
+        assert!(appro <= opt + 1e-6, "heuristic beat the proven optimum?!");
+        assert!(opt <= lp + 1e-6, "optimum above the LP relaxation?!");
+    }
+    println!(
+        "\nworst empirical OPT/Appro ratio: {worst:.3} (theorem guarantees only max(|Q||S|, |V||S|/K))"
+    );
+    println!("(* = node budget hit, incumbent shown; ? = no incumbent found)");
+}

@@ -1,0 +1,82 @@
+//! Quickstart: build a small two-tier edge cloud by hand, describe datasets
+//! and QoS-bound analytics queries, and let `Appro-G` decide where replicas
+//! go and which queries are admitted.
+//!
+//! ```text
+//! cargo run --release -p edgerep-exp --example quickstart
+//! ```
+
+use edgerep_core::appro::{Appro, ApproG};
+use edgerep_core::PlacementAlgorithm;
+use edgerep_model::prelude::*;
+
+fn main() {
+    // --- 1. The edge cloud: one remote DC, three metro cloudlets. -------
+    let mut b = EdgeCloudBuilder::new();
+    let dc = b.add_data_center(400.0, 0.001); // 400 GHz, 1 ms/GB
+    let cl_a = b.add_cloudlet(12.0, 0.008);
+    let cl_b = b.add_cloudlet(10.0, 0.010);
+    let cl_c = b.add_cloudlet(8.0, 0.012);
+    let sw = b.add_switch();
+    // Metro fabric: cloudlets hang off one switch (20-40 ms/GB links).
+    b.link_graph(b.graph_node(cl_a), sw, 0.02);
+    b.link_graph(b.graph_node(cl_b), sw, 0.03);
+    b.link_graph(b.graph_node(cl_c), sw, 0.04);
+    // The DC sits behind the Internet (400 ms/GB).
+    b.link_graph(b.graph_node(dc), sw, 0.4);
+    let cloud = b.build().expect("a valid cloud");
+
+    // --- 2. Datasets and queries, with a replica budget of K = 2. -------
+    let mut ib = InstanceBuilder::new(cloud, 2);
+    let logs = ib.add_dataset(5.0, dc); // 5 GB of service logs, born at the DC
+    let clicks = ib.add_dataset(2.0, dc); // 2 GB click stream
+    // A dashboard at cloudlet A: needs half the logs joined fast.
+    ib.add_query(cl_a, vec![Demand::new(logs, 0.5)], 1.0, 0.30);
+    // A report at cloudlet B: logs + clicks, a little more patient.
+    ib.add_query(
+        cl_b,
+        vec![Demand::new(logs, 0.3), Demand::new(clicks, 1.0)],
+        1.0,
+        0.50,
+    );
+    // A deep scan at cloudlet C with an impossible 50 ms budget.
+    ib.add_query(cl_c, vec![Demand::new(logs, 1.0)], 1.2, 0.05);
+    let instance = ib.build().expect("a valid instance");
+
+    // --- 3. Solve and inspect. -------------------------------------------
+    let report = Appro::default().run(&instance);
+    let solution = report.solution;
+    solution
+        .validate(&instance)
+        .expect("Appro always returns feasible solutions");
+
+    println!("algorithm: {}", ApproG::default().name());
+    println!("dual bound: {:.2} GB\n", report.dual_bound);
+    for d in instance.dataset_ids() {
+        let at: Vec<String> = solution
+            .replicas_of(d)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        println!("dataset {d} ({} GB) replicated at [{}]", instance.size(d), at.join(", "));
+    }
+    println!();
+    for q in instance.query_ids() {
+        match solution.assignment_of(q) {
+            Some(nodes) => {
+                let delay = edgerep_model::delay::query_delay(&instance, q, nodes);
+                println!(
+                    "query {q}: ADMITTED at {:?} — delay {:.3}s within deadline {:.3}s",
+                    nodes.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                    delay,
+                    instance.query(q).deadline
+                );
+            }
+            None => println!(
+                "query {q}: rejected (deadline {:.3}s unreachable)",
+                instance.query(q).deadline
+            ),
+        }
+    }
+    println!("\n{}", Metrics::of(&instance, &solution));
+}

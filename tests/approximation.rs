@@ -1,0 +1,149 @@
+//! Approximation-quality guarantees on small instances with a provable
+//! optimum: heuristics ≤ OPT ≤ LP relaxation, Appro's dual bound dominates
+//! its primal, and the empirical ratio sits far inside the theorem's
+//! `max(|Q|·|S|, |V|·|S|/K)` guarantee.
+
+use edgerep_core::appro::Appro;
+use edgerep_core::graphpart::GraphPartition;
+use edgerep_core::greedy::Greedy;
+use edgerep_core::ilp::lp_upper_bound;
+use edgerep_core::optimal::{Optimal, OptimalStatus};
+use edgerep_core::popularity::Popularity;
+use edgerep_core::PlacementAlgorithm;
+use edgerep_workload::{generate_instance, WorkloadParams};
+
+fn small_params() -> WorkloadParams {
+    WorkloadParams {
+        data_centers: 2,
+        cloudlets: 4,
+        switches: 1,
+        dataset_count: (3, 4),
+        query_count: (5, 8),
+        datasets_per_query: (1, 2),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn sandwich_heuristic_opt_lp() {
+    for seed in 0..8u64 {
+        let inst = generate_instance(&small_params(), seed);
+        let (opt_sol, status) = Optimal::default().solve_with_status(&inst);
+        assert_eq!(status, OptimalStatus::Proven, "seed {seed} should be small enough");
+        opt_sol.validate(&inst).unwrap();
+        let opt = opt_sol.admitted_volume(&inst);
+        let lp = lp_upper_bound(&inst);
+        assert!(opt <= lp + 1e-6, "seed {seed}: OPT {opt} above LP bound {lp}");
+
+        for alg in [
+            &Appro::default().run(&inst).solution,
+            &Greedy::general().solve(&inst),
+            &GraphPartition::general().solve(&inst),
+            &Popularity::general().solve(&inst),
+        ] {
+            let vol = alg.admitted_volume(&inst);
+            assert!(
+                vol <= opt + 1e-6,
+                "seed {seed}: heuristic volume {vol} beats proven OPT {opt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn appro_dual_bound_dominates_opt() {
+    // The assembled feasible dual is an upper bound on the LP optimum, so
+    // in particular on the ILP optimum.
+    for seed in 0..8u64 {
+        let inst = generate_instance(&small_params(), seed);
+        let report = Appro::default().run(&inst);
+        let (opt_sol, status) = Optimal::default().solve_with_status(&inst);
+        assert_eq!(status, OptimalStatus::Proven);
+        let opt = opt_sol.admitted_volume(&inst);
+        assert!(
+            report.dual_bound >= opt - 1e-6,
+            "seed {seed}: dual bound {} below OPT {opt}",
+            report.dual_bound
+        );
+    }
+}
+
+#[test]
+fn empirical_ratio_far_inside_theorem() {
+    // Theorem 1 guarantees Appro-G within max(|Q|·|S|, |V|·|S|/K) of OPT;
+    // empirically the gap should be a small constant.
+    let mut worst = 1.0f64;
+    for seed in 0..8u64 {
+        let inst = generate_instance(&small_params(), seed);
+        let appro = Appro::default()
+            .run(&inst)
+            .solution
+            .admitted_volume(&inst);
+        let (opt_sol, _) = Optimal::default().solve_with_status(&inst);
+        let opt = opt_sol.admitted_volume(&inst);
+        if appro > 0.0 {
+            worst = worst.max(opt / appro);
+        } else {
+            assert!(opt <= 1e-9, "seed {seed}: Appro admitted nothing but OPT = {opt}");
+        }
+        let theorem = (inst.queries().len() * inst.datasets().len()) as f64;
+        assert!(worst <= theorem, "ratio {worst} outside theorem bound {theorem}");
+    }
+    assert!(
+        worst <= 2.0,
+        "empirical approximation ratio degraded badly: {worst}"
+    );
+}
+
+#[test]
+fn appro_dominates_baselines_at_paper_defaults() {
+    // The paper's headline: Appro admits several times the volume of
+    // Greedy and clearly more than Graph. Checked as a mean over seeds so
+    // a single unlucky topology cannot flake the suite.
+    let params = WorkloadParams::default();
+    let mut appro_total = 0.0;
+    let mut greedy_total = 0.0;
+    let mut graph_total = 0.0;
+    for seed in 0..10u64 {
+        let inst = generate_instance(&params, seed);
+        appro_total += Appro::default().run(&inst).solution.admitted_volume(&inst);
+        greedy_total += Greedy::general().solve(&inst).admitted_volume(&inst);
+        graph_total += GraphPartition::general().solve(&inst).admitted_volume(&inst);
+    }
+    assert!(
+        appro_total > 2.0 * greedy_total,
+        "Appro {appro_total} should be well over 2x Greedy {greedy_total}"
+    );
+    assert!(
+        appro_total > 1.3 * graph_total,
+        "Appro {appro_total} should be well over 1.3x Graph {graph_total}"
+    );
+}
+
+#[test]
+fn lp_bound_caps_every_algorithm_on_midsize_instances() {
+    let params = WorkloadParams {
+        data_centers: 2,
+        cloudlets: 6,
+        switches: 1,
+        dataset_count: (4, 6),
+        query_count: (8, 12),
+        datasets_per_query: (1, 3),
+        ..Default::default()
+    };
+    for seed in 0..4u64 {
+        let inst = generate_instance(&params, seed);
+        let lp = lp_upper_bound(&inst);
+        for alg in [
+            Appro::default().run(&inst).solution,
+            Greedy::general().solve(&inst),
+            GraphPartition::general().solve(&inst),
+            Popularity::general().solve(&inst),
+        ] {
+            assert!(
+                alg.admitted_volume(&inst) <= lp + 1e-6,
+                "seed {seed}: volume above the LP relaxation"
+            );
+        }
+    }
+}

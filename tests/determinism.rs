@@ -1,0 +1,77 @@
+//! Cross-crate determinism: identical seeds produce identical instances,
+//! identical placements, identical figures — the property that makes the
+//! 15-topology experiment averages reproducible.
+
+use edgerep_core::{simulation_panel, BoxedAlgorithm};
+use edgerep_exp::runner::run_simulation_point;
+use edgerep_testbed::{build_testbed_instance, run_testbed, SimConfig, TestbedConfig};
+use edgerep_workload::{generate_instance, WorkloadParams};
+
+#[test]
+fn instances_bitwise_equal_per_seed() {
+    let params = WorkloadParams::default();
+    for seed in [0u64, 17, 994] {
+        let a = generate_instance(&params, seed);
+        let b = generate_instance(&params, seed);
+        assert_eq!(a.queries(), b.queries());
+        assert_eq!(a.datasets(), b.datasets());
+        assert_eq!(a.cloud().graph(), b.cloud().graph());
+    }
+}
+
+#[test]
+fn placements_identical_across_runs() {
+    let params = WorkloadParams::default();
+    let inst = generate_instance(&params, 3);
+    for alg in simulation_panel() {
+        let s1 = alg.solve(&inst);
+        let s2 = alg.solve(&inst);
+        assert_eq!(s1, s2, "{} is not deterministic", alg.name());
+    }
+}
+
+#[test]
+fn figure_points_identical_across_processes_worth_of_runs() {
+    let params = WorkloadParams {
+        query_count: (10, 20),
+        ..Default::default()
+    };
+    let panel: Vec<BoxedAlgorithm> = simulation_panel();
+    let a = run_simulation_point(&params, &panel, 4);
+    let b = run_simulation_point(&params, &panel, 4);
+    assert_eq!(a, b, "parallel runner introduced nondeterminism");
+}
+
+#[test]
+fn testbed_runs_identical_per_seed() {
+    let cfg = TestbedConfig {
+        query_count: 15,
+        windows: 5,
+        trace: edgerep_workload::mobile_trace::TraceConfig {
+            users: 150,
+            apps: 25,
+            days: 7,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let world = build_testbed_instance(&cfg, 21);
+    let sim = SimConfig::default();
+    let r1 = run_testbed(&edgerep_core::appro::ApproG::default(), &world, &sim);
+    let r2 = run_testbed(&edgerep_core::appro::ApproG::default(), &world, &sim);
+    assert_eq!(r1.measured_volume, r2.measured_volume);
+    assert_eq!(r1.measured_admitted, r2.measured_admitted);
+    assert_eq!(r1.mean_response_s, r2.mean_response_s);
+    assert_eq!(r1.answers, r2.answers);
+}
+
+#[test]
+fn different_seeds_change_something() {
+    let params = WorkloadParams::default();
+    let a = generate_instance(&params, 1);
+    let b = generate_instance(&params, 2);
+    assert!(
+        a.queries() != b.queries() || a.cloud().graph() != b.cloud().graph(),
+        "seeds 1 and 2 produced identical worlds"
+    );
+}

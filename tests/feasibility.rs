@@ -1,0 +1,131 @@
+//! Cross-crate feasibility: every algorithm, on any generated instance,
+//! returns a solution satisfying every ILP constraint.
+
+use edgerep_core::{
+    appro::{Appro, ApproConfig, QueryOrder},
+    graphpart::GraphPartition,
+    greedy::Greedy,
+    popularity::Popularity,
+    BoxedAlgorithm,
+};
+use edgerep_model::Solution;
+use edgerep_workload::{generate_instance, WorkloadParams};
+use proptest::prelude::*;
+
+fn full_panel() -> Vec<BoxedAlgorithm> {
+    vec![
+        Box::new(edgerep_core::appro::ApproG::default()),
+        Box::new(Greedy::general()),
+        Box::new(GraphPartition::general()),
+        Box::new(Popularity::general()),
+    ]
+}
+
+/// Checks structural invariants beyond `validate`.
+fn check_solution(inst: &edgerep_model::Instance, sol: &Solution, who: &str) {
+    sol.validate(inst)
+        .unwrap_or_else(|e| panic!("{who}: infeasible: {e:?}"));
+    // Admitted volume is consistent with per-query sums.
+    let manual: f64 = sol
+        .admitted_queries()
+        .map(|q| inst.demanded_volume(q))
+        .sum();
+    assert!((manual - sol.admitted_volume(inst)).abs() < 1e-9);
+    // Throughput within [0, 1].
+    let t = sol.throughput(inst);
+    assert!((0.0..=1.0).contains(&t), "{who}: throughput {t}");
+    // Node loads never negative.
+    assert!(sol.node_loads(inst).iter().all(|&l| l >= -1e-12));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All algorithms stay feasible over the whole configuration space the
+    /// figures sweep (network size × F × K × seed).
+    #[test]
+    fn all_algorithms_feasible(
+        seed in 0u64..5000,
+        n in 8usize..48,
+        f in 1usize..5,
+        k in 1usize..5,
+    ) {
+        let params = WorkloadParams {
+            dataset_count: (3, 8),
+            query_count: (5, 25),
+            ..Default::default()
+        }
+        .with_network_size(n)
+        .with_max_datasets_per_query(f)
+        .with_max_replicas(k);
+        let inst = generate_instance(&params, seed);
+        for alg in full_panel() {
+            let sol = alg.solve(&inst);
+            check_solution(&inst, &sol, alg.name());
+        }
+    }
+
+    /// Every Appro configuration (orders, price bases, weights) stays
+    /// feasible and below its own dual bound.
+    #[test]
+    fn appro_configs_feasible_and_dual_bounded(
+        seed in 0u64..5000,
+        order_idx in 0usize..4,
+        mu in prop::option::of(1.5f64..200.0),
+        delay_w in 0.0f64..2.0,
+        replica_w in 0.0f64..2.0,
+    ) {
+        let order = [
+            QueryOrder::GlobalCheapestFirst,
+            QueryOrder::Input,
+            QueryOrder::VolumeDesc,
+            QueryOrder::DeadlineAsc,
+        ][order_idx];
+        let params = WorkloadParams {
+            data_centers: 2,
+            cloudlets: 8,
+            switches: 1,
+            dataset_count: (3, 6),
+            query_count: (5, 15),
+            ..Default::default()
+        };
+        let inst = generate_instance(&params, seed);
+        let cfg = ApproConfig { price_mu: mu, order, delay_weight: delay_w, replica_weight: replica_w };
+        let report = Appro::with_config(cfg).run(&inst);
+        check_solution(&inst, &report.solution, "Appro(custom)");
+        prop_assert!(
+            report.dual_bound >= report.solution.admitted_volume(&inst) - 1e-6,
+            "dual bound {} below primal {}",
+            report.dual_bound,
+            report.solution.admitted_volume(&inst)
+        );
+        prop_assert!(report.theta.iter().all(|&t| (0.0..=1.0 + 1e-9).contains(&t)));
+    }
+
+    /// Volume never exceeds the instance's total demanded volume, and the
+    /// replica budget holds for every dataset.
+    #[test]
+    fn global_bounds_hold(seed in 0u64..5000) {
+        let params = WorkloadParams::default();
+        let inst = generate_instance(&params, seed);
+        for alg in full_panel() {
+            let sol = alg.solve(&inst);
+            prop_assert!(sol.admitted_volume(&inst) <= inst.total_demanded_volume() + 1e-9);
+            for d in inst.dataset_ids() {
+                prop_assert!(sol.replica_count(d) <= inst.max_replicas());
+            }
+        }
+    }
+}
+
+#[test]
+fn special_panel_feasible_on_single_dataset_instances() {
+    let params = WorkloadParams::default().with_max_datasets_per_query(1);
+    for seed in 0..8 {
+        let inst = generate_instance(&params, seed);
+        for alg in edgerep_core::special_panel() {
+            let sol = alg.solve(&inst);
+            check_solution(&inst, &sol, alg.name());
+        }
+    }
+}
