@@ -15,7 +15,12 @@ use std::hint::black_box;
 
 const PRINT_SEEDS: usize = 3;
 
-fn bench_panel(c: &mut Criterion, group: &str, inst: &edgerep_model::Instance, panel: Vec<edgerep_core::BoxedAlgorithm>) {
+fn bench_panel(
+    c: &mut Criterion,
+    group: &str,
+    inst: &edgerep_model::Instance,
+    panel: Vec<edgerep_core::BoxedAlgorithm>,
+) {
     let mut g = c.benchmark_group(group);
     g.sample_size(10);
     for alg in panel {
@@ -35,7 +40,12 @@ fn fig2_special_case(c: &mut Criterion) {
 fn fig3_general_case(c: &mut Criterion) {
     println!("{}", render_text(&edgerep_exp::figures::fig3(PRINT_SEEDS)));
     let inst = representative_instance(100, 7, 3);
-    bench_panel(c, "fig3_general_case", &inst, edgerep_core::simulation_panel());
+    bench_panel(
+        c,
+        "fig3_general_case",
+        &inst,
+        edgerep_core::simulation_panel(),
+    );
 }
 
 fn fig4_vary_f(c: &mut Criterion) {

@@ -1,0 +1,73 @@
+//! Overhead of the `edgerep-obs` instrumentation on solver hot paths.
+//!
+//! The acceptance bar for the observability layer is that with
+//! `EDGEREP_OBS` unset the instrumented code is within noise of an
+//! uninstrumented build: the disabled path is one relaxed atomic load per
+//! span/emit site plus a handful of unconditional relaxed adds at
+//! end-of-solve flush. The `disabled` vs `enabled` groups below quantify
+//! exactly that gap on the same instance; `disabled` is the number to
+//! compare against historical baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgerep_bench::representative_instance;
+use edgerep_core::appro::ApproG;
+use edgerep_core::{BoxedAlgorithm, PlacementAlgorithm};
+use edgerep_exp::runner::run_simulation_point;
+use edgerep_obs as obs;
+use edgerep_workload::WorkloadParams;
+use std::hint::black_box;
+
+/// Appro-G on a representative instance, observability disabled vs fully
+/// enabled (no trace sink attached — measures tallying + span clocks, not
+/// I/O).
+fn obs_solver_overhead(c: &mut Criterion) {
+    let inst = representative_instance(32, 7, 3);
+    let mut g = c.benchmark_group("obs_overhead_appro_g");
+    g.sample_size(30);
+    obs::disable();
+    g.bench_function("disabled", |b| {
+        b.iter(|| black_box(ApproG::default().solve(black_box(&inst))))
+    });
+    obs::enable_all();
+    g.bench_function("enabled", |b| {
+        b.iter(|| black_box(ApproG::default().solve(black_box(&inst))))
+    });
+    obs::disable();
+    obs::reset_registry();
+    g.finish();
+}
+
+/// A full simulation point (panel × seeds through `par_map`), the path the
+/// ISSUE's "within noise" criterion names.
+fn obs_simulation_point_overhead(c: &mut Criterion) {
+    let params = WorkloadParams {
+        query_count: (10, 20),
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("obs_overhead_simulation_point");
+    g.sample_size(10);
+    obs::disable();
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let panel: Vec<BoxedAlgorithm> = vec![Box::new(ApproG::default())];
+            black_box(run_simulation_point(black_box(&params), &panel, 3))
+        })
+    });
+    obs::enable_all();
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            let panel: Vec<BoxedAlgorithm> = vec![Box::new(ApproG::default())];
+            black_box(run_simulation_point(black_box(&params), &panel, 3))
+        })
+    });
+    obs::disable();
+    obs::reset_registry();
+    g.finish();
+}
+
+criterion_group!(
+    obs_overhead,
+    obs_solver_overhead,
+    obs_simulation_point_overhead
+);
+criterion_main!(obs_overhead);

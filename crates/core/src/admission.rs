@@ -8,8 +8,98 @@
 //! only when *every* demanded dataset is served within its deadline, which
 //! is how the paper argues Fig. 4's throughput decline in `F`).
 
+use std::cell::Cell;
+
 use edgerep_model::delay::assignment_delay;
 use edgerep_model::{ComputeNodeId, DatasetId, Instance, QueryId, Solution};
+use edgerep_obs as obs;
+
+/// Why a single (demand, node) feasibility check failed — the three hard
+/// constraints of the ILP, in the order they are tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Constraints (3) + (5): the node holds no replica and the dataset's
+    /// replica budget `K` is exhausted.
+    ReplicaBudget,
+    /// Constraint (2): the node's remaining compute cannot absorb the
+    /// demand.
+    Capacity,
+    /// Constraint (4): the access delay at the node exceeds the query's
+    /// deadline.
+    Deadline,
+}
+
+impl RejectReason {
+    /// Stable label used in metric names (`admission.reject.<label>`) and
+    /// trace fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::ReplicaBudget => "replica_budget",
+            RejectReason::Capacity => "capacity",
+            RejectReason::Deadline => "deadline",
+        }
+    }
+}
+
+/// Running tallies of feasibility checks and commits, kept in plain
+/// integers on the [`AdmissionState`] hot path and flushed to the
+/// process-wide metric registry once per solve (see
+/// [`AdmissionTally::flush_to_registry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionTally {
+    /// Feasibility checks evaluated (demand predicates and price probes).
+    pub checks: u64,
+    /// Checks that failed on the replica budget.
+    pub reject_replica_budget: u64,
+    /// Checks that failed on compute capacity.
+    pub reject_capacity: u64,
+    /// Checks that failed on the deadline.
+    pub reject_deadline: u64,
+    /// Queries committed (admitted).
+    pub committed_queries: u64,
+    /// Demand assignments committed.
+    pub committed_demands: u64,
+}
+
+impl AdmissionTally {
+    fn note(&mut self, rejection: Option<RejectReason>) {
+        self.checks += 1;
+        match rejection {
+            None => {}
+            Some(RejectReason::ReplicaBudget) => self.reject_replica_budget += 1,
+            Some(RejectReason::Capacity) => self.reject_capacity += 1,
+            Some(RejectReason::Deadline) => self.reject_deadline += 1,
+        }
+    }
+
+    /// Adds the tally to the registry counters
+    /// `admission.{checks,commit.queries,commit.demands}` and
+    /// `admission.reject.{replica_budget,capacity,deadline}`, and emits an
+    /// `admission.summary` trace event when the `admission` target is
+    /// enabled. A handful of relaxed atomic adds — cheap enough to run
+    /// unconditionally once per solve.
+    pub fn flush_to_registry(&self) {
+        obs::counter("admission.checks").add(self.checks);
+        obs::counter("admission.reject.replica_budget").add(self.reject_replica_budget);
+        obs::counter("admission.reject.capacity").add(self.reject_capacity);
+        obs::counter("admission.reject.deadline").add(self.reject_deadline);
+        obs::counter("admission.commit.queries").add(self.committed_queries);
+        obs::counter("admission.commit.demands").add(self.committed_demands);
+        obs::emit(
+            "admission",
+            "admission",
+            "admission.summary",
+            &[
+                ("checks", self.checks.into()),
+                ("reject_replica_budget", self.reject_replica_budget.into()),
+                ("reject_capacity", self.reject_capacity.into()),
+                ("reject_deadline", self.reject_deadline.into()),
+                ("commit_queries", self.committed_queries.into()),
+                ("commit_demands", self.committed_demands.into()),
+            ],
+        );
+    }
+}
 
 /// Mutable placement state shared by all algorithms.
 #[derive(Debug, Clone)]
@@ -19,6 +109,9 @@ pub struct AdmissionState<'a> {
     used: Vec<f64>,
     /// The solution under construction.
     sol: Solution,
+    /// Check/reject/commit tallies (interior-mutable so the read-only
+    /// feasibility predicates can count themselves).
+    tally: Cell<AdmissionTally>,
 }
 
 /// A planned service location for one demand of a query.
@@ -41,6 +134,7 @@ impl<'a> AdmissionState<'a> {
             inst,
             used: vec![0.0; inst.cloud().compute_count()],
             sol: Solution::empty(inst),
+            tally: Cell::new(AdmissionTally::default()),
         }
     }
 
@@ -76,9 +170,27 @@ impl<'a> AdmissionState<'a> {
         &self.sol
     }
 
-    /// Consumes the state, yielding the final solution.
+    /// Consumes the state, yielding the final solution. Flushes the
+    /// check/reject/commit tallies to the metric registry (see
+    /// [`AdmissionTally::flush_to_registry`]).
     pub fn into_solution(self) -> Solution {
+        self.tally.get().flush_to_registry();
         self.sol
+    }
+
+    /// The check/reject/commit tallies accumulated so far.
+    pub fn tally(&self) -> AdmissionTally {
+        self.tally.get()
+    }
+
+    /// Records the outcome of one feasibility check performed *outside*
+    /// this state's own predicates (e.g. a price probe in the primal-dual
+    /// engine that tests the same three constraints inline).
+    #[inline]
+    pub fn note_check(&self, rejection: Option<RejectReason>) {
+        let mut t = self.tally.get();
+        t.note(rejection);
+        self.tally.set(t);
     }
 
     /// Whether `d` still has replica budget for a *new* location.
@@ -120,10 +232,40 @@ impl<'a> AdmissionState<'a> {
         self.inst.size(query.demands[demand_idx].dataset) * query.compute_rate
     }
 
-    /// Whether serving demand `demand_idx` of `q` at `v` satisfies
+    /// Checks whether serving demand `demand_idx` of `q` at `v` satisfies
     /// capacity, deadline, and replica availability/budget, given `extra`
     /// compute already tentatively planned onto `v` by earlier demands of
-    /// the same query.
+    /// the same query. Returns the first violated constraint and tallies
+    /// the outcome.
+    pub fn demand_check(
+        &self,
+        q: QueryId,
+        demand_idx: usize,
+        v: ComputeNodeId,
+        extra_load: f64,
+    ) -> Result<(), RejectReason> {
+        let res = (|| {
+            let d = self.inst.query(q).demands[demand_idx].dataset;
+            if !self.has_replica(d, v) && !self.replica_budget_left(d) {
+                return Err(RejectReason::ReplicaBudget);
+            }
+            if self.used[v.index()] + extra_load + self.compute_demand(q, demand_idx)
+                > self.inst.cloud().available(v) + 1e-9
+            {
+                return Err(RejectReason::Capacity);
+            }
+            if assignment_delay(self.inst, q, demand_idx, v) > self.inst.query(q).deadline + 1e-12 {
+                return Err(RejectReason::Deadline);
+            }
+            Ok(())
+        })();
+        self.note_check(res.err());
+        res
+    }
+
+    /// Whether serving demand `demand_idx` of `q` at `v` is feasible given
+    /// `extra_load` tentative compute already planned onto `v` (see
+    /// [`Self::demand_check`] for the reason-carrying form).
     pub fn demand_feasible_with(
         &self,
         q: QueryId,
@@ -131,16 +273,7 @@ impl<'a> AdmissionState<'a> {
         v: ComputeNodeId,
         extra_load: f64,
     ) -> bool {
-        let d = self.inst.query(q).demands[demand_idx].dataset;
-        if !self.has_replica(d, v) && !self.replica_budget_left(d) {
-            return false;
-        }
-        if self.used[v.index()] + extra_load + self.compute_demand(q, demand_idx)
-            > self.inst.cloud().available(v) + 1e-9
-        {
-            return false;
-        }
-        assignment_delay(self.inst, q, demand_idx, v) <= self.inst.query(q).deadline + 1e-12
+        self.demand_check(q, demand_idx, v, extra_load).is_ok()
     }
 
     /// [`Self::demand_feasible_with`] with no tentative extra load.
@@ -169,9 +302,7 @@ impl<'a> AdmissionState<'a> {
                 }
                 new_replicas.push((d, p.node));
             }
-            if self.used[p.node.index()]
-                + extra[p.node.index()]
-                + self.compute_demand(q, idx)
+            if self.used[p.node.index()] + extra[p.node.index()] + self.compute_demand(q, idx)
                 > self.inst.cloud().available(p.node) + 1e-9
             {
                 return false;
@@ -192,7 +323,10 @@ impl<'a> AdmissionState<'a> {
     /// [`Self::plan_feasible`] (the double bookkeeping catches algorithm
     /// bugs in debug runs and tests).
     pub fn commit(&mut self, q: QueryId, plan: &[PlannedDemand]) {
-        assert!(self.plan_feasible(q, plan), "committing infeasible plan for {q}");
+        assert!(
+            self.plan_feasible(q, plan),
+            "committing infeasible plan for {q}"
+        );
         let query = self.inst.query(q);
         let nodes: Vec<ComputeNodeId> = plan.iter().map(|p| p.node).collect();
         for (idx, p) in plan.iter().enumerate() {
@@ -201,6 +335,10 @@ impl<'a> AdmissionState<'a> {
             self.used[p.node.index()] += self.compute_demand(q, idx);
         }
         self.sol.assign_query(q, nodes);
+        let mut t = self.tally.get();
+        t.committed_queries += 1;
+        t.committed_demands += plan.len() as u64;
+        self.tally.set(t);
     }
 }
 
@@ -222,7 +360,12 @@ mod tests {
         let d0 = ib.add_dataset(4.0, dc);
         let d1 = ib.add_dataset(2.0, dc);
         ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
-        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)],
+            1.0,
+            1.0,
+        );
         ib.build().unwrap()
     }
 
@@ -276,10 +419,10 @@ mod tests {
         b.add_cloudlet(1.0, 0.1);
         let _ = b; // silence unused in this panic test
         st.place_replica(DatasetId(0), ComputeNodeId(0)); // duplicate: ok, returns false
-        // Force: dedupe returned false, so exhaust with a different id.
+                                                          // Force: dedupe returned false, so exhaust with a different id.
         st.place_replica(DatasetId(0), ComputeNodeId(1)); // duplicate too
-        // Both nodes already hold replicas; fabricate a third node id to
-        // hit the budget assert.
+                                                          // Both nodes already hold replicas; fabricate a third node id to
+                                                          // hit the budget assert.
         st.place_replica(DatasetId(0), ComputeNodeId(2));
     }
 
@@ -287,7 +430,10 @@ mod tests {
     fn commit_consumes_capacity_and_admits() {
         let inst = setup();
         let mut st = AdmissionState::new(&inst);
-        let plan = vec![PlannedDemand { node: DC, new_replica: true }];
+        let plan = vec![PlannedDemand {
+            node: DC,
+            new_replica: true,
+        }];
         assert!(st.plan_feasible(QueryId(0), &plan));
         st.commit(QueryId(0), &plan);
         assert!(st.solution().is_admitted(QueryId(0)));
@@ -304,8 +450,14 @@ mod tests {
         let st = AdmissionState::new(&inst);
         // q1 on CL: S0 costs 4 GHz, S1 costs 2 GHz, total 6 of 8: fits.
         let plan = vec![
-            PlannedDemand { node: CL, new_replica: true },
-            PlannedDemand { node: CL, new_replica: true },
+            PlannedDemand {
+                node: CL,
+                new_replica: true,
+            },
+            PlannedDemand {
+                node: CL,
+                new_replica: true,
+            },
         ];
         assert!(st.plan_feasible(QueryId(1), &plan));
         // A cloudlet with only 5 GHz cannot stack both.
@@ -317,18 +469,35 @@ mod tests {
         let mut ib = InstanceBuilder::new(cloud, 2);
         let d0 = ib.add_dataset(4.0, dc);
         let d1 = ib.add_dataset(2.0, dc);
-        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)],
+            1.0,
+            1.0,
+        );
         let tight = ib.build().unwrap();
         let st = AdmissionState::new(&tight);
         let plan = vec![
-            PlannedDemand { node: cl, new_replica: true },
-            PlannedDemand { node: cl, new_replica: true },
+            PlannedDemand {
+                node: cl,
+                new_replica: true,
+            },
+            PlannedDemand {
+                node: cl,
+                new_replica: true,
+            },
         ];
         assert!(!st.plan_feasible(QueryId(0), &plan));
         // Splitting across nodes works.
         let plan = vec![
-            PlannedDemand { node: cl, new_replica: true },
-            PlannedDemand { node: dc, new_replica: true },
+            PlannedDemand {
+                node: cl,
+                new_replica: true,
+            },
+            PlannedDemand {
+                node: dc,
+                new_replica: true,
+            },
         ];
         assert!(st.plan_feasible(QueryId(0), &plan));
     }
@@ -345,13 +514,24 @@ mod tests {
         let mut ib = InstanceBuilder::new(cloud, 1);
         let d0 = ib.add_dataset(1.0, dc);
         let d1 = ib.add_dataset(1.0, dc);
-        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 1.0)], 1.0, 10.0);
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 1.0)],
+            1.0,
+            10.0,
+        );
         let inst = ib.build().unwrap();
         let st = AdmissionState::new(&inst);
         // Different datasets on different nodes: one new replica each, ok.
         let plan = vec![
-            PlannedDemand { node: dc, new_replica: true },
-            PlannedDemand { node: cl, new_replica: true },
+            PlannedDemand {
+                node: dc,
+                new_replica: true,
+            },
+            PlannedDemand {
+                node: cl,
+                new_replica: true,
+            },
         ];
         assert!(st.plan_feasible(QueryId(0), &plan));
     }
@@ -362,7 +542,13 @@ mod tests {
         let inst = setup();
         let mut st = AdmissionState::new(&inst);
         // Wrong arity.
-        st.commit(QueryId(1), &[PlannedDemand { node: DC, new_replica: true }]);
+        st.commit(
+            QueryId(1),
+            &[PlannedDemand {
+                node: DC,
+                new_replica: true,
+            }],
+        );
     }
 
     #[test]
@@ -370,5 +556,39 @@ mod tests {
         let inst = setup();
         let st = AdmissionState::new(&inst);
         assert!(!st.plan_feasible(QueryId(1), &[]));
+    }
+
+    #[test]
+    fn tally_tracks_checks_rejections_and_commits() {
+        let inst = setup();
+        let mut st = AdmissionState::new(&inst);
+        assert!(st.demand_feasible(QueryId(0), 0, DC));
+        // Capacity rejection: 5 GHz tentative + 4 GHz demand > 8 GHz at CL.
+        assert_eq!(
+            st.demand_check(QueryId(0), 0, CL, 5.0),
+            Err(RejectReason::Capacity)
+        );
+        st.note_check(Some(RejectReason::Deadline));
+        st.commit(
+            QueryId(0),
+            &[PlannedDemand {
+                node: DC,
+                new_replica: true,
+            }],
+        );
+        let t = st.tally();
+        assert_eq!(t.checks, 3);
+        assert_eq!(t.reject_capacity, 1);
+        assert_eq!(t.reject_deadline, 1);
+        assert_eq!(t.reject_replica_budget, 0);
+        assert_eq!(t.committed_queries, 1);
+        assert_eq!(t.committed_demands, 1);
+    }
+
+    #[test]
+    fn reject_reason_labels_are_stable() {
+        assert_eq!(RejectReason::ReplicaBudget.label(), "replica_budget");
+        assert_eq!(RejectReason::Capacity.label(), "capacity");
+        assert_eq!(RejectReason::Deadline.label(), "deadline");
     }
 }

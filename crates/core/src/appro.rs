@@ -43,8 +43,9 @@
 
 use edgerep_model::delay::assignment_delay;
 use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+use edgerep_obs as obs;
 
-use crate::admission::{AdmissionState, PlannedDemand};
+use crate::admission::{AdmissionState, PlannedDemand, RejectReason};
 use crate::PlacementAlgorithm;
 
 /// Order in which admissible queries are committed (ablation knob; the
@@ -147,19 +148,26 @@ impl Appro {
             .iter()
             .any(|&(pd, pv)| pd == d.0 && pv == v);
         let have = st.has_replica(d, v) || pending_here;
-        let pending_count = pending_replicas.iter().filter(|&&(pd, _)| pd == d.0).count();
+        let pending_count = pending_replicas
+            .iter()
+            .filter(|&&(pd, _)| pd == d.0)
+            .count();
         if !have && st.replica_count(d) + pending_count >= inst.max_replicas() {
+            st.note_check(Some(RejectReason::ReplicaBudget));
             return None;
         }
         let need = st.compute_demand(q, idx);
         let avail = inst.cloud().available(v);
         if st.used(v) + extra[v.index()] + need > avail + 1e-9 {
+            st.note_check(Some(RejectReason::Capacity));
             return None;
         }
         let delay = assignment_delay(inst, q, idx, v);
         if delay > query.deadline + 1e-12 {
+            st.note_check(Some(RejectReason::Deadline));
             return None;
         }
+        st.note_check(None);
         // Current load fraction prices the congestion (the classic
         // Buchbinder–Naor rule: price × demand, with the price frozen at
         // the pre-assignment load — a post-assignment price would tax
@@ -177,8 +185,7 @@ impl Appro {
             0.0
         } else {
             self.config.replica_weight
-                * ((st.replica_count(d) + pending_count) as f64
-                    / inst.max_replicas() as f64)
+                * ((st.replica_count(d) + pending_count) as f64 / inst.max_replicas() as f64)
         };
         Some(capacity_price + delay_price + replica_price)
     }
@@ -223,13 +230,16 @@ impl Appro {
             }
             let (v, p) = best?;
             let d = query.demands[idx].dataset;
-            let new_replica = !st.has_replica(d, v)
-                && !pending.iter().any(|&(pd, pv)| pd == d.0 && pv == v);
+            let new_replica =
+                !st.has_replica(d, v) && !pending.iter().any(|&(pd, pv)| pd == d.0 && pv == v);
             if new_replica {
                 pending.push((d.0, v));
             }
             extra[v.index()] += st.compute_demand(q, idx);
-            plan[idx] = PlannedDemand { node: v, new_replica };
+            plan[idx] = PlannedDemand {
+                node: v,
+                new_replica,
+            };
             total_price += p;
         }
         debug_assert!(st.plan_feasible(q, &plan));
@@ -252,22 +262,26 @@ impl Appro {
 
     /// Runs the engine, returning the solution plus the dual certificate.
     pub fn run(&self, inst: &Instance) -> ApproReport {
+        let _run_span = obs::span("appro", "appro.run");
         let mu = self.mu(inst);
         let mut st = AdmissionState::new(inst);
+        // Tallied locally in plain integers and flushed to the registry
+        // once at the end: the hot loop stays free of atomics.
+        let mut iterations: u64 = 0;
+        let mut plans: u64 = 0;
         match self.config.order {
             QueryOrder::GlobalCheapestFirst => {
                 let mut pending: Vec<QueryId> = inst.query_ids().collect();
                 loop {
+                    iterations += 1;
                     let mut best: Option<(usize, Vec<PlannedDemand>, f64)> = None;
                     for (i, &q) in pending.iter().enumerate() {
+                        plans += 1;
                         if let Some((plan, price)) = self.plan_query(&st, mu, q) {
                             // Cheapest dual price per admitted GB first:
                             // the discrete uniform-raise winner.
                             let density = price / inst.demanded_volume(q).max(1e-12);
-                            if best
-                                .as_ref()
-                                .is_none_or(|&(_, _, bd)| density < bd)
-                            {
+                            if best.as_ref().is_none_or(|&(_, _, bd)| density < bd) {
                                 best = Some((i, plan, density));
                             }
                         }
@@ -295,6 +309,8 @@ impl Appro {
                     QueryOrder::GlobalCheapestFirst => unreachable!(),
                 }
                 for q in queue {
+                    iterations += 1;
+                    plans += 1;
                     if let Some((plan, _)) = self.plan_query(&st, mu, q) {
                         st.commit(q, &plan);
                     }
@@ -309,6 +325,25 @@ impl Appro {
             .map(|v| self.theta(mu, st.load_fraction(v)))
             .collect();
         let dual_bound = self.dual_bound(inst, &theta);
+        let admitted_volume = st.solution().admitted_volume(inst);
+        let admitted_count = st.solution().admitted_count();
+        obs::counter("appro.iterations").add(iterations);
+        obs::counter("appro.plans").add(plans);
+        obs::gauge("appro.dual_bound").set(dual_bound);
+        obs::gauge("appro.dual_gap").set(dual_bound - admitted_volume);
+        obs::emit(
+            "appro",
+            "appro.run",
+            "appro.summary",
+            &[
+                ("iterations", iterations.into()),
+                ("plans", plans.into()),
+                ("admitted_count", admitted_count.into()),
+                ("admitted_volume", admitted_volume.into()),
+                ("dual_bound", dual_bound.into()),
+                ("dual_gap", (dual_bound - admitted_volume).into()),
+            ],
+        );
         ApproReport {
             solution: st.into_solution(),
             dual_bound,
@@ -408,7 +443,12 @@ mod tests {
         let d1 = ib.add_dataset(2.0, dc);
         ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
         ib.add_query(cl, vec![Demand::new(d1, 0.5)], 1.0, 1.0);
-        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)],
+            1.0,
+            1.0,
+        );
         ib.build().unwrap()
     }
 
@@ -440,7 +480,10 @@ mod tests {
         // Something was admitted, so at least one node carries load and a
         // positive price.
         assert!(report.theta.iter().any(|&t| t > 0.0));
-        assert!(report.theta.iter().all(|&t| (0.0..=1.0 + 1e-9).contains(&t)));
+        assert!(report
+            .theta
+            .iter()
+            .all(|&t| (0.0..=1.0 + 1e-9).contains(&t)));
     }
 
     #[test]
@@ -531,18 +574,25 @@ mod tests {
             QueryOrder::VolumeDesc,
             QueryOrder::DeadlineAsc,
         ] {
-            let cfg = ApproConfig { order, ..Default::default() };
+            let cfg = ApproConfig {
+                order,
+                ..Default::default()
+            };
             let report = Appro::with_config(cfg).run(&inst);
-            report.solution.validate(&inst).unwrap_or_else(|e| {
-                panic!("order {order:?} produced infeasible solution: {e:?}")
-            });
+            report
+                .solution
+                .validate(&inst)
+                .unwrap_or_else(|e| panic!("order {order:?} produced infeasible solution: {e:?}"));
         }
     }
 
     #[test]
     fn custom_mu_accepted() {
         let inst = two_node_instance(2);
-        let cfg = ApproConfig { price_mu: Some(64.0), ..Default::default() };
+        let cfg = ApproConfig {
+            price_mu: Some(64.0),
+            ..Default::default()
+        };
         let report = Appro::with_config(cfg).run(&inst);
         report.solution.validate(&inst).unwrap();
     }

@@ -76,7 +76,9 @@ impl PlacementAlgorithm for Centroid {
                         (home, best)
                     })
                     .max_by(|a, b| a.1.partial_cmp(&b.1).expect("delays comparable"));
-                let Some((worst_home, worst_delay)) = worst else { break };
+                let Some((worst_home, worst_delay)) = worst else {
+                    break;
+                };
                 if worst_delay <= 0.0 {
                     break; // everyone already served locally
                 }

@@ -32,6 +32,7 @@ use edgerep_graph::partition::partition_kway;
 use edgerep_graph::Graph;
 use edgerep_model::delay::assignment_delay;
 use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+use edgerep_obs as obs;
 
 use crate::admission::{AdmissionState, PlannedDemand};
 use crate::PlacementAlgorithm;
@@ -73,10 +74,12 @@ impl PlacementAlgorithm for GraphPartition {
     }
 
     fn solve(&self, inst: &Instance) -> Solution {
+        let _span = obs::span("graphpart", "graphpart.solve");
         let mut st = AdmissionState::new(inst);
         let v_count = inst.cloud().compute_count();
 
         // --- 1. Replica placement by deadline-feasible demand volume ----
+        let place_span = obs::span("graphpart", "graphpart.place");
         for d in inst.dataset_ids() {
             let mut score = vec![0.0f64; v_count];
             for q in inst.consumers_of(d) {
@@ -107,7 +110,10 @@ impl PlacementAlgorithm for GraphPartition {
             }
         }
 
+        drop(place_span);
+
         // --- 2. Partition the query-replica affinity graph --------------
+        let part_span = obs::span("graphpart", "graphpart.partition");
         let mut affinity = Graph::with_nodes(v_count);
         for q in inst.queries() {
             for dem in &q.demands {
@@ -123,8 +129,10 @@ impl PlacementAlgorithm for GraphPartition {
             }
         }
         let labels = partition_kway(&affinity, self.part_count(inst));
+        drop(part_span);
 
         // --- 3. Volume-descending assignment, local part first ----------
+        let _assign_span = obs::span("graphpart", "graphpart.assign");
         let mut queries: Vec<QueryId> = inst.query_ids().collect();
         queries.sort_by(|&a, &b| {
             inst.demanded_volume(b)
@@ -197,7 +205,12 @@ mod tests {
         let d0 = ib.add_dataset(3.0, dc);
         let d1 = ib.add_dataset(2.0, dc);
         ib.add_query(c1, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
-        ib.add_query(c2, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.add_query(
+            c2,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)],
+            1.0,
+            1.0,
+        );
         ib.build().unwrap()
     }
 

@@ -17,6 +17,7 @@
 //!   queries.
 
 use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+use edgerep_obs as obs;
 
 use crate::admission::{AdmissionState, PlannedDemand};
 use crate::PlacementAlgorithm;
@@ -46,6 +47,7 @@ impl PlacementAlgorithm for Greedy {
     }
 
     fn solve(&self, inst: &Instance) -> Solution {
+        let _span = obs::span("greedy", "greedy.solve");
         let mut st = AdmissionState::new(inst);
         for q in inst.query_ids() {
             attempt_query(&mut st, q);

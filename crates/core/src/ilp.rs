@@ -147,10 +147,7 @@ pub fn extract_solution(inst: &Instance, model: &IlpModel, point: &[f64]) -> Sol
     for (n, xs) in model.x.iter().enumerate() {
         for (l, &var) in xs.iter().enumerate() {
             if point[var.0] > 0.5 {
-                sol.place_replica(
-                    edgerep_model::DatasetId(n as u32),
-                    ComputeNodeId(l as u32),
-                );
+                sol.place_replica(edgerep_model::DatasetId(n as u32), ComputeNodeId(l as u32));
             }
         }
     }
@@ -187,7 +184,12 @@ mod tests {
         let d0 = ib.add_dataset(4.0, dc);
         let d1 = ib.add_dataset(2.0, dc);
         ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
-        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)],
+            1.0,
+            1.0,
+        );
         ib.build().unwrap()
     }
 

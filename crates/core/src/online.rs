@@ -22,6 +22,7 @@
 //! the testbed's rolling operation.
 
 use edgerep_model::{Instance, QueryId, Solution};
+use edgerep_obs as obs;
 
 use crate::admission::AdmissionState;
 use crate::appro::{Appro, ApproConfig};
@@ -77,6 +78,7 @@ impl OnlineAppro {
     /// Processes queries in the given arrival order and reports what
     /// happened to each.
     pub fn run_order(&self, inst: &Instance, arrivals: &[QueryId]) -> OnlineReport {
+        let _span = obs::span("online", "online.run");
         let engine = Appro::with_config(self.config.engine);
         let mut st = AdmissionState::new(inst);
         let mut rejected_infeasible = 0;
@@ -94,6 +96,8 @@ impl OnlineAppro {
                 }
             }
         }
+        obs::counter("online.rejected_infeasible").add(rejected_infeasible as u64);
+        obs::counter("online.rejected_by_price").add(rejected_by_price as u64);
         OnlineReport {
             solution: st.into_solution(),
             rejected_infeasible,

@@ -20,7 +20,9 @@ pub struct Optimal {
 
 impl Default for Optimal {
     fn default() -> Self {
-        Self { node_limit: 200_000 }
+        Self {
+            node_limit: 200_000,
+        }
     }
 }
 
@@ -85,7 +87,12 @@ mod tests {
         let d0 = ib.add_dataset(4.0, dc);
         let d1 = ib.add_dataset(2.0, dc);
         ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
-        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)],
+            1.0,
+            1.0,
+        );
         ib.build().unwrap()
     }
 

@@ -18,6 +18,7 @@
 //! compute, then node id, so runs are deterministic.
 
 use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+use edgerep_obs as obs;
 
 use crate::admission::{AdmissionState, PlannedDemand};
 use crate::PlacementAlgorithm;
@@ -50,6 +51,7 @@ impl PlacementAlgorithm for Popularity {
     }
 
     fn solve(&self, inst: &Instance) -> Solution {
+        let _span = obs::span("popularity", "popularity.solve");
         let mut st = AdmissionState::new(inst);
         let v_count = inst.cloud().compute_count();
         // Replicas per node, maintained incrementally for the popularity

@@ -72,7 +72,10 @@ fn try_admit(st: &mut AdmissionState<'_>, engine: &Appro, q: QueryId) -> bool {
 
 /// Refines `sol`, returning an improved (or identical) feasible solution.
 pub fn refine(inst: &Instance, sol: &Solution) -> Solution {
-    debug_assert!(sol.validate(inst).is_ok(), "refine expects a feasible input");
+    debug_assert!(
+        sol.validate(inst).is_ok(),
+        "refine expects a feasible input"
+    );
     let engine = Appro::with_config(ApproConfig::default());
     let mut best = sol.clone();
     for _ in 0..MAX_ROUNDS {
@@ -96,10 +99,8 @@ pub fn refine(inst: &Instance, sol: &Solution) -> Solution {
 
         // --- Rescue pass -------------------------------------------------
         let mut st = state_of(inst, &best);
-        let mut rejected: Vec<QueryId> = inst
-            .query_ids()
-            .filter(|&q| !best.is_admitted(q))
-            .collect();
+        let mut rejected: Vec<QueryId> =
+            inst.query_ids().filter(|&q| !best.is_admitted(q)).collect();
         rejected.sort_by(|&a, &b| {
             inst.demanded_volume(b)
                 .partial_cmp(&inst.demanded_volume(a))
@@ -118,10 +119,7 @@ pub fn refine(inst: &Instance, sol: &Solution) -> Solution {
         // --- Swap pass ----------------------------------------------------
         // For each still-rejected query, try evicting one smaller admitted
         // query and re-admitting both orders.
-        let rejected: Vec<QueryId> = inst
-            .query_ids()
-            .filter(|&q| !best.is_admitted(q))
-            .collect();
+        let rejected: Vec<QueryId> = inst.query_ids().filter(|&q| !best.is_admitted(q)).collect();
         'outer: for &q in &rejected {
             let q_vol = inst.demanded_volume(q);
             let mut victims: Vec<QueryId> = best

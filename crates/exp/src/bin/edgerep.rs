@@ -6,11 +6,17 @@
 //! edgerep inspect -i instance.json
 //! edgerep solve -i instance.json --alg appro-g
 //! edgerep solve -i instance.json --alg all
+//! edgerep solve -i instance.json --alg appro-g --trace out.ndjson --stats
 //! ```
 //!
 //! Instance files are the JSON encoding of
 //! [`edgerep_model::spec::InstanceSpec`], so hand-written and generated
 //! instances go through the same validation.
+//!
+//! `--trace FILE` enables every observability target and streams NDJSON
+//! trace events (span timings, admission summaries, registry dumps) to
+//! `FILE`; `--stats` prints the metric-registry summary table per
+//! algorithm after its run.
 
 use edgerep_core::{
     appro::{ApproG, ApproS},
@@ -24,14 +30,18 @@ use edgerep_core::{
 };
 use edgerep_model::spec::InstanceSpec;
 use edgerep_model::{Instance, Metrics};
+use edgerep_obs as obs;
 use edgerep_workload::{generate_instance, WorkloadParams};
 
 const USAGE: &str = "usage:
   edgerep gen [--seed N] [--network-size N] [--f F] [--k K] [--queries LO HI] -o FILE
   edgerep inspect -i FILE
-  edgerep solve -i FILE --alg NAME [--metrics-json]
+  edgerep solve -i FILE --alg NAME [--metrics-json] [--trace FILE] [--stats]
     NAME: appro-g | appro-s | greedy-g | graph-g | popularity-g | centroid |
-          online | optimal | all";
+          online | optimal | all
+    --trace FILE  enable all observability targets and write NDJSON trace
+                  events (span timings, admission summaries) to FILE
+    --stats       print the metrics-registry summary table per algorithm";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,8 +102,7 @@ fn cmd_gen(args: &[String]) {
 
 fn load_instance(args: &[String]) -> Instance {
     let path = opt_value(args, "-i").unwrap_or_else(|| die("need -i FILE"));
-    let json =
-        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
     let spec: InstanceSpec =
         serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
     spec.to_instance()
@@ -122,13 +131,21 @@ fn cmd_inspect(args: &[String]) {
         inst.total_demanded_volume(),
         inst.max_replicas()
     );
-    let tightest = inst
-        .queries()
-        .iter()
-        .map(|q| q.deadline)
-        .fold(f64::INFINITY, f64::min);
-    let loosest = inst.queries().iter().map(|q| q.deadline).fold(0.0, f64::max);
-    println!("deadlines: {tightest:.3}s .. {loosest:.3}s");
+    if inst.queries().is_empty() {
+        println!("deadlines: n/a (no queries)");
+    } else {
+        let tightest = inst
+            .queries()
+            .iter()
+            .map(|q| q.deadline)
+            .fold(f64::INFINITY, f64::min);
+        let loosest = inst
+            .queries()
+            .iter()
+            .map(|q| q.deadline)
+            .fold(0.0, f64::max);
+        println!("deadlines: {tightest:.3}s .. {loosest:.3}s");
+    }
 }
 
 fn panel_for(name: &str, single_dataset: bool) -> Vec<BoxedAlgorithm> {
@@ -162,22 +179,99 @@ fn cmd_solve(args: &[String]) {
     let inst = load_instance(args);
     let alg = opt_value(args, "--alg").unwrap_or("appro-g");
     let as_json = args.iter().any(|a| a == "--metrics-json");
+    let stats = args.iter().any(|a| a == "--stats");
+    let trace = if args.iter().any(|a| a == "--trace") {
+        Some(opt_value(args, "--trace").unwrap_or_else(|| die("--trace needs FILE")))
+    } else {
+        None
+    };
+    if stats || trace.is_some() {
+        obs::enable_all();
+    }
+    if let Some(path) = trace {
+        let file =
+            std::fs::File::create(path).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+        obs::set_trace_writer(Box::new(std::io::BufWriter::new(file)));
+    }
     let single = inst.queries().iter().all(|q| q.demands.len() == 1);
     for algorithm in panel_for(alg, single) {
+        // Each algorithm starts from a clean registry so its --stats table
+        // and registry dump reflect this run alone.
+        obs::reset_registry();
         let sol = algorithm.solve(&inst);
         sol.validate(&inst).unwrap_or_else(|e| {
-            die(&format!("{} produced an infeasible solution: {e:?}", algorithm.name()))
+            die(&format!(
+                "{} produced an infeasible solution: {e:?}",
+                algorithm.name()
+            ))
         });
         let metrics = Metrics::of(&inst, &sol);
         if as_json {
-            println!(
-                "{{\"algorithm\":\"{}\",\"metrics\":{}}}",
-                algorithm.name(),
-                serde_json::to_string(&metrics).expect("metrics serialize")
-            );
+            let line = serde_json::json!({
+                "algorithm": algorithm.name(),
+                "metrics": metrics,
+            });
+            println!("{line}");
         } else {
             println!("{:>14}: {}", algorithm.name(), metrics);
         }
+        if trace.is_some() {
+            dump_registry_to_trace(algorithm.name());
+        }
+        if stats {
+            println!("--- metrics: {} ---", algorithm.name());
+            print!("{}", obs::render_summary());
+        }
+    }
+    if trace.is_some() {
+        obs::take_trace_writer(); // flush and close the NDJSON sink
+    }
+}
+
+/// Writes every registry metric into the NDJSON trace, so per-run counter
+/// values (e.g. `admission.reject.*`) and span-timing histograms appear in
+/// the file even when no individual event carried them.
+fn dump_registry_to_trace(alg: &str) {
+    let snap = obs::snapshot();
+    for (name, v) in &snap.counters {
+        obs::emit(
+            "registry",
+            "registry",
+            "counter",
+            &[
+                ("algorithm", alg.into()),
+                ("name", name.as_str().into()),
+                ("value", (*v).into()),
+            ],
+        );
+    }
+    for (name, v) in &snap.gauges {
+        obs::emit(
+            "registry",
+            "registry",
+            "gauge",
+            &[
+                ("algorithm", alg.into()),
+                ("name", name.as_str().into()),
+                ("value", (*v).into()),
+            ],
+        );
+    }
+    for h in &snap.histograms {
+        obs::emit(
+            "registry",
+            "registry",
+            "histogram",
+            &[
+                ("algorithm", alg.into()),
+                ("name", h.name.as_str().into()),
+                ("count", h.count.into()),
+                ("mean", h.mean.into()),
+                ("p50", h.p50.into()),
+                ("p95", h.p95.into()),
+                ("max", h.max.into()),
+            ],
+        );
     }
 }
 

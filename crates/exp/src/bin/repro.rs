@@ -64,20 +64,27 @@ fn main() {
                 );
             }
             "all" => figures_wanted.extend(
-                ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"]
-                    .iter()
-                    .map(|s| s.to_string()),
+                [
+                    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                ]
+                .iter()
+                .map(|s| s.to_string()),
             ),
             "ext" => figures_wanted.extend(
-                ["ext-online", "ext-netbenefit", "ext-refine", "ext-topology", "ext-faults", "ext-rolling"]
-                    .iter()
-                    .map(|s| s.to_string()),
+                [
+                    "ext-online",
+                    "ext-netbenefit",
+                    "ext-refine",
+                    "ext-topology",
+                    "ext-faults",
+                    "ext-rolling",
+                ]
+                .iter()
+                .map(|s| s.to_string()),
             ),
             f @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
-                | "ext-online" | "ext-netbenefit" | "ext-refine" | "ext-topology" | "ext-faults"
-                | "ext-rolling") => {
-                figures_wanted.push(f.to_owned())
-            }
+            | "ext-online" | "ext-netbenefit" | "ext-refine" | "ext-topology"
+            | "ext-faults" | "ext-rolling") => figures_wanted.push(f.to_owned()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;

@@ -19,16 +19,15 @@ use edgerep_core::refine::Refined;
 use edgerep_core::{BoxedAlgorithm, PlacementAlgorithm};
 use edgerep_testbed::rolling::{run_rolling, ReplanPolicy, RollingConfig};
 use edgerep_testbed::{
-    run_testbed, run_testbed_with_faults, ConsistencyConfig, NodeFailure, SimConfig,
-    TestbedConfig,
+    run_testbed, run_testbed_with_faults, ConsistencyConfig, NodeFailure, SimConfig, TestbedConfig,
 };
 use edgerep_workload::params::TopologyModel;
 use edgerep_workload::{generate_instance, WorkloadParams};
 
+use crate::figures::{FigureData, FigureRow};
 use crate::parallel::par_map;
 use crate::runner::AlgResult;
 use crate::stats::Summary;
-use crate::figures::{FigureData, FigureRow};
 
 /// Consistency-cost weights γ reported by [`ext_net_benefit`].
 pub const GAMMA_VALUES: [f64; 3] = [0.0, 0.5, 2.0];
@@ -222,7 +221,10 @@ pub fn ext_faults(seeds: usize) -> FigureData {
             let seed_list: Vec<u64> = (0..seeds as u64).collect();
             let samples: Vec<((f64, f64), (f64, f64))> = par_map(&seed_list, |&seed| {
                 let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
-                let sim = SimConfig { seed, ..Default::default() };
+                let sim = SimConfig {
+                    seed,
+                    ..Default::default()
+                };
                 let clean = run_testbed(&ApproG::default(), &world, &sim);
                 // Kill the cloudlet the clean plan leans on hardest.
                 let loads = clean.plan.node_loads(&world.instance);
@@ -237,7 +239,10 @@ pub fn ext_faults(seeds: usize) -> FigureData {
                     &ApproG::default(),
                     &world,
                     &sim,
-                    &[NodeFailure { node: busiest, at_s: 0.0 }],
+                    &[NodeFailure {
+                        node: busiest,
+                        at_s: 0.0,
+                    }],
                 );
                 (
                     (clean.measured_volume, clean.measured_throughput),
@@ -256,7 +261,10 @@ pub fn ext_faults(seeds: usize) -> FigureData {
                     throughput: Summary::of(&samples.iter().map(|s| s.1 .1).collect::<Vec<_>>()),
                 },
             ];
-            FigureRow { x: k as f64, results }
+            FigureRow {
+                x: k as f64,
+                results,
+            }
         })
         .collect();
     FigureData {

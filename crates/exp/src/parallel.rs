@@ -8,11 +8,20 @@
 //! scheduling (the guides' "same result as the sequential counterpart"
 //! contract).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use edgerep_obs as obs;
 
 /// Parallel `map` preserving input order. Uses up to
 /// `available_parallelism` worker threads (capped by the item count);
 /// falls back to a sequential loop for tiny inputs.
+///
+/// When the `parallel` observability target is enabled, per-item wall time
+/// lands in the `span.parallel.item_us` histogram and the fleet-wide
+/// utilization (busy time over `workers × wall`) in the
+/// `parallel.utilization` gauge; disabled, the loop takes no clock
+/// readings at all.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -28,6 +37,11 @@ where
         return items.iter().map(&f).collect();
     }
 
+    // Gated once per call: the item loop never touches the filter.
+    let timed = obs::enabled("parallel");
+    let item_hist = timed.then(|| obs::histogram("span.parallel.item_us"));
+    let started = timed.then(Instant::now);
+    let busy_us = AtomicU64::new(0);
     let next = AtomicUsize::new(0);
     let (tx, rx) = crossbeam::channel::bounded::<(usize, R)>(n);
 
@@ -35,19 +49,55 @@ where
         for _ in 0..workers {
             let f = &f;
             let next = &next;
+            let busy_us = &busy_us;
+            let item_hist = &item_hist;
             let tx = tx.clone();
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move |_| {
+                let mut local_busy_us = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = item_hist.as_ref().map(|_| Instant::now());
+                    let r = f(&items[i]);
+                    if let (Some(h), Some(t0)) = (item_hist.as_ref(), t0) {
+                        let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                        h.record(us);
+                        local_busy_us += us;
+                    }
+                    tx.send((i, r)).expect("receiver outlives the scope");
                 }
-                let r = f(&items[i]);
-                tx.send((i, r)).expect("receiver outlives the scope");
+                busy_us.fetch_add(local_busy_us, Ordering::Relaxed);
             });
         }
         drop(tx); // workers hold the remaining senders
     })
     .expect("parallel workers never panic past their own unwinding");
+
+    if let Some(started) = started {
+        let wall_s = started.elapsed().as_secs_f64();
+        let busy_s = busy_us.load(Ordering::Relaxed) as f64 / 1e6;
+        let utilization = if wall_s > 0.0 {
+            (busy_s / (wall_s * workers as f64)).min(1.0)
+        } else {
+            0.0
+        };
+        obs::counter("parallel.items").add(n as u64);
+        obs::gauge("parallel.utilization").set(utilization);
+        obs::emit(
+            "parallel",
+            "parallel.par_map",
+            "par_map.done",
+            &[
+                ("items", n.into()),
+                ("workers", workers.into()),
+                ("wall_s", wall_s.into()),
+                ("busy_s", busy_s.into()),
+                ("utilization", utilization.into()),
+            ],
+        );
+    }
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in rx.try_iter() {

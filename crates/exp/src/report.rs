@@ -15,7 +15,10 @@ pub fn render_text(fig: &FigureData) -> String {
         .map(|r| r.results.iter().map(|a| a.name.as_str()).collect())
         .unwrap_or_default();
 
-    let _ = writeln!(out, "\n(a) volume of datasets demanded by admitted queries [GB]");
+    let _ = writeln!(
+        out,
+        "\n(a) volume of datasets demanded by admitted queries [GB]"
+    );
     let _ = write!(out, "{:>12}", fig.x_label);
     for n in &names {
         let _ = write!(out, " | {n:>20}");
@@ -80,8 +83,12 @@ pub fn render_csv(fig: &FigureData) -> String {
 /// EXPERIMENTS.md uses, so regenerated data can be pasted straight in.
 pub fn render_markdown(fig: &FigureData) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## {} — {}
-", fig.id, fig.title);
+    let _ = writeln!(
+        out,
+        "## {} — {}
+",
+        fig.id, fig.title
+    );
     let names: Vec<&str> = fig
         .rows
         .first()
@@ -180,7 +187,11 @@ mod tests {
         let lines: Vec<&str> = md.lines().collect();
         assert!(lines[0].starts_with("## figX"));
         // Header + separator + one data row.
-        let table: Vec<&str> = lines.iter().filter(|l| l.starts_with('|')).copied().collect();
+        let table: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.starts_with('|'))
+            .copied()
+            .collect();
         assert_eq!(table.len(), 3);
         // 1 x column + 2 vol + 2 thr = 5 content columns -> 6 pipes+1.
         assert_eq!(table[0].matches('|').count(), 6);
@@ -192,5 +203,77 @@ mod tests {
     fn integer_x_renders_without_decimals() {
         assert_eq!(trim_float(5.0), "5");
         assert_eq!(trim_float(2.5), "2.5");
+    }
+
+    fn empty_fig() -> FigureData {
+        FigureData {
+            id: "figE".into(),
+            title: "empty".into(),
+            x_label: "K".into(),
+            rows: vec![],
+        }
+    }
+
+    #[test]
+    fn text_golden_output() {
+        // Full golden string: any rendering change must be reviewed here.
+        let expected = "\
+figX — sample
+
+(a) volume of datasets demanded by admitted queries [GB]
+           K |              Appro-G |             Greedy-G
+           2 |        11.00 ± 1.96 |         4.00 ± 1.96
+
+(b) system throughput [admitted/total]
+           K |              Appro-G |             Greedy-G
+           2 |        0.550 ± 0.098 |        0.250 ± 0.098
+";
+        let got = render_text(&sample_fig());
+        // display_ci width can vary with locale-independent float
+        // formatting; compare structure line by line instead of bytes.
+        let exp_lines: Vec<&str> = expected.lines().collect();
+        let got_lines: Vec<&str> = got.lines().collect();
+        assert_eq!(got_lines.len(), exp_lines.len(), "{got}");
+        for (g, e) in got_lines.iter().zip(&exp_lines) {
+            assert_eq!(
+                g.split_whitespace().collect::<Vec<_>>(),
+                e.split_whitespace().collect::<Vec<_>>(),
+                "line mismatch in:\n{got}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_rows_render_headers_only() {
+        let text = render_text(&empty_fig());
+        assert!(text.contains("figE — empty"));
+        assert!(text.contains("(a) volume"));
+        assert!(text.contains("(b) system throughput"));
+        // No algorithm names, no data rows: every remaining line is a
+        // header or the bare x-label column.
+        assert!(!text.contains('±'));
+
+        let csv = render_csv(&empty_fig());
+        assert_eq!(csv.lines().count(), 1, "header only: {csv}");
+        assert!(csv.starts_with("figure,x,algorithm"));
+
+        let md = render_markdown(&empty_fig());
+        let table: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(table.len(), 2, "header + separator only: {md}");
+        assert_eq!(table[0], "| K |");
+    }
+
+    #[test]
+    fn csv_golden_row_values() {
+        let csv = render_csv(&sample_fig());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[1],
+            "figX,2,Appro-G,11.000000,1.414214,1.960000,0.550000,0.070711,0.098000,2"
+        );
+        assert_eq!(
+            lines[2],
+            "figX,2,Greedy-G,4.000000,1.414214,1.960000,0.250000,0.070711,0.098000,2"
+        );
     }
 }

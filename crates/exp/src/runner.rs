@@ -1,6 +1,7 @@
 //! Panel evaluation over seeded repetitions.
 
 use edgerep_core::BoxedAlgorithm;
+use edgerep_obs as obs;
 use edgerep_testbed::{run_testbed, SimConfig, TestbedConfig};
 use edgerep_workload::{generate_instance, WorkloadParams};
 use serde::{Deserialize, Serialize};
@@ -28,10 +29,14 @@ pub fn run_simulation_point(
     seeds: usize,
 ) -> Vec<AlgResult> {
     assert!(seeds >= 1, "need at least one repetition");
+    let _span = obs::span("runner", "runner.simulation_point");
+    obs::counter("runner.points").inc();
+    obs::counter("runner.seed_runs").add(seeds as u64);
     let seed_list: Vec<u64> = (0..seeds as u64).collect();
     // One parallel task per seed: generates the instance once and runs the
     // whole panel on it, so algorithms always compete on identical inputs.
     let per_seed: Vec<Vec<(f64, f64)>> = par_map(&seed_list, |&seed| {
+        let _seed_span = obs::span("runner", "runner.seed");
         let inst = generate_instance(params, seed);
         panel
             .iter()
@@ -57,8 +62,12 @@ pub fn run_testbed_point(
     sim: &SimConfig,
 ) -> Vec<AlgResult> {
     assert!(seeds >= 1, "need at least one repetition");
+    let _span = obs::span("runner", "runner.testbed_point");
+    obs::counter("runner.points").inc();
+    obs::counter("runner.seed_runs").add(seeds as u64);
     let seed_list: Vec<u64> = (0..seeds as u64).collect();
     let per_seed: Vec<Vec<(f64, f64)>> = par_map(&seed_list, |&seed| {
+        let _seed_span = obs::span("runner", "runner.seed");
         let world = edgerep_testbed::build_testbed_instance(cfg, seed);
         let sim_cfg = SimConfig { seed, ..*sim };
         panel

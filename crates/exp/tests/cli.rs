@@ -110,6 +110,164 @@ fn inspect_rejects_garbage_file() {
 }
 
 #[test]
+fn inspect_zero_query_instance_prints_na_deadlines() {
+    let dir = std::env::temp_dir().join(format!("edgerep-cli-noq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.json");
+    let out = edgerep()
+        .args(["gen", "--seed", "5", "-o", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+    // The generator never emits zero queries, so strip them from the spec.
+    let mut spec: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&inst).unwrap()).unwrap();
+    spec["queries"] = serde_json::json!([]);
+    std::fs::write(&inst, spec.to_string()).unwrap();
+
+    let out = edgerep()
+        .args(["inspect", "-i", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "inspect failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("deadlines: n/a (no queries)"),
+        "expected n/a deadlines, got:\n{text}"
+    );
+    assert!(!text.contains("inf"), "no infinities leak out:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_trace_writes_parseable_ndjson_with_spans_and_rejections() {
+    let dir = std::env::temp_dir().join(format!("edgerep-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.json");
+    let trace = dir.join("out.ndjson");
+    let out = edgerep()
+        .args([
+            "gen",
+            "--seed",
+            "7",
+            "--network-size",
+            "40",
+            "-o",
+            inst.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    let out = edgerep()
+        .args([
+            "solve",
+            "-i",
+            inst.to_str().unwrap(),
+            "--alg",
+            "appro-g",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "solve --trace failed: {out:?}");
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!text.trim().is_empty(), "trace file is empty");
+    let lines: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| {
+            serde_json::from_str(l)
+                .unwrap_or_else(|e| panic!("trace line is not valid JSON ({e}): {l}"))
+        })
+        .collect();
+    // Every event carries the NDJSON envelope.
+    for v in &lines {
+        assert!(v["ts_us"].is_u64(), "missing ts_us: {v}");
+        assert!(v["target"].is_string(), "missing target: {v}");
+        assert!(v["event"].is_string(), "missing event: {v}");
+        assert!(v["fields"].is_object(), "missing fields: {v}");
+    }
+    // Per-reason admission rejection counts appear both as the solver's
+    // summary event and as registry counter dumps.
+    assert!(
+        lines.iter().any(|v| v["event"] == "admission.summary"
+            && v["fields"]["reject_deadline"].is_u64()
+            && v["fields"]["reject_capacity"].is_u64()
+            && v["fields"]["reject_replica_budget"].is_u64()),
+        "no admission.summary event in trace"
+    );
+    assert!(
+        lines.iter().any(|v| v["event"] == "counter"
+            && v["fields"]["name"]
+                .as_str()
+                .is_some_and(|n| n.starts_with("admission.reject."))),
+        "no admission.reject.* counter dump in trace"
+    );
+    // Per-phase span timings: live span.close events plus the histogram dump.
+    assert!(
+        lines.iter().any(|v| v["event"] == "span.close"
+            && v["span"] == "appro.run"
+            && v["fields"]["duration_us"].is_u64()),
+        "no appro.run span.close event in trace"
+    );
+    assert!(
+        lines.iter().any(|v| v["event"] == "histogram"
+            && v["fields"]["name"] == "span.appro.run_us"
+            && v["fields"]["count"].as_u64().unwrap_or(0) >= 1),
+        "no span.appro.run_us histogram dump in trace"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_stats_prints_registry_summary() {
+    let dir = std::env::temp_dir().join(format!("edgerep-cli-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.json");
+    edgerep()
+        .args(["gen", "--seed", "2", "-o", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = edgerep()
+        .args([
+            "solve",
+            "-i",
+            inst.to_str().unwrap(),
+            "--alg",
+            "greedy-g",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "solve --stats failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("--- metrics: Greedy-G ---"), "{text}");
+    assert!(text.contains("admission.checks"), "{text}");
+    assert!(text.contains("span.greedy.solve_us"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_trace_without_file_fails() {
+    let dir = std::env::temp_dir().join(format!("edgerep-cli-tracebad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.json");
+    edgerep()
+        .args(["gen", "--seed", "1", "-o", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = edgerep()
+        .args(["solve", "-i", inst.to_str().unwrap(), "--trace"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace needs FILE"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn repro_renders_topology_figures_instantly() {
     let out = repro().args(["fig1", "fig6"]).output().expect("repro runs");
     assert!(out.status.success());

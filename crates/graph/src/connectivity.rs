@@ -63,11 +63,7 @@ pub fn is_connected(g: &Graph) -> bool {
 /// Bridge endpoints are drawn uniformly inside each component so repair does
 /// not bias toward low node ids; bridge weights are drawn from
 /// `weight_range`.
-pub fn connect_components<R: Rng>(
-    g: &mut Graph,
-    rng: &mut R,
-    weight_range: (f64, f64),
-) -> usize {
+pub fn connect_components<R: Rng>(g: &mut Graph, rng: &mut R, weight_range: (f64, f64)) -> usize {
     let (labels, k) = connected_components(g);
     if k <= 1 {
         return 0;

@@ -205,9 +205,7 @@ impl Graph {
             .iter()
             .filter(|nb| nb.node == v)
             .map(|nb| nb.weight)
-            .fold(None, |best, w| {
-                Some(best.map_or(w, |b: f64| b.min(w)))
-            })
+            .fold(None, |best, w| Some(best.map_or(w, |b: f64| b.min(w))))
     }
 
     /// Total weight over all edges (used by partition quality metrics).

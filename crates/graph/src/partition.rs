@@ -75,12 +75,14 @@ fn kl_bisect(g: &Graph, members: &[NodeId]) -> Vec<bool> {
             // Pick the unlocked cross pair (a, b) maximizing
             // gain(a) + gain(b) - 2*w(a,b).
             let mut best: Option<(NodeId, NodeId, f64)> = None;
-            for &a in members.iter().filter(|m| {
-                !locked[m.index()] && !working_side[m.index()]
-            }) {
-                for &b in members.iter().filter(|m| {
-                    !locked[m.index()] && working_side[m.index()]
-                }) {
+            for &a in members
+                .iter()
+                .filter(|m| !locked[m.index()] && !working_side[m.index()])
+            {
+                for &b in members
+                    .iter()
+                    .filter(|m| !locked[m.index()] && working_side[m.index()])
+                {
                     let w_ab = g.edge_weight(a, b).unwrap_or(0.0);
                     let gain = gains[a.index()] + gains[b.index()] - 2.0 * w_ab;
                     if best.is_none_or(|(_, _, bg)| gain > bg) {
@@ -142,8 +144,7 @@ fn recurse(g: &Graph, members: &[NodeId], k: usize, base: usize, labels: &mut [u
         return;
     }
     let side = kl_bisect(g, members);
-    let (left, right): (Vec<NodeId>, Vec<NodeId>) =
-        members.iter().partition(|m| !side[m.index()]);
+    let (left, right): (Vec<NodeId>, Vec<NodeId>) = members.iter().partition(|m| !side[m.index()]);
     let k_left = k / 2 + k % 2;
     let k_right = k / 2;
     recurse(g, &left, k_left, base, labels);

@@ -310,7 +310,10 @@ mod tests {
         let dj = Dijkstra::run(&g, NodeId(0));
         for t in g.nodes() {
             let d = dj.delay_to(t).unwrap_or(f64::INFINITY);
-            assert!((bf[t.index()] - d).abs() < 1e-12 || (bf[t.index()].is_infinite() && d.is_infinite()));
+            assert!(
+                (bf[t.index()] - d).abs() < 1e-12
+                    || (bf[t.index()].is_infinite() && d.is_infinite())
+            );
         }
     }
 

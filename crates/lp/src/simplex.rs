@@ -319,7 +319,11 @@ pub fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
         duals.push(y);
     }
 
-    Ok(LpSolution { objective, x, duals })
+    Ok(LpSolution {
+        objective,
+        x,
+        duals,
+    })
 }
 
 #[cfg(test)]

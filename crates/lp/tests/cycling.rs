@@ -31,7 +31,11 @@ fn beale_cycling_example_terminates() {
     );
     lp.add_constraint(vec![(x6, 1.0)], Cmp::Le, 1.0);
     let sol = solve(&lp).expect("Beale's example is solvable");
-    assert!((sol.objective - 0.05).abs() < 1e-6, "objective {}", sol.objective);
+    assert!(
+        (sol.objective - 0.05).abs() < 1e-6,
+        "objective {}",
+        sol.objective
+    );
     assert!(lp.is_feasible(&sol.x, 1e-9));
 }
 

@@ -12,10 +12,7 @@ fn arb_bounded_lp() -> impl Strategy<Value = LinearProgram> {
     let vars = proptest::collection::vec(var, 1..6);
     vars.prop_flat_map(|vars| {
         let n = vars.len();
-        let row = (
-            proptest::collection::vec(0.0f64..3.0, n),
-            0.5f64..8.0,
-        );
+        let row = (proptest::collection::vec(0.0f64..3.0, n), 0.5f64..8.0);
         let rows = proptest::collection::vec(row, 0..5);
         rows.prop_map(move |rows| {
             let mut lp = LinearProgram::new();

@@ -111,9 +111,19 @@ mod tests {
         let d = ib.add_dataset(4.0, dc);
         ib.add_query(cl, vec![Demand::new(d, 0.5)], 1.0, 0.01);
         let inst = ib.build().unwrap();
-        assert!(!is_deadline_feasible(&inst, QueryId(0), 0, ComputeNodeId(0)));
+        assert!(!is_deadline_feasible(
+            &inst,
+            QueryId(0),
+            0,
+            ComputeNodeId(0)
+        ));
         // Processing at home costs 0.04 > 0.01: also infeasible.
-        assert!(!is_deadline_feasible(&inst, QueryId(0), 0, ComputeNodeId(1)));
+        assert!(!is_deadline_feasible(
+            &inst,
+            QueryId(0),
+            0,
+            ComputeNodeId(1)
+        ));
     }
 
     #[test]

@@ -232,9 +232,7 @@ impl InstanceBuilder {
                 if !seen.insert(dem.dataset) {
                     return Err(InstanceError::DuplicateDemand(q.id, dem.dataset));
                 }
-                if !(dem.selectivity.is_finite()
-                    && dem.selectivity > 0.0
-                    && dem.selectivity <= 1.0)
+                if !(dem.selectivity.is_finite() && dem.selectivity > 0.0 && dem.selectivity <= 1.0)
                 {
                     return Err(InstanceError::InvalidSelectivity(
                         q.id,
@@ -276,12 +274,7 @@ mod tests {
         let mut ib = InstanceBuilder::new(cloud(), 2);
         let d0 = ib.add_dataset(2.0, ComputeNodeId(0));
         let d1 = ib.add_dataset(5.0, ComputeNodeId(1));
-        ib.add_query(
-            ComputeNodeId(1),
-            vec![Demand::new(d0, 0.5)],
-            1.0,
-            3.0,
-        );
+        ib.add_query(ComputeNodeId(1), vec![Demand::new(d0, 0.5)], 1.0, 3.0);
         ib.add_query(
             ComputeNodeId(0),
             vec![Demand::new(d0, 1.0), Demand::new(d1, 0.25)],

@@ -65,9 +65,7 @@ pub mod prelude {
     pub use crate::delay::{assignment_delay, is_deadline_feasible, query_delay};
     pub use crate::instance::{Instance, InstanceBuilder, InstanceError};
     pub use crate::metrics::Metrics;
-    pub use crate::network::{
-        ComputeNodeId, EdgeCloud, EdgeCloudBuilder, NetworkError, NodeKind,
-    };
+    pub use crate::network::{ComputeNodeId, EdgeCloud, EdgeCloudBuilder, NetworkError, NodeKind};
     pub use crate::query::{Demand, Query, QueryId};
     pub use crate::solution::{Solution, SolutionError};
 }

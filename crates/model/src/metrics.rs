@@ -51,7 +51,9 @@ impl Metrics {
         let mut util_peak: f64 = 0.0;
         let mut counted = 0usize;
         for (vi, &used) in loads.iter().enumerate() {
-            let avail = inst.cloud().available(crate::network::ComputeNodeId(vi as u32));
+            let avail = inst
+                .cloud()
+                .available(crate::network::ComputeNodeId(vi as u32));
             if avail > 0.0 {
                 let u = used / avail;
                 util_sum += u;
@@ -96,10 +98,10 @@ impl std::fmt::Display for Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::DatasetId;
     use crate::instance::InstanceBuilder;
     use crate::network::EdgeCloudBuilder;
     use crate::query::Demand;
-    use crate::data::DatasetId;
     use crate::query::QueryId;
 
     fn setup() -> (Instance, Solution) {

@@ -154,8 +154,10 @@ impl EdgeCloud {
     /// `INFINITY` when disconnected.
     #[inline]
     pub fn min_delay(&self, u: ComputeNodeId, v: ComputeNodeId) -> f64 {
-        self.delays
-            .delay_or_inf(self.compute[u.index()].graph_node, self.compute[v.index()].graph_node)
+        self.delays.delay_or_inf(
+            self.compute[u.index()].graph_node,
+            self.compute[v.index()].graph_node,
+        )
     }
 
     /// Minimum transmission delay between arbitrary graph nodes.
@@ -331,7 +333,10 @@ mod tests {
         assert_eq!(c.data_center_count(), 1);
         assert_eq!(c.cloudlet_count(), 2);
         assert_eq!(c.node(ComputeNodeId(0)).kind, NodeKind::DataCenter);
-        assert_eq!(c.kind(c.node(ComputeNodeId(1)).graph_node), NodeKind::Cloudlet);
+        assert_eq!(
+            c.kind(c.node(ComputeNodeId(1)).graph_node),
+            NodeKind::Cloudlet
+        );
         assert_eq!(c.graph().node_count(), 4);
     }
 
@@ -432,7 +437,9 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        assert!(NetworkError::NoComputeNodes.to_string().contains("no cloudlets"));
+        assert!(NetworkError::NoComputeNodes
+            .to_string()
+            .contains("no cloudlets"));
         assert!(NetworkError::AvailableExceedsCapacity(ComputeNodeId(2))
             .to_string()
             .contains("V2"));

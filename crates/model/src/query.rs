@@ -104,7 +104,10 @@ mod tests {
         Query::new(
             QueryId(0),
             ComputeNodeId(1),
-            vec![Demand::new(DatasetId(0), 0.3), Demand::new(DatasetId(2), 1.0)],
+            vec![
+                Demand::new(DatasetId(0), 0.3),
+                Demand::new(DatasetId(2), 1.0),
+            ],
             1.0,
             5.0,
         )

@@ -293,7 +293,12 @@ mod tests {
         let d0 = ib.add_dataset(4.0, dc);
         let d1 = ib.add_dataset(2.0, dc);
         ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
-        ib.add_query(cl, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)], 1.0, 1.0);
+        ib.add_query(
+            cl,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.5)],
+            1.0,
+            1.0,
+        );
         ib.build().unwrap()
     }
 
@@ -334,10 +339,7 @@ mod tests {
         assert_eq!(sol.admitted_count(), 1);
         assert_eq!(sol.admitted_volume(&inst), 6.0);
         assert_eq!(sol.throughput(&inst), 0.5);
-        assert_eq!(
-            sol.admitted_queries().collect::<Vec<_>>(),
-            vec![QueryId(1)]
-        );
+        assert_eq!(sol.admitted_queries().collect::<Vec<_>>(), vec![QueryId(1)]);
         sol.unassign_query(QueryId(1));
         assert_eq!(sol.admitted_count(), 0);
     }

@@ -188,10 +188,8 @@ impl InstanceSpec {
             }
         }
         for (i, l) in self.links.iter().enumerate() {
-            let (Some(&ga), Some(&gb)) = (
-                graph_ids.get(l.a as usize),
-                graph_ids.get(l.b as usize),
-            ) else {
+            let (Some(&ga), Some(&gb)) = (graph_ids.get(l.a as usize), graph_ids.get(l.b as usize))
+            else {
                 return Err(SpecError::DanglingLink(i));
             };
             builder.link_graph(ga, gb, l.delay);
@@ -230,7 +228,12 @@ mod tests {
         let d0 = ib.add_dataset(4.0, dc);
         let d1 = ib.add_dataset(2.0, cl1);
         ib.add_query(cl1, vec![Demand::new(d0, 0.5)], 1.0, 0.5);
-        ib.add_query(cl2, vec![Demand::new(d0, 1.0), Demand::new(d1, 0.3)], 0.9, 0.8);
+        ib.add_query(
+            cl2,
+            vec![Demand::new(d0, 1.0), Demand::new(d1, 0.3)],
+            0.9,
+            0.8,
+        );
         ib.build().unwrap()
     }
 
@@ -302,7 +305,10 @@ mod tests {
             delay: 0.1,
         });
         let idx = spec.links.len() - 1;
-        assert_eq!(spec.to_instance().unwrap_err(), SpecError::DanglingLink(idx));
+        assert_eq!(
+            spec.to_instance().unwrap_err(),
+            SpecError::DanglingLink(idx)
+        );
     }
 
     #[test]

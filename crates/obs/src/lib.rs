@@ -1,0 +1,271 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency observability for the `edgerep` workspace.
+//!
+//! Three layers, cheapest first:
+//!
+//! 1. **Metric registry** ([`registry`]) — process-wide named
+//!    [`Counter`]s, [`Gauge`]s, and log2-bucketed [`Histogram`]s. Handles
+//!    are `Arc`-backed and updates are relaxed atomics, so recording is
+//!    wait-free; only the *first* lookup of a name takes a lock.
+//! 2. **Span timers** ([`span`]) — RAII scopes that record wall time into
+//!    a histogram named after the span and emit a `span.close` trace
+//!    event. When the span's target is disabled, [`span()`] returns an
+//!    inert guard after a single relaxed atomic load.
+//! 3. **Trace events** ([`trace`]) — structured NDJSON records
+//!    (`{"ts_us":..,"target":..,"span":..,"event":..,"fields":{..}}`)
+//!    written to a caller-installed sink ([`set_trace_writer`]).
+//!
+//! # Enabling
+//!
+//! Everything is **off by default**: spans do not read the clock and
+//! events are dropped after one relaxed atomic load. Enable via the
+//! `EDGEREP_OBS` environment variable or programmatically:
+//!
+//! ```text
+//! EDGEREP_OBS=all                    # every target, debug verbosity
+//! EDGEREP_OBS=admission,appro=debug  # admission at info, appro at debug
+//! ```
+//!
+//! The filter grammar is a comma-separated list of `target[=level]`
+//! entries where `level` is `info` (default) or `debug`; the pseudo-target
+//! `all` (or `*`) matches everything. [`enable_all`] / [`disable`]
+//! override the environment (the `edgerep solve --trace/--stats` flags use
+//! them).
+//!
+//! Registry *counters* are deliberately not gated: solver hot paths tally
+//! locally in plain integers and flush once per run, so the registry cost
+//! is a handful of atomic adds per solve regardless of the filter.
+//!
+//! # Example
+//!
+//! ```
+//! use edgerep_obs as obs;
+//!
+//! obs::enable_all();
+//! let sink = obs::MemWriter::default();
+//! obs::set_trace_writer(Box::new(sink.clone()));
+//!
+//! {
+//!     let _span = obs::span("demo", "demo.phase");
+//!     obs::counter("demo.widgets").add(3);
+//!     obs::emit("demo", "demo.phase", "widget", &[("id", 7u64.into())]);
+//! } // span drop records `span.demo.phase_us` and a `span.close` event
+//!
+//! obs::take_trace_writer();
+//! assert!(sink.contents().lines().all(|l| l.starts_with('{')));
+//! assert_eq!(obs::counter("demo.widgets").get(), 3);
+//! obs::disable();
+//! ```
+
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use registry::{
+    counter, gauge, histogram, render_summary, reset_registry, snapshot, Counter, Gauge, Histogram,
+    HistogramSnapshot, Snapshot,
+};
+pub use span::{span, SpanTimer};
+pub use trace::{emit, emit_debug, set_trace_writer, take_trace_writer, MemWriter, Value};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::RwLock;
+
+/// Verbosity of a trace event or filter entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Coarse events: phase boundaries, per-run summaries.
+    Info,
+    /// Fine-grained events: per-query, per-seed, per-sim-event records.
+    Debug,
+}
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ALL: u8 = 2;
+const STATE_FILTERED: u8 = 3;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static FILTER: RwLock<Option<Filter>> = RwLock::new(None);
+
+/// A parsed `EDGEREP_OBS` filter: `target[=level]` entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Filter {
+    entries: Vec<(String, Level)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let entries = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .map(|entry| {
+                let (target, level) = match entry.split_once('=') {
+                    Some((t, l)) => (t.trim(), l.trim()),
+                    None => (entry, "info"),
+                };
+                let level = if level.eq_ignore_ascii_case("debug") {
+                    Level::Debug
+                } else {
+                    Level::Info
+                };
+                (target.to_owned(), level)
+            })
+            .collect();
+        Filter { entries }
+    }
+
+    fn allows(&self, target: &str, level: Level) -> bool {
+        self.entries
+            .iter()
+            .any(|(t, max)| (t == "all" || t == "*" || t == target) && level <= *max)
+    }
+
+    /// Whether the spec is a pure blanket enable (`all`, `*`, `1`), which
+    /// short-circuits to the everything-at-debug fast state.
+    fn is_blanket(&self) -> bool {
+        !self.entries.is_empty()
+            && self
+                .entries
+                .iter()
+                .all(|(t, _)| t == "all" || t == "*" || t == "1")
+    }
+}
+
+fn init_from_env() {
+    let spec = std::env::var("EDGEREP_OBS").unwrap_or_default();
+    if spec.trim().is_empty() {
+        // Keep a possible concurrent `enable_all`/`set_filter` result.
+        let _ = STATE.compare_exchange(STATE_UNINIT, STATE_OFF, Ordering::SeqCst, Ordering::SeqCst);
+    } else {
+        set_filter(&spec);
+    }
+}
+
+/// Installs a filter from the `EDGEREP_OBS` grammar, replacing any previous
+/// state. `"all"` (or `"*"` or `"1"`) enables every target.
+pub fn set_filter(spec: &str) {
+    let filter = Filter::parse(spec);
+    if filter.entries.is_empty() {
+        disable();
+        return;
+    }
+    if filter.is_blanket() {
+        *FILTER.write().expect("obs filter lock") = None;
+        STATE.store(STATE_ALL, Ordering::SeqCst);
+    } else {
+        *FILTER.write().expect("obs filter lock") = Some(filter);
+        STATE.store(STATE_FILTERED, Ordering::SeqCst);
+    }
+}
+
+/// Enables every target at debug verbosity (what `--trace`/`--stats` use).
+pub fn enable_all() {
+    STATE.store(STATE_ALL, Ordering::SeqCst);
+}
+
+/// Disables all spans and trace events (counters keep working — they are
+/// flushed unconditionally by the instrumented code).
+pub fn disable() {
+    STATE.store(STATE_OFF, Ordering::SeqCst);
+}
+
+/// Whether `target` is enabled at info verbosity. The disabled fast path
+/// is a single relaxed atomic load.
+#[inline]
+pub fn enabled(target: &str) -> bool {
+    enabled_at(target, Level::Info)
+}
+
+/// Whether `target` is enabled at `level`.
+#[inline]
+pub fn enabled_at(target: &str, level: Level) -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_OFF => false,
+        STATE_ALL => true,
+        STATE_FILTERED => FILTER
+            .read()
+            .expect("obs filter lock")
+            .as_ref()
+            .is_some_and(|f| f.allows(target, level)),
+        _ => {
+            init_from_env();
+            enabled_at(target, level)
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Global-state tests must not interleave; every test that touches the
+    /// enable state, the registry, or the trace sink holds this lock.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parses_targets_and_levels() {
+        let f = Filter::parse("admission, appro=debug ,sim=info");
+        assert_eq!(f.entries.len(), 3);
+        assert!(f.allows("admission", Level::Info));
+        assert!(!f.allows("admission", Level::Debug));
+        assert!(f.allows("appro", Level::Debug));
+        assert!(f.allows("sim", Level::Info));
+        assert!(!f.allows("runner", Level::Info));
+    }
+
+    #[test]
+    fn filter_wildcards_match_everything() {
+        for spec in ["all", "*", "all=debug", "*=debug"] {
+            let f = Filter::parse(spec);
+            assert!(f.allows("anything", Level::Info), "{spec}");
+            assert!(f.is_blanket(), "{spec}");
+        }
+        assert!(!Filter::parse("appro=debug").is_blanket());
+        assert!(!Filter::parse("all,appro=debug").is_blanket());
+    }
+
+    #[test]
+    fn empty_filter_allows_nothing() {
+        let f = Filter::parse("  ,  ");
+        assert!(f.entries.is_empty());
+        assert!(!f.allows("x", Level::Info));
+    }
+
+    #[test]
+    fn state_transitions() {
+        let _g = test_support::lock();
+        disable();
+        assert!(!enabled("appro"));
+        enable_all();
+        assert!(enabled_at("appro", Level::Debug));
+        set_filter("appro");
+        assert!(enabled("appro"));
+        assert!(!enabled_at("appro", Level::Debug));
+        assert!(!enabled("sim"));
+        set_filter("");
+        assert!(!enabled("appro"));
+        disable();
+    }
+
+    #[test]
+    fn set_filter_all_short_circuits() {
+        let _g = test_support::lock();
+        set_filter("all");
+        assert_eq!(STATE.load(Ordering::Relaxed), STATE_ALL);
+        set_filter("1");
+        assert_eq!(STATE.load(Ordering::Relaxed), STATE_ALL);
+        disable();
+    }
+}

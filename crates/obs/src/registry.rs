@@ -1,0 +1,441 @@
+//! Process-wide metric registry: counters, gauges, log2 histograms.
+//!
+//! Handles returned by [`counter`]/[`gauge`]/[`histogram`] are cheap
+//! `Arc`-backed clones; recording through them is a relaxed atomic
+//! operation with no lock. The registry lock (a `std::sync::RwLock`) is
+//! only taken to resolve a name to a handle — hot code resolves once per
+//! run (or tallies locally and flushes once), never per item.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (CAS loop; rare path).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// `buckets[i]` counts values whose bit length is `i`, i.e. bucket 0
+    /// holds zeros and bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`.
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log2-bucketed histogram of `u64` samples (the span layer records
+/// microseconds; the simulator records simulated microseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let bucket = (u64::BITS - v.leading_zeros()) as usize; // bit length
+        self.0.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        let mut cur = self.0.max.load(Ordering::Relaxed);
+        while v > cur {
+            match self
+                .0
+                .max
+                .compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records a wall-clock duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q ∈ [0,1]`;
+    /// 0 when empty). Log2 buckets give a ≤ 2× overestimate, which is
+    /// plenty for spotting order-of-magnitude latency shifts.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((n as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else if i >= BUCKETS - 1 {
+                    self.max()
+                } else {
+                    (1u64 << i) - 1
+                };
+            }
+        }
+        self.max()
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn resolve<T: Clone + Default>(map: &RwLock<BTreeMap<String, T>>, name: &str) -> T {
+    if let Some(found) = map.read().expect("obs registry lock").get(name) {
+        return found.clone();
+    }
+    map.write()
+        .expect("obs registry lock")
+        .entry(name.to_owned())
+        .or_default()
+        .clone()
+}
+
+/// Resolves (registering on first use) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    resolve(&registry().counters, name)
+}
+
+/// Resolves (registering on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    resolve(&registry().gauges, name)
+}
+
+/// Resolves (registering on first use) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    resolve(&registry().histograms, name)
+}
+
+/// Drops every registered metric (outstanding handles keep working but are
+/// no longer visible in snapshots). Used between CLI panel runs and tests.
+pub fn reset_registry() {
+    let r = registry();
+    r.counters.write().expect("obs registry lock").clear();
+    r.gauges.write().expect("obs registry lock").clear();
+    r.histograms.write().expect("obs registry lock").clear();
+}
+
+/// Point-in-time reading of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Point-in-time reading of the whole registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<(String, u64)>,
+    /// All gauges.
+    pub gauges: Vec<(String, f64)>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Takes a consistent-enough snapshot (each metric is read atomically;
+/// metrics are not frozen relative to each other).
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let counters = r
+        .counters
+        .read()
+        .expect("obs registry lock")
+        .iter()
+        .map(|(n, c)| (n.clone(), c.get()))
+        .collect();
+    let gauges = r
+        .gauges
+        .read()
+        .expect("obs registry lock")
+        .iter()
+        .map(|(n, g)| (n.clone(), g.get()))
+        .collect();
+    let histograms = r
+        .histograms
+        .read()
+        .expect("obs registry lock")
+        .iter()
+        .map(|(n, h)| HistogramSnapshot {
+            name: n.clone(),
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p95: h.quantile(0.95),
+            max: h.max(),
+        })
+        .collect();
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// Renders the registry as the human table printed by
+/// `edgerep solve --stats`.
+pub fn render_summary() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+        return out;
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<44} {v:>12}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<44} {v:>12.3}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms{:<36} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            "", "count", "mean", "p50", "p95", "max"
+        );
+        for h in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>12.1} {:>10} {:>10} {:>10}",
+                h.name, h.count, h.mean, h.p50, h.p95, h.max
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let _g = test_support::lock();
+        reset_registry();
+        let a = counter("test.reg.counter");
+        let b = counter("test.reg.counter");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        reset_registry();
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let _g = test_support::lock();
+        reset_registry();
+        let g = gauge("test.reg.gauge");
+        g.set(2.5);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.25);
+        assert_eq!(g.get(), 7.25);
+        reset_registry();
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1105);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1105.0 / 6.0).abs() < 1e-9);
+        // Median of {0,1,1,3,100,1000}: rank 3 is a 1 -> bucket [1,2) whose
+        // upper bound reads back as 1.
+        assert_eq!(h.quantile(0.5), 1);
+        // p100 lands in the bucket of 1000: [512, 1024) -> 1023.
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn huge_samples_clamp_to_last_bucket() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_and_summary_render() {
+        let _g = test_support::lock();
+        reset_registry();
+        counter("test.snap.c").add(3);
+        gauge("test.snap.g").set(1.5);
+        histogram("test.snap.h").record(7);
+        let snap = snapshot();
+        assert_eq!(snap.counters, vec![("test.snap.c".into(), 3)]);
+        assert_eq!(snap.gauges, vec![("test.snap.g".into(), 1.5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count, 1);
+        let table = render_summary();
+        assert!(table.contains("counters"));
+        assert!(table.contains("test.snap.c"));
+        assert!(table.contains("histograms"));
+        reset_registry();
+        assert!(render_summary().contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        let _g = test_support::lock();
+        reset_registry();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        counter("test.mt.counter").inc();
+                        histogram("test.mt.hist").record(42);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter("test.mt.counter").get(), 8000);
+        assert_eq!(histogram("test.mt.hist").count(), 8000);
+        reset_registry();
+    }
+}

@@ -1,0 +1,97 @@
+//! RAII span timers.
+//!
+//! [`span`] returns a guard that, on drop, records the scope's wall time
+//! into the histogram `span.<name>_us` and emits a `span.close` trace
+//! event. When the span's target is disabled the guard is inert: no clock
+//! read, no allocation — the cost is the single relaxed atomic load inside
+//! [`crate::enabled`].
+
+use std::time::Instant;
+
+use crate::registry::histogram;
+use crate::trace::{emit, Value};
+
+/// Guard returned by [`span`]; records on drop.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; bind it to a named variable"]
+pub struct SpanTimer {
+    target: &'static str,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// Elapsed time so far, or `None` when the span is disabled.
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.start
+            .map(|s| s.elapsed().as_micros().min(u64::MAX as u128) as u64)
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        histogram(&format!("span.{}_us", self.name)).record(us);
+        emit(
+            self.target,
+            self.name,
+            "span.close",
+            &[("duration_us", Value::U64(us))],
+        );
+    }
+}
+
+/// Opens a timed span under `target` named `name` (e.g.
+/// `span("appro", "appro.run")`). Disabled targets get an inert guard.
+#[inline]
+pub fn span(target: &'static str, name: &'static str) -> SpanTimer {
+    let start = crate::enabled(target).then(Instant::now);
+    SpanTimer {
+        target,
+        name,
+        start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{histogram, reset_registry};
+    use crate::test_support;
+    use crate::trace::{set_trace_writer, take_trace_writer, MemWriter};
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = test_support::lock();
+        crate::disable();
+        reset_registry();
+        {
+            let s = span("test", "test.disabled");
+            assert_eq!(s.elapsed_us(), None);
+        }
+        assert_eq!(histogram("span.test.disabled_us").count(), 0);
+        reset_registry();
+    }
+
+    #[test]
+    fn enabled_span_records_histogram_and_event() {
+        let _g = test_support::lock();
+        crate::enable_all();
+        reset_registry();
+        let sink = MemWriter::default();
+        set_trace_writer(Box::new(sink.clone()));
+        {
+            let s = span("test", "test.enabled");
+            assert!(s.elapsed_us().is_some());
+        }
+        take_trace_writer();
+        assert_eq!(histogram("span.test.enabled_us").count(), 1);
+        let out = sink.contents();
+        assert!(out.contains("\"event\":\"span.close\""), "{out}");
+        assert!(out.contains("\"span\":\"test.enabled\""), "{out}");
+        assert!(out.contains("\"duration_us\":"), "{out}");
+        reset_registry();
+        crate::disable();
+    }
+}

@@ -1,0 +1,302 @@
+//! Structured NDJSON trace events.
+//!
+//! Each call to [`emit`] writes one line to the installed sink:
+//!
+//! ```text
+//! {"ts_us":123,"target":"admission","span":"appro.run","event":"reject","fields":{"reason":"deadline"}}
+//! ```
+//!
+//! `ts_us` is microseconds since the first event of the process. Events
+//! are dropped unless (a) a sink is installed ([`set_trace_writer`]) and
+//! (b) the event's target passes the `EDGEREP_OBS` filter — both checks
+//! are a single relaxed atomic load on the disabled path.
+//!
+//! The JSON writer is hand-rolled (this crate is intentionally
+//! dependency-free); it escapes strings per RFC 8259 and renders
+//! non-finite floats as `null`.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::Level;
+
+/// A field value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values serialize as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escaped on write).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+fn write_json_str(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    for c in s.chars() {
+        match c {
+            '"' => out.extend_from_slice(b"\\\""),
+            '\\' => out.extend_from_slice(b"\\\\"),
+            '\n' => out.extend_from_slice(b"\\n"),
+            '\r' => out.extend_from_slice(b"\\r"),
+            '\t' => out.extend_from_slice(b"\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => {
+                let mut buf = [0u8; 4];
+                out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            }
+        }
+    }
+    out.push(b'"');
+}
+
+fn write_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        Value::F64(_) => out.extend_from_slice(b"null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => write_json_str(out, s),
+    }
+}
+
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Installs the NDJSON sink, replacing (and flushing) any previous one.
+pub fn set_trace_writer(w: Box<dyn Write + Send>) {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(mut old) = sink.replace(w) {
+        let _ = old.flush();
+    }
+    SINK_ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Removes and returns the sink, flushing it first. Events emitted after
+/// this are dropped.
+pub fn take_trace_writer() -> Option<Box<dyn Write + Send>> {
+    SINK_ACTIVE.store(false, Ordering::SeqCst);
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut w = sink.take();
+    if let Some(w) = w.as_mut() {
+        let _ = w.flush();
+    }
+    w
+}
+
+fn emit_at(target: &str, span: &str, event: &str, fields: &[(&str, Value)], level: Level) {
+    if !SINK_ACTIVE.load(Ordering::Relaxed) || !crate::enabled_at(target, level) {
+        return;
+    }
+    let ts_us = EPOCH
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_micros()
+        .min(u64::MAX as u128) as u64;
+    let mut line = Vec::with_capacity(96);
+    let _ = write!(line, "{{\"ts_us\":{ts_us},\"target\":");
+    write_json_str(&mut line, target);
+    line.extend_from_slice(b",\"span\":");
+    write_json_str(&mut line, span);
+    line.extend_from_slice(b",\"event\":");
+    write_json_str(&mut line, event);
+    line.extend_from_slice(b",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(b',');
+        }
+        write_json_str(&mut line, k);
+        line.push(b':');
+        write_value(&mut line, v);
+    }
+    line.extend_from_slice(b"}}\n");
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = sink.as_mut() {
+        let _ = w.write_all(&line);
+    }
+}
+
+/// Emits an info-level event under `target`, attributed to `span`.
+pub fn emit(target: &str, span: &str, event: &str, fields: &[(&str, Value)]) {
+    emit_at(target, span, event, fields, Level::Info);
+}
+
+/// Emits a debug-level event (dropped unless the filter grants
+/// `target=debug` or everything is enabled).
+pub fn emit_debug(target: &str, span: &str, event: &str, fields: &[(&str, Value)]) {
+    emit_at(target, span, event, fields, Level::Debug);
+}
+
+/// In-memory sink for tests: clone it, install one clone with
+/// [`set_trace_writer`], read back via [`MemWriter::contents`].
+#[derive(Debug, Clone, Default)]
+pub struct MemWriter(Arc<Mutex<Vec<u8>>>);
+
+impl MemWriter {
+    /// Everything written so far, lossily decoded as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap_or_else(|e| e.into_inner())).into_owned()
+    }
+}
+
+impl Write for MemWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+
+    fn render(fields: &[(&str, Value)]) -> String {
+        let mut out = Vec::new();
+        out.push(b'{');
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(b',');
+            }
+            write_json_str(&mut out, k);
+            out.push(b':');
+            write_value(&mut out, v);
+        }
+        out.push(b'}');
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn values_render_as_json() {
+        let got = render(&[
+            ("u", 3u64.into()),
+            ("i", Value::I64(-4)),
+            ("f", 1.5f64.into()),
+            ("nan", Value::F64(f64::NAN)),
+            ("b", true.into()),
+            ("s", "a\"b\\c\nd".into()),
+        ]);
+        assert_eq!(
+            got,
+            r#"{"u":3,"i":-4,"f":1.5,"nan":null,"b":true,"s":"a\"b\\c\nd"}"#
+        );
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut out = Vec::new();
+        write_json_str(&mut out, "a\u{1}b");
+        assert_eq!(String::from_utf8(out).unwrap(), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn emit_writes_ndjson_lines() {
+        let _g = test_support::lock();
+        crate::enable_all();
+        let sink = MemWriter::default();
+        set_trace_writer(Box::new(sink.clone()));
+        emit("test", "test.span", "hello", &[("n", 1u64.into())]);
+        emit_debug("test", "test.span", "fine", &[]);
+        take_trace_writer();
+        let out = sink.contents();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].starts_with("{\"ts_us\":"), "{out}");
+        assert!(lines[0].contains("\"event\":\"hello\""), "{out}");
+        assert!(lines[0].contains("\"fields\":{\"n\":1}"), "{out}");
+        assert!(lines[1].contains("\"event\":\"fine\""), "{out}");
+        crate::disable();
+    }
+
+    #[test]
+    fn no_sink_drops_events() {
+        let _g = test_support::lock();
+        crate::enable_all();
+        take_trace_writer();
+        // Must not panic or block.
+        emit("test", "s", "dropped", &[]);
+        crate::disable();
+    }
+
+    #[test]
+    fn filter_gates_debug_events() {
+        let _g = test_support::lock();
+        crate::set_filter("test");
+        let sink = MemWriter::default();
+        set_trace_writer(Box::new(sink.clone()));
+        emit("test", "s", "coarse", &[]);
+        emit_debug("test", "s", "fine", &[]);
+        emit("other", "s", "blocked", &[]);
+        take_trace_writer();
+        let out = sink.contents();
+        assert!(out.contains("coarse"), "{out}");
+        assert!(!out.contains("fine"), "{out}");
+        assert!(!out.contains("blocked"), "{out}");
+        crate::disable();
+    }
+}

@@ -175,8 +175,7 @@ mod tests {
             rec(2, 1, 20, 150),
             rec(3, 3, 30, 50),
         ];
-        let AnalyticsResult::TopApps(pairs) =
-            evaluate(AnalyticsKind::TopApps { k: 2 }, &records)
+        let AnalyticsResult::TopApps(pairs) = evaluate(AnalyticsKind::TopApps { k: 2 }, &records)
         else {
             panic!()
         };
@@ -186,8 +185,7 @@ mod tests {
     #[test]
     fn top_apps_tie_breaks_by_app_id() {
         let records = vec![rec(0, 5, 0, 100), rec(0, 2, 0, 100)];
-        let AnalyticsResult::TopApps(pairs) =
-            evaluate(AnalyticsKind::TopApps { k: 5 }, &records)
+        let AnalyticsResult::TopApps(pairs) = evaluate(AnalyticsKind::TopApps { k: 5 }, &records)
         else {
             panic!()
         };
@@ -197,10 +195,10 @@ mod tests {
     #[test]
     fn usage_by_hour_buckets_correctly() {
         let records = vec![
-            rec(0, 7, 3_600, 60),        // hour 1
-            rec(1, 7, 90_000, 40),       // next day, hour 1
-            rec(2, 7, 7_200, 10),        // hour 2
-            rec(3, 8, 3_700, 999),       // other app, ignored
+            rec(0, 7, 3_600, 60),  // hour 1
+            rec(1, 7, 90_000, 40), // next day, hour 1
+            rec(2, 7, 7_200, 10),  // hour 2
+            rec(3, 8, 3_700, 999), // other app, ignored
         ];
         let AnalyticsResult::UsageByHour(hist) =
             evaluate(AnalyticsKind::UsageByHour { app: 7 }, &records)
@@ -265,10 +263,11 @@ mod tests {
         let mut h2 = [0u64; 24];
         h2[3] = 7;
         h2[20] = 1;
-        let AnalyticsResult::UsageByHour(m) =
-            merge(vec![AnalyticsResult::UsageByHour(h1), AnalyticsResult::UsageByHour(h2)])
-                .unwrap()
-        else {
+        let AnalyticsResult::UsageByHour(m) = merge(vec![
+            AnalyticsResult::UsageByHour(h1),
+            AnalyticsResult::UsageByHour(h2),
+        ])
+        .unwrap() else {
             panic!()
         };
         assert_eq!(m[3], 12);

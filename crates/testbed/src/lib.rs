@@ -39,5 +39,7 @@ pub mod rolling;
 pub mod sim;
 pub mod topology;
 
-pub use sim::{run_testbed, run_testbed_with_faults, ConsistencyConfig, NodeFailure, SimConfig, TestbedReport};
+pub use sim::{
+    run_testbed, run_testbed_with_faults, ConsistencyConfig, NodeFailure, SimConfig, TestbedReport,
+};
 pub use topology::{build_fig6_topology, build_testbed_instance, TestbedConfig, TestbedWorld};

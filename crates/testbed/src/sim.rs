@@ -23,6 +23,7 @@
 
 use edgerep_core::PlacementAlgorithm;
 use edgerep_model::{ComputeNodeId, QueryId, Solution};
+use edgerep_obs as obs;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -132,17 +133,38 @@ pub struct TestbedReport {
     /// Queries lost to faults (no live feasible replica, or in flight on a
     /// failing node).
     pub queries_lost_to_faults: usize,
+    /// Mean simulated time demands spent queued for compute, seconds
+    /// (demands that started immediately contribute zero).
+    pub mean_queue_wait_s: f64,
+    /// Mean simulated result-transfer time (including NIC serialization
+    /// wait), seconds.
+    pub mean_transfer_s: f64,
+    /// Discrete events processed by the simulator loop.
+    pub events_processed: u64,
+    /// Largest event-queue depth observed during the run.
+    pub peak_event_queue: usize,
     /// Analytics answers produced (one per completed query).
     pub answers: Vec<(QueryId, AnalyticsResult)>,
 }
 
 #[derive(Debug)]
 enum Event {
-    Arrival { q: QueryId },
-    ProcDone { q: QueryId, demand: usize, node: ComputeNodeId },
-    TransferDone { q: QueryId, demand: usize },
+    Arrival {
+        q: QueryId,
+    },
+    ProcDone {
+        q: QueryId,
+        demand: usize,
+        node: ComputeNodeId,
+    },
+    TransferDone {
+        q: QueryId,
+        demand: usize,
+    },
     ConsistencyCheck,
-    NodeDown { node: ComputeNodeId },
+    NodeDown {
+        node: ComputeNodeId,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -163,6 +185,8 @@ struct Waiting {
     q: QueryId,
     demand: usize,
     need_ghz: f64,
+    /// When the demand joined the node's FIFO (for queue-wait accounting).
+    enqueued: SimTime,
 }
 
 /// Runs one full testbed experiment without fault injection.
@@ -184,6 +208,10 @@ pub fn run_testbed_with_faults(
     let inst = &world.instance;
     let cloud = inst.cloud();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let _run_span = obs::span("sim", "sim.run");
+    // Per-event tracing is gated once per run; the loop then pays nothing
+    // when the `sim` target is disabled.
+    let trace_debug = obs::enabled_at("sim", obs::Level::Debug);
 
     // --- 1. Controller -------------------------------------------------
     let plan = alg.solve(inst);
@@ -226,7 +254,10 @@ pub fn run_testbed_with_faults(
             "fault on unknown node {}",
             f.node
         );
-        queue.push(SimTime::from_secs_f64(f.at_s), Event::NodeDown { node: f.node });
+        queue.push(
+            SimTime::from_secs_f64(f.at_s),
+            Event::NodeDown { node: f.node },
+        );
     }
     if let Some(c) = cfg.consistency {
         queue.push(
@@ -250,6 +281,15 @@ pub fn run_testbed_with_faults(
     let mut queries_lost = 0usize;
     // Per-node NIC: the instant the egress link frees up.
     let mut nic_free_at = vec![SimTime::ZERO; cloud.compute_count()];
+    // Loop statistics, tallied in plain integers and flushed to the metric
+    // registry once after the drain.
+    let mut events_processed: u64 = 0;
+    let mut peak_event_queue: usize = 0;
+    let mut demands_started: u64 = 0;
+    let mut demands_queued: u64 = 0;
+    let mut queue_wait_sum_s = 0.0;
+    let mut transfer_sum_s = 0.0;
+    let mut transfers: u64 = 0;
 
     let start_demand = |now: SimTime,
                         q: QueryId,
@@ -258,22 +298,27 @@ pub fn run_testbed_with_faults(
                         free: &mut [f64],
                         waiting: &mut [std::collections::VecDeque<Waiting>],
                         queue: &mut EventQueue<Event>,
-                        inst: &edgerep_model::Instance| {
+                        inst: &edgerep_model::Instance,
+                        demands_queued: &mut u64| {
         let need = inst.size(inst.query(q).demands[demand].dataset) * inst.query(q).compute_rate;
         if free[node.index()] + 1e-9 >= need {
             free[node.index()] -= need;
             let proc = cloud.proc_delay(node) * inst.size(inst.query(q).demands[demand].dataset);
             queue.push(now.after_secs(proc), Event::ProcDone { q, demand, node });
         } else {
+            *demands_queued += 1;
             waiting[node.index()].push_back(Waiting {
                 q,
                 demand,
                 need_ghz: need,
+                enqueued: now,
             });
         }
     };
 
     while let Some((now, ev)) = queue.pop() {
+        events_processed += 1;
+        peak_event_queue = peak_event_queue.max(queue.len() + 1);
         match ev {
             Event::Arrival { q } => {
                 let Some(nodes) = plan.assignment_of(q) else {
@@ -330,8 +375,19 @@ pub fn run_testbed_with_faults(
                     nodes: resolved.clone(),
                     incomplete: vec![true; n],
                 });
+                demands_started += n as u64;
                 for (demand, node) in resolved.into_iter().enumerate() {
-                    start_demand(now, q, demand, node, &mut free_ghz, &mut waiting, &mut queue, inst);
+                    start_demand(
+                        now,
+                        q,
+                        demand,
+                        node,
+                        &mut free_ghz,
+                        &mut waiting,
+                        &mut queue,
+                        inst,
+                        &mut demands_queued,
+                    );
                 }
             }
             Event::ProcDone { q, demand, node } => {
@@ -347,6 +403,21 @@ pub fn run_testbed_with_faults(
                     if free_ghz[node.index()] + 1e-9 >= w.need_ghz {
                         waiting[node.index()].pop_front();
                         free_ghz[node.index()] -= w.need_ghz;
+                        let wait_s = now.as_secs_f64() - w.enqueued.as_secs_f64();
+                        queue_wait_sum_s += wait_s;
+                        if trace_debug {
+                            obs::emit_debug(
+                                "sim",
+                                "sim.run",
+                                "demand.dequeued",
+                                &[
+                                    ("query", w.q.index().into()),
+                                    ("demand", w.demand.into()),
+                                    ("node", node.index().into()),
+                                    ("wait_s", wait_s.into()),
+                                ],
+                            );
+                        }
                         let proc = cloud.proc_delay(node)
                             * inst.size(inst.query(w.q).demands[w.demand].dataset);
                         queue.push(
@@ -382,6 +453,8 @@ pub fn run_testbed_with_faults(
                 if cfg.nic_contention {
                     nic_free_at[node.index()] = done;
                 }
+                transfer_sum_s += done.as_secs_f64() - now.as_secs_f64();
+                transfers += 1;
                 queue.push(done, Event::TransferDone { q, demand });
             }
             Event::TransferDone { q, demand } => {
@@ -393,6 +466,20 @@ pub fn run_testbed_with_faults(
                 run.finish = run.finish.max(now);
                 if run.outstanding == 0 {
                     completed.push((q, run.arrival, run.finish));
+                    if trace_debug {
+                        obs::emit_debug(
+                            "sim",
+                            "sim.run",
+                            "query.done",
+                            &[
+                                ("query", q.index().into()),
+                                (
+                                    "response_s",
+                                    (run.finish.as_secs_f64() - run.arrival.as_secs_f64()).into(),
+                                ),
+                            ],
+                        );
+                    }
                     let partials: Vec<AnalyticsResult> =
                         run.partials.iter().flatten().cloned().collect();
                     if let Some(answer) = merge(partials) {
@@ -439,6 +526,18 @@ pub fn run_testbed_with_faults(
                         if synced > 0 {
                             consistency_gb += new_data_gb[d.index()] * synced as f64;
                             consistency_rounds += 1;
+                            if trace_debug {
+                                obs::emit_debug(
+                                    "sim",
+                                    "sim.run",
+                                    "consistency.sync",
+                                    &[
+                                        ("dataset", d.index().into()),
+                                        ("replicas_synced", synced.into()),
+                                        ("gb", (new_data_gb[d.index()] * synced as f64).into()),
+                                    ],
+                                );
+                            }
                         }
                         new_data_gb[d.index()] = 0.0;
                     }
@@ -479,6 +578,37 @@ pub fn run_testbed_with_faults(
     };
     let planned_volume = plan.admitted_volume(inst);
     let planned_admitted = plan.admitted_count();
+    let mean_queue_wait_s = if demands_started == 0 {
+        0.0
+    } else {
+        queue_wait_sum_s / demands_started as f64
+    };
+    let mean_transfer_s = if transfers == 0 {
+        0.0
+    } else {
+        transfer_sum_s / transfers as f64
+    };
+    obs::counter("sim.events").add(events_processed);
+    obs::counter("sim.demands").add(demands_started);
+    obs::counter("sim.demands_queued").add(demands_queued);
+    obs::gauge("sim.peak_event_queue").set_max(peak_event_queue as f64);
+    obs::emit(
+        "sim",
+        "sim.run",
+        "sim.summary",
+        &[
+            ("algorithm", alg.name().into()),
+            ("events", events_processed.into()),
+            ("peak_event_queue", peak_event_queue.into()),
+            ("demands", demands_started.into()),
+            ("demands_queued", demands_queued.into()),
+            ("mean_queue_wait_s", mean_queue_wait_s.into()),
+            ("mean_transfer_s", mean_transfer_s.into()),
+            ("consistency_gb", consistency_gb.into()),
+            ("consistency_rounds", consistency_rounds.into()),
+            ("measured_admitted", measured_admitted.into()),
+        ],
+    );
     TestbedReport {
         algorithm: alg.name(),
         planned_volume,
@@ -505,6 +635,10 @@ pub fn run_testbed_with_faults(
         consistency_rounds,
         failovers,
         queries_lost_to_faults: queries_lost,
+        mean_queue_wait_s,
+        mean_transfer_s,
+        events_processed,
+        peak_event_queue,
         answers,
         plan,
     }
@@ -546,6 +680,10 @@ mod tests {
         assert!(report.measured_volume <= report.planned_volume + 1e-9);
         assert!(report.measured_throughput <= 1.0);
         assert!(report.replication_gb >= 0.0);
+        assert!(report.events_processed > 0);
+        assert!(report.peak_event_queue >= 1);
+        assert!(report.mean_queue_wait_s >= 0.0);
+        assert!(report.mean_transfer_s >= 0.0);
         // Every completed query got an answer.
         assert_eq!(
             report.answers.len(),
@@ -619,7 +757,10 @@ mod tests {
         let world = small_world(4, 1); // tight K: rejections guaranteed
         let report = run_testbed(&ApproG::default(), &world, &SimConfig::default());
         let planned = report.planned_admitted;
-        assert!(planned < report.total_queries, "need rejections for this test");
+        assert!(
+            planned < report.total_queries,
+            "need rejections for this test"
+        );
         assert!(report.answers.len() <= planned);
     }
 

@@ -110,7 +110,10 @@ pub struct TestbedWorld {
 
 /// Builds the Fig. 6 edge cloud: DC VMs per region, metro cloudlets
 /// hanging off two switches, WAN links from switches to DCs.
-pub fn build_fig6_topology(cfg: &TestbedConfig, rng: &mut SmallRng) -> (EdgeCloudBuilder, Vec<Region>) {
+pub fn build_fig6_topology(
+    cfg: &TestbedConfig,
+    rng: &mut SmallRng,
+) -> (EdgeCloudBuilder, Vec<Region>) {
     let mut b = EdgeCloudBuilder::new();
     let mut regions = Vec::new();
     let draw = |rng: &mut SmallRng, (lo, hi): (f64, f64)| {
@@ -124,10 +127,7 @@ pub fn build_fig6_topology(cfg: &TestbedConfig, rng: &mut SmallRng) -> (EdgeClou
     // DC VMs, one per region.
     let mut dcs = Vec::new();
     for region in Region::DC_REGIONS {
-        let dc = b.add_data_center(
-            draw(rng, cfg.dc_vm_capacity),
-            draw(rng, cfg.dc_proc_delay),
-        );
+        let dc = b.add_data_center(draw(rng, cfg.dc_vm_capacity), draw(rng, cfg.dc_proc_delay));
         regions.push(region);
         dcs.push((dc, region));
     }
@@ -184,13 +184,20 @@ pub fn build_testbed_instance(cfg: &TestbedConfig, seed: u64) -> TestbedWorld {
     // according to the data creation time", §4.3).
     let trace = mobile_trace::generate_trace(&cfg.trace, seed ^ 0x5eed);
     let parts = mobile_trace::partition_by_time(&trace, cfg.windows);
-    let volumes: Vec<u64> = parts.iter().map(|p| mobile_trace::volume_bytes(p)).collect();
+    let volumes: Vec<u64> = parts
+        .iter()
+        .map(|p| mobile_trace::volume_bytes(p))
+        .collect();
     let vmin = *volumes.iter().min().expect("windows >= 1") as f64;
     let vmax = *volumes.iter().max().expect("windows >= 1") as f64;
     let (glo, ghi) = cfg.dataset_size_gb;
     let mut ib = InstanceBuilder::new(cloud, cfg.max_replicas);
     for &v in &volumes {
-        let t = if vmax > vmin { (v as f64 - vmin) / (vmax - vmin) } else { 0.5 };
+        let t = if vmax > vmin {
+            (v as f64 - vmin) / (vmax - vmin)
+        } else {
+            0.5
+        };
         let size = glo + t * (ghi - glo);
         // "randomly distribute the datasets into the data centers and
         // cloudlets": origin drawn over all VMs, biased to DCs where the

@@ -2,9 +2,9 @@
 //! availability value of `K > 1`.
 
 use edgerep_core::appro::ApproG;
+use edgerep_model::ComputeNodeId;
 use edgerep_testbed::sim::{run_testbed_with_faults, NodeFailure};
 use edgerep_testbed::{build_testbed_instance, run_testbed, SimConfig, TestbedConfig};
-use edgerep_model::ComputeNodeId;
 
 fn world(k: usize, seed: u64) -> edgerep_testbed::TestbedWorld {
     let cfg = TestbedConfig {
@@ -72,7 +72,10 @@ fn replication_enables_failover() {
     let mut lost_k3 = 0usize;
     let mut failovers_k3 = 0usize;
     for seed in 0..6u64 {
-        for (k, lost, fo) in [(1usize, &mut lost_k1, None), (3, &mut lost_k3, Some(&mut failovers_k3))] {
+        for (k, lost, fo) in [
+            (1usize, &mut lost_k1, None),
+            (3, &mut lost_k3, Some(&mut failovers_k3)),
+        ] {
             let w = world(k, seed);
             let fault = NodeFailure {
                 node: ComputeNodeId(4), // first cloudlet VM
@@ -81,7 +84,10 @@ fn replication_enables_failover() {
             let report = run_testbed_with_faults(
                 &ApproG::default(),
                 &w,
-                &SimConfig { seed, ..Default::default() },
+                &SimConfig {
+                    seed,
+                    ..Default::default()
+                },
                 &[fault],
             );
             *lost += report.queries_lost_to_faults;
@@ -119,9 +125,7 @@ fn mid_run_fault_poisons_in_flight_queries() {
     let faulty = run_testbed_with_faults(&ApproG::default(), &w, &sim, &faults);
     assert!(faulty.measured_admitted <= clean.measured_admitted);
     // Accounting stays coherent.
-    assert!(
-        faulty.queries_lost_to_faults + faulty.answers.len() <= faulty.total_queries
-    );
+    assert!(faulty.queries_lost_to_faults + faulty.answers.len() <= faulty.total_queries);
 }
 
 #[test]
@@ -133,17 +137,11 @@ fn all_nodes_down_loses_everything() {
         .compute_ids()
         .map(|v| NodeFailure { node: v, at_s: 0.0 })
         .collect();
-    let report = run_testbed_with_faults(
-        &ApproG::default(),
-        &w,
-        &SimConfig::default(),
-        &faults,
-    );
+    let report = run_testbed_with_faults(&ApproG::default(), &w, &SimConfig::default(), &faults);
     assert_eq!(report.measured_admitted, 0);
     assert_eq!(report.answers.len(), 0);
     assert_eq!(
-        report.queries_lost_to_faults,
-        report.planned_admitted,
+        report.queries_lost_to_faults, report.planned_admitted,
         "every planned query is lost when the whole fleet is down"
     );
 }

@@ -85,10 +85,11 @@ pub fn generate_instance(params: &WorkloadParams, seed: u64) -> Instance {
             // GT-ITM transit-stub: switches are the transit core (dense,
             // fast), cloudlets form stub domains hanging off one transit
             // node each, DCs reach the core over Internet links.
-            let transit: Vec<NodeId> =
-                graph_nodes.iter().skip(params.data_centers + params.cloudlets)
-                    .map(|&(n, _)| n)
-                    .collect();
+            let transit: Vec<NodeId> = graph_nodes
+                .iter()
+                .skip(params.data_centers + params.cloudlets)
+                .map(|&(n, _)| n)
+                .collect();
             debug_assert_eq!(transit.len(), params.switches);
             // Dense core: ring + chords with p = 0.6.
             for i in 0..transit.len() {
@@ -139,7 +140,11 @@ pub fn generate_instance(params: &WorkloadParams, seed: u64) -> Instance {
             }
             // DCs attach to one or two random transit nodes via Internet.
             for &dc in &dc_ids {
-                let uplinks = if transit.len() > 1 && rng.gen_bool(0.5) { 2 } else { 1 };
+                let uplinks = if transit.len() > 1 && rng.gen_bool(0.5) {
+                    2
+                } else {
+                    1
+                };
                 for u in 0..uplinks.min(transit.len().max(1)) {
                     if transit.is_empty() {
                         break;
@@ -236,8 +241,8 @@ pub fn generate_instance(params: &WorkloadParams, seed: u64) -> Instance {
         // while large ones genuinely need edge placement. A query
         // demanding more datasets is strictly harder to admit, which is
         // the Fig. 4 throughput behaviour the paper reports.
-        let deadline = draw(&mut rng, params.deadline_base)
-            + largest * draw(&mut rng, params.deadline_per_gb);
+        let deadline =
+            draw(&mut rng, params.deadline_base) + largest * draw(&mut rng, params.deadline_per_gb);
         ib.add_query(home, demands, draw(&mut rng, params.compute_rate), deadline);
     }
 

@@ -278,8 +278,20 @@ mod tests {
     #[test]
     fn volume_sums_bytes() {
         let records = vec![
-            Record { user: 0, app: 0, start: 0, duration_s: 10, bytes: 100 },
-            Record { user: 1, app: 1, start: 5, duration_s: 10, bytes: 250 },
+            Record {
+                user: 0,
+                app: 0,
+                start: 0,
+                duration_s: 10,
+                bytes: 100,
+            },
+            Record {
+                user: 1,
+                app: 1,
+                start: 5,
+                duration_s: 10,
+                bytes: 250,
+            },
         ];
         assert_eq!(volume_bytes(&records), 350);
     }

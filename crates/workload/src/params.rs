@@ -132,7 +132,10 @@ impl WorkloadParams {
     /// the paper's default 6 : 24 : 2 DC : cloudlet : switch ratio
     /// (Fig. 2 / Fig. 3 x-axis).
     pub fn with_network_size(mut self, n: usize) -> Self {
-        assert!(n >= 3, "network size must fit one DC, one cloudlet, one switch");
+        assert!(
+            n >= 3,
+            "network size must fit one DC, one cloudlet, one switch"
+        );
         let dc = ((n as f64) * 6.0 / 32.0).round().max(1.0) as usize;
         let sw = ((n as f64) * 2.0 / 32.0).round().max(1.0) as usize;
         let cl = n.saturating_sub(dc + sw).max(1);

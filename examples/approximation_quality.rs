@@ -40,7 +40,11 @@ fn main() {
         let v = inst.cloud().compute_count() as f64;
         let k = inst.max_replicas() as f64;
         let theorem = (q * s).max(v * s / k);
-        let ratio = if appro > 0.0 { opt / appro } else { f64::INFINITY };
+        let ratio = if appro > 0.0 {
+            opt / appro
+        } else {
+            f64::INFINITY
+        };
         worst = worst.max(ratio);
         println!(
             "{:>5} | {:>10.2} | {:>8.2}{} | {:>10.2} | {:>10.2} | {:>9.3} | {:>9.1}",

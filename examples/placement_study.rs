@@ -73,7 +73,8 @@ fn main() {
         if i > 0 && v.mean > 0.0 {
             println!(
                 "{:>14} |   (Appro-G admits {:.1}x this volume)",
-                "", appro_vol / v.mean
+                "",
+                appro_vol / v.mean
             );
         }
     }

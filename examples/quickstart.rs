@@ -30,7 +30,7 @@ fn main() {
     let mut ib = InstanceBuilder::new(cloud, 2);
     let logs = ib.add_dataset(5.0, dc); // 5 GB of service logs, born at the DC
     let clicks = ib.add_dataset(2.0, dc); // 2 GB click stream
-    // A dashboard at cloudlet A: needs half the logs joined fast.
+                                          // A dashboard at cloudlet A: needs half the logs joined fast.
     ib.add_query(cl_a, vec![Demand::new(logs, 0.5)], 1.0, 0.30);
     // A report at cloudlet B: logs + clicks, a little more patient.
     ib.add_query(
@@ -58,7 +58,11 @@ fn main() {
             .iter()
             .map(|v| v.to_string())
             .collect();
-        println!("dataset {d} ({} GB) replicated at [{}]", instance.size(d), at.join(", "));
+        println!(
+            "dataset {d} ({} GB) replicated at [{}]",
+            instance.size(d),
+            at.join(", ")
+        );
     }
     println!();
     for q in instance.query_ids() {

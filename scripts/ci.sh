@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI: the exact gates a PR must pass, in the order they fail fastest.
+#
+#   scripts/ci.sh            # fmt + clippy + tier-1 build & tests
+#   scripts/ci.sh --no-fmt   # skip the formatting gate (e.g. older rustfmt)
+#
+# Tier-1 (ROADMAP.md): cargo build --release && cargo test -q
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_fmt=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-fmt) run_fmt=0 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+if [ "$run_fmt" -eq 1 ]; then
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+fi
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "ci: all gates passed"

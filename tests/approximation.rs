@@ -29,11 +29,18 @@ fn sandwich_heuristic_opt_lp() {
     for seed in 0..8u64 {
         let inst = generate_instance(&small_params(), seed);
         let (opt_sol, status) = Optimal::default().solve_with_status(&inst);
-        assert_eq!(status, OptimalStatus::Proven, "seed {seed} should be small enough");
+        assert_eq!(
+            status,
+            OptimalStatus::Proven,
+            "seed {seed} should be small enough"
+        );
         opt_sol.validate(&inst).unwrap();
         let opt = opt_sol.admitted_volume(&inst);
         let lp = lp_upper_bound(&inst);
-        assert!(opt <= lp + 1e-6, "seed {seed}: OPT {opt} above LP bound {lp}");
+        assert!(
+            opt <= lp + 1e-6,
+            "seed {seed}: OPT {opt} above LP bound {lp}"
+        );
 
         for alg in [
             &Appro::default().run(&inst).solution,
@@ -75,19 +82,22 @@ fn empirical_ratio_far_inside_theorem() {
     let mut worst = 1.0f64;
     for seed in 0..8u64 {
         let inst = generate_instance(&small_params(), seed);
-        let appro = Appro::default()
-            .run(&inst)
-            .solution
-            .admitted_volume(&inst);
+        let appro = Appro::default().run(&inst).solution.admitted_volume(&inst);
         let (opt_sol, _) = Optimal::default().solve_with_status(&inst);
         let opt = opt_sol.admitted_volume(&inst);
         if appro > 0.0 {
             worst = worst.max(opt / appro);
         } else {
-            assert!(opt <= 1e-9, "seed {seed}: Appro admitted nothing but OPT = {opt}");
+            assert!(
+                opt <= 1e-9,
+                "seed {seed}: Appro admitted nothing but OPT = {opt}"
+            );
         }
         let theorem = (inst.queries().len() * inst.datasets().len()) as f64;
-        assert!(worst <= theorem, "ratio {worst} outside theorem bound {theorem}");
+        assert!(
+            worst <= theorem,
+            "ratio {worst} outside theorem bound {theorem}"
+        );
     }
     assert!(
         worst <= 2.0,
@@ -108,7 +118,9 @@ fn appro_dominates_baselines_at_paper_defaults() {
         let inst = generate_instance(&params, seed);
         appro_total += Appro::default().run(&inst).solution.admitted_volume(&inst);
         greedy_total += Greedy::general().solve(&inst).admitted_volume(&inst);
-        graph_total += GraphPartition::general().solve(&inst).admitted_volume(&inst);
+        graph_total += GraphPartition::general()
+            .solve(&inst)
+            .admitted_volume(&inst);
     }
     assert!(
         appro_total > 2.0 * greedy_total,

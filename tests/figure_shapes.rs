@@ -49,7 +49,11 @@ fn fig3_appro_g_dominates_both_baselines() {
             mean_volume(row, 1),
             mean_volume(row, 2),
         );
-        assert!(appro > 2.0 * greedy, "n={}: {appro} vs greedy {greedy}", row.x);
+        assert!(
+            appro > 2.0 * greedy,
+            "n={}: {appro} vs greedy {greedy}",
+            row.x
+        );
         assert!(appro > 1.2 * graph, "n={}: {appro} vs graph {graph}", row.x);
     }
 }

@@ -33,7 +33,9 @@ fn answers_match_direct_evaluation() {
         // Recompute the expected answer straight from the records the
         // query's demands cover — independent of the simulator.
         let kind = world.query_kinds[q.index()];
-        let partials: Vec<_> = world.instance.query(*q)
+        let partials: Vec<_> = world
+            .instance
+            .query(*q)
             .demands
             .iter()
             .map(|dem| evaluate(kind, &world.records[dem.dataset.index()]))
@@ -59,7 +61,9 @@ fn accounting_invariants() {
         assert!(report.max_response_s >= report.mean_response_s);
         assert!(report.plan.validate(&world.instance).is_ok());
         // Planned metrics agree with the plan itself.
-        assert!((report.planned_volume - report.plan.admitted_volume(&world.instance)).abs() < 1e-9);
+        assert!(
+            (report.planned_volume - report.plan.admitted_volume(&world.instance)).abs() < 1e-9
+        );
     }
 }
 
@@ -71,7 +75,10 @@ fn measured_latency_respects_static_lower_bound() {
     let world = world(7);
     let report = run_testbed(&ApproG::default(), &world, &SimConfig::default());
     for (q, _) in &report.answers {
-        let nodes = report.plan.assignment_of(*q).expect("completed => admitted");
+        let nodes = report
+            .plan
+            .assignment_of(*q)
+            .expect("completed => admitted");
         let static_delay = edgerep_model::delay::query_delay(&world.instance, *q, nodes);
         // mean_response covers all queries; per-query timing isn't in the
         // report, so check the aggregate: worst-case must be at least the
