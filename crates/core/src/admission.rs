@@ -138,6 +138,19 @@ impl<'a> AdmissionState<'a> {
         }
     }
 
+    /// State resuming from an existing solution: replicas and admissions
+    /// as in `sol`, compute consumption re-derived from its assignments.
+    /// This is how the repair planner re-enters admission bookkeeping
+    /// mid-run without replaying the original algorithm.
+    pub fn from_solution(inst: &'a Instance, sol: &Solution) -> Self {
+        Self {
+            inst,
+            used: sol.node_loads(inst),
+            sol: sol.clone(),
+            tally: Cell::new(AdmissionTally::default()),
+        }
+    }
+
     /// The instance this state is built over.
     pub fn instance(&self) -> &'a Instance {
         self.inst

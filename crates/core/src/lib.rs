@@ -51,6 +51,7 @@ pub mod online;
 pub mod optimal;
 pub mod popularity;
 pub mod refine;
+pub mod repair;
 
 use edgerep_model::{Instance, Solution};
 

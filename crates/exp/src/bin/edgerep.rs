@@ -26,22 +26,26 @@ use edgerep_core::{
     online::OnlineAppro,
     optimal::Optimal,
     popularity::Popularity,
-    BoxedAlgorithm,
+    repair, BoxedAlgorithm,
 };
 use edgerep_model::spec::InstanceSpec;
 use edgerep_model::{Instance, Metrics};
 use edgerep_obs as obs;
+use edgerep_testbed::FaultPlan;
 use edgerep_workload::{generate_instance, WorkloadParams};
 
 const USAGE: &str = "usage:
   edgerep gen [--seed N] [--network-size N] [--f F] [--k K] [--queries LO HI] -o FILE
   edgerep inspect -i FILE
   edgerep solve -i FILE --alg NAME [--metrics-json] [--trace FILE] [--stats]
+                [--fault-plan FILE]
     NAME: appro-g | appro-s | greedy-g | graph-g | popularity-g | centroid |
           online | optimal | all
     --trace FILE  enable all observability targets and write NDJSON trace
                   events (span timings, admission summaries) to FILE
-    --stats       print the metrics-registry summary table per algorithm";
+    --stats       print the metrics-registry summary table per algorithm
+    --fault-plan FILE  load a JSON fault plan and report the admitted
+                  volume that statically survives the planned outages";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -178,6 +182,19 @@ fn panel_for(name: &str, single_dataset: bool) -> Vec<BoxedAlgorithm> {
 fn cmd_solve(args: &[String]) {
     let inst = load_instance(args);
     let alg = opt_value(args, "--alg").unwrap_or("appro-g");
+    let fault_plan = if args.iter().any(|a| a == "--fault-plan") {
+        let path =
+            opt_value(args, "--fault-plan").unwrap_or_else(|| die("--fault-plan needs FILE"));
+        let json =
+            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        let plan: FaultPlan =
+            serde_json::from_str(&json).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+        plan.validate(inst.cloud().compute_count())
+            .unwrap_or_else(|e| die(&format!("invalid fault plan in {path}: {e}")));
+        Some(plan)
+    } else {
+        None
+    };
     let as_json = args.iter().any(|a| a == "--metrics-json");
     let stats = args.iter().any(|a| a == "--stats");
     let trace = if args.iter().any(|a| a == "--trace") {
@@ -214,6 +231,29 @@ fn cmd_solve(args: &[String]) {
             println!("{line}");
         } else {
             println!("{:>14}: {}", algorithm.name(), metrics);
+        }
+        if let Some(plan) = &fault_plan {
+            // Worst-case static survival: every node with an outage window
+            // anywhere in the plan is treated as lost, and a query survives
+            // only if each of its serving nodes is up or a live replica can
+            // still meet its deadline. The testbed (`repro ext-availability
+            // --fault-plan`) gives the dynamic picture with repair.
+            let mut alive = vec![true; inst.cloud().compute_count()];
+            for o in &plan.node_outages {
+                alive[o.node.index()] = false;
+            }
+            let surviving = repair::surviving_volume(&inst, &sol, &alive);
+            let admitted = sol.admitted_volume(&inst);
+            let share = if admitted > 0.0 {
+                surviving / admitted
+            } else {
+                1.0
+            };
+            println!(
+                "{:>14}  fault survival: {:.1} / {:.1} GB admitted volume ({:.0}%), {} node(s) faulted",
+                "", surviving, admitted, share * 100.0,
+                plan.node_outages.len()
+            );
         }
         if trace.is_some() {
             dump_registry_to_trace(algorithm.name());

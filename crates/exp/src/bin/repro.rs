@@ -12,11 +12,13 @@ use std::io::Write as _;
 
 use edgerep_exp::figures;
 use edgerep_exp::plot::{figure_to_svg, Panel, PlotStyle};
-use edgerep_exp::report::{render_csv, render_markdown, render_text};
+use edgerep_exp::report::{render_csv, render_markdown, render_metrics_csv, render_text};
 use edgerep_exp::{extensions, FigureData};
+use edgerep_obs as obs;
+use edgerep_testbed::FaultPlan;
 
-const USAGE: &str = "usage: repro [fig1|...|fig8|all|ext-online|ext-netbenefit|ext-refine|ext-topology|ext-faults|ext-rolling|ext]... \
-[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR]";
+const USAGE: &str = "usage: repro [fig1|...|fig8|all|ext-online|ext-netbenefit|ext-refine|ext-topology|ext-faults|ext-rolling|ext-availability|ext]... \
+[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +27,7 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut svg_dir: Option<String> = None;
     let mut md_dir: Option<String> = None;
+    let mut fault_plan: Option<FaultPlan> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,6 +66,18 @@ fn main() {
                         .unwrap_or_else(|| die("--md needs a directory")),
                 );
             }
+            "--fault-plan" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--fault-plan needs a JSON file"));
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+                let plan: FaultPlan = serde_json::from_str(&text)
+                    .unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+                fault_plan = Some(plan);
+            }
             "all" => figures_wanted.extend(
                 [
                     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
@@ -78,13 +93,16 @@ fn main() {
                     "ext-topology",
                     "ext-faults",
                     "ext-rolling",
+                    "ext-availability",
                 ]
                 .iter()
                 .map(|s| s.to_string()),
             ),
             f @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
             | "ext-online" | "ext-netbenefit" | "ext-refine" | "ext-topology"
-            | "ext-faults" | "ext-rolling") => figures_wanted.push(f.to_owned()),
+            | "ext-faults" | "ext-rolling" | "ext-availability") => {
+                figures_wanted.push(f.to_owned())
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -98,9 +116,18 @@ fn main() {
     }
     figures_wanted.dedup();
 
+    // With --csv, runner/parallel span timings and admission-reject
+    // counters are captured per figure and written as a metrics sidecar
+    // next to the figure data. No trace writer is installed, so enabling
+    // the targets only turns on the registry instrumentation.
+    if csv_dir.is_some() {
+        obs::set_filter("runner,parallel,sim");
+    }
+
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for fig in &figures_wanted {
+        obs::reset_registry();
         let data = match fig.as_str() {
             "fig1" => {
                 let _ = writeln!(out, "{}", figures::fig1_text());
@@ -117,6 +144,10 @@ fn main() {
             "ext-topology" => extensions::ext_topology(seeds),
             "ext-faults" => extensions::ext_faults(seeds),
             "ext-rolling" => extensions::ext_rolling(seeds),
+            "ext-availability" => match &fault_plan {
+                Some(plan) => extensions::ext_availability_with_plan(seeds, plan),
+                None => extensions::ext_availability(seeds),
+            },
             "fig3" => figures::fig3(seeds),
             "fig4" => figures::fig4(seeds),
             "fig5" => figures::fig5(seeds),
@@ -130,7 +161,11 @@ fn main() {
             let path = format!("{dir}/{}.csv", data.id);
             std::fs::write(&path, render_csv(&data))
                 .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
-            let _ = writeln!(out, "[csv written to {path}]\n");
+            let _ = writeln!(out, "[csv written to {path}]");
+            let mpath = format!("{dir}/{}_metrics.csv", data.id);
+            std::fs::write(&mpath, render_metrics_csv(&obs::snapshot()))
+                .unwrap_or_else(|e| die(&format!("write {mpath}: {e}")));
+            let _ = writeln!(out, "[metrics csv written to {mpath}]\n");
         }
         if let Some(dir) = &svg_dir {
             write_svgs(&data, dir, &mut out);

@@ -123,6 +123,29 @@ pub fn render_markdown(fig: &FigureData) -> String {
     out
 }
 
+/// Renders an `edgerep-obs` registry snapshot as CSV: one row per metric,
+/// with histogram rows carrying count/mean/p50/p95/max and scalar rows
+/// carrying their value in the `value` column. Written by `repro --csv`
+/// next to each figure's data so runner timings, `parallel.utilization`,
+/// and admission-reject breakdowns land in the same artifact directory.
+pub fn render_metrics_csv(snap: &edgerep_obs::Snapshot) -> String {
+    let mut out = String::from("kind,name,value,count,mean,p50,p95,max\n");
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "counter,{name},{v},,,,,");
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(out, "gauge,{name},{v:.6},,,,,");
+    }
+    for h in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "histogram,{},,{},{:.3},{},{},{}",
+            h.name, h.count, h.mean, h.p50, h.p95, h.max
+        );
+    }
+    out
+}
+
 fn trim_float(x: f64) -> String {
     if x.fract() == 0.0 {
         format!("{}", x as i64)
@@ -261,6 +284,36 @@ figX — sample
         let table: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
         assert_eq!(table.len(), 2, "header + separator only: {md}");
         assert_eq!(table[0], "| K |");
+    }
+
+    #[test]
+    fn metrics_csv_renders_counters_gauges_and_histograms() {
+        let snap = edgerep_obs::Snapshot {
+            counters: vec![("admission.rejected.deadline".into(), 4u64)],
+            gauges: vec![("parallel.utilization".into(), 0.75f64)],
+            histograms: vec![edgerep_obs::HistogramSnapshot {
+                name: "runner.point_us".into(),
+                count: 2,
+                mean: 1500.0,
+                p50: 1023,
+                p95: 2047,
+                max: 1800,
+            }],
+        };
+        let csv = render_metrics_csv(&snap);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,value,count,mean,p50,p95,max");
+        assert_eq!(lines[1], "counter,admission.rejected.deadline,4,,,,,");
+        assert_eq!(lines[2], "gauge,parallel.utilization,0.750000,,,,,");
+        assert_eq!(
+            lines[3],
+            "histogram,runner.point_us,,2,1500.000,1023,2047,1800"
+        );
+        assert_eq!(lines.len(), 4);
+        // Every row has the same column count as the header.
+        for l in &lines {
+            assert_eq!(l.split(',').count(), 8, "{l}");
+        }
     }
 
     #[test]

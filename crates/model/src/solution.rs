@@ -125,6 +125,31 @@ impl Solution {
         }
     }
 
+    /// Datasets currently replicated on `v`.
+    pub fn replicas_on(&self, v: ComputeNodeId) -> Vec<DatasetId> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, list)| list.contains(&v))
+            .map(|(di, _)| DatasetId(di as u32))
+            .collect()
+    }
+
+    /// Removes every replica hosted on `v` (a node loss); returns the
+    /// datasets orphaned, in dataset-id order. As with
+    /// [`remove_replica`](Self::remove_replica), assignments pointing at
+    /// `v` are left for the caller to repair or fail over.
+    pub fn remove_node_replicas(&mut self, v: ComputeNodeId) -> Vec<DatasetId> {
+        let mut orphaned = Vec::new();
+        for (di, list) in self.replicas.iter_mut().enumerate() {
+            if let Some(i) = list.iter().position(|&x| x == v) {
+                list.swap_remove(i);
+                orphaned.push(DatasetId(di as u32));
+            }
+        }
+        orphaned
+    }
+
     /// Whether any admitted query's demand on `d` is served at `v`.
     pub fn replica_in_use(&self, inst: &Instance, d: DatasetId, v: ComputeNodeId) -> bool {
         for (qi, assignment) in self.assignments.iter().enumerate() {
@@ -468,6 +493,23 @@ mod tests {
         // Removing the used one breaks it.
         assert!(sol.remove_replica(DatasetId(0), DC));
         assert!(sol.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn remove_node_replicas_orphans_every_dataset_on_the_node() {
+        let inst = inst();
+        let mut sol = Solution::empty(&inst);
+        sol.place_replica(DatasetId(0), DC);
+        sol.place_replica(DatasetId(0), CL);
+        sol.place_replica(DatasetId(1), DC);
+        assert_eq!(sol.replicas_on(DC), vec![DatasetId(0), DatasetId(1)]);
+        let orphaned = sol.remove_node_replicas(DC);
+        assert_eq!(orphaned, vec![DatasetId(0), DatasetId(1)]);
+        assert!(!sol.has_replica(DatasetId(0), DC));
+        assert!(sol.has_replica(DatasetId(0), CL));
+        assert_eq!(sol.replica_count(DatasetId(1)), 0);
+        assert!(sol.replicas_on(DC).is_empty());
+        assert!(sol.remove_node_replicas(DC).is_empty());
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! Fault injection: deterministic fault plans and MTBF/MTTR generators.
+//!
+//! A [`FaultPlan`] is the full schedule of infrastructure trouble one
+//! testbed run suffers:
+//!
+//! * [`NodeOutage`] — a VM goes down at `down_at_s` and (optionally) comes
+//!   back at `up_at_s`. While down it serves nothing: queued and in-flight
+//!   work is lost, arriving queries fail over to live replicas. A missing
+//!   `up_at_s` is a permanent crash (the legacy
+//!   [`NodeFailure`](crate::sim::NodeFailure) semantics).
+//! * [`LinkFault`] — the minimum-delay path between two compute endpoints
+//!   degrades by `delay_factor` (or partitions entirely when the factor is
+//!   `None`) for a window. Result shipping and repair transfers crossing
+//!   the pair during the window pay the factor; a partition blocks them
+//!   until retried.
+//!
+//! Plans are plain serde values, so they round-trip through JSON
+//! (`edgerep solve --fault-plan`, `repro ext-availability --fault-plan`)
+//! and are validated with [`FaultPlan::validate`] before a run —
+//! malformed plans surface as [`FaultPlanError`]s, never panics.
+//!
+//! [`FaultConfig`] draws a plan from MTBF/MTTR exponentials with a seeded
+//! RNG, so availability sweeps can scan failure rates deterministically.
+
+use edgerep_model::ComputeNodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::sim::NodeFailure;
+
+/// One node outage window: down at `down_at_s`, back at `up_at_s`
+/// (`None` = permanent crash).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeOutage {
+    /// The compute node that goes down.
+    pub node: ComputeNodeId,
+    /// Outage start, simulated seconds.
+    pub down_at_s: f64,
+    /// Recovery instant, simulated seconds; `None` never recovers.
+    pub up_at_s: Option<f64>,
+}
+
+/// One link-trouble window on the path between two compute endpoints.
+///
+/// The testbed's delay model is endpoint-to-endpoint (precomputed
+/// minimum-delay paths), so a "link" here is the path between a pair of
+/// compute nodes: every transfer between `a` and `b` (either direction)
+/// during the window is scaled by `delay_factor`, or blocked entirely when
+/// the factor is `None` (a partition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// One endpoint.
+    pub a: ComputeNodeId,
+    /// The other endpoint.
+    pub b: ComputeNodeId,
+    /// Window start, simulated seconds.
+    pub down_at_s: f64,
+    /// Window end, simulated seconds; `None` never heals.
+    pub up_at_s: Option<f64>,
+    /// Path-delay multiplier while active (`>= 1`); `None` = partition
+    /// (infinite delay — transfers must wait the window out).
+    pub delay_factor: Option<f64>,
+}
+
+/// A malformed fault plan, reported by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A node id outside the world's compute nodes.
+    UnknownNode {
+        /// The offending id.
+        node: ComputeNodeId,
+        /// How many compute nodes the world has.
+        nodes: usize,
+    },
+    /// A window with a non-finite or negative start, or an end at or
+    /// before its start.
+    InvalidWindow {
+        /// Window start.
+        down_at_s: f64,
+        /// Window end, if any.
+        up_at_s: Option<f64>,
+    },
+    /// A link delay factor below 1 or non-finite.
+    InvalidDelayFactor(f64),
+    /// A link fault whose endpoints coincide.
+    SelfLink(ComputeNodeId),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::UnknownNode { node, nodes } => {
+                write!(
+                    f,
+                    "fault on unknown node {node} (world has {nodes} compute nodes)"
+                )
+            }
+            FaultPlanError::InvalidWindow { down_at_s, up_at_s } => {
+                write!(f, "invalid fault window [{down_at_s}, {up_at_s:?})")
+            }
+            FaultPlanError::InvalidDelayFactor(x) => {
+                write!(f, "link delay factor {x} must be finite and >= 1")
+            }
+            FaultPlanError::SelfLink(v) => write!(f, "link fault from {v} to itself"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// The full fault schedule of one run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Node outage windows.
+    #[serde(default)]
+    pub node_outages: Vec<NodeOutage>,
+    /// Link trouble windows.
+    #[serde(default)]
+    pub link_faults: Vec<LinkFault>,
+}
+
+fn window_ok(down_at_s: f64, up_at_s: Option<f64>) -> bool {
+    if !(down_at_s.is_finite() && down_at_s >= 0.0) {
+        return false;
+    }
+    match up_at_s {
+        None => true,
+        Some(up) => up.is_finite() && up > down_at_s,
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.node_outages.is_empty() && self.link_faults.is_empty()
+    }
+
+    /// Upgrades the legacy permanent-crash list into a plan.
+    pub fn from_failures(faults: &[NodeFailure]) -> Self {
+        Self {
+            node_outages: faults
+                .iter()
+                .map(|f| NodeOutage {
+                    node: f.node,
+                    down_at_s: f.at_s,
+                    up_at_s: None,
+                })
+                .collect(),
+            link_faults: Vec::new(),
+        }
+    }
+
+    /// Checks every window against a world with `nodes` compute nodes.
+    pub fn validate(&self, nodes: usize) -> Result<(), FaultPlanError> {
+        for o in &self.node_outages {
+            if o.node.index() >= nodes {
+                return Err(FaultPlanError::UnknownNode {
+                    node: o.node,
+                    nodes,
+                });
+            }
+            if !window_ok(o.down_at_s, o.up_at_s) {
+                return Err(FaultPlanError::InvalidWindow {
+                    down_at_s: o.down_at_s,
+                    up_at_s: o.up_at_s,
+                });
+            }
+        }
+        for l in &self.link_faults {
+            for v in [l.a, l.b] {
+                if v.index() >= nodes {
+                    return Err(FaultPlanError::UnknownNode { node: v, nodes });
+                }
+            }
+            if l.a == l.b {
+                return Err(FaultPlanError::SelfLink(l.a));
+            }
+            if !window_ok(l.down_at_s, l.up_at_s) {
+                return Err(FaultPlanError::InvalidWindow {
+                    down_at_s: l.down_at_s,
+                    up_at_s: l.up_at_s,
+                });
+            }
+            if let Some(x) = l.delay_factor {
+                if !(x.is_finite() && x >= 1.0) {
+                    return Err(FaultPlanError::InvalidDelayFactor(x));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The delay multiplier on the path between `u` and `v` at time `t_s`:
+    /// `1.0` when untroubled, the largest active `delay_factor` when
+    /// degraded, `f64::INFINITY` when an active window partitions the pair.
+    pub fn link_factor(&self, u: ComputeNodeId, v: ComputeNodeId, t_s: f64) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let mut factor = 1.0f64;
+        for l in &self.link_faults {
+            let hits = (l.a == u && l.b == v) || (l.a == v && l.b == u);
+            if !hits {
+                continue;
+            }
+            let active = t_s >= l.down_at_s && l.up_at_s.is_none_or(|up| t_s < up);
+            if !active {
+                continue;
+            }
+            match l.delay_factor {
+                None => return f64::INFINITY,
+                Some(x) => factor = factor.max(x),
+            }
+        }
+        factor
+    }
+
+    /// Whether the path between `u` and `v` is hard-partitioned at `t_s`.
+    pub fn partitioned(&self, u: ComputeNodeId, v: ComputeNodeId, t_s: f64) -> bool {
+        self.link_factor(u, v, t_s).is_infinite()
+    }
+
+    /// The earliest instant `>= t_s` at which the pair stops being
+    /// partitioned, if any active partition window ends.
+    pub fn partition_heals_at(&self, u: ComputeNodeId, v: ComputeNodeId, t_s: f64) -> Option<f64> {
+        let mut heal: Option<f64> = None;
+        for l in &self.link_faults {
+            let hits = (l.a == u && l.b == v) || (l.a == v && l.b == u);
+            if !hits || l.delay_factor.is_some() {
+                continue;
+            }
+            let active = t_s >= l.down_at_s && l.up_at_s.is_none_or(|up| t_s < up);
+            if active {
+                match l.up_at_s {
+                    None => return None, // never heals
+                    Some(up) => heal = Some(heal.map_or(up, |h: f64| h.max(up))),
+                }
+            }
+        }
+        heal
+    }
+}
+
+/// MTBF/MTTR fault-plan generator for availability sweeps.
+///
+/// A `node_fraction` of compute nodes (and a `link_fraction` of compute
+/// pairs) is marked fault-prone; each draws alternating up-times from
+/// `Exp(1/mtbf)` and repair times from `Exp(1/mttr)` until `horizon_s`.
+/// Everything is drawn from one seeded [`SmallRng`], so equal configs
+/// yield byte-equal plans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Fraction of compute nodes that suffer outages (ceil'd to a count).
+    pub node_fraction: f64,
+    /// Mean time between node failures, seconds.
+    pub node_mtbf_s: f64,
+    /// Mean time to repair a node, seconds.
+    pub node_mttr_s: f64,
+    /// Fraction of compute-node pairs that suffer link trouble.
+    pub link_fraction: f64,
+    /// Mean time between link faults, seconds.
+    pub link_mtbf_s: f64,
+    /// Mean time to heal a link, seconds.
+    pub link_mttr_s: f64,
+    /// Delay multiplier of a degraded (non-partition) link window.
+    pub degrade_factor: f64,
+    /// Probability a link window is a full partition instead of a
+    /// degradation.
+    pub partition_prob: f64,
+    /// Generation horizon, simulated seconds.
+    pub horizon_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            node_fraction: 0.1,
+            node_mtbf_s: 60.0,
+            node_mttr_s: 25.0,
+            link_fraction: 0.0,
+            link_mtbf_s: 60.0,
+            link_mttr_s: 10.0,
+            degrade_factor: 8.0,
+            partition_prob: 0.3,
+            horizon_s: 240.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Scales the failure intensity: the fraction of fault-prone nodes.
+    pub fn with_node_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "node fraction must be in [0, 1]");
+        self.node_fraction = f;
+        self
+    }
+
+    /// Sets the generator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn draw_exp(rng: &mut SmallRng, mean_s: f64) -> f64 {
+        // Inverse CDF; clamp the uniform away from 0 so ln stays finite.
+        -mean_s * rng.gen::<f64>().max(1e-12).ln()
+    }
+
+    fn draw_windows(
+        rng: &mut SmallRng,
+        mtbf_s: f64,
+        mttr_s: f64,
+        horizon_s: f64,
+    ) -> Vec<(f64, f64)> {
+        let mut windows = Vec::new();
+        let mut t = Self::draw_exp(rng, mtbf_s);
+        while t < horizon_s && windows.len() < 64 {
+            let dur = Self::draw_exp(rng, mttr_s).max(1e-3);
+            windows.push((t, t + dur));
+            t += dur + Self::draw_exp(rng, mtbf_s);
+        }
+        windows
+    }
+
+    /// Draws a deterministic plan for a world with `nodes` compute nodes.
+    ///
+    /// The first `ceil(node_fraction * nodes)` nodes of a seeded shuffle
+    /// are fault-prone (so scanning the fraction grows the *same* fault
+    /// set), and similarly for pairs.
+    pub fn generate(&self, nodes: usize) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xFA17_7E57);
+        let mut plan = FaultPlan::empty();
+
+        // Fault-prone nodes: partial Fisher-Yates prefix.
+        let mut ids: Vec<u32> = (0..nodes as u32).collect();
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.gen_range(0..=i));
+        }
+        let prone = ((self.node_fraction * nodes as f64).ceil() as usize).min(nodes);
+        for &id in &ids[..prone] {
+            for (down, up) in
+                Self::draw_windows(&mut rng, self.node_mtbf_s, self.node_mttr_s, self.horizon_s)
+            {
+                plan.node_outages.push(NodeOutage {
+                    node: ComputeNodeId(id),
+                    down_at_s: down,
+                    up_at_s: Some(up),
+                });
+            }
+        }
+
+        // Fault-prone pairs.
+        if self.link_fraction > 0.0 && nodes >= 2 {
+            let mut pairs: Vec<(u32, u32)> = (0..nodes as u32)
+                .flat_map(|i| ((i + 1)..nodes as u32).map(move |j| (i, j)))
+                .collect();
+            for i in (1..pairs.len()).rev() {
+                pairs.swap(i, rng.gen_range(0..=i));
+            }
+            let prone =
+                ((self.link_fraction * pairs.len() as f64).ceil() as usize).min(pairs.len());
+            for &(a, b) in &pairs[..prone] {
+                for (down, up) in
+                    Self::draw_windows(&mut rng, self.link_mtbf_s, self.link_mttr_s, self.horizon_s)
+                {
+                    let delay_factor = if rng.gen_bool(self.partition_prob) {
+                        None
+                    } else {
+                        Some(self.degrade_factor.max(1.0))
+                    };
+                    plan.link_faults.push(LinkFault {
+                        a: ComputeNodeId(a),
+                        b: ComputeNodeId(b),
+                        down_at_s: down,
+                        up_at_s: Some(up),
+                        delay_factor,
+                    });
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_valid_and_transparent() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        assert!(plan.validate(4).is_ok());
+        let a = ComputeNodeId(0);
+        let b = ComputeNodeId(1);
+        assert_eq!(plan.link_factor(a, b, 0.0), 1.0);
+        assert!(!plan.partitioned(a, b, 10.0));
+    }
+
+    #[test]
+    fn from_failures_upgrades_legacy_crashes() {
+        let plan = FaultPlan::from_failures(&[NodeFailure {
+            node: ComputeNodeId(2),
+            at_s: 1.5,
+        }]);
+        assert_eq!(plan.node_outages.len(), 1);
+        assert_eq!(plan.node_outages[0].up_at_s, None);
+        assert!(plan.validate(3).is_ok());
+        assert!(plan.validate(2).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_windows() {
+        let mut plan = FaultPlan::empty();
+        plan.node_outages.push(NodeOutage {
+            node: ComputeNodeId(0),
+            down_at_s: 5.0,
+            up_at_s: Some(3.0), // ends before it starts
+        });
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::InvalidWindow { .. })
+        ));
+
+        let mut plan = FaultPlan::empty();
+        plan.node_outages.push(NodeOutage {
+            node: ComputeNodeId(0),
+            down_at_s: f64::NAN,
+            up_at_s: None,
+        });
+        assert!(plan.validate(4).is_err());
+
+        let mut plan = FaultPlan::empty();
+        plan.link_faults.push(LinkFault {
+            a: ComputeNodeId(0),
+            b: ComputeNodeId(0),
+            down_at_s: 0.0,
+            up_at_s: None,
+            delay_factor: Some(2.0),
+        });
+        assert!(matches!(plan.validate(4), Err(FaultPlanError::SelfLink(_))));
+
+        let mut plan = FaultPlan::empty();
+        plan.link_faults.push(LinkFault {
+            a: ComputeNodeId(0),
+            b: ComputeNodeId(1),
+            down_at_s: 0.0,
+            up_at_s: None,
+            delay_factor: Some(0.5), // a speed-up is not a fault
+        });
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::InvalidDelayFactor(_))
+        ));
+    }
+
+    #[test]
+    fn validate_reports_unknown_nodes() {
+        let plan = FaultPlan::from_failures(&[NodeFailure {
+            node: ComputeNodeId(99),
+            at_s: 0.0,
+        }]);
+        let err = plan.validate(4).unwrap_err();
+        assert!(err.to_string().contains("fault on unknown node"));
+    }
+
+    #[test]
+    fn link_factor_windows_and_partitions() {
+        let a = ComputeNodeId(0);
+        let b = ComputeNodeId(1);
+        let c = ComputeNodeId(2);
+        let plan = FaultPlan {
+            node_outages: Vec::new(),
+            link_faults: vec![
+                LinkFault {
+                    a,
+                    b,
+                    down_at_s: 10.0,
+                    up_at_s: Some(20.0),
+                    delay_factor: Some(4.0),
+                },
+                LinkFault {
+                    a: b,
+                    b: c,
+                    down_at_s: 5.0,
+                    up_at_s: Some(15.0),
+                    delay_factor: None,
+                },
+            ],
+        };
+        assert_eq!(plan.link_factor(a, b, 9.9), 1.0);
+        assert_eq!(plan.link_factor(a, b, 10.0), 4.0);
+        assert_eq!(plan.link_factor(b, a, 19.9), 4.0); // symmetric
+        assert_eq!(plan.link_factor(a, b, 20.0), 1.0); // half-open window
+        assert!(plan.partitioned(b, c, 5.0));
+        assert!(!plan.partitioned(b, c, 15.0));
+        assert_eq!(plan.partition_heals_at(b, c, 5.0), Some(15.0));
+        assert_eq!(plan.partition_heals_at(b, c, 15.0), None);
+        assert_eq!(plan.partition_heals_at(a, b, 12.0), None); // degraded, not cut
+        assert_eq!(plan.link_factor(a, a, 12.0), 1.0);
+        assert!(plan.validate(3).is_ok());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_valid() {
+        let cfg = FaultConfig {
+            node_fraction: 0.25,
+            link_fraction: 0.05,
+            ..Default::default()
+        };
+        let a = cfg.generate(20);
+        let b = cfg.generate(20);
+        assert_eq!(a, b);
+        assert!(a.validate(20).is_ok());
+        assert!(
+            !a.node_outages.is_empty(),
+            "a quarter of 20 nodes must fault"
+        );
+        for o in &a.node_outages {
+            assert!(o.up_at_s.expect("generated outages are transient") > o.down_at_s);
+        }
+    }
+
+    #[test]
+    fn generator_scales_with_fraction() {
+        let lo = FaultConfig::default().with_node_fraction(0.1).generate(20);
+        let hi = FaultConfig::default().with_node_fraction(0.5).generate(20);
+        let nodes = |p: &FaultPlan| {
+            let mut ids: Vec<u32> = p.node_outages.iter().map(|o| o.node.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        assert!(nodes(&lo).len() <= nodes(&hi).len());
+        assert!(nodes(&hi).len() >= 10 * 4 / 10); // ceil(0.5 * 20) should be hit unless draws land late
+    }
+
+    #[test]
+    fn zero_fraction_generates_nothing() {
+        let plan = FaultConfig::default().with_node_fraction(0.0).generate(20);
+        assert!(plan.node_outages.is_empty());
+        assert!(plan.is_empty());
+    }
+}

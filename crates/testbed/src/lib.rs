@@ -34,12 +34,15 @@
 
 pub mod analytics;
 pub mod event;
+pub mod fault;
 pub mod geo;
 pub mod rolling;
 pub mod sim;
 pub mod topology;
 
+pub use fault::{FaultConfig, FaultPlan, FaultPlanError, LinkFault, NodeOutage};
 pub use sim::{
-    run_testbed, run_testbed_with_faults, ConsistencyConfig, NodeFailure, SimConfig, TestbedReport,
+    run_testbed, run_testbed_with_faults, try_run_testbed_with_faults, try_run_testbed_with_plan,
+    ConsistencyConfig, DebugTraceConfig, NodeFailure, SimConfig, SimError, TestbedReport,
 };
 pub use topology::{build_fig6_topology, build_testbed_instance, TestbedConfig, TestbedWorld};

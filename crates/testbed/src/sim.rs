@@ -21,15 +21,26 @@
 //! deadlines here — exactly the gap between `Appro` and `Popularity`
 //! in Figs. 7 and 8.
 
-use edgerep_core::PlacementAlgorithm;
-use edgerep_model::{ComputeNodeId, QueryId, Solution};
+use edgerep_core::{repair, PlacementAlgorithm};
+use edgerep_model::{ComputeNodeId, DatasetId, QueryId, Solution};
 use edgerep_obs as obs;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::analytics::{evaluate, merge, AnalyticsResult};
 use crate::event::{EventQueue, SimTime};
+use crate::fault::{FaultPlan, FaultPlanError};
 use crate::topology::TestbedWorld;
+
+/// Retry policy for transfers blocked by a dead source or a partitioned
+/// path: capped exponential backoff, then give up (counted, never panic).
+const XFER_BACKOFF_BASE_S: f64 = 0.5;
+const XFER_BACKOFF_CAP_S: f64 = 30.0;
+const XFER_MAX_ATTEMPTS: u32 = 8;
+
+fn backoff_s(attempts: u32) -> f64 {
+    (XFER_BACKOFF_BASE_S * 2f64.powi(attempts.min(16) as i32)).min(XFER_BACKOFF_CAP_S)
+}
 
 /// §2.4 dynamic-data consistency configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +79,60 @@ pub struct NodeFailure {
     pub at_s: f64,
 }
 
+/// Bounded full event-loop trace: every popped event is recorded in a
+/// ring buffer, and on a QoS miss (a query completing past its deadline)
+/// the buffer is replayed through `edgerep-obs` as `qos_miss.replay`
+/// events on the `sim` target — so deadline misses under faults are
+/// replayable without paying for unbounded tracing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DebugTraceConfig {
+    /// Ring-buffer capacity in events.
+    pub capacity: usize,
+    /// At most this many misses dump their ring per run.
+    pub max_dumps: usize,
+}
+
+impl Default for DebugTraceConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 256,
+            max_dumps: 4,
+        }
+    }
+}
+
+/// Why a testbed run could not start (see
+/// [`try_run_testbed_with_plan`]). Mid-run trouble — dead nodes, cut
+/// links, lost queries — is *measured*, never an error; only malformed
+/// inputs are.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The fault plan failed [`FaultPlan::validate`].
+    FaultPlan(FaultPlanError),
+    /// The controller's solution failed
+    /// [`edgerep_model::Solution::validate`].
+    InfeasibleControllerPlan(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::FaultPlan(e) => write!(f, "{e}"),
+            SimError::InfeasibleControllerPlan(why) => {
+                write!(f, "controller produced an infeasible plan: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<FaultPlanError> for SimError {
+    fn from(e: FaultPlanError) -> Self {
+        SimError::FaultPlan(e)
+    }
+}
+
 /// Simulation knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -78,6 +143,12 @@ pub struct SimConfig {
     pub nic_contention: bool,
     /// Optional dynamic-data consistency behaviour.
     pub consistency: Option<ConsistencyConfig>,
+    /// Controller-driven replica repair: when a node dies, orphaned
+    /// replicas are re-placed on live feasible nodes (transfers timed
+    /// through the sim, NIC-contended, retried with backoff).
+    pub repair: bool,
+    /// Optional bounded event-loop trace, dumped on QoS misses.
+    pub debug_trace: Option<DebugTraceConfig>,
     /// RNG seed for arrivals (placement is deterministic given the world).
     pub seed: u64,
 }
@@ -88,6 +159,8 @@ impl Default for SimConfig {
             arrival_rate_per_s: 0.4,
             nic_contention: true,
             consistency: None,
+            repair: false,
+            debug_trace: None,
             seed: 1,
         }
     }
@@ -130,9 +203,31 @@ pub struct TestbedReport {
     pub consistency_rounds: usize,
     /// Demands redirected to an alternative live replica after a fault.
     pub failovers: usize,
-    /// Queries lost to faults (no live feasible replica, or in flight on a
-    /// failing node).
+    /// Queries lost to faults (no live feasible replica, in flight on a
+    /// failing node, or result transfer abandoned after retries).
     pub queries_lost_to_faults: usize,
+    /// Repair transfers the controller scheduled after node losses.
+    pub repairs_scheduled: usize,
+    /// Repair transfers that completed and restored a replica.
+    pub repairs_completed: usize,
+    /// GB moved by completed repair transfers.
+    pub repair_gb: f64,
+    /// Repair transfer attempts deferred by backoff (dead source or
+    /// partitioned path).
+    pub repair_retries: usize,
+    /// Query result transfers deferred by backoff (partitioned path).
+    pub transfer_retries: usize,
+    /// Total node-seconds spent down over the run.
+    pub node_downtime_s: f64,
+    /// Availability under faults: the fraction of planned-admitted
+    /// queries not lost to faults (`1.0` when nothing was planned).
+    pub availability: f64,
+    /// Event-ring dumps triggered by QoS misses (see
+    /// [`DebugTraceConfig`]).
+    pub qos_miss_dumps: usize,
+    /// The replica/assignment state at the end of the run: the plan minus
+    /// replicas lost with dead nodes, plus repaired and recovered ones.
+    pub live_plan: Solution,
     /// Mean simulated time demands spent queued for compute, seconds
     /// (demands that started immediately contribute zero).
     pub mean_queue_wait_s: f64,
@@ -156,6 +251,10 @@ enum Event {
         q: QueryId,
         demand: usize,
         node: ComputeNodeId,
+        /// The node's epoch when the work was scheduled; a mismatch at
+        /// delivery means the node died (and possibly recovered) in
+        /// between, so the work is void and its compute must not be freed.
+        epoch: u32,
     },
     TransferDone {
         q: QueryId,
@@ -165,6 +264,50 @@ enum Event {
     NodeDown {
         node: ComputeNodeId,
     },
+    NodeUp {
+        node: ComputeNodeId,
+    },
+    LinkDown {
+        a: ComputeNodeId,
+        b: ComputeNodeId,
+    },
+    LinkUp {
+        a: ComputeNodeId,
+        b: ComputeNodeId,
+    },
+    /// A repair transfer (job index into the transfer-job table) landed.
+    RepairDone {
+        job: usize,
+    },
+    /// Re-attempt a blocked transfer job after backoff.
+    RetryTransfer {
+        job: usize,
+    },
+}
+
+/// What a deferred transfer job carries.
+#[derive(Debug, Clone, Copy)]
+enum XferKind {
+    /// A query result headed home (blocked by a partition when created).
+    Result { q: QueryId, demand: usize },
+    /// A repair copy restoring a replica of `dataset`.
+    Repair { dataset: DatasetId },
+}
+
+/// One transfer that may need retrying: repair copies always start here;
+/// result transfers land here only when their path is partitioned.
+#[derive(Debug, Clone, Copy)]
+struct XferJob {
+    kind: XferKind,
+    source: ComputeNodeId,
+    dest: ComputeNodeId,
+    gb: f64,
+    /// Destination epoch at planning time (repairs only): a mismatch
+    /// later means the target died and the job is void.
+    dest_epoch: u32,
+    attempts: u32,
+    /// Launched, delivered, or abandoned — no further retries.
+    resolved: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -198,15 +341,44 @@ pub fn run_testbed(
     run_testbed_with_faults(alg, world, cfg, &[])
 }
 
-/// Runs one full testbed experiment with injected node failures.
+/// Runs one full testbed experiment with injected permanent node
+/// failures.
+///
+/// # Panics
+/// Panics on a malformed fault list or an infeasible controller plan —
+/// use [`try_run_testbed_with_faults`] to get a [`SimError`] instead.
 pub fn run_testbed_with_faults(
     alg: &dyn PlacementAlgorithm,
     world: &TestbedWorld,
     cfg: &SimConfig,
     faults: &[NodeFailure],
 ) -> TestbedReport {
+    try_run_testbed_with_faults(alg, world, cfg, faults).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_testbed_with_faults`] returning malformed inputs as errors
+/// instead of aborting.
+pub fn try_run_testbed_with_faults(
+    alg: &dyn PlacementAlgorithm,
+    world: &TestbedWorld,
+    cfg: &SimConfig,
+    faults: &[NodeFailure],
+) -> Result<TestbedReport, SimError> {
+    try_run_testbed_with_plan(alg, world, cfg, &FaultPlan::from_failures(faults))
+}
+
+/// Runs one full testbed experiment under a [`FaultPlan`]: transient
+/// node outages, link degradations and partitions, and — when
+/// [`SimConfig::repair`] is set — controller-driven replica repair.
+pub fn try_run_testbed_with_plan(
+    alg: &dyn PlacementAlgorithm,
+    world: &TestbedWorld,
+    cfg: &SimConfig,
+    fault_plan: &FaultPlan,
+) -> Result<TestbedReport, SimError> {
     let inst = &world.instance;
     let cloud = inst.cloud();
+    fault_plan.validate(cloud.compute_count())?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let _run_span = obs::span("sim", "sim.run");
     // Per-event tracing is gated once per run; the loop then pays nothing
@@ -215,8 +387,14 @@ pub fn run_testbed_with_faults(
 
     // --- 1. Controller -------------------------------------------------
     let plan = alg.solve(inst);
-    plan.validate(inst)
-        .expect("controller produced an infeasible plan");
+    plan.validate(inst).map_err(|errs| {
+        SimError::InfeasibleControllerPlan(
+            errs.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
+    })?;
 
     // --- 2. Replication phase ------------------------------------------
     let mut replication_gb = 0.0;
@@ -248,16 +426,23 @@ pub fn run_testbed_with_faults(
         queue.push(t, Event::Arrival { q });
     }
     let query_horizon = t;
-    for f in faults {
-        assert!(
-            (f.node.0 as usize) < cloud.compute_count(),
-            "fault on unknown node {}",
-            f.node
-        );
+    for o in &fault_plan.node_outages {
         queue.push(
-            SimTime::from_secs_f64(f.at_s),
-            Event::NodeDown { node: f.node },
+            SimTime::from_secs_f64(o.down_at_s),
+            Event::NodeDown { node: o.node },
         );
+        if let Some(up) = o.up_at_s {
+            queue.push(SimTime::from_secs_f64(up), Event::NodeUp { node: o.node });
+        }
+    }
+    for l in &fault_plan.link_faults {
+        queue.push(
+            SimTime::from_secs_f64(l.down_at_s),
+            Event::LinkDown { a: l.a, b: l.b },
+        );
+        if let Some(up) = l.up_at_s {
+            queue.push(SimTime::from_secs_f64(up), Event::LinkUp { a: l.a, b: l.b });
+        }
     }
     if let Some(c) = cfg.consistency {
         queue.push(
@@ -276,11 +461,39 @@ pub fn run_testbed_with_faults(
     let mut consistency_rounds = 0usize;
     let mut new_data_gb: Vec<f64> = vec![0.0; inst.datasets().len()];
     let mut last_growth = SimTime::ZERO;
-    let mut dead = vec![false; cloud.compute_count()];
+    // Fault state. A node is alive iff no outage window covers `now`;
+    // overlapping windows nest via `downs_active`. Epochs version a
+    // node's lifetime so work scheduled before a death is void after it.
+    let mut alive = vec![true; cloud.compute_count()];
+    let mut downs_active = vec![0u32; cloud.compute_count()];
+    let mut node_epoch = vec![0u32; cloud.compute_count()];
+    let mut down_since: Vec<Option<SimTime>> = vec![None; cloud.compute_count()];
+    let mut held_at_down: Vec<Vec<DatasetId>> = vec![Vec::new(); cloud.compute_count()];
+    let mut node_downtime_s = 0.0;
+    // The controller plan as it evolves: replicas leave with dead nodes,
+    // return with repairs and recoveries. Failover reads this, so
+    // repaired replicas genuinely restore availability.
+    let mut live_sol = plan.clone();
+    let target_counts: Vec<usize> = inst.dataset_ids().map(|d| plan.replica_count(d)).collect();
+    let mut xfer_jobs: Vec<XferJob> = Vec::new();
+    let mut repairs_scheduled = 0usize;
+    let mut repairs_completed = 0usize;
+    let mut repair_gb = 0.0;
+    let mut repair_retries = 0usize;
+    let mut transfer_retries = 0usize;
     let mut failovers = 0usize;
     let mut queries_lost = 0usize;
+    let mut last_event_t = SimTime::ZERO;
+    // Bounded event ring for QoS-miss replay (S3): every popped event is
+    // recorded; on a miss the ring is dumped through `edgerep-obs`.
+    let mut ring: std::collections::VecDeque<(SimTime, &'static str, i64, i64)> =
+        std::collections::VecDeque::new();
+    let mut qos_miss_dumps = 0usize;
     // Per-node NIC: the instant the egress link frees up.
     let mut nic_free_at = vec![SimTime::ZERO; cloud.compute_count()];
+    // Background (repair) egress cursor: repairs serialize among
+    // themselves and behind foreground traffic, never the other way.
+    let mut repair_nic_free_at = vec![SimTime::ZERO; cloud.compute_count()];
     // Loop statistics, tallied in plain integers and flushed to the metric
     // registry once after the drain.
     let mut events_processed: u64 = 0;
@@ -295,6 +508,7 @@ pub fn run_testbed_with_faults(
                         q: QueryId,
                         demand: usize,
                         node: ComputeNodeId,
+                        epoch: u32,
                         free: &mut [f64],
                         waiting: &mut [std::collections::VecDeque<Waiting>],
                         queue: &mut EventQueue<Event>,
@@ -304,7 +518,15 @@ pub fn run_testbed_with_faults(
         if free[node.index()] + 1e-9 >= need {
             free[node.index()] -= need;
             let proc = cloud.proc_delay(node) * inst.size(inst.query(q).demands[demand].dataset);
-            queue.push(now.after_secs(proc), Event::ProcDone { q, demand, node });
+            queue.push(
+                now.after_secs(proc),
+                Event::ProcDone {
+                    q,
+                    demand,
+                    node,
+                    epoch,
+                },
+            );
         } else {
             *demands_queued += 1;
             waiting[node.index()].push_back(Waiting {
@@ -319,36 +541,70 @@ pub fn run_testbed_with_faults(
     while let Some((now, ev)) = queue.pop() {
         events_processed += 1;
         peak_event_queue = peak_event_queue.max(queue.len() + 1);
+        last_event_t = now;
+        if let Some(tc) = cfg.debug_trace {
+            let (kind, a, b): (&'static str, i64, i64) = match &ev {
+                Event::Arrival { q } => ("arrival", q.index() as i64, -1),
+                Event::ProcDone { q, node, .. } => {
+                    ("proc_done", q.index() as i64, node.index() as i64)
+                }
+                Event::TransferDone { q, demand } => {
+                    ("transfer_done", q.index() as i64, *demand as i64)
+                }
+                Event::ConsistencyCheck => ("consistency_check", -1, -1),
+                Event::NodeDown { node } => ("node_down", node.index() as i64, -1),
+                Event::NodeUp { node } => ("node_up", node.index() as i64, -1),
+                Event::LinkDown { a, b } => ("link_down", a.index() as i64, b.index() as i64),
+                Event::LinkUp { a, b } => ("link_up", a.index() as i64, b.index() as i64),
+                Event::RepairDone { job } => ("repair_done", *job as i64, -1),
+                Event::RetryTransfer { job } => ("retry_transfer", *job as i64, -1),
+            };
+            if ring.len() >= tc.capacity.max(1) {
+                ring.pop_front();
+            }
+            ring.push_back((now, kind, a, b));
+        }
         match ev {
             Event::Arrival { q } => {
                 let Some(nodes) = plan.assignment_of(q) else {
                     continue; // controller rejected it; counted in totals
                 };
                 // Resolve dead serving nodes to live replicas (failover).
+                // `live_sol` includes repaired replicas, so repair widens
+                // the failover choices — the availability payoff.
                 let mut resolved = Vec::with_capacity(nodes.len());
                 let mut this_failovers = 0usize;
                 let mut servable = true;
                 for (demand, &node) in nodes.iter().enumerate() {
-                    if !dead[node.index()] {
+                    if alive[node.index()] {
                         resolved.push(node);
                         continue;
                     }
                     let d = inst.query(q).demands[demand].dataset;
-                    let alt = plan
+                    // Load-aware failover: among live replicas that can
+                    // still meet the deadline, prefer one with compute
+                    // free right now (idle beats close — queueing behind
+                    // other work is what actually busts deadlines), then
+                    // break ties by delay.
+                    let need = inst.size(d) * inst.query(q).compute_rate;
+                    let alt = live_sol
                         .replicas_of(d)
                         .iter()
                         .copied()
-                        .filter(|v| !dead[v.index()])
+                        .filter(|v| alive[v.index()])
                         .filter(|&v| {
                             edgerep_model::delay::assignment_delay(inst, q, demand, v)
                                 <= inst.query(q).deadline + 1e-12
                         })
                         .min_by(|&a, &b| {
-                            edgerep_model::delay::assignment_delay(inst, q, demand, a)
-                                .partial_cmp(&edgerep_model::delay::assignment_delay(
-                                    inst, q, demand, b,
-                                ))
-                                .expect("delays comparable")
+                            let busy = |v: ComputeNodeId| free_ghz[v.index()] + 1e-9 < need;
+                            busy(a).cmp(&busy(b)).then(
+                                edgerep_model::delay::assignment_delay(inst, q, demand, a)
+                                    .partial_cmp(&edgerep_model::delay::assignment_delay(
+                                        inst, q, demand, b,
+                                    ))
+                                    .expect("delays comparable"),
+                            )
                         });
                     match alt {
                         Some(v) => {
@@ -382,6 +638,7 @@ pub fn run_testbed_with_faults(
                         q,
                         demand,
                         node,
+                        node_epoch[node.index()],
                         &mut free_ghz,
                         &mut waiting,
                         &mut queue,
@@ -390,9 +647,18 @@ pub fn run_testbed_with_faults(
                     );
                 }
             }
-            Event::ProcDone { q, demand, node } => {
-                if dead[node.index()] {
-                    continue; // the node died mid-processing; work is lost
+            Event::ProcDone {
+                q,
+                demand,
+                node,
+                epoch,
+            } => {
+                if node_epoch[node.index()] != epoch {
+                    // The node died (and possibly recovered) since this
+                    // work was scheduled: the work is lost, and its
+                    // compute was re-baselined at recovery — freeing it
+                    // here would double-count.
+                    continue;
                 }
                 // Release compute and wake queued demands regardless of
                 // whether the owning query is still alive.
@@ -426,6 +692,7 @@ pub fn run_testbed_with_faults(
                                 q: w.q,
                                 demand: w.demand,
                                 node,
+                                epoch,
                             },
                         );
                     } else {
@@ -440,9 +707,25 @@ pub fn run_testbed_with_faults(
                 let partial = evaluate(world.query_kinds[q.index()], &world.records[d.index()]);
                 run.partials[demand] = Some(partial);
                 let query = inst.query(q);
-                let trans = cloud.min_delay(node, query.home)
-                    * query.demands[demand].selectivity
-                    * inst.size(d);
+                let result_gb = query.demands[demand].selectivity * inst.size(d);
+                let factor = fault_plan.link_factor(node, query.home, now.as_secs_f64());
+                if factor.is_infinite() {
+                    // Path home is partitioned: park the result and retry
+                    // with backoff instead of losing the query outright.
+                    let job = xfer_jobs.len();
+                    xfer_jobs.push(XferJob {
+                        kind: XferKind::Result { q, demand },
+                        source: node,
+                        dest: query.home,
+                        gb: result_gb,
+                        dest_epoch: 0,
+                        attempts: 0,
+                        resolved: false,
+                    });
+                    queue.push(now, Event::RetryTransfer { job });
+                    continue;
+                }
+                let trans = cloud.min_delay(node, query.home) * result_gb * factor;
                 // Results leaving the same VM serialize on its NIC.
                 let start = if cfg.nic_contention {
                     nic_free_at[node.index()].max(now)
@@ -466,6 +749,36 @@ pub fn run_testbed_with_faults(
                 run.finish = run.finish.max(now);
                 if run.outstanding == 0 {
                     completed.push((q, run.arrival, run.finish));
+                    let resp = run.finish.as_secs_f64() - run.arrival.as_secs_f64();
+                    if let Some(tc) = cfg.debug_trace {
+                        if resp > inst.query(q).deadline + 1e-9 && qos_miss_dumps < tc.max_dumps {
+                            qos_miss_dumps += 1;
+                            obs::emit(
+                                "sim",
+                                "sim.run",
+                                "qos_miss.replay.begin",
+                                &[
+                                    ("query", q.index().into()),
+                                    ("response_s", resp.into()),
+                                    ("deadline_s", inst.query(q).deadline.into()),
+                                    ("entries", ring.len().into()),
+                                ],
+                            );
+                            for &(et, kind, a, b) in &ring {
+                                obs::emit(
+                                    "sim",
+                                    "sim.run",
+                                    "qos_miss.replay",
+                                    &[
+                                        ("t_s", et.as_secs_f64().into()),
+                                        ("event", kind.into()),
+                                        ("a", a.into()),
+                                        ("b", b.into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
                     if trace_debug {
                         obs::emit_debug(
                             "sim",
@@ -488,11 +801,15 @@ pub fn run_testbed_with_faults(
                 }
             }
             Event::NodeDown { node } => {
-                if dead[node.index()] {
-                    continue;
+                let idx = node.index();
+                downs_active[idx] += 1;
+                if downs_active[idx] > 1 {
+                    continue; // already down (overlapping windows nest)
                 }
-                dead[node.index()] = true;
-                waiting[node.index()].clear();
+                alive[idx] = false;
+                node_epoch[idx] = node_epoch[idx].wrapping_add(1);
+                down_since[idx] = Some(now);
+                waiting[idx].clear();
                 // Poison every active query with an incomplete demand on
                 // the failing node: its in-flight work is gone.
                 for run_slot in runs.iter_mut() {
@@ -505,6 +822,226 @@ pub fn run_testbed_with_faults(
                     if poisoned {
                         *run_slot = None;
                         queries_lost += 1;
+                    }
+                }
+                // Orphan the node's replicas; remember them so a recovery
+                // can bring them back.
+                let orphans = live_sol.remove_node_replicas(node);
+                if trace_debug {
+                    obs::emit_debug(
+                        "sim",
+                        "sim.run",
+                        "node.down",
+                        &[("node", idx.into()), ("orphans", orphans.len().into())],
+                    );
+                }
+                held_at_down[idx] = orphans;
+                // Controller repair: re-place orphaned replicas on live
+                // feasible nodes, timed as real transfers below.
+                if cfg.repair {
+                    // Plan against the live state plus every in-flight
+                    // repair, so concurrent failures never double-book a
+                    // replica slot.
+                    let mut planning = live_sol.clone();
+                    for j in &xfer_jobs {
+                        if let XferKind::Repair { dataset } = j.kind {
+                            if !j.resolved && node_epoch[j.dest.index()] == j.dest_epoch {
+                                planning.place_replica(dataset, j.dest);
+                            }
+                        }
+                    }
+                    for a in repair::plan_replacements(inst, &planning, &alive, &target_counts) {
+                        repairs_scheduled += 1;
+                        let job = xfer_jobs.len();
+                        xfer_jobs.push(XferJob {
+                            kind: XferKind::Repair { dataset: a.dataset },
+                            source: a.source,
+                            dest: a.target,
+                            gb: a.gb,
+                            dest_epoch: node_epoch[a.target.index()],
+                            attempts: 0,
+                            resolved: false,
+                        });
+                        queue.push(now, Event::RetryTransfer { job });
+                    }
+                }
+            }
+            Event::NodeUp { node } => {
+                let idx = node.index();
+                if downs_active[idx] == 0 {
+                    continue; // spurious recovery
+                }
+                downs_active[idx] -= 1;
+                if downs_active[idx] > 0 {
+                    continue; // still inside another outage window
+                }
+                alive[idx] = true;
+                // The node returns empty of work: full compute, idle NIC.
+                free_ghz[idx] = cloud.available(node);
+                nic_free_at[idx] = now;
+                repair_nic_free_at[idx] = now;
+                if let Some(since) = down_since[idx].take() {
+                    node_downtime_s += now.as_secs_f64() - since.as_secs_f64();
+                }
+                // Its local replicas survive the outage on disk: re-admit
+                // them where the dataset is still under budget.
+                let held = std::mem::take(&mut held_at_down[idx]);
+                for d in held {
+                    if live_sol.replica_count(d) < inst.max_replicas()
+                        && !live_sol.has_replica(d, node)
+                    {
+                        live_sol.place_replica(d, node);
+                    }
+                }
+                if trace_debug {
+                    obs::emit_debug("sim", "sim.run", "node.up", &[("node", idx.into())]);
+                }
+            }
+            Event::LinkDown { a, b } => {
+                // Timing effects come from `FaultPlan::link_factor`
+                // lookups at transfer-scheduling time; the event marks the
+                // transition for traces and the replay ring.
+                if trace_debug {
+                    obs::emit_debug(
+                        "sim",
+                        "sim.run",
+                        "link.down",
+                        &[("a", a.index().into()), ("b", b.index().into())],
+                    );
+                }
+            }
+            Event::LinkUp { a, b } => {
+                if trace_debug {
+                    obs::emit_debug(
+                        "sim",
+                        "sim.run",
+                        "link.up",
+                        &[("a", a.index().into()), ("b", b.index().into())],
+                    );
+                }
+            }
+            Event::RepairDone { job } => {
+                let j = xfer_jobs[job];
+                let XferKind::Repair { dataset } = j.kind else {
+                    continue;
+                };
+                // Valid only if the target survived since launch and the
+                // dataset still wants the replica.
+                if node_epoch[j.dest.index()] == j.dest_epoch
+                    && live_sol.replica_count(dataset) < inst.max_replicas()
+                    && !live_sol.has_replica(dataset, j.dest)
+                {
+                    live_sol.place_replica(dataset, j.dest);
+                    repairs_completed += 1;
+                    repair_gb += j.gb;
+                    if trace_debug {
+                        obs::emit_debug(
+                            "sim",
+                            "sim.run",
+                            "repair.done",
+                            &[
+                                ("dataset", dataset.index().into()),
+                                ("node", j.dest.index().into()),
+                            ],
+                        );
+                    }
+                }
+            }
+            Event::RetryTransfer { job } => {
+                let j = xfer_jobs[job];
+                if j.resolved {
+                    continue;
+                }
+                match j.kind {
+                    XferKind::Result { q, demand } => {
+                        if runs[q.index()].is_none() {
+                            xfer_jobs[job].resolved = true; // poisoned meanwhile
+                            continue;
+                        }
+                        // A dead source would have poisoned the run above;
+                        // only the path matters here.
+                        let factor = fault_plan.link_factor(j.source, j.dest, now.as_secs_f64());
+                        if factor.is_infinite() {
+                            if j.attempts >= XFER_MAX_ATTEMPTS {
+                                // Degrade gracefully: the result never got
+                                // home; the query is lost, not the run.
+                                xfer_jobs[job].resolved = true;
+                                runs[q.index()] = None;
+                                queries_lost += 1;
+                            } else {
+                                xfer_jobs[job].attempts += 1;
+                                transfer_retries += 1;
+                                queue.push(
+                                    now.after_secs(backoff_s(j.attempts)),
+                                    Event::RetryTransfer { job },
+                                );
+                            }
+                            continue;
+                        }
+                        let trans = cloud.min_delay(j.source, j.dest) * j.gb * factor;
+                        let start = if cfg.nic_contention {
+                            nic_free_at[j.source.index()].max(now)
+                        } else {
+                            now
+                        };
+                        let done = start.after_secs(trans);
+                        if cfg.nic_contention {
+                            nic_free_at[j.source.index()] = done;
+                        }
+                        transfer_sum_s += done.as_secs_f64() - now.as_secs_f64();
+                        transfers += 1;
+                        xfer_jobs[job].resolved = true;
+                        queue.push(done, Event::TransferDone { q, demand });
+                    }
+                    XferKind::Repair { dataset } => {
+                        if node_epoch[j.dest.index()] != j.dest_epoch {
+                            xfer_jobs[job].resolved = true; // target died
+                            continue;
+                        }
+                        // The planned source may have died since; re-pick
+                        // from the current live holders.
+                        let mut source = j.source;
+                        if !alive[source.index()] {
+                            if let Some(s) =
+                                repair::pick_source(inst, &live_sol, &alive, dataset, j.dest)
+                            {
+                                source = s;
+                                xfer_jobs[job].source = s;
+                            }
+                        }
+                        let factor = fault_plan.link_factor(source, j.dest, now.as_secs_f64());
+                        if !alive[source.index()] || factor.is_infinite() {
+                            if j.attempts >= XFER_MAX_ATTEMPTS {
+                                xfer_jobs[job].resolved = true; // abandoned
+                            } else {
+                                xfer_jobs[job].attempts += 1;
+                                repair_retries += 1;
+                                queue.push(
+                                    now.after_secs(backoff_s(j.attempts)),
+                                    Event::RetryTransfer { job },
+                                );
+                            }
+                            continue;
+                        }
+                        let trans = cloud.min_delay(source, j.dest) * j.gb * factor;
+                        // Repair bytes are preemptible background traffic:
+                        // they queue behind both foreground result egress
+                        // and earlier repairs from the same source, but
+                        // foreground traffic never queues behind them —
+                        // QoS-bearing results preempt replication streams.
+                        let start = if cfg.nic_contention {
+                            nic_free_at[source.index()]
+                                .max(repair_nic_free_at[source.index()])
+                                .max(now)
+                        } else {
+                            now
+                        };
+                        let done = start.after_secs(trans);
+                        if cfg.nic_contention {
+                            repair_nic_free_at[source.index()] = done;
+                        }
+                        xfer_jobs[job].resolved = true;
+                        queue.push(done, Event::RepairDone { job });
                     }
                 }
             }
@@ -552,6 +1089,12 @@ pub fn run_testbed_with_faults(
     }
 
     // --- 4. Report -------------------------------------------------------
+    // Nodes still down when the sim drains accrue downtime to the end.
+    for since in down_since.iter_mut() {
+        if let Some(t0) = since.take() {
+            node_downtime_s += last_event_t.as_secs_f64() - t0.as_secs_f64();
+        }
+    }
     let mut measured_volume = 0.0;
     let mut measured_admitted = 0usize;
     let mut response_sum = 0.0;
@@ -588,10 +1131,22 @@ pub fn run_testbed_with_faults(
     } else {
         transfer_sum_s / transfers as f64
     };
+    let availability = if planned_admitted == 0 {
+        1.0
+    } else {
+        (1.0 - queries_lost as f64 / planned_admitted as f64).max(0.0)
+    };
     obs::counter("sim.events").add(events_processed);
     obs::counter("sim.demands").add(demands_started);
     obs::counter("sim.demands_queued").add(demands_queued);
+    obs::counter("sim.failovers").add(failovers as u64);
+    obs::counter("sim.queries_lost").add(queries_lost as u64);
+    obs::counter("sim.repairs_scheduled").add(repairs_scheduled as u64);
+    obs::counter("sim.repairs_completed").add(repairs_completed as u64);
+    obs::counter("sim.repair_retries").add(repair_retries as u64);
+    obs::counter("sim.transfer_retries").add(transfer_retries as u64);
     obs::gauge("sim.peak_event_queue").set_max(peak_event_queue as f64);
+    obs::gauge("sim.node_downtime_s").set_max(node_downtime_s);
     obs::emit(
         "sim",
         "sim.run",
@@ -607,9 +1162,14 @@ pub fn run_testbed_with_faults(
             ("consistency_gb", consistency_gb.into()),
             ("consistency_rounds", consistency_rounds.into()),
             ("measured_admitted", measured_admitted.into()),
+            ("failovers", failovers.into()),
+            ("queries_lost", queries_lost.into()),
+            ("repairs_scheduled", repairs_scheduled.into()),
+            ("repairs_completed", repairs_completed.into()),
+            ("availability", availability.into()),
         ],
     );
-    TestbedReport {
+    Ok(TestbedReport {
         algorithm: alg.name(),
         planned_volume,
         planned_admitted,
@@ -635,13 +1195,22 @@ pub fn run_testbed_with_faults(
         consistency_rounds,
         failovers,
         queries_lost_to_faults: queries_lost,
+        repairs_scheduled,
+        repairs_completed,
+        repair_gb,
+        repair_retries,
+        transfer_retries,
+        node_downtime_s,
+        availability,
+        qos_miss_dumps,
+        live_plan: live_sol,
         mean_queue_wait_s,
         mean_transfer_s,
         events_processed,
         peak_event_queue,
         answers,
         plan,
-    }
+    })
 }
 
 #[cfg(test)]

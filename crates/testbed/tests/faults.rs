@@ -146,6 +146,190 @@ fn all_nodes_down_loses_everything() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Property tests over generated fault plans (plain loops: the harness
+// must hold for every seed, not a sampled subset).
+// ---------------------------------------------------------------------
+
+use edgerep_testbed::{try_run_testbed_with_plan, FaultConfig, FaultPlan};
+
+/// 50+ seeded MTBF/MTTR plans — node flapping, link degradation and
+/// partitions — through the simulator with repair off and on: no code
+/// path may panic, accounting must stay coherent, and the live plan must
+/// never over-replicate.
+#[test]
+fn generated_plans_never_panic_and_stay_coherent() {
+    let mut plans = 0usize;
+    for seed in 0..25u64 {
+        let k = 1 + (seed as usize % 4);
+        let w = world(k, seed);
+        let nodes = w.instance.cloud().compute_count();
+        for fraction in [0.15, 0.35] {
+            let plan = FaultConfig {
+                link_fraction: 0.1,
+                link_mtbf_s: 50.0,
+                link_mttr_s: 20.0,
+                ..Default::default()
+            }
+            .with_node_fraction(fraction)
+            .with_seed(seed * 31 + (fraction * 100.0) as u64)
+            .generate(nodes);
+            plans += 1;
+            for repair in [false, true] {
+                let sim = SimConfig {
+                    seed,
+                    repair,
+                    ..Default::default()
+                };
+                let report = try_run_testbed_with_plan(&ApproG::default(), &w, &sim, &plan)
+                    .expect("generated plans validate");
+                // Conservation: every planned query is met, lost, or
+                // simply late — never double-counted.
+                assert!(report.measured_admitted <= report.planned_admitted);
+                assert!(report.measured_volume <= report.planned_volume + 1e-9);
+                assert!(
+                    report.answers.len() + report.queries_lost_to_faults <= report.total_queries
+                );
+                assert!(report.queries_lost_to_faults <= report.planned_admitted);
+                assert!((0.0..=1.0).contains(&report.availability));
+                assert!(report.repairs_completed <= report.repairs_scheduled);
+                assert!(report.repair_gb >= 0.0 && report.node_downtime_s >= 0.0);
+                // Repair never over-replicates past the budget K.
+                for d in w.instance.dataset_ids() {
+                    assert!(
+                        report.live_plan.replica_count(d) <= w.instance.max_replicas(),
+                        "dataset {d:?} over-replicated (seed {seed}, repair {repair})"
+                    );
+                }
+            }
+        }
+    }
+    assert!(plans >= 50, "property sweep must cover at least 50 plans");
+}
+
+/// Identical (seed, plan, config) runs produce identical reports.
+#[test]
+fn fault_runs_are_deterministic() {
+    let w = world(3, 11);
+    let plan = FaultConfig::default()
+        .with_node_fraction(0.3)
+        .with_seed(11)
+        .generate(w.instance.cloud().compute_count());
+    let sim = SimConfig {
+        seed: 11,
+        repair: true,
+        ..Default::default()
+    };
+    let a = try_run_testbed_with_plan(&ApproG::default(), &w, &sim, &plan).unwrap();
+    let b = try_run_testbed_with_plan(&ApproG::default(), &w, &sim, &plan).unwrap();
+    assert_eq!(a.measured_volume, b.measured_volume);
+    assert_eq!(a.measured_admitted, b.measured_admitted);
+    assert_eq!(a.failovers, b.failovers);
+    assert_eq!(a.queries_lost_to_faults, b.queries_lost_to_faults);
+    assert_eq!(a.repairs_scheduled, b.repairs_scheduled);
+    assert_eq!(a.repairs_completed, b.repairs_completed);
+    assert_eq!(a.repair_gb, b.repair_gb);
+    assert_eq!(a.repair_retries, b.repair_retries);
+    assert_eq!(a.transfer_retries, b.transfer_retries);
+    assert_eq!(a.node_downtime_s, b.node_downtime_s);
+    assert_eq!(a.availability, b.availability);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.live_plan, b.live_plan);
+    assert_eq!(a.answers.len(), b.answers.len());
+}
+
+/// A permanent node loss with repair enabled ends the run with at least
+/// as many replicas standing as the repair-disabled run — the controller
+/// restored what the fault destroyed.
+#[test]
+fn repair_restores_replicas_lost_to_a_permanent_outage() {
+    let w = world(3, 13);
+    let sim_off = SimConfig::default();
+    let clean = run_testbed(&ApproG::default(), &w, &sim_off);
+    // Kill the busiest replica-holding cloudlet permanently at t = 1 s.
+    let mut holders = vec![0usize; w.instance.cloud().compute_count()];
+    for d in w.instance.dataset_ids() {
+        for v in clean.plan.replicas_of(d) {
+            holders[v.index()] += 1;
+        }
+    }
+    let victim = holders
+        .iter()
+        .enumerate()
+        .skip(4)
+        .max_by_key(|(_, c)| **c)
+        .map(|(i, _)| ComputeNodeId(i as u32))
+        .unwrap();
+    assert!(holders[victim.index()] > 0);
+    let plan = FaultPlan {
+        node_outages: vec![edgerep_testbed::NodeOutage {
+            node: victim,
+            down_at_s: 1.0,
+            up_at_s: None,
+        }],
+        link_faults: Vec::new(),
+    };
+    let count_sum = |r: &edgerep_testbed::TestbedReport| -> usize {
+        w.instance
+            .dataset_ids()
+            .map(|d| r.live_plan.replica_count(d))
+            .sum()
+    };
+    let off = try_run_testbed_with_plan(&ApproG::default(), &w, &sim_off, &plan).unwrap();
+    let on = try_run_testbed_with_plan(
+        &ApproG::default(),
+        &w,
+        &SimConfig {
+            repair: true,
+            ..Default::default()
+        },
+        &plan,
+    )
+    .unwrap();
+    assert!(on.repairs_completed > 0, "repair must have acted");
+    assert!(
+        count_sum(&on) > count_sum(&off),
+        "repair must restore replicas a permanent outage destroyed"
+    );
+    for d in w.instance.dataset_ids() {
+        assert!(on.live_plan.replica_count(d) <= w.instance.max_replicas());
+    }
+}
+
+/// An empty fault plan reproduces the fault-free runner field-for-field:
+/// the fault machinery is provably inert on the happy path.
+#[test]
+fn zero_fault_plan_reproduces_clean_run_exactly() {
+    let w = world(2, 17);
+    let sim = SimConfig {
+        repair: true, // even with repair armed there is nothing to repair
+        ..Default::default()
+    };
+    let clean = run_testbed(&ApproG::default(), &w, &sim);
+    let faulted =
+        try_run_testbed_with_plan(&ApproG::default(), &w, &sim, &FaultPlan::empty()).unwrap();
+    assert_eq!(clean.measured_volume, faulted.measured_volume);
+    assert_eq!(clean.measured_admitted, faulted.measured_admitted);
+    assert_eq!(clean.planned_volume, faulted.planned_volume);
+    assert_eq!(clean.mean_response_s, faulted.mean_response_s);
+    assert_eq!(clean.p95_response_s, faulted.p95_response_s);
+    assert_eq!(clean.max_response_s, faulted.max_response_s);
+    assert_eq!(clean.mean_queue_wait_s, faulted.mean_queue_wait_s);
+    assert_eq!(clean.mean_transfer_s, faulted.mean_transfer_s);
+    assert_eq!(clean.events_processed, faulted.events_processed);
+    assert_eq!(clean.failovers, faulted.failovers);
+    assert_eq!(clean.queries_lost_to_faults, faulted.queries_lost_to_faults);
+    assert_eq!(clean.repairs_scheduled, 0);
+    assert_eq!(faulted.repairs_scheduled, 0);
+    assert_eq!(clean.node_downtime_s, 0.0);
+    assert_eq!(faulted.node_downtime_s, 0.0);
+    assert_eq!(clean.availability, 1.0);
+    assert_eq!(faulted.availability, 1.0);
+    assert_eq!(clean.plan, faulted.plan);
+    assert_eq!(clean.live_plan, faulted.live_plan);
+    assert_eq!(clean.answers, faulted.answers);
+}
+
 #[test]
 #[should_panic(expected = "unknown node")]
 fn fault_on_unknown_node_rejected() {

@@ -30,4 +30,18 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+# Opt-in perf gate (ROADMAP): the obs_overhead bench's `disabled` path
+# must stay within noise of the recorded `ci` criterion baseline. Needs a
+# quiet machine, hence env-var guarded. Protocol + how to read the
+# report: results/obs_overhead_baseline.md.
+if [ "${EDGEREP_BENCH_GATE:-0}" = "1" ]; then
+    echo "== opt-in: obs_overhead bench vs 'ci' baseline =="
+    if compgen -G "target/criterion/*/*/ci" > /dev/null; then
+        cargo bench -p edgerep-bench --bench obs_overhead -- --baseline ci
+    else
+        echo "(no 'ci' baseline yet: recording one)"
+        cargo bench -p edgerep-bench --bench obs_overhead -- --save-baseline ci
+    fi
+fi
+
 echo "ci: all gates passed"
