@@ -256,7 +256,10 @@ fn cmd_solve(args: &[String]) {
             );
         }
         if trace.is_some() {
-            dump_registry_to_trace(algorithm.name());
+            // Per-run counter values (e.g. `admission.reject.*`) and
+            // span-timing histograms appear in the file even when no
+            // individual event carried them.
+            obs::dump_registry("algorithm", algorithm.name());
         }
         if stats {
             println!("--- metrics: {} ---", algorithm.name());
@@ -265,53 +268,6 @@ fn cmd_solve(args: &[String]) {
     }
     if trace.is_some() {
         obs::take_trace_writer(); // flush and close the NDJSON sink
-    }
-}
-
-/// Writes every registry metric into the NDJSON trace, so per-run counter
-/// values (e.g. `admission.reject.*`) and span-timing histograms appear in
-/// the file even when no individual event carried them.
-fn dump_registry_to_trace(alg: &str) {
-    let snap = obs::snapshot();
-    for (name, v) in &snap.counters {
-        obs::emit(
-            "registry",
-            "registry",
-            "counter",
-            &[
-                ("algorithm", alg.into()),
-                ("name", name.as_str().into()),
-                ("value", (*v).into()),
-            ],
-        );
-    }
-    for (name, v) in &snap.gauges {
-        obs::emit(
-            "registry",
-            "registry",
-            "gauge",
-            &[
-                ("algorithm", alg.into()),
-                ("name", name.as_str().into()),
-                ("value", (*v).into()),
-            ],
-        );
-    }
-    for h in &snap.histograms {
-        obs::emit(
-            "registry",
-            "registry",
-            "histogram",
-            &[
-                ("algorithm", alg.into()),
-                ("name", h.name.as_str().into()),
-                ("count", h.count.into()),
-                ("mean", h.mean.into()),
-                ("p50", h.p50.into()),
-                ("p95", h.p95.into()),
-                ("max", h.max.into()),
-            ],
-        );
     }
 }
 

@@ -6,7 +6,13 @@
 //! repro fig4 --seeds 30    # more repetitions
 //! repro all --quick        # 3 seeds (CI smoke run)
 //! repro all --csv out/     # additionally write CSV files
+//! repro fig8 --trace t.ndjson  # NDJSON trace of the whole regeneration
 //! ```
+//!
+//! `--trace FILE` streams the same NDJSON events `edgerep solve --trace`
+//! produces (span timings, scheduler progress, admission summaries) to
+//! `FILE`, closing each figure with a registry dump so the file ends in a
+//! `dump.done` line for the last figure regenerated.
 
 use std::io::Write as _;
 
@@ -18,7 +24,9 @@ use edgerep_obs as obs;
 use edgerep_testbed::FaultPlan;
 
 const USAGE: &str = "usage: repro [fig1|...|fig8|all|ext-online|ext-netbenefit|ext-refine|ext-topology|ext-faults|ext-rolling|ext-availability|ext]... \
-[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE]";
+[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE] [--trace FILE]
+    --trace FILE  enable all observability targets and write NDJSON trace
+                  events to FILE, ending each figure with a registry dump";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +36,7 @@ fn main() {
     let mut svg_dir: Option<String> = None;
     let mut md_dir: Option<String> = None;
     let mut fault_plan: Option<FaultPlan> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -78,26 +87,16 @@ fn main() {
                     .unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
                 fault_plan = Some(plan);
             }
-            "all" => figures_wanted.extend(
-                [
-                    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                ]
-                .iter()
-                .map(|s| s.to_string()),
-            ),
-            "ext" => figures_wanted.extend(
-                [
-                    "ext-online",
-                    "ext-netbenefit",
-                    "ext-refine",
-                    "ext-topology",
-                    "ext-faults",
-                    "ext-rolling",
-                    "ext-availability",
-                ]
-                .iter()
-                .map(|s| s.to_string()),
-            ),
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace needs a FILE")),
+                );
+            }
+            "all" => figures_wanted.extend(figures::FIGURE_IDS.iter().map(|s| s.to_string())),
+            "ext" => figures_wanted.extend(extensions::EXT_IDS.iter().map(|s| s.to_string())),
             f @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
             | "ext-online" | "ext-netbenefit" | "ext-refine" | "ext-topology"
             | "ext-faults" | "ext-rolling" | "ext-availability") => {
@@ -119,8 +118,15 @@ fn main() {
     // With --csv, runner/parallel span timings and admission-reject
     // counters are captured per figure and written as a metrics sidecar
     // next to the figure data. No trace writer is installed, so enabling
-    // the targets only turns on the registry instrumentation.
-    if csv_dir.is_some() {
+    // the targets only turns on the registry instrumentation. --trace
+    // supersedes the filter: every target streams NDJSON to FILE — the
+    // same sink `edgerep solve --trace` uses.
+    if let Some(path) = &trace_path {
+        obs::enable_all();
+        let file =
+            std::fs::File::create(path).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+        obs::set_trace_writer(Box::new(std::io::BufWriter::new(file)));
+    } else if csv_dir.is_some() {
         obs::set_filter("runner,parallel,sim");
     }
 
@@ -131,10 +137,18 @@ fn main() {
         let data = match fig.as_str() {
             "fig1" => {
                 let _ = writeln!(out, "{}", figures::fig1_text());
+                if trace_path.is_some() {
+                    // Topology figures run no algorithms; the (empty)
+                    // dump still marks the figure boundary in the trace.
+                    obs::dump_registry("figure", "fig1");
+                }
                 continue;
             }
             "fig6" => {
                 let _ = writeln!(out, "{}", figures::fig6_text());
+                if trace_path.is_some() {
+                    obs::dump_registry("figure", "fig6");
+                }
                 continue;
             }
             "fig2" => figures::fig2(seeds),
@@ -155,6 +169,12 @@ fn main() {
             "fig8" => figures::fig8(seeds),
             _ => unreachable!("validated above"),
         };
+        if trace_path.is_some() {
+            // Counter totals and span-timing histograms (including
+            // `parallel.utilization`) for this figure's whole grid; the
+            // closing `dump.done` line marks the figure as complete.
+            obs::dump_registry("figure", &data.id);
+        }
         let _ = writeln!(out, "{}", render_text(&data));
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir {dir}: {e}")));
@@ -177,6 +197,9 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
             let _ = writeln!(out, "[markdown written to {path}]\n");
         }
+    }
+    if trace_path.is_some() {
+        obs::take_trace_writer(); // flush and close the NDJSON sink
     }
 }
 

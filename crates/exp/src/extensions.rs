@@ -25,10 +25,23 @@ use edgerep_testbed::{
 use edgerep_workload::params::TopologyModel;
 use edgerep_workload::{generate_instance, WorkloadParams};
 
+use std::sync::OnceLock;
+
 use crate::figures::{FigureData, FigureRow};
 use crate::parallel::par_map;
-use crate::runner::AlgResult;
+use crate::runner::{run_grid, AlgResult};
 use crate::stats::Summary;
+
+/// Every extension figure id — the `repro ext` set.
+pub const EXT_IDS: [&str; 7] = [
+    "ext-online",
+    "ext-netbenefit",
+    "ext-refine",
+    "ext-topology",
+    "ext-faults",
+    "ext-rolling",
+    "ext-availability",
+];
 
 /// Consistency-cost weights γ reported by [`ext_net_benefit`].
 pub const GAMMA_VALUES: [f64; 3] = [0.0, 0.5, 2.0];
@@ -40,27 +53,30 @@ pub const GAMMA_VALUES: [f64; 3] = [0.0, 0.5, 2.0];
 pub fn ext_net_benefit(seeds: usize) -> FigureData {
     assert!(seeds >= 1);
     let ks = [1usize, 2, 3, 4, 5, 6, 7];
+    // One flat K × seed task list (105 cells at the paper's 15 seeds)
+    // instead of 7 sequential 15-wide batches. Volume and consistency
+    // traffic per cell; rows come back in K-major order.
+    let per_k: Vec<Vec<(f64, f64)>> = run_grid(ks.len(), seeds, |ki, seed| {
+        let seed = seed as u64;
+        let cfg = TestbedConfig::default().with_max_replicas(ks[ki]);
+        let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
+        let sim = SimConfig {
+            seed,
+            arrival_rate_per_s: 0.2,
+            consistency: Some(ConsistencyConfig {
+                growth_gb_per_hour: 30.0,
+                threshold: 0.05,
+                check_interval_s: 20.0,
+            }),
+            ..Default::default()
+        };
+        let report = run_testbed(&ApproG::default(), &world, &sim);
+        (report.measured_volume, report.consistency_gb)
+    });
     let rows = ks
         .iter()
-        .map(|&k| {
-            let cfg = TestbedConfig::default().with_max_replicas(k);
-            let seed_list: Vec<u64> = (0..seeds as u64).collect();
-            // volume and consistency traffic per seed.
-            let samples: Vec<(f64, f64)> = par_map(&seed_list, |&seed| {
-                let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
-                let sim = SimConfig {
-                    seed,
-                    arrival_rate_per_s: 0.2,
-                    consistency: Some(ConsistencyConfig {
-                        growth_gb_per_hour: 30.0,
-                        threshold: 0.05,
-                        check_interval_s: 20.0,
-                    }),
-                    ..Default::default()
-                };
-                let report = run_testbed(&ApproG::default(), &world, &sim);
-                (report.measured_volume, report.consistency_gb)
-            });
+        .zip(&per_k)
+        .map(|(&k, samples)| {
             let results = GAMMA_VALUES
                 .iter()
                 .map(|&gamma| {
@@ -100,25 +116,31 @@ pub fn ext_online(seeds: usize) -> FigureData {
     assert!(seeds >= 1);
     let thresholds = [0.25f64, 0.5, 1.0, 2.0, f64::INFINITY];
     let params = WorkloadParams::default();
-    let seed_list: Vec<u64> = (0..seeds as u64).collect();
+    // The instance at a given seed is threshold-independent, so the flat
+    // threshold × seed grid memoizes generation per seed — every
+    // threshold competes on the identical instance, built once.
+    let instances: Vec<OnceLock<edgerep_model::Instance>> =
+        (0..seeds).map(|_| OnceLock::new()).collect();
+    let per_thr: Vec<Vec<(f64, f64, f64, f64)>> =
+        run_grid(thresholds.len(), seeds, |ti, seed| {
+            let inst = instances[seed].get_or_init(|| generate_instance(&params, seed as u64));
+            let online = OnlineAppro::with_config(OnlineConfig {
+                admission_threshold: thresholds[ti],
+                ..Default::default()
+            })
+            .run(inst);
+            let offline = ApproG::default().solve(inst);
+            (
+                online.solution.admitted_volume(inst),
+                online.solution.throughput(inst),
+                offline.admitted_volume(inst),
+                offline.throughput(inst),
+            )
+        });
     let rows = thresholds
         .iter()
-        .map(|&thr| {
-            let samples: Vec<(f64, f64, f64, f64)> = par_map(&seed_list, |&seed| {
-                let inst = generate_instance(&params, seed);
-                let online = OnlineAppro::with_config(OnlineConfig {
-                    admission_threshold: thr,
-                    ..Default::default()
-                })
-                .run(&inst);
-                let offline = ApproG::default().solve(&inst);
-                (
-                    online.solution.admitted_volume(&inst),
-                    online.solution.throughput(&inst),
-                    offline.admitted_volume(&inst),
-                    offline.throughput(&inst),
-                )
-            });
+        .zip(&per_thr)
+        .map(|(&thr, samples)| {
             let pick = |f: fn(&(f64, f64, f64, f64)) -> f64| -> Vec<f64> {
                 samples.iter().map(f).collect()
             };
@@ -215,41 +237,44 @@ pub fn ext_topology(seeds: usize) -> FigureData {
 pub fn ext_faults(seeds: usize) -> FigureData {
     assert!(seeds >= 1);
     let ks = [1usize, 2, 3, 4, 5];
+    // One flat K × seed grid; each cell runs the clean and the faulty
+    // arm back to back so both see the same world.
+    let per_k: Vec<Vec<((f64, f64), (f64, f64))>> = run_grid(ks.len(), seeds, |ki, seed| {
+        let seed = seed as u64;
+        let cfg = TestbedConfig::default().with_max_replicas(ks[ki]);
+        let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
+        let sim = SimConfig {
+            seed,
+            ..Default::default()
+        };
+        let clean = run_testbed(&ApproG::default(), &world, &sim);
+        // Kill the cloudlet the clean plan leans on hardest.
+        let loads = clean.plan.node_loads(&world.instance);
+        let busiest = loads
+            .iter()
+            .enumerate()
+            .skip(4) // the four DC VMs
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+            .map(|(i, _)| edgerep_model::ComputeNodeId(i as u32))
+            .expect("testbed has cloudlets");
+        let faulty = run_testbed_with_faults(
+            &ApproG::default(),
+            &world,
+            &sim,
+            &[NodeFailure {
+                node: busiest,
+                at_s: 0.0,
+            }],
+        );
+        (
+            (clean.measured_volume, clean.measured_throughput),
+            (faulty.measured_volume, faulty.measured_throughput),
+        )
+    });
     let rows = ks
         .iter()
-        .map(|&k| {
-            let cfg = TestbedConfig::default().with_max_replicas(k);
-            let seed_list: Vec<u64> = (0..seeds as u64).collect();
-            let samples: Vec<((f64, f64), (f64, f64))> = par_map(&seed_list, |&seed| {
-                let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
-                let sim = SimConfig {
-                    seed,
-                    ..Default::default()
-                };
-                let clean = run_testbed(&ApproG::default(), &world, &sim);
-                // Kill the cloudlet the clean plan leans on hardest.
-                let loads = clean.plan.node_loads(&world.instance);
-                let busiest = loads
-                    .iter()
-                    .enumerate()
-                    .skip(4) // the four DC VMs
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
-                    .map(|(i, _)| edgerep_model::ComputeNodeId(i as u32))
-                    .expect("testbed has cloudlets");
-                let faulty = run_testbed_with_faults(
-                    &ApproG::default(),
-                    &world,
-                    &sim,
-                    &[NodeFailure {
-                        node: busiest,
-                        at_s: 0.0,
-                    }],
-                );
-                (
-                    (clean.measured_volume, clean.measured_throughput),
-                    (faulty.measured_volume, faulty.measured_throughput),
-                )
-            });
+        .zip(&per_k)
+        .map(|(&k, samples)| {
             let results = vec![
                 AlgResult {
                     name: "Appro-G (fault-free)".to_owned(),
@@ -318,22 +343,34 @@ pub fn ext_availability(seeds: usize) -> FigureData {
     assert!(seeds >= 1);
     let fractions = [0.0f64, 0.1, 0.2, 0.4];
     let ks = [1usize, 2, 3, 4];
+    // The full fraction × K × seed cube as ONE flat task list (240 cells
+    // at the paper's 15 seeds). A world depends only on (K, seed), so it
+    // is memoized across the fraction axis: whichever cell reaches a
+    // (K, seed) slot first builds it, every fraction reuses it.
+    let worlds: Vec<OnceLock<edgerep_testbed::TestbedWorld>> =
+        (0..ks.len() * seeds).map(|_| OnceLock::new()).collect();
+    let tasks: Vec<(usize, usize, usize)> = (0..fractions.len())
+        .flat_map(|fi| (0..ks.len()).flat_map(move |ki| (0..seeds).map(move |s| (fi, ki, s))))
+        .collect();
+    let flat: Vec<((f64, f64), (f64, f64))> = par_map(&tasks, |&(fi, ki, s)| {
+        let seed = s as u64;
+        let world = worlds[ki * seeds + s].get_or_init(|| {
+            let cfg = TestbedConfig::default().with_max_replicas(ks[ki]);
+            edgerep_testbed::build_testbed_instance(&cfg, seed)
+        });
+        let plan = availability_fault_profile(fractions[fi], seed)
+            .generate(world.instance.cloud().compute_count());
+        (
+            availability_cell(world, &plan, seed, false),
+            availability_cell(world, &plan, seed, true),
+        )
+    });
     let rows = fractions
         .iter()
-        .map(|&frac| {
+        .zip(flat.chunks(ks.len() * seeds))
+        .map(|(&frac, frac_cells)| {
             let mut results = Vec::with_capacity(ks.len() * 2);
-            for &k in &ks {
-                let cfg = TestbedConfig::default().with_max_replicas(k);
-                let seed_list: Vec<u64> = (0..seeds as u64).collect();
-                let samples: Vec<((f64, f64), (f64, f64))> = par_map(&seed_list, |&seed| {
-                    let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
-                    let plan = availability_fault_profile(frac, seed)
-                        .generate(world.instance.cloud().compute_count());
-                    (
-                        availability_cell(&world, &plan, seed, false),
-                        availability_cell(&world, &plan, seed, true),
-                    )
-                });
+            for (&k, samples) in ks.iter().zip(frac_cells.chunks(seeds)) {
                 for (repair, label) in [(false, "no-repair"), (true, "repair")] {
                     let pick = |s: &((f64, f64), (f64, f64))| if repair { s.1 } else { s.0 };
                     results.push(AlgResult {
@@ -362,18 +399,20 @@ pub fn ext_availability(seeds: usize) -> FigureData {
 pub fn ext_availability_with_plan(seeds: usize, fault_plan: &FaultPlan) -> FigureData {
     assert!(seeds >= 1);
     let ks = [1usize, 2, 3, 4];
+    // One flat K × seed grid; both repair arms share the cell's world.
+    let per_k: Vec<Vec<((f64, f64), (f64, f64))>> = run_grid(ks.len(), seeds, |ki, seed| {
+        let seed = seed as u64;
+        let cfg = TestbedConfig::default().with_max_replicas(ks[ki]);
+        let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
+        (
+            availability_cell(&world, fault_plan, seed, false),
+            availability_cell(&world, fault_plan, seed, true),
+        )
+    });
     let rows = ks
         .iter()
-        .map(|&k| {
-            let cfg = TestbedConfig::default().with_max_replicas(k);
-            let seed_list: Vec<u64> = (0..seeds as u64).collect();
-            let samples: Vec<((f64, f64), (f64, f64))> = par_map(&seed_list, |&seed| {
-                let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
-                (
-                    availability_cell(&world, fault_plan, seed, false),
-                    availability_cell(&world, fault_plan, seed, true),
-                )
-            });
+        .zip(&per_k)
+        .map(|(&k, samples)| {
             let results = [(false, "no-repair"), (true, "repair")]
                 .iter()
                 .map(|&(repair, label)| {

@@ -12,6 +12,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::runner::{run_simulation_point, run_testbed_point, AlgResult};
 
+/// Every paper figure id, in figure order — the `repro all` set. Figures
+/// 1 and 6 are topology illustrations; the rest carry data.
+pub const FIGURE_IDS: [&str; 8] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+];
+
 /// One x-axis point of a figure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FigureRow {

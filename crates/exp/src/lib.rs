@@ -3,10 +3,11 @@
 //! Experiment harness regenerating every figure of the paper.
 //!
 //! * [`stats`] — sample summaries (mean, standard deviation, 95% CI).
-//! * [`parallel`] — a crossbeam-based deterministic parallel map used to
-//!   spread the 15-topology repetitions of each figure point over cores.
+//! * [`parallel`] — a panic-propagating, nesting-safe deterministic
+//!   parallel map built on scoped `std` threads.
 //! * [`runner`] — evaluates an algorithm panel over seeded instances and
-//!   aggregates the paper's two metrics.
+//!   aggregates the paper's two metrics; the seed × algorithm grid runs
+//!   as one flat task list so wide machines stay saturated.
 //! * [`figures`] — one driver per figure (2, 3, 4, 5, 7, 8 — Figs. 1 and 6
 //!   are topology illustrations, rendered as text by the `repro` binary).
 //! * [`report`] — text/CSV rendering of figure series.

@@ -1,4 +1,16 @@
 //! Panel evaluation over seeded repetitions.
+//!
+//! Both entry points flatten the seed × algorithm grid into **one** task
+//! list for [`par_map`], so a 15-seed × 3-algorithm figure point exposes
+//! 45 independent tasks instead of 15 — enough to saturate wide machines
+//! even at small seed counts. Instance/world generation is memoized per
+//! seed behind [`OnceLock`] slots: whichever task reaches a seed first
+//! builds its input, every other algorithm at that seed reuses it, and all
+//! algorithms therefore compete on identical inputs exactly as in the
+//! sequential formulation. Results land in grid order, making
+//! [`collect_panel`] output byte-identical to the sequential baseline.
+
+use std::sync::OnceLock;
 
 use edgerep_core::BoxedAlgorithm;
 use edgerep_obs as obs;
@@ -20,6 +32,37 @@ pub struct AlgResult {
     pub throughput: Summary,
 }
 
+/// Bumps the per-point runner counters: one point, `seeds` repetitions,
+/// `seeds × panel` executed panel runs (the actual scheduled tasks).
+fn count_point(seeds: usize, panel: usize) {
+    obs::counter("runner.points").inc();
+    obs::counter("runner.seeds").add(seeds as u64);
+    obs::counter("runner.seed_runs").add((seeds * panel) as u64);
+}
+
+/// Runs `cell(row, col)` over the full `rows × cols` grid as one flat
+/// parallel task list and reshapes the results into row-major nested
+/// vectors (`out[row][col]`), identical to the sequential nested loops.
+/// The panel runners call it as seeds × algorithms; the extension sweeps
+/// (`crate::extensions`) as parameter-values × seeds.
+pub(crate) fn run_grid<R, F>(rows: usize, cols: usize, cell: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let tasks: Vec<(usize, usize)> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (r, c)))
+        .collect();
+    let flat = par_map(&tasks, |&(r, c)| {
+        let _task_span = obs::span("runner", "runner.task");
+        cell(r, c)
+    });
+    let mut flat = flat.into_iter();
+    (0..rows)
+        .map(|_| (0..cols).map(|_| flat.next().expect("grid-sized output")).collect())
+        .collect()
+}
+
 /// Evaluates a simulation panel at one parameter point over `seeds`
 /// seeded topologies (the paper uses 15). Every algorithm sees the *same*
 /// instances; every returned solution is validated.
@@ -29,25 +72,23 @@ pub fn run_simulation_point(
     seeds: usize,
 ) -> Vec<AlgResult> {
     assert!(seeds >= 1, "need at least one repetition");
+    if panel.is_empty() {
+        return Vec::new();
+    }
     let _span = obs::span("runner", "runner.simulation_point");
-    obs::counter("runner.points").inc();
-    obs::counter("runner.seed_runs").add(seeds as u64);
-    let seed_list: Vec<u64> = (0..seeds as u64).collect();
-    // One parallel task per seed: generates the instance once and runs the
-    // whole panel on it, so algorithms always compete on identical inputs.
-    let per_seed: Vec<Vec<(f64, f64)>> = par_map(&seed_list, |&seed| {
-        let _seed_span = obs::span("runner", "runner.seed");
-        let inst = generate_instance(params, seed);
-        panel
-            .iter()
-            .map(|alg| {
-                let sol = alg.solve(&inst);
-                sol.validate(&inst).unwrap_or_else(|e| {
-                    panic!("{} produced an infeasible solution: {e:?}", alg.name())
-                });
-                (sol.admitted_volume(&inst), sol.throughput(&inst))
-            })
-            .collect()
+    count_point(seeds, panel.len());
+    // Each seed's instance is generated once, by whichever of the seed's
+    // panel tasks gets there first; `OnceLock` blocks the rest until it is
+    // ready, so every algorithm solves the identical instance.
+    let instances: Vec<OnceLock<_>> = (0..seeds).map(|_| OnceLock::new()).collect();
+    let per_seed: Vec<Vec<(f64, f64)>> = run_grid(seeds, panel.len(), |seed, ai| {
+        let inst = instances[seed].get_or_init(|| generate_instance(params, seed as u64));
+        let alg = &panel[ai];
+        let sol = alg.solve(inst);
+        sol.validate(inst).unwrap_or_else(|e| {
+            panic!("{} produced an infeasible solution: {e:?}", alg.name())
+        });
+        (sol.admitted_volume(inst), sol.throughput(inst))
     });
     collect_panel(panel.iter().map(|a| a.name()), &per_seed)
 }
@@ -62,21 +103,21 @@ pub fn run_testbed_point(
     sim: &SimConfig,
 ) -> Vec<AlgResult> {
     assert!(seeds >= 1, "need at least one repetition");
+    if panel.is_empty() {
+        return Vec::new();
+    }
     let _span = obs::span("runner", "runner.testbed_point");
-    obs::counter("runner.points").inc();
-    obs::counter("runner.seed_runs").add(seeds as u64);
-    let seed_list: Vec<u64> = (0..seeds as u64).collect();
-    let per_seed: Vec<Vec<(f64, f64)>> = par_map(&seed_list, |&seed| {
-        let _seed_span = obs::span("runner", "runner.seed");
-        let world = edgerep_testbed::build_testbed_instance(cfg, seed);
-        let sim_cfg = SimConfig { seed, ..*sim };
-        panel
-            .iter()
-            .map(|alg| {
-                let report = run_testbed(alg.as_ref(), &world, &sim_cfg);
-                (report.measured_volume, report.measured_throughput)
-            })
-            .collect()
+    count_point(seeds, panel.len());
+    let worlds: Vec<OnceLock<_>> = (0..seeds).map(|_| OnceLock::new()).collect();
+    let per_seed: Vec<Vec<(f64, f64)>> = run_grid(seeds, panel.len(), |seed, ai| {
+        let world =
+            worlds[seed].get_or_init(|| edgerep_testbed::build_testbed_instance(cfg, seed as u64));
+        let sim_cfg = SimConfig {
+            seed: seed as u64,
+            ..*sim
+        };
+        let report = run_testbed(panel[ai].as_ref(), world, &sim_cfg);
+        (report.measured_volume, report.measured_throughput)
     });
     collect_panel(panel.iter().map(|a| a.name()), &per_seed)
 }
@@ -103,7 +144,9 @@ fn collect_panel<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edgerep_core::{simulation_panel, special_panel};
+    use edgerep_core::{simulation_panel, special_panel, PlacementAlgorithm};
+    use edgerep_model::{ComputeNodeId, DatasetId, Instance, Solution};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn simulation_point_aggregates_panel() {
@@ -137,6 +180,35 @@ mod tests {
     }
 
     #[test]
+    fn flattened_grid_matches_sequential_baseline() {
+        // The flattened seed × algorithm schedule must reproduce the
+        // pre-flatten sequential path byte for byte: same instances, same
+        // per-cell metrics, same aggregation.
+        let params = WorkloadParams {
+            query_count: (10, 15),
+            ..Default::default()
+        }
+        .with_max_datasets_per_query(1);
+        let panel = special_panel();
+        let seeds = 3usize;
+        let flattened = run_simulation_point(&params, &panel, seeds);
+        let per_seed: Vec<Vec<(f64, f64)>> = (0..seeds as u64)
+            .map(|seed| {
+                let inst = generate_instance(&params, seed);
+                panel
+                    .iter()
+                    .map(|alg| {
+                        let sol = alg.solve(&inst);
+                        (sol.admitted_volume(&inst), sol.throughput(&inst))
+                    })
+                    .collect()
+            })
+            .collect();
+        let sequential = collect_panel(panel.iter().map(|a| a.name()), &per_seed);
+        assert_eq!(flattened, sequential);
+    }
+
+    #[test]
     fn testbed_point_runs() {
         let cfg = TestbedConfig {
             query_count: 10,
@@ -156,5 +228,59 @@ mod tests {
         let results = run_testbed_point(&cfg, &panel, 2, &SimConfig::default());
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.throughput.mean <= 1.0));
+    }
+
+    /// Returns a solution with a replica on a node id far outside the
+    /// cloud, which `Solution::validate` rejects as `UnknownReplicaNode`.
+    struct Broken;
+
+    impl PlacementAlgorithm for Broken {
+        fn name(&self) -> &'static str {
+            "Broken"
+        }
+        fn solve(&self, inst: &Instance) -> Solution {
+            let mut sol = Solution::empty(inst);
+            sol.place_replica(DatasetId(0), ComputeNodeId(u32::MAX));
+            sol
+        }
+    }
+
+    #[test]
+    fn infeasible_solution_panic_message_survives_the_scheduler() {
+        // The headline bugfix: the original "X produced an infeasible
+        // solution" diagnostic must reach the caller verbatim, not the
+        // scope-join `.expect` text the old par_map substituted.
+        let params = WorkloadParams {
+            query_count: (10, 15),
+            ..Default::default()
+        };
+        let panel: Vec<BoxedAlgorithm> = vec![
+            Box::new(edgerep_core::appro::ApproG::default()),
+            Box::new(Broken),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_simulation_point(&params, &panel, 2)
+        }))
+        .expect_err("the Broken algorithm must fail validation");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload must be the runner's formatted String");
+        assert!(
+            msg.contains("Broken produced an infeasible solution"),
+            "original diagnostic lost, got: {msg}"
+        );
+        assert!(
+            msg.contains("UnknownReplicaNode"),
+            "validation detail lost, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn empty_panel_yields_no_results() {
+        let params = WorkloadParams {
+            query_count: (5, 10),
+            ..Default::default()
+        };
+        assert!(run_simulation_point(&params, &[], 2).is_empty());
     }
 }

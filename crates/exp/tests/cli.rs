@@ -277,6 +277,48 @@ fn repro_renders_topology_figures_instantly() {
 }
 
 #[test]
+fn repro_trace_writes_ndjson_ending_in_registry_dump() {
+    let dir = std::env::temp_dir().join(format!("edgerep-repro-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("fig.ndjson");
+    let out = repro()
+        .args(["fig2", "--seeds", "1", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("repro --trace runs");
+    assert!(out.status.success(), "repro --trace failed: {out:?}");
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let lines: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| {
+            serde_json::from_str(l)
+                .unwrap_or_else(|e| panic!("trace line is not valid JSON ({e}): {l}"))
+        })
+        .collect();
+    assert!(!lines.is_empty(), "trace file is empty");
+    // The scheduler's per-task spans are visible in the stream...
+    assert!(
+        lines
+            .iter()
+            .any(|v| v["event"] == "span.close" && v["span"] == "runner.task"),
+        "no runner.task span.close event in trace"
+    );
+    // ...the figure closes with a registry dump tagged with its id...
+    assert!(
+        lines
+            .iter()
+            .any(|v| v["event"] == "counter" && v["fields"]["figure"] == "fig2"),
+        "no fig2-tagged counter dump in trace"
+    );
+    // ...and the file's very last line is the dump completion marker, so
+    // a truncated regeneration is distinguishable from a finished one.
+    let last = lines.last().unwrap();
+    assert_eq!(last["event"], "dump.done", "trace must end in dump.done: {last}");
+    assert_eq!(last["fields"]["figure"], "fig2");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn repro_help_and_bad_args() {
     let out = repro().args(["--help"]).output().unwrap();
     assert!(out.status.success());

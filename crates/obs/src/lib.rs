@@ -67,7 +67,9 @@ pub use registry::{
     HistogramSnapshot, Snapshot,
 };
 pub use span::{span, SpanTimer};
-pub use trace::{emit, emit_debug, set_trace_writer, take_trace_writer, MemWriter, Value};
+pub use trace::{
+    dump_registry, emit, emit_debug, set_trace_writer, take_trace_writer, MemWriter, Value,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::RwLock;

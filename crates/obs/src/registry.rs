@@ -153,27 +153,43 @@ impl Histogram {
         self.0.max.load(Ordering::Relaxed)
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile (`q ∈ [0,1]`;
-    /// 0 when empty). Log2 buckets give a ≤ 2× overestimate, which is
-    /// plenty for spotting order-of-magnitude latency shifts.
+    /// Estimated `q`-quantile (`q ∈ [0,1]`; 0 when empty). The log2
+    /// bucket containing the quantile rank is located exactly; within the
+    /// bucket the value is linearly interpolated under a
+    /// uniformly-distributed-samples assumption (midpoint convention), so
+    /// a singleton bucket reads back its midpoint instead of the upper
+    /// bound's former ≤ 2× overestimate. The top rank returns the exact
+    /// recorded maximum, and every estimate is clamped to it.
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
         }
         let rank = ((n as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        if rank >= n {
+            return self.max();
+        }
         let mut seen = 0u64;
         for (i, b) in self.0.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if i == 0 {
-                    0
-                } else if i >= BUCKETS - 1 {
-                    self.max()
-                } else {
-                    (1u64 << i) - 1
-                };
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                if i == 0 {
+                    return 0; // bucket 0 holds only zeros
+                }
+                if i >= BUCKETS - 1 {
+                    // The clamped top bucket has no finite width to
+                    // interpolate over.
+                    return self.max();
+                }
+                let lo = 1u64 << (i - 1); // bucket spans [lo, 2·lo)
+                let k = rank - seen; // 1-based rank within the bucket
+                let offset = lo as f64 * (k as f64 - 0.5) / c as f64;
+                return (lo + offset as u64).min(self.max());
+            }
+            seen += c;
         }
         self.max()
     }
@@ -236,9 +252,9 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Mean sample.
     pub mean: f64,
-    /// Median (bucket upper bound).
+    /// Median (interpolated within the containing log2 bucket).
     pub p50: u64,
-    /// 95th percentile (bucket upper bound).
+    /// 95th percentile (interpolated within the containing log2 bucket).
     pub p95: u64,
     /// Largest sample.
     pub max: u64,
@@ -372,12 +388,44 @@ mod tests {
         assert_eq!(h.sum(), 1105);
         assert_eq!(h.max(), 1000);
         assert!((h.mean() - 1105.0 / 6.0).abs() < 1e-9);
-        // Median of {0,1,1,3,100,1000}: rank 3 is a 1 -> bucket [1,2) whose
-        // upper bound reads back as 1.
+        // Median of {0,1,1,3,100,1000}: rank 3 is a 1 -> bucket [1,2),
+        // interpolated within the bucket and floored back to 1.
         assert_eq!(h.quantile(0.5), 1);
-        // p100 lands in the bucket of 1000: [512, 1024) -> 1023.
-        assert_eq!(h.quantile(1.0), 1023);
+        // The top rank returns the exact recorded max, not the 1023 upper
+        // bound of 1000's [512, 1024) bucket.
+        assert_eq!(h.quantile(1.0), 1000);
         assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_wide_buckets() {
+        // 64 uniform samples 64..128 all land in one log2 bucket; the old
+        // bucket-upper-bound readout reported 127 for every quantile in
+        // it (up to 2x the true p50 of ~95.5). Interpolation recovers the
+        // in-bucket position to within one sample.
+        let h = Histogram::default();
+        for v in 64u64..128 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((95..=96).contains(&p50), "p50 = {p50}, want ~95.5");
+        let p95 = h.quantile(0.95);
+        assert!((124..=126).contains(&p95), "p95 = {p95}, want ~124.5");
+        assert_eq!(h.quantile(1.0), 127);
+    }
+
+    #[test]
+    fn quantile_estimate_never_exceeds_recorded_max() {
+        // A singleton bucket interpolates to its midpoint, clamped to the
+        // actual max when the midpoint would overshoot it.
+        let h = Histogram::default();
+        for _ in 0..4 {
+            h.record(520); // bucket [512, 1024), midpoints < 1024
+        }
+        for q in [0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert!(h.quantile(q) <= 520, "q={q} -> {}", h.quantile(q));
+            assert!(h.quantile(q) >= 512, "q={q} -> {}", h.quantile(q));
+        }
     }
 
     #[test]

@@ -186,6 +186,69 @@ pub fn emit_debug(target: &str, span: &str, event: &str, fields: &[(&str, Value)
     emit_at(target, span, event, fields, Level::Debug);
 }
 
+/// Writes every registry metric into the NDJSON trace under the
+/// `registry` target, each event tagged `{scope_key: scope}` (e.g.
+/// `algorithm: "Appro-G"` for per-algorithm CLI dumps, `figure: "fig8"`
+/// for per-figure `repro` dumps), and closes with a single `dump.done`
+/// summary line carrying the metric counts — so a trace file's final line
+/// marks a completed dump. Per-run counter values (e.g.
+/// `admission.reject.*`) and span-timing histograms thereby appear in the
+/// file even when no individual event carried them.
+pub fn dump_registry(scope_key: &str, scope: &str) {
+    let snap = crate::registry::snapshot();
+    for (name, v) in &snap.counters {
+        emit(
+            "registry",
+            "registry",
+            "counter",
+            &[
+                (scope_key, scope.into()),
+                ("name", name.as_str().into()),
+                ("value", (*v).into()),
+            ],
+        );
+    }
+    for (name, v) in &snap.gauges {
+        emit(
+            "registry",
+            "registry",
+            "gauge",
+            &[
+                (scope_key, scope.into()),
+                ("name", name.as_str().into()),
+                ("value", (*v).into()),
+            ],
+        );
+    }
+    for h in &snap.histograms {
+        emit(
+            "registry",
+            "registry",
+            "histogram",
+            &[
+                (scope_key, scope.into()),
+                ("name", h.name.as_str().into()),
+                ("count", h.count.into()),
+                ("mean", h.mean.into()),
+                ("p50", h.p50.into()),
+                ("p95", h.p95.into()),
+                ("max", h.max.into()),
+            ],
+        );
+    }
+    emit(
+        "registry",
+        "registry",
+        "dump.done",
+        &[
+            (scope_key, scope.into()),
+            ("counters", snap.counters.len().into()),
+            ("gauges", snap.gauges.len().into()),
+            ("histograms", snap.histograms.len().into()),
+        ],
+    );
+}
+
 /// In-memory sink for tests: clone it, install one clone with
 /// [`set_trace_writer`], read back via [`MemWriter::contents`].
 #[derive(Debug, Clone, Default)]
@@ -270,6 +333,35 @@ mod tests {
         assert!(lines[0].contains("\"event\":\"hello\""), "{out}");
         assert!(lines[0].contains("\"fields\":{\"n\":1}"), "{out}");
         assert!(lines[1].contains("\"event\":\"fine\""), "{out}");
+        crate::disable();
+    }
+
+    #[test]
+    fn dump_registry_ends_with_a_dump_done_line() {
+        let _g = test_support::lock();
+        crate::enable_all();
+        crate::registry::reset_registry();
+        crate::registry::counter("test.dump.c").add(2);
+        crate::registry::gauge("test.dump.g").set(0.5);
+        crate::registry::histogram("test.dump.h").record(9);
+        let sink = MemWriter::default();
+        set_trace_writer(Box::new(sink.clone()));
+        dump_registry("figure", "figX");
+        take_trace_writer();
+        let out = sink.contents();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[0].contains("\"event\":\"counter\""), "{out}");
+        assert!(lines[0].contains("\"figure\":\"figX\""), "{out}");
+        assert!(lines[0].contains("\"name\":\"test.dump.c\""), "{out}");
+        assert!(lines[1].contains("\"event\":\"gauge\""), "{out}");
+        assert!(lines[2].contains("\"event\":\"histogram\""), "{out}");
+        assert!(lines[2].contains("\"p95\":"), "{out}");
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"event\":\"dump.done\""), "{out}");
+        assert!(last.contains("\"counters\":1"), "{out}");
+        assert!(last.contains("\"histograms\":1"), "{out}");
+        crate::registry::reset_registry();
         crate::disable();
     }
 

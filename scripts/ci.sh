@@ -30,6 +30,26 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+# The flattened seed × algorithm scheduler must be output-invisible: run
+# the cross-crate determinism suite by name so a filtered `cargo test`
+# invocation can never silently skip it.
+echo "== determinism: flattened schedule == sequential baseline =="
+cargo test -q -p edgerep-exp --test integration_determinism
+
+# Smoke the traced figure regeneration: every line must be JSON and the
+# file must end in the registry-dump completion marker.
+echo "== repro --trace smoke =="
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run -q -p edgerep-exp --release --bin repro -- fig2 --seeds 1 \
+    --trace "$trace_tmp/fig2.ndjson" > /dev/null
+if command -v python3 > /dev/null; then
+    python3 -c 'import json,sys
+[json.loads(l) for l in open(sys.argv[1])]' "$trace_tmp/fig2.ndjson"
+fi
+tail -n 1 "$trace_tmp/fig2.ndjson" | grep -q '"event":"dump.done"' \
+    || { echo "repro --trace did not end in a dump.done line" >&2; exit 1; }
+
 # Opt-in perf gate (ROADMAP): the obs_overhead bench's `disabled` path
 # must stay within noise of the recorded `ci` criterion baseline. Needs a
 # quiet machine, hence env-var guarded. Protocol + how to read the

@@ -3,7 +3,8 @@
 //! 15-topology experiment averages reproducible.
 
 use edgerep_core::{simulation_panel, BoxedAlgorithm};
-use edgerep_exp::runner::run_simulation_point;
+use edgerep_exp::runner::{run_simulation_point, run_testbed_point, AlgResult};
+use edgerep_exp::Summary;
 use edgerep_testbed::{build_testbed_instance, run_testbed, SimConfig, TestbedConfig};
 use edgerep_workload::{generate_instance, WorkloadParams};
 
@@ -63,6 +64,83 @@ fn testbed_runs_identical_per_seed() {
     assert_eq!(r1.measured_admitted, r2.measured_admitted);
     assert_eq!(r1.mean_response_s, r2.mean_response_s);
     assert_eq!(r1.answers, r2.answers);
+}
+
+/// Folds per-seed `(volume, throughput)` cells into per-algorithm
+/// summaries exactly the way the pre-flatten sequential runner did:
+/// seed-major traversal, `Summary::of` over the seed axis.
+fn sequential_panel(names: &[&str], per_seed: &[Vec<(f64, f64)>]) -> Vec<AlgResult> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(ai, name)| AlgResult {
+            name: (*name).to_owned(),
+            volume: Summary::of(&per_seed.iter().map(|row| row[ai].0).collect::<Vec<_>>()),
+            throughput: Summary::of(&per_seed.iter().map(|row| row[ai].1).collect::<Vec<_>>()),
+        })
+        .collect()
+}
+
+#[test]
+fn flattened_simulation_schedule_matches_sequential_path() {
+    // The 2-D seed × algorithm scheduler must be invisible in the output:
+    // byte-identical AlgResults to the plain nested loop it replaced.
+    let params = WorkloadParams {
+        query_count: (10, 20),
+        ..Default::default()
+    };
+    let panel: Vec<BoxedAlgorithm> = simulation_panel();
+    let flattened = run_simulation_point(&params, &panel, 4);
+    let per_seed: Vec<Vec<(f64, f64)>> = (0..4u64)
+        .map(|seed| {
+            let inst = generate_instance(&params, seed);
+            panel
+                .iter()
+                .map(|alg| {
+                    let sol = alg.solve(&inst);
+                    (sol.admitted_volume(&inst), sol.throughput(&inst))
+                })
+                .collect()
+        })
+        .collect();
+    let names: Vec<&str> = panel.iter().map(|a| a.name()).collect();
+    assert_eq!(flattened, sequential_panel(&names, &per_seed));
+}
+
+#[test]
+fn flattened_testbed_schedule_matches_sequential_path() {
+    let cfg = TestbedConfig {
+        query_count: 10,
+        windows: 4,
+        trace: edgerep_workload::mobile_trace::TraceConfig {
+            users: 100,
+            apps: 20,
+            days: 5,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sim = SimConfig::default();
+    let panel: Vec<BoxedAlgorithm> = vec![
+        Box::new(edgerep_core::appro::ApproG::default()),
+        Box::new(edgerep_core::popularity::Popularity::general()),
+    ];
+    let flattened = run_testbed_point(&cfg, &panel, 3, &sim);
+    let per_seed: Vec<Vec<(f64, f64)>> = (0..3u64)
+        .map(|seed| {
+            let world = build_testbed_instance(&cfg, seed);
+            let seeded = SimConfig { seed, ..sim };
+            panel
+                .iter()
+                .map(|alg| {
+                    let report = run_testbed(alg.as_ref(), &world, &seeded);
+                    (report.measured_volume, report.measured_throughput)
+                })
+                .collect()
+        })
+        .collect();
+    let names: Vec<&str> = panel.iter().map(|a| a.name()).collect();
+    assert_eq!(flattened, sequential_panel(&names, &per_seed));
 }
 
 #[test]
