@@ -5,7 +5,7 @@ use edgerep_core::centroid::Centroid;
 use edgerep_core::graphpart::GraphPartition;
 use edgerep_core::greedy::Greedy;
 use edgerep_core::ilp::lp_upper_bound;
-use edgerep_core::online::OnlineAppro;
+use edgerep_core::online::{OnlineAppro, OnlineConfig};
 use edgerep_core::optimal::{Optimal, OptimalStatus};
 use edgerep_core::popularity::Popularity;
 use edgerep_core::PlacementAlgorithm;
@@ -159,6 +159,38 @@ proptest! {
         prop_assert!(
             report.dual_bound >= report.solution.admitted_volume(&inst) - 1e-9
         );
+    }
+
+    /// Tightening the online admission threshold never admits *more*
+    /// volume: a lower tolerated price-per-GB only turns price-rejects
+    /// into more price-rejects, it cannot open capacity a looser
+    /// controller wouldn't also have had at the same arrival. (Not a
+    /// theorem for arbitrary arrival orders — rejecting one arrival can
+    /// in principle free capacity for two later ones — but it must hold
+    /// systematically on workload-shaped instances; a violation here
+    /// means the price accounting broke.)
+    #[test]
+    fn online_threshold_tightening_is_monotone(seed in 0u64..10_000) {
+        let inst = tiny_instance(seed, 6, 4, 8, 2);
+        let ladder = [0.25f64, 0.5, 1.0, 2.0, f64::INFINITY];
+        let volumes: Vec<f64> = ladder
+            .iter()
+            .map(|&threshold| {
+                let alg = OnlineAppro::with_config(OnlineConfig {
+                    admission_threshold: threshold,
+                    ..Default::default()
+                });
+                let report = alg.run(&inst);
+                report.solution.validate(&inst).expect("online is feasible");
+                report.solution.admitted_volume(&inst)
+            })
+            .collect();
+        for pair in volumes.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1] + 1e-9,
+                "tightening the threshold admitted more volume: {volumes:?}"
+            );
+        }
     }
 
     /// Zero-availability nodes never receive assignments.

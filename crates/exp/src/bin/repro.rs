@@ -23,10 +23,25 @@ use edgerep_exp::{extensions, FigureData};
 use edgerep_obs as obs;
 use edgerep_testbed::FaultPlan;
 
-const USAGE: &str = "usage: repro [fig1|...|fig8|all|ext-online|ext-netbenefit|ext-refine|ext-topology|ext-faults|ext-rolling|ext-availability|ext]... \
+/// Usage text derived from the id registries, so adding a figure to
+/// `FIGURE_IDS`/`EXT_IDS` can never desync the help text (guarded by the
+/// `usage_lists_every_figure_id` test below).
+fn usage() -> String {
+    let ids: Vec<&str> = figures::FIGURE_IDS
+        .iter()
+        .chain(["all"].iter())
+        .chain(extensions::EXT_IDS.iter())
+        .chain(["ext"].iter())
+        .copied()
+        .collect();
+    format!(
+        "usage: repro [{}]... \
 [--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE] [--trace FILE]
     --trace FILE  enable all observability targets and write NDJSON trace
-                  events to FILE, ending each figure with a registry dump";
+                  events to FILE, ending each figure with a registry dump",
+        ids.join("|")
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,21 +112,22 @@ fn main() {
             }
             "all" => figures_wanted.extend(figures::FIGURE_IDS.iter().map(|s| s.to_string())),
             "ext" => figures_wanted.extend(extensions::EXT_IDS.iter().map(|s| s.to_string())),
-            f @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
-            | "ext-online" | "ext-netbenefit" | "ext-refine" | "ext-topology"
-            | "ext-faults" | "ext-rolling" | "ext-availability") => {
+            // Figure ids resolve against the same registries the usage
+            // text is built from — a new id is dispatchable the moment
+            // it joins FIGURE_IDS / EXT_IDS.
+            f if figures::FIGURE_IDS.contains(&f) || extensions::EXT_IDS.contains(&f) => {
                 figures_wanted.push(f.to_owned())
             }
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", usage());
                 return;
             }
-            other => die(&format!("unknown argument '{other}'\n{USAGE}")),
+            other => die(&format!("unknown argument '{other}'\n{}", usage())),
         }
         i += 1;
     }
     if figures_wanted.is_empty() {
-        die(USAGE);
+        die(&usage());
     }
     figures_wanted.dedup();
 
@@ -158,6 +174,7 @@ fn main() {
             "ext-topology" => extensions::ext_topology(seeds),
             "ext-faults" => extensions::ext_faults(seeds),
             "ext-rolling" => extensions::ext_rolling(seeds),
+            "ext-forecast" => extensions::ext_forecast(seeds),
             "ext-availability" => match &fault_plan {
                 Some(plan) => extensions::ext_availability_with_plan(seeds, plan),
                 None => extensions::ext_availability(seeds),
@@ -218,4 +235,45 @@ fn write_svgs(data: &FigureData, dir: &str, out: &mut impl std::io::Write) {
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drift guard: every dispatchable figure id (and the two set
+    /// aliases) appears verbatim in the usage text.
+    #[test]
+    fn usage_lists_every_figure_id() {
+        let text = usage();
+        for id in figures::FIGURE_IDS
+            .iter()
+            .chain(extensions::EXT_IDS.iter())
+            .chain(["all", "ext"].iter())
+        {
+            assert!(text.contains(id), "usage text is missing '{id}'");
+        }
+    }
+
+    /// The id registries and the usage text agree on counts: no id is
+    /// listed twice, none is smuggled in outside the registries.
+    #[test]
+    fn usage_has_no_duplicate_ids() {
+        let text = usage();
+        let inside = text
+            .split('[')
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .expect("usage has an [id|...] block");
+        let ids: Vec<&str> = inside.split('|').collect();
+        assert_eq!(
+            ids.len(),
+            figures::FIGURE_IDS.len() + extensions::EXT_IDS.len() + 2,
+            "usage id list drifted from FIGURE_IDS/EXT_IDS: {ids:?}"
+        );
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "duplicate id in usage: {ids:?}");
+    }
 }

@@ -17,6 +17,7 @@ use edgerep_core::greedy::Greedy;
 use edgerep_core::online::{OnlineAppro, OnlineConfig};
 use edgerep_core::refine::Refined;
 use edgerep_core::{BoxedAlgorithm, PlacementAlgorithm};
+use edgerep_forecast::ForecasterKind;
 use edgerep_testbed::rolling::{run_rolling, ReplanPolicy, RollingConfig};
 use edgerep_testbed::{
     run_testbed, run_testbed_with_faults, try_run_testbed_with_plan, ConsistencyConfig,
@@ -33,7 +34,7 @@ use crate::runner::{run_grid, AlgResult};
 use crate::stats::Summary;
 
 /// Every extension figure id — the `repro ext` set.
-pub const EXT_IDS: [&str; 7] = [
+pub const EXT_IDS: [&str; 8] = [
     "ext-online",
     "ext-netbenefit",
     "ext-refine",
@@ -41,6 +42,7 @@ pub const EXT_IDS: [&str; 7] = [
     "ext-faults",
     "ext-rolling",
     "ext-availability",
+    "ext-forecast",
 ];
 
 /// Consistency-cost weights γ reported by [`ext_net_benefit`].
@@ -121,22 +123,21 @@ pub fn ext_online(seeds: usize) -> FigureData {
     // threshold competes on the identical instance, built once.
     let instances: Vec<OnceLock<edgerep_model::Instance>> =
         (0..seeds).map(|_| OnceLock::new()).collect();
-    let per_thr: Vec<Vec<(f64, f64, f64, f64)>> =
-        run_grid(thresholds.len(), seeds, |ti, seed| {
-            let inst = instances[seed].get_or_init(|| generate_instance(&params, seed as u64));
-            let online = OnlineAppro::with_config(OnlineConfig {
-                admission_threshold: thresholds[ti],
-                ..Default::default()
-            })
-            .run(inst);
-            let offline = ApproG::default().solve(inst);
-            (
-                online.solution.admitted_volume(inst),
-                online.solution.throughput(inst),
-                offline.admitted_volume(inst),
-                offline.throughput(inst),
-            )
-        });
+    let per_thr: Vec<Vec<(f64, f64, f64, f64)>> = run_grid(thresholds.len(), seeds, |ti, seed| {
+        let inst = instances[seed].get_or_init(|| generate_instance(&params, seed as u64));
+        let online = OnlineAppro::with_config(OnlineConfig {
+            admission_threshold: thresholds[ti],
+            ..Default::default()
+        })
+        .run(inst);
+        let offline = ApproG::default().solve(inst);
+        (
+            online.solution.admitted_volume(inst),
+            online.solution.throughput(inst),
+            offline.admitted_volume(inst),
+            offline.throughput(inst),
+        )
+    });
     let rows = thresholds
         .iter()
         .zip(&per_thr)
@@ -505,6 +506,87 @@ pub fn ext_rolling(seeds: usize) -> FigureData {
     }
 }
 
+/// Forecaster × drift-rate sweep: realized admitted volume and total
+/// transfer traffic over an 8-epoch rolling run, per replanning policy.
+///
+/// The x-axis is the hotspot probability (0 = homes uniform, 0.9 = 90 %
+/// of queries cluster on the epoch's rotating group — the drift rate);
+/// panel (a) reports total admitted volume, panel (b) reuses the
+/// throughput column for total transfer GB (migration + prefetch).
+/// `Periodic` is the replan-after-seeing-the-workload oracle; the
+/// predictive series show what each forecaster recovers of the gap
+/// between `Static` and that bound, and at what traffic cost. Forecast
+/// error lands in the obs registry (`forecast.mape` gauge, exported to
+/// the `{id}_metrics.csv` sidecar under `--csv`).
+pub fn ext_forecast(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let drifts = [0.0f64, 0.3, 0.6, 0.9];
+    let policies: [(&str, ReplanPolicy); 6] = [
+        ("Static", ReplanPolicy::Static),
+        ("Periodic (oracle)", ReplanPolicy::Periodic),
+        (
+            "Predictive seasonal-4",
+            ReplanPolicy::Predictive(ForecasterKind::SeasonalNaive { period: 4 }),
+        ),
+        (
+            "Predictive EWMA",
+            ReplanPolicy::Predictive(ForecasterKind::Ewma),
+        ),
+        (
+            "Predictive Holt",
+            ReplanPolicy::Predictive(ForecasterKind::Holt),
+        ),
+        (
+            "Predictive top-32",
+            ReplanPolicy::Predictive(ForecasterKind::TopK { k: 32 }),
+        ),
+    ];
+    // One flat (drift × policy) × seed task list through the 2-D
+    // scheduler (24 rows × seeds cells at the paper's 15 seeds = 360).
+    let cells: Vec<Vec<(f64, f64)>> = run_grid(drifts.len() * policies.len(), seeds, |ri, seed| {
+        let (di, pi) = (ri / policies.len(), ri % policies.len());
+        let cfg = RollingConfig {
+            epochs: 8,
+            hotspot_probability: drifts[di],
+            seed: seed as u64,
+            ..Default::default()
+        };
+        let report = run_rolling(&ApproG::default(), &cfg, policies[pi].1);
+        (
+            report.total_volume,
+            report.total_migration_gb + report.total_prefetch_gb,
+        )
+    });
+    let rows = drifts
+        .iter()
+        .enumerate()
+        .map(|(di, &drift)| {
+            let results = policies
+                .iter()
+                .enumerate()
+                .map(|(pi, (name, _))| {
+                    let samples = &cells[di * policies.len() + pi];
+                    let vols: Vec<f64> = samples.iter().map(|s| s.0).collect();
+                    let traffic: Vec<f64> = samples.iter().map(|s| s.1).collect();
+                    AlgResult {
+                        name: (*name).to_owned(),
+                        volume: Summary::of(&vols),
+                        throughput: Summary::of(&traffic),
+                    }
+                })
+                .collect();
+            FigureRow { x: drift, results }
+        })
+        .collect();
+    FigureData {
+        id: "ext-forecast".to_owned(),
+        title: "Extension: predictive prefetching vs drift rate                 (panel (a) total admitted volume over 8 epochs; panel (b) column                 reports total transfer GB — migration + prefetch — not throughput)"
+            .to_owned(),
+        x_label: "hotspot probability".to_owned(),
+        rows,
+    }
+}
+
 #[derive(Clone, Copy)]
 struct EpochSample {
     volume: f64,
@@ -670,6 +752,30 @@ mod tests {
         // Static placement never migrates after epoch 0.
         for row in fig.rows.iter().skip(1) {
             assert_eq!(row.results[0].throughput.mean, 0.0);
+        }
+    }
+
+    #[test]
+    fn forecast_extension_shapes() {
+        let fig = ext_forecast(1);
+        assert_eq!(fig.rows.len(), 4);
+        for row in &fig.rows {
+            assert_eq!(row.results.len(), 6);
+            for r in &row.results {
+                assert!(r.volume.mean > 0.0, "{} admitted nothing", r.name);
+                assert!(r.throughput.mean >= 0.0);
+            }
+            // Static never pays transfer traffic after its one placement;
+            // every replanning/prefetching policy pays at least as much.
+            let static_traffic = row.results[0].throughput.mean;
+            for r in &row.results[1..] {
+                assert!(
+                    r.throughput.mean >= static_traffic - 1e-9,
+                    "{} moved less than Static at drift {}",
+                    r.name,
+                    row.x
+                );
+            }
         }
     }
 

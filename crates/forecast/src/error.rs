@@ -1,0 +1,100 @@
+//! Forecast scoring: volume-weighted error metrics.
+
+use crate::forecaster::DemandForecast;
+use crate::history::EpochDemand;
+
+/// Weighted mean absolute percentage error of a forecast against the
+/// realized demand: `Σ|actual − predicted| / Σ actual` over the union of
+/// keys. Weighting by realized volume means mispredicting a 100 GB
+/// hotspot costs 100× a 1 GB cell — the right loss for replication,
+/// where bytes moved and bytes missed are what matter.
+///
+/// Edge cases: if nothing was realized (`Σ actual = 0`) the error is 0
+/// when nothing was predicted either, and `+∞` when phantom demand was
+/// predicted.
+pub fn wmape(actual: &EpochDemand, predicted: &DemandForecast) -> f64 {
+    let mut abs_err = 0.0;
+    // Keys with realized demand (predicted may be 0 there).
+    for (key, a) in actual.iter() {
+        abs_err += (a - predicted.volume(key)).abs();
+    }
+    // Phantom predictions: keys forecast but not realized.
+    for (key, p) in predicted.iter() {
+        if actual.volume(key) == 0.0 {
+            abs_err += p;
+        }
+    }
+    let denom = actual.total_volume();
+    if denom > 0.0 {
+        abs_err / denom
+    } else if abs_err > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+/// Mean absolute error in GB per key, over the union of realized and
+/// predicted keys. Unweighted companion to [`wmape`] for absolute-scale
+/// reporting.
+pub fn mean_abs_error(actual: &EpochDemand, predicted: &DemandForecast) -> f64 {
+    let mut abs_err = 0.0;
+    let mut keys = 0usize;
+    for (key, a) in actual.iter() {
+        abs_err += (a - predicted.volume(key)).abs();
+        keys += 1;
+    }
+    for (key, p) in predicted.iter() {
+        if actual.volume(key) == 0.0 {
+            abs_err += p;
+            keys += 1;
+        }
+    }
+    if keys == 0 {
+        0.0
+    } else {
+        abs_err / keys as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::DemandKey;
+
+    fn k(h: u32, d: u32) -> DemandKey {
+        DemandKey::new(h, d)
+    }
+
+    #[test]
+    fn perfect_forecast_scores_zero() {
+        let actual: EpochDemand = [(k(0, 0), 4.0), (k(1, 1), 6.0)].into_iter().collect();
+        let predicted = DemandForecast::from_entries([(k(0, 0), 4.0), (k(1, 1), 6.0)]);
+        assert_eq!(wmape(&actual, &predicted), 0.0);
+        assert_eq!(mean_abs_error(&actual, &predicted), 0.0);
+    }
+
+    #[test]
+    fn weighted_by_realized_volume() {
+        let actual: EpochDemand = [(k(0, 0), 9.0), (k(1, 1), 1.0)].into_iter().collect();
+        // Missed the small key entirely, nailed the big one.
+        let predicted = DemandForecast::from_entries([(k(0, 0), 9.0)]);
+        assert!((wmape(&actual, &predicted) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phantom_predictions_are_penalized() {
+        let actual: EpochDemand = [(k(0, 0), 5.0)].into_iter().collect();
+        let predicted = DemandForecast::from_entries([(k(0, 0), 5.0), (k(7, 7), 5.0)]);
+        assert!((wmape(&actual, &predicted) - 1.0).abs() < 1e-12);
+        assert!((mean_abs_error(&actual, &predicted) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_epoch_edge_cases() {
+        let actual = EpochDemand::new();
+        assert_eq!(wmape(&actual, &DemandForecast::default()), 0.0);
+        let phantom = DemandForecast::from_entries([(k(0, 0), 1.0)]);
+        assert_eq!(wmape(&actual, &phantom), f64::INFINITY);
+    }
+}

@@ -1,0 +1,160 @@
+//! The [`Forecaster`] trait and the [`DemandForecast`] it produces.
+
+use edgerep_obs as obs;
+
+use crate::history::{DemandHistory, DemandKey};
+
+/// Predicted per-key demanded volume for the *next* epoch, sorted by key.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DemandForecast {
+    entries: Vec<(DemandKey, f64)>,
+}
+
+impl DemandForecast {
+    /// Builds a forecast from `(key, volume)` pairs: duplicates sum,
+    /// non-finite and negative predictions clamp to 0, zero entries are
+    /// dropped so iteration touches only keys with predicted demand.
+    pub fn from_entries(entries: impl IntoIterator<Item = (DemandKey, f64)>) -> Self {
+        let mut acc: Vec<(DemandKey, f64)> = Vec::new();
+        for (key, v) in entries {
+            let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+            match acc.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => acc[i].1 += v,
+                Err(i) => acc.insert(i, (key, v)),
+            }
+        }
+        acc.retain(|(_, v)| *v > 0.0);
+        Self { entries: acc }
+    }
+
+    /// Predicted volume for `key` (0 when absent).
+    pub fn volume(&self, key: DemandKey) -> f64 {
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(&key))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Total predicted volume across keys.
+    pub fn total_volume(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Iterates `(key, volume)` in key order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (DemandKey, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of keys with non-zero predicted demand.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is predicted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A next-epoch demand predictor.
+///
+/// Implementors provide [`Forecaster::predict_series`] — predict the next
+/// value of one key's volume series — and inherit a default
+/// [`Forecaster::predict`] that applies it to every key in the history.
+/// Predictors that need cross-key context (e.g.
+/// [`crate::topk::TopKPopularity`]) override `predict` instead.
+pub trait Forecaster {
+    /// Display name (used as the series label in figures).
+    fn name(&self) -> &'static str;
+
+    /// Predicts the next value of one chronological series. An empty
+    /// series must predict 0.
+    fn predict_series(&self, series: &[f64]) -> f64;
+
+    /// Predicts next-epoch demand for every key in `history`.
+    ///
+    /// Instrumentation: wraps the computation in a `forecast.predict`
+    /// span, bumps the `forecast.predictions` counter, and emits a
+    /// `forecast.done` trace event with the predicted key count and
+    /// total volume (all under the `forecast` obs target).
+    fn predict(&self, history: &DemandHistory) -> DemandForecast {
+        let _span = obs::span("forecast", "forecast.predict");
+        let forecast = DemandForecast::from_entries(
+            history
+                .keys()
+                .into_iter()
+                .map(|key| (key, self.predict_series(&history.series(key)))),
+        );
+        obs::counter("forecast.predictions").inc();
+        obs::emit(
+            "forecast",
+            "forecast.predict",
+            "forecast.done",
+            &[
+                ("forecaster", self.name().into()),
+                ("history_epochs", history.len().into()),
+                ("keys", forecast.len().into()),
+                ("total_gb", forecast.total_volume().into()),
+            ],
+        );
+        forecast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::EpochDemand;
+
+    fn k(h: u32, d: u32) -> DemandKey {
+        DemandKey::new(h, d)
+    }
+
+    /// Predicts the last observed value (classic naive forecast).
+    struct Naive;
+
+    impl Forecaster for Naive {
+        fn name(&self) -> &'static str {
+            "naive"
+        }
+        fn predict_series(&self, series: &[f64]) -> f64 {
+            series.last().copied().unwrap_or(0.0)
+        }
+    }
+
+    #[test]
+    fn forecast_normalizes_entries() {
+        let f = DemandForecast::from_entries([
+            (k(1, 0), 2.0),
+            (k(0, 0), f64::NAN),
+            (k(1, 0), 1.0),
+            (k(2, 2), -5.0),
+            (k(3, 3), 0.0),
+        ]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.volume(k(1, 0)), 3.0);
+        assert_eq!(f.volume(k(0, 0)), 0.0);
+        assert_eq!(f.total_volume(), 3.0);
+    }
+
+    #[test]
+    fn default_predict_covers_every_key() {
+        let mut h = DemandHistory::new(4);
+        h.record([(k(0, 0), 1.0)].into_iter().collect::<EpochDemand>());
+        h.record(
+            [(k(0, 0), 2.0), (k(1, 1), 4.0)]
+                .into_iter()
+                .collect::<EpochDemand>(),
+        );
+        let f = Naive.predict(&h);
+        assert_eq!(f.volume(k(0, 0)), 2.0);
+        assert_eq!(f.volume(k(1, 1)), 4.0);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_history_predicts_nothing() {
+        let h = DemandHistory::new(4);
+        assert!(Naive.predict(&h).is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Demand history: per-epoch, per-(home, dataset) demanded-volume series.
+//!
+//! The forecasting layer never sees model types — observations arrive as
+//! plain `(home, dataset)` index pairs with a demanded volume in GB, so
+//! this crate stays dependency-free and buildable offline. Adapters in
+//! `edgerep-testbed` (realized epoch instances) and `edgerep-workload`
+//! (the synthetic mobile trace) produce [`EpochDemand`] records.
+//!
+//! [`DemandHistory`] retains the last `capacity` epochs in a compact ring
+//! buffer: recording epoch `capacity + 1` overwrites the slot of epoch 0
+//! in place, so a long-running controller holds a bounded window no
+//! matter how many epochs it has seen.
+
+/// One demand cell: a query home node and a demanded dataset, by dense
+/// index (the model's `ComputeNodeId.0` and `DatasetId.0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DemandKey {
+    /// Home compute-node index `h_m`.
+    pub home: u32,
+    /// Demanded dataset index `n`.
+    pub dataset: u32,
+}
+
+impl DemandKey {
+    /// Builds a key from raw indices.
+    pub fn new(home: u32, dataset: u32) -> Self {
+        Self { home, dataset }
+    }
+}
+
+/// Aggregated demand of one epoch: total demanded volume (GB) per key,
+/// kept sorted by key for deterministic iteration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochDemand {
+    entries: Vec<(DemandKey, f64)>,
+}
+
+impl EpochDemand {
+    /// An empty epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `volume_gb` onto `key` (keys may be added in any
+    /// order; duplicates sum).
+    pub fn add(&mut self, key: DemandKey, volume_gb: f64) {
+        assert!(
+            volume_gb.is_finite() && volume_gb >= 0.0,
+            "demand volume must be finite and non-negative, got {volume_gb}"
+        );
+        match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => self.entries[i].1 += volume_gb,
+            Err(i) => self.entries.insert(i, (key, volume_gb)),
+        }
+    }
+
+    /// Demanded volume of `key` this epoch (0 when absent).
+    pub fn volume(&self, key: DemandKey) -> f64 {
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(&key))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Total demanded volume over all keys.
+    pub fn total_volume(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Iterates `(key, volume)` in key order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (DemandKey, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the epoch recorded no demand at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(DemandKey, f64)> for EpochDemand {
+    fn from_iter<I: IntoIterator<Item = (DemandKey, f64)>>(iter: I) -> Self {
+        let mut e = EpochDemand::new();
+        for (k, v) in iter {
+            e.add(k, v);
+        }
+        e
+    }
+}
+
+/// Ring buffer of the last `capacity` [`EpochDemand`] records.
+#[derive(Debug, Clone)]
+pub struct DemandHistory {
+    /// Ring storage; `slots.len() <= capacity`.
+    slots: Vec<EpochDemand>,
+    capacity: usize,
+    /// Index of the *oldest* retained epoch within `slots` (only
+    /// meaningful once the ring is full and wrapping).
+    head: usize,
+    /// Total epochs ever recorded (≥ retained count).
+    recorded: u64,
+}
+
+impl DemandHistory {
+    /// Creates a history retaining at most `capacity` epochs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "history needs at least one slot");
+        Self {
+            slots: Vec::with_capacity(capacity.min(64)),
+            capacity,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records the next epoch, evicting the oldest once full.
+    pub fn record(&mut self, epoch: EpochDemand) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(epoch);
+        } else {
+            self.slots[self.head] = epoch;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Number of retained epochs (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no epoch has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total epochs ever recorded, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The `i`-th retained epoch in chronological order (0 = oldest).
+    pub fn epoch(&self, i: usize) -> &EpochDemand {
+        assert!(i < self.slots.len(), "epoch index out of range");
+        &self.slots[(self.head + i) % self.slots.len().max(1)]
+    }
+
+    /// The most recently recorded epoch.
+    pub fn latest(&self) -> Option<&EpochDemand> {
+        (!self.is_empty()).then(|| self.epoch(self.len() - 1))
+    }
+
+    /// Sorted union of every key seen in the retained window.
+    pub fn keys(&self) -> Vec<DemandKey> {
+        let mut keys: Vec<DemandKey> = self
+            .slots
+            .iter()
+            .flat_map(|e| e.iter().map(|(k, _)| k))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// The chronological volume series of one key over the retained
+    /// window (epochs where the key is absent contribute 0).
+    pub fn series(&self, key: DemandKey) -> Vec<f64> {
+        (0..self.len()).map(|i| self.epoch(i).volume(key)).collect()
+    }
+
+    /// Total demanded volume of `key` over the retained window.
+    pub fn cumulative_volume(&self, key: DemandKey) -> f64 {
+        self.slots.iter().map(|e| e.volume(key)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(h: u32, d: u32) -> DemandKey {
+        DemandKey::new(h, d)
+    }
+
+    #[test]
+    fn epoch_demand_accumulates_and_sorts() {
+        let mut e = EpochDemand::new();
+        e.add(k(2, 0), 1.5);
+        e.add(k(0, 1), 2.0);
+        e.add(k(2, 0), 0.5);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.volume(k(2, 0)), 2.0);
+        assert_eq!(e.volume(k(0, 1)), 2.0);
+        assert_eq!(e.volume(k(9, 9)), 0.0);
+        assert_eq!(e.total_volume(), 4.0);
+        let keys: Vec<DemandKey> = e.iter().map(|(key, _)| key).collect();
+        assert_eq!(keys, vec![k(0, 1), k(2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn epoch_demand_rejects_negative_volume() {
+        EpochDemand::new().add(k(0, 0), -1.0);
+    }
+
+    #[test]
+    fn history_records_in_order() {
+        let mut h = DemandHistory::new(4);
+        for i in 0..3u32 {
+            let mut e = EpochDemand::new();
+            e.add(k(0, 0), f64::from(i));
+            h.record(e);
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.recorded(), 3);
+        assert_eq!(h.series(k(0, 0)), vec![0.0, 1.0, 2.0]);
+        assert_eq!(h.latest().unwrap().volume(k(0, 0)), 2.0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_epochs() {
+        let mut h = DemandHistory::new(3);
+        for i in 0..7u32 {
+            let mut e = EpochDemand::new();
+            e.add(k(1, 1), f64::from(i));
+            h.record(e);
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.capacity(), 3);
+        assert_eq!(h.recorded(), 7);
+        // Epochs 4, 5, 6 survive, chronologically ordered.
+        assert_eq!(h.series(k(1, 1)), vec![4.0, 5.0, 6.0]);
+        assert_eq!(h.epoch(0).volume(k(1, 1)), 4.0);
+    }
+
+    #[test]
+    fn keys_union_is_sorted_and_deduped() {
+        let mut h = DemandHistory::new(8);
+        h.record([(k(3, 0), 1.0), (k(0, 2), 1.0)].into_iter().collect());
+        h.record([(k(0, 2), 2.0), (k(1, 1), 1.0)].into_iter().collect());
+        assert_eq!(h.keys(), vec![k(0, 2), k(1, 1), k(3, 0)]);
+        assert_eq!(h.series(k(1, 1)), vec![0.0, 1.0]);
+        assert_eq!(h.cumulative_volume(k(0, 2)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        DemandHistory::new(0);
+    }
+}

@@ -1,0 +1,106 @@
+//! [`ForecasterKind`]: a `Copy` tag naming a concrete forecaster
+//! configuration, so policies (e.g. `ReplanPolicy::Predictive`) stay
+//! plain-old-data while still selecting a boxed [`Forecaster`] at run
+//! time.
+
+use std::fmt;
+
+use crate::forecaster::Forecaster;
+use crate::seasonal::SeasonalNaive;
+use crate::smoothing::{Ewma, Holt};
+use crate::topk::TopKPopularity;
+
+/// A nameable forecaster configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForecasterKind {
+    /// Period-`period` seasonal repeat ([`SeasonalNaive`]).
+    SeasonalNaive {
+        /// Season length in epochs.
+        period: usize,
+    },
+    /// Level-only exponential smoothing with default α ([`Ewma`]).
+    Ewma,
+    /// Holt double-exponential smoothing with default α/β ([`Holt`]).
+    Holt,
+    /// Top-`k` popularity baseline ([`TopKPopularity`]).
+    TopK {
+        /// Keys retained in the forecast.
+        k: usize,
+    },
+}
+
+impl ForecasterKind {
+    /// Instantiates the forecaster this kind names.
+    pub fn build(self) -> Box<dyn Forecaster + Send + Sync> {
+        match self {
+            Self::SeasonalNaive { period } => Box::new(SeasonalNaive::new(period)),
+            Self::Ewma => Box::new(Ewma::default()),
+            Self::Holt => Box::new(Holt::default()),
+            Self::TopK { k } => Box::new(TopKPopularity::new(k)),
+        }
+    }
+
+    /// Short label for figure series and CSV columns.
+    pub fn label(self) -> String {
+        match self {
+            Self::SeasonalNaive { period } => format!("seasonal{period}"),
+            Self::Ewma => "ewma".to_string(),
+            Self::Holt => "holt".to_string(),
+            Self::TopK { k } => format!("top{k}"),
+        }
+    }
+}
+
+impl fmt::Display for ForecasterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{DemandHistory, DemandKey, EpochDemand};
+
+    #[test]
+    fn build_matches_kind() {
+        assert_eq!(
+            ForecasterKind::SeasonalNaive { period: 4 }.build().name(),
+            "seasonal-naive"
+        );
+        assert_eq!(ForecasterKind::Ewma.build().name(), "ewma");
+        assert_eq!(ForecasterKind::Holt.build().name(), "holt");
+        assert_eq!(
+            ForecasterKind::TopK { k: 8 }.build().name(),
+            "topk-popularity"
+        );
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(
+            ForecasterKind::SeasonalNaive { period: 4 }.label(),
+            "seasonal4"
+        );
+        assert_eq!(ForecasterKind::TopK { k: 32 }.to_string(), "top32");
+    }
+
+    #[test]
+    fn built_forecasters_predict() {
+        let mut h = DemandHistory::new(4);
+        h.record(
+            [(DemandKey::new(0, 0), 3.0)]
+                .into_iter()
+                .collect::<EpochDemand>(),
+        );
+        for kind in [
+            ForecasterKind::SeasonalNaive { period: 2 },
+            ForecasterKind::Ewma,
+            ForecasterKind::Holt,
+            ForecasterKind::TopK { k: 4 },
+        ] {
+            let f = kind.build().predict(&h);
+            assert_eq!(f.volume(DemandKey::new(0, 0)), 3.0, "{kind}");
+        }
+    }
+}

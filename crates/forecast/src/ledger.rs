@@ -1,0 +1,105 @@
+//! Transfer ledger: which (dataset, node) replica copies have already
+//! been materialized, so prefetching never pays for the same copy twice.
+
+use std::collections::BTreeSet;
+
+use edgerep_obs as obs;
+
+/// Tracks replica copies the predictive controller has ever paid to
+/// materialize. The controller keeps evicted copies *cold* rather than
+/// deleting them (edge storage for a dataset already shipped is sunk
+/// cost), so a replica that rotates back onto a node it once occupied
+/// costs nothing — only first-time materializations are charged. Origin
+/// copies are preloaded for free, mirroring `migration_gb`'s convention
+/// that origin placements move no bytes.
+#[derive(Debug, Clone, Default)]
+pub struct TransferLedger {
+    /// Materialized `(dataset, node)` pairs, by dense index.
+    paid: BTreeSet<(u32, u32)>,
+    total_gb: f64,
+}
+
+impl TransferLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a copy that exists without any transfer (e.g. the
+    /// dataset's origin node).
+    pub fn preload(&mut self, dataset: u32, node: u32) {
+        self.paid.insert((dataset, node));
+    }
+
+    /// Charges `gb` for materializing `dataset` on `node` unless that
+    /// copy was already paid for. Returns `true` if bytes were charged
+    /// (i.e. a real transfer must happen).
+    pub fn charge(&mut self, dataset: u32, node: u32, gb: f64) -> bool {
+        assert!(
+            gb.is_finite() && gb >= 0.0,
+            "transfer size must be finite and non-negative"
+        );
+        if self.paid.insert((dataset, node)) {
+            self.total_gb += gb;
+            obs::counter("forecast.prefetch_gb").add(gb.round() as u64);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `dataset` has ever been materialized on `node`.
+    pub fn contains(&self, dataset: u32, node: u32) -> bool {
+        self.paid.contains(&(dataset, node))
+    }
+
+    /// Total GB charged across all first-time materializations.
+    pub fn total_gb(&self) -> f64 {
+        self.total_gb
+    }
+
+    /// Number of distinct materialized copies (including preloads).
+    pub fn len(&self) -> usize {
+        self.paid.len()
+    }
+
+    /// Whether nothing has been materialized or preloaded.
+    pub fn is_empty(&self) -> bool {
+        self.paid.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_charge_pays_repeat_is_free() {
+        let mut l = TransferLedger::new();
+        assert!(l.charge(0, 3, 10.0));
+        assert!(!l.charge(0, 3, 10.0));
+        assert_eq!(l.total_gb(), 10.0);
+        assert!(l.contains(0, 3));
+        assert!(!l.contains(0, 4));
+    }
+
+    #[test]
+    fn preloaded_copies_are_never_charged() {
+        let mut l = TransferLedger::new();
+        l.preload(2, 7);
+        assert!(!l.charge(2, 7, 50.0));
+        assert_eq!(l.total_gb(), 0.0);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn distinct_pairs_accumulate() {
+        let mut l = TransferLedger::new();
+        assert!(l.is_empty());
+        l.charge(0, 1, 2.0);
+        l.charge(0, 2, 2.0);
+        l.charge(1, 1, 3.0);
+        assert_eq!(l.total_gb(), 7.0);
+        assert_eq!(l.len(), 3);
+    }
+}

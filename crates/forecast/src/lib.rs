@@ -1,0 +1,47 @@
+//! # edgerep-forecast
+//!
+//! Demand forecasting for *predictive* proactive replication. The
+//! paper's planners place replicas for a known query set; this crate
+//! supplies what a production controller actually has — history — and
+//! turns it into a prediction of next-epoch demand:
+//!
+//! - [`history`]: per-(home, dataset) demanded-volume time series in a
+//!   bounded ring buffer ([`DemandHistory`] / [`EpochDemand`]).
+//! - [`forecaster`]: the [`Forecaster`] trait and its [`DemandForecast`]
+//!   output.
+//! - [`seasonal`] / [`smoothing`] / [`topk`]: hand-rolled predictors —
+//!   [`SeasonalNaive`], [`Ewma`], [`Holt`], [`TopKPopularity`] — behind
+//!   the trait; [`ForecasterKind`] names a configuration as plain data.
+//! - [`error`]: volume-weighted scoring ([`wmape`], [`mean_abs_error`]).
+//! - [`profile`]: running means of query attributes ([`ProfileStore`])
+//!   for synthesizing predicted instances.
+//! - [`ledger`]: the [`TransferLedger`] that charges each (dataset,
+//!   node) materialization exactly once, backing prefetch accounting.
+//!
+//! The crate is deliberately model-free: observations arrive as plain
+//! `u32` index pairs, keeping the dependency closure at `edgerep-obs`
+//! only (zero external deps, offline-buildable). Adapters that speak
+//! `Instance`/`Solution` live in `edgerep-testbed::predict` and
+//! `edgerep-workload::trace_history`.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod forecaster;
+pub mod history;
+pub mod kind;
+pub mod ledger;
+pub mod profile;
+pub mod seasonal;
+pub mod smoothing;
+pub mod topk;
+
+pub use error::{mean_abs_error, wmape};
+pub use forecaster::{DemandForecast, Forecaster};
+pub use history::{DemandHistory, DemandKey, EpochDemand};
+pub use kind::ForecasterKind;
+pub use ledger::TransferLedger;
+pub use profile::{ProfileStore, QueryProfile};
+pub use seasonal::SeasonalNaive;
+pub use smoothing::{Ewma, Holt};
+pub use topk::TopKPopularity;

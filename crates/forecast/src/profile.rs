@@ -1,0 +1,128 @@
+//! Query profiles: running means of the non-volume query attributes
+//! (compute rate, deadline, selectivity) needed to synthesize a
+//! predicted instance. History forecasts *how much* volume each (home,
+//! dataset) cell will demand; profiles answer *what the queries look
+//! like* there.
+
+use std::collections::BTreeMap;
+
+use crate::history::DemandKey;
+
+/// Mean query attributes for one demand cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryProfile {
+    /// Mean compute rate (GB/s equivalent units of the model).
+    pub compute_rate: f64,
+    /// Mean QoS deadline (s).
+    pub deadline: f64,
+    /// Mean selectivity ∈ (0, 1].
+    pub selectivity: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Sums {
+    rate: f64,
+    deadline: f64,
+    selectivity: f64,
+    count: u64,
+}
+
+impl Sums {
+    fn observe(&mut self, rate: f64, deadline: f64, selectivity: f64) {
+        self.rate += rate;
+        self.deadline += deadline;
+        self.selectivity += selectivity;
+        self.count += 1;
+    }
+
+    fn mean(&self) -> Option<QueryProfile> {
+        (self.count > 0).then(|| QueryProfile {
+            compute_rate: self.rate / self.count as f64,
+            deadline: self.deadline / self.count as f64,
+            selectivity: self.selectivity / self.count as f64,
+        })
+    }
+}
+
+/// Accumulates per-key and global query-attribute means from observed
+/// epochs.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileStore {
+    per_key: BTreeMap<DemandKey, Sums>,
+    global: Sums,
+}
+
+impl ProfileStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed query-demand pair for `key`.
+    pub fn observe(&mut self, key: DemandKey, compute_rate: f64, deadline: f64, selectivity: f64) {
+        self.per_key
+            .entry(key)
+            .or_default()
+            .observe(compute_rate, deadline, selectivity);
+        self.global.observe(compute_rate, deadline, selectivity);
+    }
+
+    /// Mean profile of `key`, if ever observed.
+    pub fn profile(&self, key: DemandKey) -> Option<QueryProfile> {
+        self.per_key.get(&key).and_then(Sums::mean)
+    }
+
+    /// Mean profile across every observation, if any.
+    pub fn global(&self) -> Option<QueryProfile> {
+        self.global.mean()
+    }
+
+    /// Per-key profile with global fallback — what the predicted-
+    /// instance builder uses for keys forecast into existence at homes
+    /// never observed before.
+    pub fn profile_or_global(&self, key: DemandKey) -> Option<QueryProfile> {
+        self.profile(key).or_else(|| self.global())
+    }
+
+    /// Total observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.global.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(h: u32, d: u32) -> DemandKey {
+        DemandKey::new(h, d)
+    }
+
+    #[test]
+    fn per_key_means_accumulate() {
+        let mut s = ProfileStore::new();
+        s.observe(k(0, 0), 2.0, 10.0, 0.5);
+        s.observe(k(0, 0), 4.0, 20.0, 1.0);
+        let p = s.profile(k(0, 0)).unwrap();
+        assert_eq!(p.compute_rate, 3.0);
+        assert_eq!(p.deadline, 15.0);
+        assert_eq!(p.selectivity, 0.75);
+        assert_eq!(s.observations(), 2);
+    }
+
+    #[test]
+    fn global_fallback_for_unseen_keys() {
+        let mut s = ProfileStore::new();
+        s.observe(k(1, 1), 6.0, 30.0, 0.9);
+        assert!(s.profile(k(9, 9)).is_none());
+        let p = s.profile_or_global(k(9, 9)).unwrap();
+        assert_eq!(p.compute_rate, 6.0);
+    }
+
+    #[test]
+    fn empty_store_has_no_profiles() {
+        let s = ProfileStore::new();
+        assert!(s.global().is_none());
+        assert!(s.profile_or_global(k(0, 0)).is_none());
+    }
+}

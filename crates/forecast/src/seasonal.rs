@@ -1,0 +1,70 @@
+//! Seasonal-naive forecasting: repeat the value observed one period ago.
+
+use crate::forecaster::Forecaster;
+
+/// Period-`p` repeat predictor: the forecast for the next epoch is the
+/// value observed `p` epochs earlier. On an exactly periodic series this
+/// is a perfect predictor (zero error); with fewer than `p` observations
+/// it degrades to last-value naive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeasonalNaive {
+    /// Season length in epochs (≥ 1).
+    pub period: usize,
+}
+
+impl SeasonalNaive {
+    /// Builds a period-`p` predictor.
+    pub fn new(period: usize) -> Self {
+        assert!(period >= 1, "season period must be at least 1");
+        Self { period }
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "seasonal-naive"
+    }
+
+    fn predict_series(&self, series: &[f64]) -> f64 {
+        if series.len() >= self.period {
+            series[series.len() - self.period]
+        } else {
+            series.last().copied().unwrap_or(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeats_one_period_back() {
+        let f = SeasonalNaive::new(3);
+        // Next value after [a b c d] with period 3 is b.
+        assert_eq!(f.predict_series(&[1.0, 2.0, 3.0, 4.0]), 2.0);
+        assert_eq!(f.predict_series(&[1.0, 2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn short_series_falls_back_to_last_value() {
+        let f = SeasonalNaive::new(4);
+        assert_eq!(f.predict_series(&[7.0, 9.0]), 9.0);
+        assert_eq!(f.predict_series(&[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_on_periodic_series() {
+        let f = SeasonalNaive::new(2);
+        let series = [5.0, 1.0, 5.0, 1.0, 5.0, 1.0];
+        for end in 2..series.len() {
+            assert_eq!(f.predict_series(&series[..end]), series[end]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_period_rejected() {
+        SeasonalNaive::new(0);
+    }
+}

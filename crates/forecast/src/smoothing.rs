@@ -1,0 +1,143 @@
+//! Exponential-smoothing forecasters: simple EWMA and Holt's linear
+//! (double-exponential) method with a trend component.
+
+use crate::forecaster::Forecaster;
+
+fn check_weight(name: &str, w: f64) {
+    assert!(
+        w.is_finite() && w > 0.0 && w <= 1.0,
+        "{name} must lie in (0, 1], got {w}"
+    );
+}
+
+/// Exponentially weighted moving average: level-only smoothing,
+/// `l_t = α·y_t + (1−α)·l_{t−1}`, forecast = final level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    /// Smoothing weight α ∈ (0, 1]; higher reacts faster.
+    pub alpha: f64,
+}
+
+impl Ewma {
+    /// Builds an EWMA with weight `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        check_weight("alpha", alpha);
+        Self { alpha }
+    }
+}
+
+impl Default for Ewma {
+    /// α = 0.6: reactive enough to track epoch-scale hotspot shifts.
+    fn default() -> Self {
+        Self::new(0.6)
+    }
+}
+
+impl Forecaster for Ewma {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn predict_series(&self, series: &[f64]) -> f64 {
+        let mut iter = series.iter();
+        let Some(&first) = iter.next() else {
+            return 0.0;
+        };
+        iter.fold(first, |level, &y| {
+            self.alpha * y + (1.0 - self.alpha) * level
+        })
+    }
+}
+
+/// Holt's linear method: double-exponential smoothing with an explicit
+/// trend term, `forecast = level + trend` (clamped to ≥ 0 since demand
+/// volumes cannot go negative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Holt {
+    /// Level smoothing weight α ∈ (0, 1].
+    pub alpha: f64,
+    /// Trend smoothing weight β ∈ (0, 1].
+    pub beta: f64,
+}
+
+impl Holt {
+    /// Builds a Holt smoother with weights `alpha` / `beta`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        check_weight("alpha", alpha);
+        check_weight("beta", beta);
+        Self { alpha, beta }
+    }
+}
+
+impl Default for Holt {
+    /// α = 0.6, β = 0.3: standard reactive level, damped trend.
+    fn default() -> Self {
+        Self::new(0.6, 0.3)
+    }
+}
+
+impl Forecaster for Holt {
+    fn name(&self) -> &'static str {
+        "holt"
+    }
+
+    fn predict_series(&self, series: &[f64]) -> f64 {
+        match series {
+            [] => 0.0,
+            [only] => *only,
+            [first, second, rest @ ..] => {
+                let mut level = *second;
+                let mut trend = second - first;
+                for &y in rest {
+                    let prev_level = level;
+                    level = self.alpha * y + (1.0 - self.alpha) * (level + trend);
+                    trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+                }
+                (level + trend).max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_toward_recent_values() {
+        let f = Ewma::new(0.5);
+        // l = 0.5·4 + 0.5·(0.5·2 + 0.5·0) = 2.5
+        assert_eq!(f.predict_series(&[0.0, 2.0, 4.0]), 2.5);
+        assert_eq!(f.predict_series(&[3.0]), 3.0);
+        assert_eq!(f.predict_series(&[]), 0.0);
+    }
+
+    #[test]
+    fn ewma_alpha_one_is_last_value() {
+        let f = Ewma::new(1.0);
+        assert_eq!(f.predict_series(&[9.0, 1.0, 6.0]), 6.0);
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_trend_exactly() {
+        let f = Holt::new(0.8, 0.4);
+        // On a perfectly linear series the level/trend recursion is
+        // exact regardless of weights: forecast continues the line.
+        let series = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let got = f.predict_series(&series);
+        assert!((got - 12.0).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn holt_clamps_negative_forecasts() {
+        let f = Holt::new(0.9, 0.9);
+        // Steeply collapsing series extrapolates below zero → clamp.
+        assert_eq!(f.predict_series(&[9.0, 3.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in (0, 1]")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Top-K popularity baseline: predict mean historical demand, but only
+//! for the K most popular (home, dataset) cells.
+
+use crate::forecaster::{DemandForecast, Forecaster};
+use crate::history::DemandHistory;
+
+/// Hou-et-al-style popularity predictor applied over time: rank keys by
+/// cumulative demanded volume across the retained window, keep the top
+/// `k`, and predict each kept key's *mean* per-epoch volume. Everything
+/// outside the top-K is predicted as zero demand — the same "replicate
+/// only what is popular" premise as `edgerep-core::popularity`, here
+/// acting as a deliberately coarse forecasting baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKPopularity {
+    /// Number of keys retained in the forecast (≥ 1).
+    pub k: usize,
+}
+
+impl TopKPopularity {
+    /// Builds a top-`k` popularity predictor.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "top-k needs k >= 1");
+        Self { k }
+    }
+}
+
+impl Forecaster for TopKPopularity {
+    fn name(&self) -> &'static str {
+        "topk-popularity"
+    }
+
+    /// Mean of the series (the per-key prediction once a key survives
+    /// the popularity cut).
+    fn predict_series(&self, series: &[f64]) -> f64 {
+        if series.is_empty() {
+            0.0
+        } else {
+            series.iter().sum::<f64>() / series.len() as f64
+        }
+    }
+
+    /// Ranks keys by cumulative volume (ties broken by key order, so
+    /// the cut is deterministic) and forecasts only the top `k`.
+    fn predict(&self, history: &DemandHistory) -> DemandForecast {
+        let mut ranked: Vec<_> = history
+            .keys()
+            .into_iter()
+            .map(|key| (key, history.cumulative_volume(key)))
+            .collect();
+        // Stable sort on descending volume keeps the key-order tiebreak.
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(self.k);
+        DemandForecast::from_entries(
+            ranked
+                .into_iter()
+                .map(|(key, _)| (key, self.predict_series(&history.series(key)))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{DemandKey, EpochDemand};
+
+    fn k(h: u32, d: u32) -> DemandKey {
+        DemandKey::new(h, d)
+    }
+
+    #[test]
+    fn keeps_only_the_most_popular_keys() {
+        let mut h = DemandHistory::new(8);
+        h.record(
+            [(k(0, 0), 10.0), (k(1, 1), 1.0), (k(2, 2), 5.0)]
+                .into_iter()
+                .collect::<EpochDemand>(),
+        );
+        h.record(
+            [(k(0, 0), 10.0), (k(1, 1), 2.0), (k(2, 2), 5.0)]
+                .into_iter()
+                .collect::<EpochDemand>(),
+        );
+        let f = TopKPopularity::new(2).predict(&h);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.volume(k(0, 0)), 10.0); // mean of [10, 10]
+        assert_eq!(f.volume(k(2, 2)), 5.0); // mean of [5, 5]
+        assert_eq!(f.volume(k(1, 1)), 0.0); // cut
+    }
+
+    #[test]
+    fn ties_break_by_key_order() {
+        let mut h = DemandHistory::new(4);
+        h.record(
+            [(k(5, 0), 3.0), (k(1, 0), 3.0), (k(3, 0), 3.0)]
+                .into_iter()
+                .collect::<EpochDemand>(),
+        );
+        let f = TopKPopularity::new(2).predict(&h);
+        assert_eq!(f.volume(k(1, 0)), 3.0);
+        assert_eq!(f.volume(k(3, 0)), 3.0);
+        assert_eq!(f.volume(k(5, 0)), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_universe_keeps_everything() {
+        let mut h = DemandHistory::new(4);
+        h.record([(k(0, 0), 1.0), (k(1, 1), 2.0)].into_iter().collect());
+        let f = TopKPopularity::new(100).predict(&h);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        TopKPopularity::new(0);
+    }
+}

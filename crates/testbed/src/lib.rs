@@ -32,10 +32,17 @@
 //!   new-data ratio at a dataset's origin crosses a threshold, updates
 //!   propagate to every replica and the traffic is accounted.
 
+//! * [`rolling`] / [`predict`] — multi-epoch operation under workload
+//!   drift: `Static` / `Periodic` / `Predictive` replanning policies,
+//!   with `Predictive` forecasting the next epoch via
+//!   `edgerep-forecast`, planning on a synthesized predicted instance,
+//!   and prefetching replica deltas as background transfers.
+
 pub mod analytics;
 pub mod event;
 pub mod fault;
 pub mod geo;
+pub mod predict;
 pub mod rolling;
 pub mod sim;
 pub mod topology;

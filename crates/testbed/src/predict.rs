@@ -1,0 +1,239 @@
+//! Adapters between the model layer and `edgerep-forecast`: extract
+//! demand history from realized epoch instances, synthesize a predicted
+//! [`Instance`] for the next epoch, and turn planned replica deltas into
+//! prefetch transfers.
+//!
+//! `edgerep-forecast` deliberately never sees model types (it works on
+//! plain `(home, dataset)` index pairs so it stays dependency-free);
+//! everything that speaks [`Instance`] / [`Solution`] lives here.
+
+use edgerep_core::repair::{pick_source, RepairAction};
+use edgerep_forecast::{DemandForecast, DemandKey, EpochDemand, ProfileStore, TransferLedger};
+use edgerep_model::{ComputeNodeId, DatasetId, Demand, Instance, InstanceBuilder, Solution};
+
+/// Aggregates one realized epoch into per-(home, dataset) demanded
+/// volume: each query contributes the full size of every dataset it
+/// demands, keyed by its home cloudlet — the same volume the paper's
+/// objective counts when the query is admitted.
+pub fn epoch_demand(inst: &Instance) -> EpochDemand {
+    let mut demand = EpochDemand::new();
+    for q in inst.query_ids() {
+        let query = inst.query(q);
+        for dem in &query.demands {
+            demand.add(
+                DemandKey::new(query.home.0, dem.dataset.0),
+                inst.size(dem.dataset),
+            );
+        }
+    }
+    demand
+}
+
+/// Feeds one realized epoch's query attributes into `profiles` so the
+/// predicted-instance builder can reconstruct plausible queries later.
+pub fn observe_profiles(inst: &Instance, profiles: &mut ProfileStore) {
+    for q in inst.query_ids() {
+        let query = inst.query(q);
+        for dem in &query.demands {
+            profiles.observe(
+                DemandKey::new(query.home.0, dem.dataset.0),
+                query.compute_rate,
+                query.deadline,
+                dem.selectivity,
+            );
+        }
+    }
+}
+
+/// Synthesizes the predicted instance for the next epoch: same cloud,
+/// datasets and replica budget as `template`, queries invented from the
+/// forecast. Each forecast cell `(home, dataset) → volume` becomes
+/// `round(volume / |S_n|)` single-demand queries at that home, with
+/// compute rate / deadline / selectivity taken from the cell's observed
+/// profile (global mean fallback for never-observed cells). Any existing
+/// [`edgerep_core::PlacementAlgorithm`] consumes the result unchanged.
+pub fn build_predicted_instance(
+    template: &Instance,
+    forecast: &DemandForecast,
+    profiles: &ProfileStore,
+) -> Instance {
+    let compute_count = template.cloud().compute_count() as u32;
+    let mut ib = InstanceBuilder::new(template.cloud().clone(), template.max_replicas());
+    for d in template.dataset_ids() {
+        ib.add_dataset(template.size(d), template.dataset(d).origin);
+    }
+    let dataset_count = template.datasets().len() as u32;
+    for (key, volume) in forecast.iter() {
+        if key.home >= compute_count || key.dataset >= dataset_count {
+            continue; // forecast from a different world; ignore defensively
+        }
+        let Some(profile) = profiles.profile_or_global(key) else {
+            continue; // nothing ever observed: no way to shape a query
+        };
+        let d = DatasetId(key.dataset);
+        let queries = (volume / template.size(d)).round() as usize;
+        for _ in 0..queries {
+            ib.add_query(
+                ComputeNodeId(key.home),
+                vec![Demand::new(d, profile.selectivity)],
+                profile.compute_rate,
+                profile.deadline,
+            );
+        }
+    }
+    ib.build()
+        .expect("predicted instance inherits validity from observed queries")
+}
+
+/// Marks every replica of `sol` (plus all dataset origins) as already
+/// materialized, without charging the ledger — used after the cold-start
+/// epoch, whose placement traffic is accounted as ordinary migration.
+pub fn note_materialized(inst: &Instance, sol: &Solution, ledger: &mut TransferLedger) {
+    for d in inst.dataset_ids() {
+        ledger.preload(d.0, inst.dataset(d).origin.0);
+        for &v in sol.replicas_of(d) {
+            ledger.preload(d.0, v.0);
+        }
+    }
+}
+
+/// Plans the background transfers that realize `next`'s replica layout
+/// before the next epoch opens. Each (dataset, node) pair the ledger has
+/// never paid for becomes a [`RepairAction`] (reusing the repair
+/// machinery's nearest-live-holder source selection against the
+/// `current` layout); pairs already materialized — origins, the cold-
+/// start layout, or any copy prefetched in an earlier epoch and since
+/// kept cold — move nothing. Returns the actions and total GB charged.
+pub fn plan_prefetch(
+    inst: &Instance,
+    current: &Solution,
+    next: &Solution,
+    ledger: &mut TransferLedger,
+) -> (Vec<RepairAction>, f64) {
+    let alive = vec![true; inst.cloud().compute_count()];
+    let mut actions = Vec::new();
+    let mut total_gb = 0.0;
+    for d in inst.dataset_ids() {
+        let origin = inst.dataset(d).origin;
+        ledger.preload(d.0, origin.0);
+        for &target in next.replicas_of(d) {
+            let gb = inst.size(d);
+            if ledger.charge(d.0, target.0, gb) {
+                let source = pick_source(inst, current, &alive, d, target).unwrap_or(origin);
+                actions.push(RepairAction {
+                    dataset: d,
+                    source,
+                    target,
+                    gb,
+                });
+                total_gb += gb;
+            }
+        }
+    }
+    (actions, total_gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{build_testbed_instance, TestbedConfig};
+    use edgerep_core::appro::ApproG;
+    use edgerep_core::PlacementAlgorithm;
+
+    fn small_instance(seed: u64) -> Instance {
+        let cfg = TestbedConfig {
+            query_count: 20,
+            windows: 5,
+            trace: edgerep_workload::mobile_trace::TraceConfig {
+                users: 80,
+                apps: 16,
+                days: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        build_testbed_instance(&cfg, seed).instance
+    }
+
+    #[test]
+    fn epoch_demand_counts_every_demand_once() {
+        let inst = small_instance(3);
+        let demand = epoch_demand(&inst);
+        let expected: f64 = inst.query_ids().map(|q| inst.demanded_volume(q)).sum();
+        assert!((demand.total_volume() - expected).abs() < 1e-9);
+        assert!(!demand.is_empty());
+    }
+
+    #[test]
+    fn predicted_instance_reconstructs_observed_epoch() {
+        let inst = small_instance(7);
+        let mut profiles = ProfileStore::new();
+        observe_profiles(&inst, &mut profiles);
+        // A perfect forecast of the realized demand...
+        let forecast = DemandForecast::from_entries(epoch_demand(&inst).iter().collect::<Vec<_>>());
+        let predicted = build_predicted_instance(&inst, &forecast, &profiles);
+        // ...rebuilds the same world with the same demanded volume.
+        assert_eq!(predicted.datasets(), inst.datasets());
+        assert_eq!(predicted.max_replicas(), inst.max_replicas());
+        let predicted_volume: f64 = predicted
+            .query_ids()
+            .map(|q| predicted.demanded_volume(q))
+            .sum();
+        let realized_volume: f64 = inst.query_ids().map(|q| inst.demanded_volume(q)).sum();
+        assert!(
+            (predicted_volume - realized_volume).abs() < 1e-6 * realized_volume.max(1.0),
+            "{predicted_volume} vs {realized_volume}"
+        );
+        // And an existing planner consumes it unchanged.
+        let sol = ApproG::default().solve(&predicted);
+        sol.validate(&predicted)
+            .expect("plan on predicted instance");
+    }
+
+    #[test]
+    fn empty_forecast_builds_queryless_instance() {
+        let inst = small_instance(9);
+        let predicted =
+            build_predicted_instance(&inst, &DemandForecast::default(), &ProfileStore::new());
+        assert_eq!(predicted.queries().len(), 0);
+        assert_eq!(predicted.datasets(), inst.datasets());
+    }
+
+    #[test]
+    fn prefetch_charges_each_copy_once() {
+        let inst = small_instance(5);
+        let sol = ApproG::default().solve(&inst);
+        let mut ledger = TransferLedger::new();
+        let empty = Solution::empty(&inst);
+        let (actions, gb) = plan_prefetch(&inst, &empty, &sol, &mut ledger);
+        // Non-origin replicas are charged exactly once...
+        let expected: f64 = inst
+            .dataset_ids()
+            .flat_map(|d| {
+                let origin = inst.dataset(d).origin;
+                sol.replicas_of(d)
+                    .iter()
+                    .filter(move |&&v| v != origin)
+                    .map(move |_| inst.size(d))
+            })
+            .sum();
+        assert!((gb - expected).abs() < 1e-9, "{gb} vs {expected}");
+        assert_eq!(actions.is_empty(), expected == 0.0);
+        // ...and re-planning the same layout moves nothing.
+        let (again, gb2) = plan_prefetch(&inst, &sol, &sol, &mut ledger);
+        assert!(again.is_empty());
+        assert_eq!(gb2, 0.0);
+    }
+
+    #[test]
+    fn note_materialized_suppresses_charges() {
+        let inst = small_instance(5);
+        let sol = ApproG::default().solve(&inst);
+        let mut ledger = TransferLedger::new();
+        note_materialized(&inst, &sol, &mut ledger);
+        let (actions, gb) = plan_prefetch(&inst, &sol, &sol, &mut ledger);
+        assert!(actions.is_empty());
+        assert_eq!(gb, 0.0);
+        assert_eq!(ledger.total_gb(), 0.0);
+    }
+}

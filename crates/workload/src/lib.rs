@@ -18,11 +18,15 @@
 //!   3-million-user mobile-app-usage dataset used by the paper's testbed
 //!   (§4.3): Zipf-distributed app popularity, diurnal activity, and
 //!   time-windowed partitioning into datasets.
+//! * [`trace_history`] — the same trace re-cut as per-epoch,
+//!   per-(home, dataset) demanded volume for the `edgerep-forecast`
+//!   predictors.
 
 pub mod generator;
 pub mod mobile_trace;
 pub mod params;
 pub mod presets;
+pub mod trace_history;
 
 pub use generator::generate_instance;
 pub use params::WorkloadParams;

@@ -50,6 +50,17 @@ fi
 tail -n 1 "$trace_tmp/fig2.ndjson" | grep -q '"event":"dump.done"' \
     || { echo "repro --trace did not end in a dump.done line" >&2; exit 1; }
 
+# Smoke the predictive-replication extension: the trace must close with
+# the registry dump and contain at least one forecast.predict span from
+# the per-epoch prediction step.
+echo "== repro ext-forecast --trace smoke =="
+cargo run -q -p edgerep-exp --release --bin repro -- ext-forecast --seeds 2 \
+    --trace "$trace_tmp/ext-forecast.ndjson" > /dev/null
+tail -n 1 "$trace_tmp/ext-forecast.ndjson" | grep -q '"event":"dump.done"' \
+    || { echo "ext-forecast trace did not end in a dump.done line" >&2; exit 1; }
+grep -q '"span":"forecast.predict"' "$trace_tmp/ext-forecast.ndjson" \
+    || { echo "ext-forecast trace has no forecast.predict span event" >&2; exit 1; }
+
 # Opt-in perf gate (ROADMAP): the obs_overhead bench's `disabled` path
 # must stay within noise of the recorded `ci` criterion baseline. Needs a
 # quiet machine, hence env-var guarded. Protocol + how to read the

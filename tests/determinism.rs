@@ -153,3 +153,37 @@ fn different_seeds_change_something() {
         "seeds 1 and 2 produced identical worlds"
     );
 }
+
+#[test]
+fn rolling_policies_identical_per_seed() {
+    use edgerep_forecast::ForecasterKind;
+    use edgerep_testbed::rolling::{run_rolling, ReplanPolicy, RollingConfig};
+
+    let cfg = RollingConfig {
+        testbed: TestbedConfig {
+            query_count: 20,
+            windows: 5,
+            trace: edgerep_workload::mobile_trace::TraceConfig {
+                users: 100,
+                apps: 20,
+                days: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        epochs: 5,
+        seed: 7,
+        ..Default::default()
+    };
+    let alg = edgerep_core::appro::ApproG::default();
+    for policy in [
+        ReplanPolicy::Static,
+        ReplanPolicy::Periodic,
+        ReplanPolicy::Predictive(ForecasterKind::SeasonalNaive { period: 4 }),
+    ] {
+        let a = run_rolling(&alg, &cfg, policy);
+        let b = run_rolling(&alg, &cfg, policy);
+        assert_eq!(a, b, "{policy:?} rolling run is not deterministic");
+        assert_eq!(a.per_epoch.len(), 5);
+    }
+}
