@@ -1,0 +1,465 @@
+//! The `BENCH_<n>.json` interchange format.
+//!
+//! Schema-versioned (`"schema": "edgerep-bench/v1"`) so future layout
+//! changes are detectable instead of silently misread. Rendering and
+//! parsing are hand-rolled over `std` only — this module must work on
+//! machines without cargo registry access, which rules out serde. The
+//! parser accepts exactly the JSON this module writes plus ordinary
+//! whitespace/field-order variation, which is all the comparator needs.
+
+use std::fmt::Write as _;
+
+use crate::harness::BenchResult;
+
+/// Current schema identifier, bumped on any layout change.
+pub const SCHEMA: &str = "edgerep-bench/v1";
+
+/// One benchmark entry of a BENCH file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable benchmark id.
+    pub name: String,
+    /// `"micro"` or `"e2e"`.
+    pub kind: String,
+    /// Calls averaged within each sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Median per-call nanoseconds (the compared statistic).
+    pub median_ns: u64,
+    /// Median absolute deviation of the samples.
+    pub mad_ns: u64,
+    /// Mean per-call nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+}
+
+/// A whole BENCH file: schema tag, creation time, entries in run order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// Schema identifier; [`SCHEMA`] for files this build writes.
+    pub schema: String,
+    /// Unix seconds when the run finished.
+    pub created_unix_s: u64,
+    /// All measured benchmarks.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchFile {
+    /// Packages harness results into a file value stamped `created_unix_s`.
+    pub fn from_results(results: &[BenchResult], created_unix_s: u64) -> BenchFile {
+        BenchFile {
+            schema: SCHEMA.to_owned(),
+            created_unix_s,
+            entries: results
+                .iter()
+                .map(|r| BenchEntry {
+                    name: r.name.clone(),
+                    kind: r.kind.clone(),
+                    iters_per_sample: r.iters_per_sample,
+                    samples: r.samples_ns.len() as u64,
+                    median_ns: r.median_ns,
+                    mad_ns: r.mad_ns,
+                    mean_ns: r.mean_ns,
+                    min_ns: r.min_ns,
+                    max_ns: r.max_ns,
+                })
+                .collect(),
+        }
+    }
+
+    /// Entry with the given name, if present.
+    pub fn entry(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Renders the file as pretty-printed JSON (one entry per line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(&self.schema));
+        let _ = writeln!(out, "  \"created_unix_s\": {},", self.created_unix_s);
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"kind\": {}, \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"median_ns\": {}, \"mad_ns\": {}, \"mean_ns\": {:.1}, \"min_ns\": {}, \"max_ns\": {}}}",
+                json_str(&e.name),
+                json_str(&e.kind),
+                e.iters_per_sample,
+                e.samples,
+                e.median_ns,
+                e.mad_ns,
+                e.mean_ns,
+                e.min_ns,
+                e.max_ns
+            );
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a BENCH file, rejecting unknown schemas and malformed JSON.
+    pub fn parse(text: &str) -> Result<BenchFile, String> {
+        let root = Json::parse(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let created_unix_s = root
+            .get("created_unix_s")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"created_unix_s\"")?;
+        let entries = root
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("missing \"entries\"")?
+            .iter()
+            .map(|e| {
+                let field = |k: &str| {
+                    e.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("entry missing {k:?}"))
+                };
+                Ok(BenchEntry {
+                    name: e
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("entry missing \"name\"")?
+                        .to_owned(),
+                    kind: e
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or("entry missing \"kind\"")?
+                        .to_owned(),
+                    iters_per_sample: field("iters_per_sample")?,
+                    samples: field("samples")?,
+                    median_ns: field("median_ns")?,
+                    mad_ns: field("mad_ns")?,
+                    mean_ns: e
+                        .get("mean_ns")
+                        .and_then(Json::as_f64)
+                        .ok_or("entry missing \"mean_ns\"")?,
+                    min_ns: field("min_ns")?,
+                    max_ns: field("max_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchFile {
+            schema: schema.to_owned(),
+            created_unix_s,
+            entries,
+        })
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value — just enough for BENCH files.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad keyword at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        fields.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_bench, BenchSpec};
+
+    fn sample_file() -> BenchFile {
+        let r = run_bench("test.roundtrip", "micro", BenchSpec::smoke(), || {
+            std::hint::black_box(1u64);
+        });
+        BenchFile::from_results(&[r], 1_700_000_000)
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let f = sample_file();
+        let text = f.render();
+        let parsed = BenchFile::parse(&text).expect("round trip");
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        let mut f = sample_file();
+        f.schema = "edgerep-bench/v999".into();
+        let err = BenchFile::parse(&f.render()).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(BenchFile::parse("{not json").is_err());
+        assert!(BenchFile::parse("{}").is_err());
+        assert!(BenchFile::parse("{\"schema\": \"edgerep-bench/v1\"} x").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_field_reordering_and_whitespace() {
+        let text = r#"
+        {
+          "entries": [
+            {"median_ns": 10, "name": "a.b", "kind": "micro",
+             "iters_per_sample": 1, "samples": 2, "mad_ns": 0,
+             "mean_ns": 10.5, "min_ns": 9, "max_ns": 12}
+          ],
+          "created_unix_s": 5,
+          "schema": "edgerep-bench/v1"
+        }"#;
+        let f = BenchFile::parse(text).expect("parses");
+        assert_eq!(f.created_unix_s, 5);
+        assert_eq!(f.entry("a.b").unwrap().median_ns, 10);
+        assert_eq!(f.entry("a.b").unwrap().mean_ns, 10.5);
+        assert!(f.entry("missing").is_none());
+    }
+
+    #[test]
+    fn json_strings_escape_and_unescape() {
+        let f = BenchFile {
+            schema: SCHEMA.into(),
+            created_unix_s: 0,
+            entries: vec![BenchEntry {
+                name: "weird\"\\\n\tname".into(),
+                kind: "micro".into(),
+                iters_per_sample: 1,
+                samples: 1,
+                median_ns: 1,
+                mad_ns: 0,
+                mean_ns: 1.0,
+                min_ns: 1,
+                max_ns: 1,
+            }],
+        };
+        let parsed = BenchFile::parse(&f.render()).expect("escaped round trip");
+        assert_eq!(parsed, f);
+    }
+}

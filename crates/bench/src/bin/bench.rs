@@ -1,0 +1,161 @@
+//! `bench` — zero-dependency benchmark runner and regression gate.
+//!
+//! ```text
+//! bench run  [--out FILE] [--smoke] [--filter PAT]   measure, write BENCH json
+//! bench diff OLD NEW [--threshold PCT] [--report-only]   compare two BENCH files
+//! bench list                                          print suite entries
+//! ```
+//!
+//! `bench diff` exits 1 when any entry regresses beyond the threshold
+//! (default 10%) unless `--report-only` is given; usage and I/O errors
+//! exit 2. `scripts/bench.sh` wraps `run` + `diff` into the per-PR
+//! `BENCH_<n>.json` trajectory.
+
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use edgerep_bench::benchfile::BenchFile;
+use edgerep_bench::diff::{diff, DEFAULT_THRESHOLD_PCT};
+use edgerep_bench::suite::{run_suite, SuiteSpec, BENCH_NAMES};
+
+const USAGE: &str = "usage: bench <run|diff|list> [options]
+  run  [--out FILE] [--smoke] [--filter PAT]
+       Measure the suite (1 warmup + 1 iteration with --smoke) and write
+       a schema-versioned BENCH json to FILE (default: stdout).
+  diff OLD NEW [--threshold PCT] [--report-only]
+       Compare two BENCH files; exit 1 on any regression beyond PCT
+       (default 10) unless --report-only.
+  list
+       Print every suite entry name and kind.";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn opt_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            args.remove(i);
+            if i < args.len() {
+                Ok(Some(args.remove(i)))
+            } else {
+                Err(format!("{flag} needs a value"))
+            }
+        }
+    }
+}
+
+fn opt_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        None => false,
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+    }
+}
+
+fn cmd_run(mut args: Vec<String>) -> ExitCode {
+    let out = match opt_value(&mut args, "--out") {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let filter = match opt_value(&mut args, "--filter") {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let smoke = opt_flag(&mut args, "--smoke");
+    if let Some(extra) = args.first() {
+        return fail(&format!("unexpected argument {extra:?}"));
+    }
+    let spec = if smoke {
+        SuiteSpec::smoke()
+    } else {
+        SuiteSpec::full()
+    };
+    let results = run_suite(&spec, filter.as_deref(), |r| {
+        eprintln!(
+            "  {:<28} {:>12} ns/call (median, {} samples, MAD {} ns)",
+            r.name,
+            r.median_ns,
+            r.samples_ns.len(),
+            r.mad_ns
+        );
+    });
+    if results.is_empty() {
+        return fail("no benches matched the filter");
+    }
+    let created = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let rendered = BenchFile::from_results(&results, created).render();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("bench: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote {path} ({} entries)", results.len());
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchFile::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_diff(mut args: Vec<String>) -> ExitCode {
+    let threshold = match opt_value(&mut args, "--threshold") {
+        Ok(None) => DEFAULT_THRESHOLD_PCT,
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(pct) if pct >= 0.0 => pct,
+            _ => return fail(&format!("bad --threshold {v:?}")),
+        },
+        Err(e) => return fail(&e),
+    };
+    let report_only = opt_flag(&mut args, "--report-only");
+    let [old_path, new_path] = args.as_slice() else {
+        return fail("diff needs exactly OLD and NEW files");
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = diff(&old, &new, threshold);
+    print!("{}", report.render());
+    if report.has_regressions() && !report_only {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "run" => cmd_run(args),
+        "diff" => cmd_diff(args),
+        "list" => {
+            for (name, kind) in BENCH_NAMES {
+                println!("{name} ({kind})");
+            }
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown command {other:?}")),
+    }
+}

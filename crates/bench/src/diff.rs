@@ -1,0 +1,228 @@
+//! `bench diff`: compare two BENCH files and gate on regressions.
+//!
+//! The compared statistic is each entry's `median_ns` (robust to
+//! scheduler noise; see [`crate::harness`]). An entry regresses when its
+//! new median exceeds the old by more than the threshold percentage
+//! *and* the move clears the measured noise floor (3× the larger MAD),
+//! so a jittery microbench cannot fail the gate on spread alone.
+
+use std::fmt::Write as _;
+
+use crate::benchfile::BenchFile;
+
+/// Default regression threshold: 10% keeps honest regressions visible
+/// while staying clear of run-to-run noise on a quiet machine.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// How one entry moved between the two files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Slower beyond threshold + noise floor — fails the gate.
+    Regressed,
+    /// Faster beyond threshold.
+    Improved,
+    /// Within threshold either way.
+    Unchanged,
+    /// Present only in the new file (no baseline to compare).
+    Added,
+    /// Present only in the old file.
+    Removed,
+}
+
+/// One compared entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Benchmark id.
+    pub name: String,
+    /// Baseline median (0 when [`DiffStatus::Added`]).
+    pub old_median_ns: u64,
+    /// New median (0 when [`DiffStatus::Removed`]).
+    pub new_median_ns: u64,
+    /// `new/old − 1` as a percentage (0 for added/removed entries).
+    pub change_pct: f64,
+    /// Classification under the threshold.
+    pub status: DiffStatus,
+}
+
+/// Full comparison of two BENCH files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Threshold the classification used.
+    pub threshold_pct: f64,
+    /// Every entry of either file, old-file order then additions.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// Whether any entry regressed (the gate's exit condition).
+    pub fn has_regressions(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.status == DiffStatus::Regressed)
+    }
+
+    /// Human-facing table plus a one-line verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<36} {:>12} {:>12} {:>9}  status",
+            "bench", "old_ns", "new_ns", "change"
+        );
+        for e in &self.entries {
+            let status = match e.status {
+                DiffStatus::Regressed => "REGRESSED",
+                DiffStatus::Improved => "improved",
+                DiffStatus::Unchanged => "ok",
+                DiffStatus::Added => "added",
+                DiffStatus::Removed => "removed",
+            };
+            let change = match e.status {
+                DiffStatus::Added | DiffStatus::Removed => "-".to_owned(),
+                _ => format!("{:+.1}%", e.change_pct),
+            };
+            let _ = writeln!(
+                out,
+                "{:<36} {:>12} {:>12} {:>9}  {status}",
+                e.name, e.old_median_ns, e.new_median_ns, change
+            );
+        }
+        let regressed = self
+            .entries
+            .iter()
+            .filter(|e| e.status == DiffStatus::Regressed)
+            .count();
+        let _ = writeln!(
+            out,
+            "{} entries compared, {} regressed (threshold {:.1}%)",
+            self.entries.len(),
+            regressed,
+            self.threshold_pct
+        );
+        out
+    }
+}
+
+/// Compares `new` against the `old` baseline at `threshold_pct`.
+pub fn diff(old: &BenchFile, new: &BenchFile, threshold_pct: f64) -> DiffReport {
+    let mut entries = Vec::new();
+    for o in &old.entries {
+        let Some(n) = new.entry(&o.name) else {
+            entries.push(DiffEntry {
+                name: o.name.clone(),
+                old_median_ns: o.median_ns,
+                new_median_ns: 0,
+                change_pct: 0.0,
+                status: DiffStatus::Removed,
+            });
+            continue;
+        };
+        let change_pct = if o.median_ns == 0 {
+            0.0
+        } else {
+            100.0 * (n.median_ns as f64 - o.median_ns as f64) / o.median_ns as f64
+        };
+        let noise_floor_ns = 3 * o.mad_ns.max(n.mad_ns);
+        let moved_ns = n.median_ns.abs_diff(o.median_ns);
+        let status = if o.median_ns > 0 && change_pct > threshold_pct && moved_ns > noise_floor_ns {
+            DiffStatus::Regressed
+        } else if o.median_ns > 0 && change_pct < -threshold_pct {
+            DiffStatus::Improved
+        } else {
+            DiffStatus::Unchanged
+        };
+        entries.push(DiffEntry {
+            name: o.name.clone(),
+            old_median_ns: o.median_ns,
+            new_median_ns: n.median_ns,
+            change_pct,
+            status,
+        });
+    }
+    for n in &new.entries {
+        if old.entry(&n.name).is_none() {
+            entries.push(DiffEntry {
+                name: n.name.clone(),
+                old_median_ns: 0,
+                new_median_ns: n.median_ns,
+                change_pct: 0.0,
+                status: DiffStatus::Added,
+            });
+        }
+    }
+    DiffReport {
+        threshold_pct,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchfile::{BenchEntry, BenchFile, SCHEMA};
+
+    fn file(entries: &[(&str, u64, u64)]) -> BenchFile {
+        BenchFile {
+            schema: SCHEMA.into(),
+            created_unix_s: 0,
+            entries: entries
+                .iter()
+                .map(|&(name, median_ns, mad_ns)| BenchEntry {
+                    name: name.into(),
+                    kind: "micro".into(),
+                    iters_per_sample: 1,
+                    samples: 5,
+                    median_ns,
+                    mad_ns,
+                    mean_ns: median_ns as f64,
+                    min_ns: median_ns,
+                    max_ns: median_ns,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails_the_gate() {
+        let old = file(&[("hot", 1000, 10)]);
+        let new = file(&[("hot", 1250, 10)]); // +25% > 10%, move 250 > 30
+        let report = diff(&old, &new, DEFAULT_THRESHOLD_PCT);
+        assert!(report.has_regressions());
+        assert_eq!(report.entries[0].status, DiffStatus::Regressed);
+        assert!((report.entries[0].change_pct - 25.0).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSED"), "{}", report.render());
+    }
+
+    #[test]
+    fn noisy_entries_do_not_regress_on_spread_alone() {
+        // +25% but the MAD is wider than the move: not a regression.
+        let old = file(&[("noisy", 1000, 200)]);
+        let new = file(&[("noisy", 1250, 200)]);
+        let report = diff(&old, &new, DEFAULT_THRESHOLD_PCT);
+        assert!(!report.has_regressions());
+        assert_eq!(report.entries[0].status, DiffStatus::Unchanged);
+    }
+
+    #[test]
+    fn improvements_additions_and_removals_pass() {
+        let old = file(&[("faster", 1000, 5), ("gone", 50, 1)]);
+        let new = file(&[("faster", 500, 5), ("fresh", 70, 1)]);
+        let report = diff(&old, &new, DEFAULT_THRESHOLD_PCT);
+        assert!(!report.has_regressions());
+        let by_name = |n: &str| report.entries.iter().find(|e| e.name == n).unwrap().status;
+        assert_eq!(by_name("faster"), DiffStatus::Improved);
+        assert_eq!(by_name("gone"), DiffStatus::Removed);
+        assert_eq!(by_name("fresh"), DiffStatus::Added);
+        let text = report.render();
+        assert!(text.contains("3 entries compared, 0 regressed"), "{text}");
+    }
+
+    #[test]
+    fn small_drift_is_unchanged() {
+        let old = file(&[("steady", 1000, 2)]);
+        let new = file(&[("steady", 1050, 2)]); // +5% < 10%
+        let report = diff(&old, &new, DEFAULT_THRESHOLD_PCT);
+        assert_eq!(report.entries[0].status, DiffStatus::Unchanged);
+        assert!(!report.has_regressions());
+    }
+}

@@ -1,0 +1,185 @@
+//! Zero-dependency measurement core for the `bench` binary.
+//!
+//! Criterion needs a cargo registry to build; this harness needs only
+//! `std`. The protocol per benchmark:
+//!
+//! 1. **warmup** — run the closure `warmup_iters` times, unmeasured, to
+//!    fault in caches and steady-state allocator behavior;
+//! 2. **sampling** — take `samples` wall-clock samples, each timing
+//!    `iters_per_sample` back-to-back calls and dividing, so per-call
+//!    costs below timer resolution still measure;
+//! 3. **summary** — report the median and the MAD (median absolute
+//!    deviation), which are robust to scheduler noise, alongside
+//!    mean/min/max.
+//!
+//! Call sites keep the optimizer honest with [`std::hint::black_box`]
+//! (re-exported as [`black_box`]) around inputs and outputs.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How hard to measure: warmup runs, then `samples` × `iters_per_sample`
+/// timed calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchSpec {
+    /// Unmeasured calls before sampling starts.
+    pub warmup_iters: u64,
+    /// Number of wall-clock samples taken.
+    pub samples: usize,
+    /// Calls per sample (per-call time = sample time / this).
+    pub iters_per_sample: u64,
+}
+
+impl BenchSpec {
+    /// Default effort for microbenches: enough samples for a stable
+    /// median on a busy machine.
+    pub fn micro() -> Self {
+        BenchSpec {
+            warmup_iters: 10,
+            samples: 30,
+            iters_per_sample: 3,
+        }
+    }
+
+    /// Effort for end-to-end figure timings, where one call is already
+    /// hundreds of milliseconds.
+    pub fn e2e() -> Self {
+        BenchSpec {
+            warmup_iters: 1,
+            samples: 5,
+            iters_per_sample: 1,
+        }
+    }
+
+    /// CI smoke effort: 1 warmup + 1 timed iteration, just enough to
+    /// prove the bench runs and the schema validates.
+    pub fn smoke() -> Self {
+        BenchSpec {
+            warmup_iters: 1,
+            samples: 1,
+            iters_per_sample: 1,
+        }
+    }
+}
+
+/// One measured benchmark: name, kind tag, and per-call nanosecond
+/// statistics over all samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable benchmark id (`appro.candidate_scan`, `figure.fig2`, …).
+    pub name: String,
+    /// `"micro"` or `"e2e"` — the comparator reports them separately.
+    pub kind: String,
+    /// Calls averaged within each sample.
+    pub iters_per_sample: u64,
+    /// Per-call wall time of every sample, in nanoseconds, sample order.
+    pub samples_ns: Vec<u64>,
+    /// Median per-call time (robust location).
+    pub median_ns: u64,
+    /// Median absolute deviation from the median (robust spread).
+    pub mad_ns: u64,
+    /// Mean per-call time.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+}
+
+/// Median of `sorted` (must be sorted ascending, non-empty); even counts
+/// average the two middle elements.
+fn median_of_sorted(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Runs one benchmark under `spec`. The closure is the measured unit;
+/// wrap its inputs and outputs in [`black_box`] at the call site.
+pub fn run_bench<F: FnMut()>(name: &str, kind: &str, spec: BenchSpec, mut f: F) -> BenchResult {
+    for _ in 0..spec.warmup_iters {
+        f();
+    }
+    let iters = spec.iters_per_sample.max(1);
+    let mut samples_ns = Vec::with_capacity(spec.samples.max(1));
+    for _ in 0..spec.samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let total = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        samples_ns.push(total / iters);
+    }
+    let mut sorted = samples_ns.clone();
+    sorted.sort_unstable();
+    let median_ns = median_of_sorted(&sorted);
+    let mut devs: Vec<u64> = sorted.iter().map(|&s| s.abs_diff(median_ns)).collect();
+    devs.sort_unstable();
+    let mad_ns = median_of_sorted(&devs);
+    let sum: u128 = samples_ns.iter().map(|&s| s as u128).sum();
+    BenchResult {
+        name: name.to_owned(),
+        kind: kind.to_owned(),
+        iters_per_sample: iters,
+        mean_ns: sum as f64 / samples_ns.len() as f64,
+        min_ns: sorted[0],
+        max_ns: sorted[sorted.len() - 1],
+        median_ns,
+        mad_ns,
+        samples_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        // Directly exercise the summary path with a deterministic closure
+        // that cannot be optimized away.
+        let mut calls = 0u64;
+        let r = run_bench(
+            "test.counted",
+            "micro",
+            BenchSpec {
+                warmup_iters: 2,
+                samples: 5,
+                iters_per_sample: 4,
+            },
+            || {
+                calls += 1;
+                black_box(calls);
+            },
+        );
+        assert_eq!(calls, 2 + 5 * 4);
+        assert_eq!(r.samples_ns.len(), 5);
+        assert_eq!(r.iters_per_sample, 4);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.mean_ns >= r.min_ns as f64 && r.mean_ns <= r.max_ns as f64);
+    }
+
+    #[test]
+    fn median_of_sorted_handles_even_and_odd() {
+        assert_eq!(median_of_sorted(&[3]), 3);
+        assert_eq!(median_of_sorted(&[1, 3]), 2);
+        assert_eq!(median_of_sorted(&[1, 2, 9]), 2);
+        assert_eq!(median_of_sorted(&[1, 2, 4, 9]), 3);
+    }
+
+    #[test]
+    fn smoke_spec_is_one_and_one() {
+        let s = BenchSpec::smoke();
+        assert_eq!((s.warmup_iters, s.samples, s.iters_per_sample), (1, 1, 1));
+        let r = run_bench("test.smoke", "micro", s, || {
+            black_box(7u64);
+        });
+        assert_eq!(r.samples_ns.len(), 1);
+        assert_eq!(r.median_ns, r.min_ns);
+        assert_eq!(r.mad_ns, 0);
+    }
+}

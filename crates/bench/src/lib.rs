@@ -1,8 +1,18 @@
 #![warn(missing_docs)]
 
-//! Shared fixtures for the benchmark harness.
+//! Benchmark harnesses for the workspace: a zero-dependency measured
+//! suite (the `bench` binary) plus the original Criterion benches.
 //!
-//! The benches live in `benches/`:
+//! The zero-dep side lives here in `src/` — [`harness`] (warmup +
+//! timed samples, median/MAD), [`suite`] (the measured hot paths),
+//! [`benchfile`] (the schema-versioned `BENCH_<n>.json` format), and
+//! [`diff`] (the regression gate) — and needs nothing beyond the
+//! workspace, so it runs on machines without cargo registry access.
+//! `scripts/bench.sh` drives it.
+//!
+//! The Criterion benches are feature-gated behind `criterion-benches`
+//! (they need the registry to build):
+//! `cargo bench -p edgerep-bench --features criterion-benches`.
 //!
 //! * `figures` — one Criterion group per evaluation figure of the paper
 //!   (2, 3, 4, 5, 7, 8). Each group first prints the regenerated series
@@ -15,6 +25,11 @@
 //! * `substrates` — scaling of the substrates (Dijkstra/all-pairs delays,
 //!   simplex, Kernighan–Lin, trace generation) so regressions in the
 //!   foundations are visible independently of the algorithms.
+
+pub mod benchfile;
+pub mod diff;
+pub mod harness;
+pub mod suite;
 
 use edgerep_model::Instance;
 use edgerep_workload::{generate_instance, WorkloadParams};

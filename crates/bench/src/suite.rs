@@ -1,0 +1,212 @@
+//! The benchmark suite the `bench run` subcommand executes.
+//!
+//! Microbenches cover the named hot paths (the ROADMAP's "hot-path
+//! speed, measured" item): the ApproS/ApproG dual update, the per-query
+//! candidate scan, the admission feasibility check, controller repair
+//! planning, and forecaster `predict`. Two end-to-end entries time whole
+//! figure regenerations at one seed so macro drift is visible even when
+//! no single micro entry moved.
+//!
+//! Names are stable identifiers — the `BENCH_<n>.json` trajectory and
+//! `bench diff` key on them — so renaming one severs its history.
+
+use edgerep_core::admission::AdmissionState;
+use edgerep_core::appro::{Appro, ApproConfig};
+use edgerep_core::repair::plan_replacements;
+use edgerep_forecast::{DemandHistory, DemandKey, EpochDemand, ForecasterKind};
+use edgerep_model::QueryId;
+
+use crate::harness::{black_box, run_bench, BenchResult, BenchSpec};
+use crate::representative_instance;
+
+/// Every suite entry as `(name, kind)`, run order. Kinds: `"micro"` or
+/// `"e2e"`.
+pub const BENCH_NAMES: [(&str, &str); 8] = [
+    ("appro.dual_update_special", "micro"),
+    ("appro.dual_update_general", "micro"),
+    ("appro.candidate_scan", "micro"),
+    ("admission.check", "micro"),
+    ("repair.plan", "micro"),
+    ("forecast.predict", "micro"),
+    ("figure.fig2", "e2e"),
+    ("figure.fig8", "e2e"),
+];
+
+/// Measurement effort per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteSpec {
+    /// Spec for `"micro"` entries.
+    pub micro: BenchSpec,
+    /// Spec for `"e2e"` entries.
+    pub e2e: BenchSpec,
+}
+
+impl SuiteSpec {
+    /// Full effort: what `scripts/bench.sh` records into `BENCH_<n>.json`.
+    pub fn full() -> Self {
+        SuiteSpec {
+            micro: BenchSpec::micro(),
+            e2e: BenchSpec::e2e(),
+        }
+    }
+
+    /// CI smoke effort: 1 warmup + 1 timed iteration everywhere.
+    pub fn smoke() -> Self {
+        SuiteSpec {
+            micro: BenchSpec::smoke(),
+            e2e: BenchSpec::smoke(),
+        }
+    }
+}
+
+fn synthetic_history() -> DemandHistory {
+    let mut hist = DemandHistory::new(16);
+    for epoch in 0..12u32 {
+        let mut demand = EpochDemand::new();
+        for k in 0..50u32 {
+            // Seasonal (period 4) signal with per-key amplitude, so every
+            // forecaster family has structure to chew on.
+            let volume = (k + 1) as f64 * (1.0 + (epoch % 4) as f64);
+            demand.add(DemandKey::new(k % 5, k), volume);
+        }
+        hist.record(demand);
+    }
+    hist
+}
+
+/// Runs the entries whose name contains `filter` (all when `None`),
+/// invoking `progress` after each finished bench.
+pub fn run_suite(
+    spec: &SuiteSpec,
+    filter: Option<&str>,
+    mut progress: impl FnMut(&BenchResult),
+) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    for (name, kind) in BENCH_NAMES {
+        if filter.is_some_and(|pat| !name.contains(pat)) {
+            continue;
+        }
+        let effort = if kind == "e2e" { spec.e2e } else { spec.micro };
+        let result = match name {
+            "appro.dual_update_special" => {
+                // Paper special case: one dataset per query (Appro-S).
+                let inst = representative_instance(60, 1, 3);
+                let appro = Appro::with_config(ApproConfig::default());
+                run_bench(name, kind, effort, || {
+                    black_box(appro.run(black_box(&inst)));
+                })
+            }
+            "appro.dual_update_general" => {
+                // General case: multi-dataset queries (Appro-G).
+                let inst = representative_instance(48, 3, 3);
+                let appro = Appro::with_config(ApproConfig::default());
+                run_bench(name, kind, effort, || {
+                    black_box(appro.run(black_box(&inst)));
+                })
+            }
+            "appro.candidate_scan" => {
+                // One primal-dual pricing pass over every pending query
+                // against a fresh admission state — the inner loop of the
+                // dual update, isolated from the commit machinery.
+                let inst = representative_instance(60, 3, 3);
+                let appro = Appro::with_config(ApproConfig::default());
+                let state = AdmissionState::new(&inst);
+                let queries: Vec<QueryId> = inst.query_ids().collect();
+                run_bench(name, kind, effort, || {
+                    for &q in &queries {
+                        black_box(appro.plan_query_public(black_box(&state), q));
+                    }
+                })
+            }
+            "admission.check" => {
+                // Capacity/deadline/replica feasibility of every
+                // (query, node) pair for the first demand.
+                let inst = representative_instance(60, 3, 3);
+                let state = AdmissionState::new(&inst);
+                let queries: Vec<QueryId> = inst.query_ids().collect();
+                run_bench(name, kind, effort, || {
+                    for &q in &queries {
+                        for v in inst.cloud().compute_ids() {
+                            black_box(state.demand_check(q, 0, v, 0.0).is_ok());
+                        }
+                    }
+                })
+            }
+            "repair.plan" => {
+                // Replacement planning after knocking out every fifth
+                // node under a full-replication target.
+                let inst = representative_instance(60, 3, 3);
+                let solution = Appro::with_config(ApproConfig::default())
+                    .run(&inst)
+                    .solution;
+                let mut alive = vec![true; inst.cloud().compute_count()];
+                for i in (0..alive.len()).step_by(5) {
+                    alive[i] = false;
+                }
+                let needed = vec![inst.max_replicas(); inst.dataset_ids().len()];
+                run_bench(name, kind, effort, || {
+                    black_box(plan_replacements(
+                        black_box(&inst),
+                        &solution,
+                        &alive,
+                        &needed,
+                    ));
+                })
+            }
+            "forecast.predict" => {
+                let history = synthetic_history();
+                let forecasters: Vec<_> = [
+                    ForecasterKind::SeasonalNaive { period: 4 },
+                    ForecasterKind::Ewma,
+                    ForecasterKind::Holt,
+                    ForecasterKind::TopK { k: 10 },
+                ]
+                .into_iter()
+                .map(ForecasterKind::build)
+                .collect();
+                run_bench(name, kind, effort, || {
+                    for f in &forecasters {
+                        black_box(f.predict(black_box(&history)));
+                    }
+                })
+            }
+            "figure.fig2" => run_bench(name, kind, effort, || {
+                black_box(edgerep_exp::figures::fig2(1));
+            }),
+            "figure.fig8" => run_bench(name, kind, effort, || {
+                black_box(edgerep_exp::figures::fig8(1));
+            }),
+            other => unreachable!("bench {other} listed but not implemented"),
+        };
+        progress(&result);
+        results.push(result);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_names_are_unique_and_cover_the_issue_floor() {
+        let mut names: Vec<&str> = BENCH_NAMES.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BENCH_NAMES.len(), "duplicate bench names");
+        let micro = BENCH_NAMES.iter().filter(|(_, k)| *k == "micro").count();
+        let e2e = BENCH_NAMES.iter().filter(|(_, k)| *k == "e2e").count();
+        assert!(micro >= 5, "need ≥5 microbenches, have {micro}");
+        assert!(e2e >= 2, "need ≥2 e2e figure timings, have {e2e}");
+    }
+
+    #[test]
+    fn filtered_smoke_run_produces_one_result() {
+        // forecast.predict is the cheapest entry; a smoke-effort run keeps
+        // this test fast while exercising the whole setup path.
+        let results = run_suite(&SuiteSpec::smoke(), Some("forecast"), |_| {});
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "forecast.predict");
+        assert_eq!(results[0].samples_ns.len(), 1);
+    }
+}

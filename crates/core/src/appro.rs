@@ -274,6 +274,10 @@ impl Appro {
                 let mut pending: Vec<QueryId> = inst.query_ids().collect();
                 loop {
                     iterations += 1;
+                    // One `appro.select` span per committed query: the
+                    // O(|pending|) candidate scan is the solver's hot
+                    // path, so profiles attribute self-time to it.
+                    let select_span = obs::span("appro", "appro.select");
                     let mut best: Option<(usize, Vec<PlannedDemand>, f64)> = None;
                     for (i, &q) in pending.iter().enumerate() {
                         plans += 1;
@@ -286,6 +290,7 @@ impl Appro {
                             }
                         }
                     }
+                    drop(select_span);
                     let Some((i, plan, _)) = best else { break };
                     let q = pending.swap_remove(i);
                     st.commit(q, &plan);

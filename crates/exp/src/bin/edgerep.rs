@@ -16,7 +16,9 @@
 //! `--trace FILE` enables every observability target and streams NDJSON
 //! trace events (span timings, admission summaries, registry dumps) to
 //! `FILE`; `--stats` prints the metric-registry summary table per
-//! algorithm after its run.
+//! algorithm after its run (span timings get their own section with
+//! p50/p95 columns); `--profile FILE` writes the solve's folded span
+//! stacks to `FILE` and prints the self-time call-tree table.
 
 use edgerep_core::{
     appro::{ApproG, ApproS},
@@ -38,12 +40,14 @@ const USAGE: &str = "usage:
   edgerep gen [--seed N] [--network-size N] [--f F] [--k K] [--queries LO HI] -o FILE
   edgerep inspect -i FILE
   edgerep solve -i FILE --alg NAME [--metrics-json] [--trace FILE] [--stats]
-                [--fault-plan FILE]
+                [--profile FILE] [--fault-plan FILE]
     NAME: appro-g | appro-s | greedy-g | graph-g | popularity-g | centroid |
           online | optimal | all
     --trace FILE  enable all observability targets and write NDJSON trace
                   events (span timings, admission summaries) to FILE
     --stats       print the metrics-registry summary table per algorithm
+    --profile FILE  profile the span tree: folded stacks to FILE, sorted
+                  self-time table to stdout
     --fault-plan FILE  load a JSON fault plan and report the admitted
                   volume that statically survives the planned outages";
 
@@ -202,6 +206,11 @@ fn cmd_solve(args: &[String]) {
     } else {
         None
     };
+    let profile = if args.iter().any(|a| a == "--profile") {
+        Some(opt_value(args, "--profile").unwrap_or_else(|| die("--profile needs FILE")))
+    } else {
+        None
+    };
     if stats || trace.is_some() {
         obs::enable_all();
     }
@@ -209,6 +218,10 @@ fn cmd_solve(args: &[String]) {
         let file =
             std::fs::File::create(path).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
         obs::set_trace_writer(Box::new(std::io::BufWriter::new(file)));
+    }
+    if profile.is_some() {
+        obs::reset_profile();
+        obs::enable_profiling();
     }
     let single = inst.queries().iter().all(|q| q.demands.len() == 1);
     for algorithm in panel_for(alg, single) {
@@ -265,6 +278,21 @@ fn cmd_solve(args: &[String]) {
             println!("--- metrics: {} ---", algorithm.name());
             print!("{}", obs::render_summary());
         }
+    }
+    if let Some(path) = profile {
+        obs::disable_profiling();
+        let prof = obs::take_profile();
+        std::fs::write(path, obs::render_folded(&prof))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        print!("{}", obs::render_self_table(&prof));
+        println!("[folded stacks written to {path}]");
+        let top = prof.top_self().map(|n| n.name.clone()).unwrap_or_default();
+        obs::emit(
+            "profile",
+            "profile",
+            "profile.dump",
+            &[("nodes", prof.nodes.len().into()), ("top_self", top.into())],
+        );
     }
     if trace.is_some() {
         obs::take_trace_writer(); // flush and close the NDJSON sink

@@ -13,6 +13,10 @@
 //! produces (span timings, scheduler progress, admission summaries) to
 //! `FILE`, closing each figure with a registry dump so the file ends in a
 //! `dump.done` line for the last figure regenerated.
+//!
+//! `--profile FILE` turns on the span-tree profiler for the whole run:
+//! folded stacks (`path self_us`, flamegraph-ready) go to `FILE` and the
+//! sorted self-time table is printed after the figures.
 
 use std::io::Write as _;
 
@@ -36,9 +40,12 @@ fn usage() -> String {
         .collect();
     format!(
         "usage: repro [{}]... \
-[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE] [--trace FILE]
-    --trace FILE  enable all observability targets and write NDJSON trace
-                  events to FILE, ending each figure with a registry dump",
+[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE] [--trace FILE] \
+[--profile FILE]
+    --trace FILE    enable all observability targets and write NDJSON trace
+                    events to FILE, ending each figure with a registry dump
+    --profile FILE  profile the run's span tree: folded stacks to FILE,
+                    self-time table to stdout",
         ids.join("|")
     )
 }
@@ -52,6 +59,7 @@ fn main() {
     let mut md_dir: Option<String> = None;
     let mut fault_plan: Option<FaultPlan> = None;
     let mut trace_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -110,6 +118,14 @@ fn main() {
                         .unwrap_or_else(|| die("--trace needs a FILE")),
                 );
             }
+            "--profile" => {
+                i += 1;
+                profile_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--profile needs a FILE")),
+                );
+            }
             "all" => figures_wanted.extend(figures::FIGURE_IDS.iter().map(|s| s.to_string())),
             "ext" => figures_wanted.extend(extensions::EXT_IDS.iter().map(|s| s.to_string())),
             // Figure ids resolve against the same registries the usage
@@ -144,6 +160,12 @@ fn main() {
         obs::set_trace_writer(Box::new(std::io::BufWriter::new(file)));
     } else if csv_dir.is_some() {
         obs::set_filter("runner,parallel,sim");
+    }
+    // Profiling is orthogonal to tracing: spans feed the aggregator even
+    // when their targets are disabled, so `--profile` alone is cheap.
+    if profile_path.is_some() {
+        obs::reset_profile();
+        obs::enable_profiling();
     }
 
     let stdout = std::io::stdout();
@@ -203,6 +225,11 @@ fn main() {
             std::fs::write(&mpath, render_metrics_csv(&obs::snapshot()))
                 .unwrap_or_else(|e| die(&format!("write {mpath}: {e}")));
             let _ = writeln!(out, "[metrics csv written to {mpath}]\n");
+            if let Some(ts) = &data.timeseries {
+                let tpath = format!("{dir}/{}_timeseries.csv", data.id);
+                std::fs::write(&tpath, ts).unwrap_or_else(|e| die(&format!("write {tpath}: {e}")));
+                let _ = writeln!(out, "[timeseries csv written to {tpath}]\n");
+            }
         }
         if let Some(dir) = &svg_dir {
             write_svgs(&data, dir, &mut out);
@@ -214,6 +241,29 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
             let _ = writeln!(out, "[markdown written to {path}]\n");
         }
+    }
+    if let Some(path) = &profile_path {
+        obs::disable_profiling();
+        let profile = obs::take_profile();
+        std::fs::write(path, obs::render_folded(&profile))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        let _ = writeln!(out, "{}", obs::render_self_table(&profile));
+        let _ = writeln!(out, "[folded stacks written to {path}]");
+        // Under --trace the dump also lands in the NDJSON stream, so
+        // automation can grep `profile.dump` instead of parsing stdout.
+        let top = profile
+            .top_self()
+            .map(|n| n.name.clone())
+            .unwrap_or_default();
+        obs::emit(
+            "profile",
+            "profile",
+            "profile.dump",
+            &[
+                ("nodes", profile.nodes.len().into()),
+                ("top_self", top.into()),
+            ],
+        );
     }
     if trace_path.is_some() {
         obs::take_trace_writer(); // flush and close the NDJSON sink

@@ -20,8 +20,8 @@ use edgerep_core::{BoxedAlgorithm, PlacementAlgorithm};
 use edgerep_forecast::ForecasterKind;
 use edgerep_testbed::rolling::{run_rolling, ReplanPolicy, RollingConfig};
 use edgerep_testbed::{
-    run_testbed, run_testbed_with_faults, try_run_testbed_with_plan, ConsistencyConfig,
-    FaultConfig, FaultPlan, NodeFailure, SimConfig, TestbedConfig,
+    render_slo_csv, run_testbed, run_testbed_with_faults, try_run_testbed_with_plan,
+    ConsistencyConfig, FaultConfig, FaultPlan, NodeFailure, SimConfig, SloSample, TestbedConfig,
 };
 use edgerep_workload::params::TopologyModel;
 use edgerep_workload::{generate_instance, WorkloadParams};
@@ -110,6 +110,7 @@ pub fn ext_net_benefit(seeds: usize) -> FigureData {
             .to_owned(),
         x_label: "K".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -169,6 +170,7 @@ pub fn ext_online(seeds: usize) -> FigureData {
             .to_owned(),
         x_label: "threshold".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -197,6 +199,7 @@ pub fn ext_refine(seeds: usize) -> FigureData {
             .to_owned(),
         x_label: "-".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -229,6 +232,7 @@ pub fn ext_topology(seeds: usize) -> FigureData {
             .to_owned(),
         x_label: "topology".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -300,6 +304,7 @@ pub fn ext_faults(seeds: usize) -> FigureData {
             .to_owned(),
         x_label: "K".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -386,12 +391,39 @@ pub fn ext_availability(seeds: usize) -> FigureData {
             FigureRow { x: frac, results }
         })
         .collect();
+    // Trajectory sidecar: one seed-0 run per repair arm at the harshest
+    // fault fraction, sampled every 30 simulated seconds, so the figure
+    // also shows availability dipping at each outage and recovering
+    // under repair instead of only the endpoint scalar.
+    let timeseries = {
+        let seed = 0u64;
+        let cfg = TestbedConfig::default().with_max_replicas(3);
+        let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
+        let plan = availability_fault_profile(*fractions.last().expect("non-empty"), seed)
+            .generate(world.instance.cloud().compute_count());
+        let series: Vec<(String, Vec<SloSample>)> = [(false, "no-repair"), (true, "repair")]
+            .iter()
+            .map(|&(repair, label)| {
+                let sim = SimConfig {
+                    seed,
+                    repair,
+                    slo_sample_interval_s: Some(30.0),
+                    ..Default::default()
+                };
+                let report = try_run_testbed_with_plan(&ApproG::default(), &world, &sim, &plan)
+                    .expect("generated fault plans validate");
+                (label.to_owned(), report.slo_series)
+            })
+            .collect();
+        Some(render_slo_csv(&series))
+    };
     FigureData {
         id: "ext-availability".to_owned(),
         title: "Extension: availability under transient MTBF/MTTR node faults                 (panel (a) measured volume, panel (b) column reports availability;                 repair off vs on per K)"
             .to_owned(),
         x_label: "fault fraction".to_owned(),
         rows,
+        timeseries,
     }
 }
 
@@ -439,6 +471,7 @@ pub fn ext_availability_with_plan(seeds: usize, fault_plan: &FaultPlan) -> Figur
             .to_owned(),
         x_label: "K".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -503,6 +536,7 @@ pub fn ext_rolling(seeds: usize) -> FigureData {
             .to_owned(),
         x_label: "epoch".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -578,12 +612,27 @@ pub fn ext_forecast(seeds: usize) -> FigureData {
             FigureRow { x: drift, results }
         })
         .collect();
+    // Trajectory sidecar: seed-0 per-epoch SLO series for every policy at
+    // the strongest drift, showing forecast error shrinking (and admitted
+    // fraction recovering) as the predictors accrue history.
+    let series: Vec<(String, Vec<SloSample>)> = par_map(&policies, |&(name, policy)| {
+        let cfg = RollingConfig {
+            epochs: 8,
+            hotspot_probability: *drifts.last().expect("non-empty"),
+            seed: 0,
+            ..Default::default()
+        };
+        let report = run_rolling(&ApproG::default(), &cfg, policy);
+        (name.to_owned(), report.slo_series())
+    });
+    let timeseries = Some(render_slo_csv(&series));
     FigureData {
         id: "ext-forecast".to_owned(),
         title: "Extension: predictive prefetching vs drift rate                 (panel (a) total admitted volume over 8 epochs; panel (b) column                 reports total transfer GB — migration + prefetch — not throughput)"
             .to_owned(),
         x_label: "hotspot probability".to_owned(),
         rows,
+        timeseries,
     }
 }
 
@@ -669,6 +718,16 @@ mod tests {
             );
             assert_eq!(pair[0].throughput.mean, 1.0, "no faults, full availability");
             assert_eq!(pair[1].throughput.mean, 1.0);
+        }
+        // The trajectory sidecar carries both repair arms as labeled,
+        // multi-sample SLO series.
+        let ts = fig.timeseries.as_deref().expect("availability trajectory");
+        assert!(ts.starts_with("series,t_s,availability"), "{ts}");
+        for label in ["no-repair,", "repair,"] {
+            assert!(
+                ts.lines().filter(|l| l.starts_with(label)).count() >= 2,
+                "series {label} too short:\n{ts}"
+            );
         }
     }
 
@@ -777,6 +836,21 @@ mod tests {
                 );
             }
         }
+        // The trajectory sidecar holds one 8-epoch series per policy,
+        // and predictive epochs past cold start carry a wmape cell.
+        let ts = fig.timeseries.as_deref().expect("forecast trajectory");
+        for name in ["Static,", "Periodic (oracle),", "Predictive EWMA,"] {
+            assert_eq!(
+                ts.lines().filter(|l| l.starts_with(name)).count(),
+                8,
+                "missing series {name}:\n{ts}"
+            );
+        }
+        let scored = ts
+            .lines()
+            .filter(|l| l.starts_with("Predictive") && !l.ends_with(','))
+            .count();
+        assert!(scored > 0, "no predictive epoch reported a wmape:\n{ts}");
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub struct FigureData {
     pub x_label: String,
     /// Rows in x order.
     pub rows: Vec<FigureRow>,
+    /// Optional SLO trajectory sidecar (rendered
+    /// [`edgerep_testbed::render_slo_csv`] text): per-epoch availability /
+    /// QoS-miss / backlog / prefetch / forecast-error series for figures
+    /// whose endpoint scalars hide a recovery or learning curve. `repro
+    /// --csv` writes it as `{id}_timeseries.csv`; `None` for plain sweeps.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeseries: Option<String>,
 }
 
 /// Fig. 2: Appro-S vs Greedy-S vs Graph-S over network size (special
@@ -87,6 +94,7 @@ fn sweep_network_sizes(id: &str, title: &str, seeds: usize, special: bool) -> Fi
         title: title.to_owned(),
         x_label: "network size".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -108,6 +116,7 @@ pub fn fig4(seeds: usize) -> FigureData {
         title: "Impact of max datasets per query F (Appro-G vs Greedy-G vs Graph-G)".to_owned(),
         x_label: "F".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -129,6 +138,7 @@ pub fn fig5(seeds: usize) -> FigureData {
         title: "Impact of max replicas K (Appro-G vs Greedy-G vs Graph-G)".to_owned(),
         x_label: "K".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -178,6 +188,7 @@ pub fn fig7(seeds: usize) -> FigureData {
         title: "Testbed: Appro vs Popularity over F (measured)".to_owned(),
         x_label: "F".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 
@@ -203,6 +214,7 @@ pub fn fig8(seeds: usize) -> FigureData {
         title: "Testbed: Appro-G vs Popularity-G over K (measured)".to_owned(),
         x_label: "K".to_owned(),
         rows,
+        timeseries: None,
     }
 }
 

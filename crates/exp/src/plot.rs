@@ -325,6 +325,7 @@ mod tests {
                 row(2.0, &[170.0, 180.0], &[0.35, 0.45]),
                 row(3.0, &[250.0, 260.0], &[0.5, 0.55]),
             ],
+            timeseries: None,
         }
     }
 

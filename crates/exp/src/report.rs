@@ -181,6 +181,7 @@ mod tests {
                     },
                 ],
             }],
+            timeseries: None,
         }
     }
 
@@ -234,6 +235,7 @@ mod tests {
             title: "empty".into(),
             x_label: "K".into(),
             rows: vec![],
+            timeseries: None,
         }
     }
 
@@ -294,6 +296,7 @@ figX — sample
             histograms: vec![edgerep_obs::HistogramSnapshot {
                 name: "runner.point_us".into(),
                 count: 2,
+                sum: 3000,
                 mean: 1500.0,
                 p50: 1023,
                 p95: 2047,

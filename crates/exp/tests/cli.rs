@@ -246,6 +246,119 @@ fn solve_stats_prints_registry_summary() {
     assert!(text.contains("--- metrics: Greedy-G ---"), "{text}");
     assert!(text.contains("admission.checks"), "{text}");
     assert!(text.contains("span.greedy.solve_us"), "{text}");
+    // Span timings live in their own section with quantile columns.
+    assert!(text.contains("p50_us"), "{text}");
+    assert!(text.contains("p95_us"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_profile_writes_folded_stacks_and_self_table() {
+    let dir = std::env::temp_dir().join(format!("edgerep-cli-prof-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.json");
+    let folded = dir.join("p.txt");
+    edgerep()
+        .args([
+            "gen",
+            "--seed",
+            "4",
+            "--network-size",
+            "40",
+            "-o",
+            inst.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = edgerep()
+        .args([
+            "solve",
+            "-i",
+            inst.to_str().unwrap(),
+            "--alg",
+            "appro-g",
+            "--profile",
+            folded.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "solve --profile failed: {out:?}");
+    let text = std::fs::read_to_string(&folded).expect("folded stacks written");
+    assert!(!text.trim().is_empty(), "folded stacks file is empty");
+    // Every line is `semicolon;separated;path self_us`.
+    for line in text.lines() {
+        let (path, us) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!path.is_empty(), "{line}");
+        us.parse::<u64>()
+            .unwrap_or_else(|_| panic!("bad self_us in {line}"));
+    }
+    // The per-iteration candidate scan nests under the solver run.
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("appro.run;appro.select ")),
+        "appro.select must nest under appro.run:\n{text}"
+    );
+    // The stdout table reports the tree with self/cumulative columns.
+    let table = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(table.contains("self_us"), "{table}");
+    assert!(table.contains("appro.select"), "{table}");
+
+    // Flag validation matches --trace.
+    let out = edgerep()
+        .args(["solve", "-i", inst.to_str().unwrap(), "--profile"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile needs FILE"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_profile_top_self_frame_is_a_solver_span() {
+    let dir = std::env::temp_dir().join(format!("edgerep-repro-prof-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let folded = dir.join("fig8.folded");
+    let out = repro()
+        .args([
+            "fig8",
+            "--seeds",
+            "1",
+            "--profile",
+            folded.to_str().unwrap(),
+        ])
+        .output()
+        .expect("repro --profile runs");
+    assert!(out.status.success(), "repro --profile failed: {out:?}");
+    let text = std::fs::read_to_string(&folded).expect("folded stacks written");
+    // The solver's candidate scan must be visible in the tree...
+    assert!(
+        text.lines().any(|l| l
+            .rsplit_once(' ')
+            .unwrap()
+            .0
+            .ends_with("appro.run;appro.select")),
+        "no appro.select frame in the fig8 profile:\n{text}"
+    );
+    // ...and the frame with the largest self time must be a named unit of
+    // work (the solver scan, the analytics engine, world generation), not
+    // an event-loop or scheduler catch-all.
+    let top = text
+        .lines()
+        .max_by_key(|l| {
+            l.rsplit_once(' ')
+                .and_then(|(_, us)| us.parse::<u64>().ok())
+                .unwrap_or(0)
+        })
+        .expect("non-empty profile");
+    let path = top.rsplit_once(' ').unwrap().0;
+    let leaf = path.rsplit(';').next().unwrap();
+    assert!(
+        !matches!(
+            leaf,
+            "sim.loop" | "sim.run" | "runner.task" | "runner.testbed_point"
+        ),
+        "top self-time frame is the catch-all {leaf} (path {path}):\n{text}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -313,7 +426,10 @@ fn repro_trace_writes_ndjson_ending_in_registry_dump() {
     // ...and the file's very last line is the dump completion marker, so
     // a truncated regeneration is distinguishable from a finished one.
     let last = lines.last().unwrap();
-    assert_eq!(last["event"], "dump.done", "trace must end in dump.done: {last}");
+    assert_eq!(
+        last["event"], "dump.done",
+        "trace must end in dump.done: {last}"
+    );
     assert_eq!(last["fields"]["figure"], "fig2");
     std::fs::remove_dir_all(&dir).ok();
 }

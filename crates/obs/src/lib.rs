@@ -15,6 +15,12 @@
 //! 3. **Trace events** ([`trace`]) — structured NDJSON records
 //!    (`{"ts_us":..,"target":..,"span":..,"event":..,"fields":{..}}`)
 //!    written to a caller-installed sink ([`set_trace_writer`]).
+//! 4. **Span-tree profiler** ([`profile`], opt-in via
+//!    [`enable_profiling`]) — threads parent/child context through the
+//!    same RAII spans into a call tree with cumulative vs. self wall
+//!    time, renderable as a self-time table or folded stacks
+//!    ([`report`]). The `edgerep solve --profile` / `repro --profile`
+//!    flags drive it.
 //!
 //! # Enabling
 //!
@@ -58,14 +64,21 @@
 //! obs::disable();
 //! ```
 
+pub mod profile;
 pub mod registry;
+pub mod report;
 pub mod span;
 pub mod trace;
 
+pub use profile::{
+    disable_profiling, enable_profiling, profiling_enabled, record_span, reset_profile,
+    take_profile, Profile, ProfileNode,
+};
 pub use registry::{
     counter, gauge, histogram, render_summary, reset_registry, snapshot, Counter, Gauge, Histogram,
     HistogramSnapshot, Snapshot,
 };
+pub use report::{render_folded, render_self_table};
 pub use span::{span, SpanTimer};
 pub use trace::{
     dump_registry, emit, emit_debug, set_trace_writer, take_trace_writer, MemWriter, Value,

@@ -1,0 +1,377 @@
+//! Hierarchical span-tree profiler (`edgerep-prof`).
+//!
+//! When profiling is enabled ([`enable_profiling`]) every [`crate::span`]
+//! guard threads parent/child context through a thread-local stack of
+//! span paths: a span opened while `appro.run` is live on the same thread
+//! becomes its child, keyed by the folded path `appro.run;appro.select`.
+//! On close, the span's wall time is merged into a process-wide call
+//! tree, per path:
+//!
+//! * **invocation count** and **cumulative** wall time (whole scope),
+//! * **child** wall time (sum of directly nested spans), from which
+//!   **self** time is derived (`cum − child`, saturating),
+//! * a log2 [`Histogram`] of per-invocation durations for interpolated
+//!   p50/p95 readouts (same quantile machinery as the registry).
+//!
+//! Spans on different threads never nest into each other: a span opened
+//! on a worker thread roots its own subtree, which is what you want for
+//! `par_map` fan-out (each `runner.task` stack stands alone).
+//!
+//! [`take_profile`] drains the tree into an immutable [`Profile`] that
+//! the [`crate::report`] renderers turn into a sorted self-time table or
+//! folded-stacks text for flamegraph tooling. The hot-path cost when
+//! profiling is disabled is one relaxed atomic load per span open.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::registry::Histogram;
+
+/// Separator between frames in a folded span path (`a;b;c`), matching
+/// the folded-stacks convention of standard flamegraph tooling.
+pub const PATH_SEPARATOR: char = ';';
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Accumulated stats for one call-tree node, keyed by folded path.
+#[derive(Debug, Default)]
+struct NodeStats {
+    count: u64,
+    cum_us: u64,
+    child_us: u64,
+    hist: Histogram,
+}
+
+static NODES: Mutex<BTreeMap<String, NodeStats>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    /// Stack of folded paths for the spans currently open on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turns span-tree profiling on (the `--profile FILE` flags use this).
+/// Spans read the clock while profiling even when their trace target is
+/// disabled, so a profile never needs `--trace` to be meaningful.
+pub fn enable_profiling() {
+    PROFILING.store(true, Ordering::SeqCst);
+}
+
+/// Turns span-tree profiling off. Already-open spans still record their
+/// close into the tree, keeping it well formed.
+pub fn disable_profiling() {
+    PROFILING.store(false, Ordering::SeqCst);
+}
+
+/// Whether profiling is currently enabled (one relaxed load).
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Opens a profiled frame named `name` under the innermost open frame of
+/// this thread. Returns the frame's stack depth, which [`close_frame`]
+/// uses to self-heal if an inner guard leaked. Called by [`crate::span`].
+pub(crate) fn open_frame(name: &str) -> usize {
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => {
+                let mut p = String::with_capacity(parent.len() + 1 + name.len());
+                p.push_str(parent);
+                p.push(PATH_SEPARATOR);
+                p.push_str(name);
+                p
+            }
+            None => name.to_owned(),
+        };
+        stack.push(path);
+        stack.len() - 1
+    })
+}
+
+/// Closes the frame opened at `depth`, folding `us` of wall time into the
+/// call tree (and into the parent's child-time tally).
+pub(crate) fn close_frame(depth: usize, us: u64) {
+    let (path, parent) = match STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        if stack.len() <= depth {
+            return None; // stack was reset under us; drop the sample
+        }
+        stack.truncate(depth + 1); // shed frames an inner leak left behind
+        let path = stack.pop().expect("frame present at depth");
+        let parent = stack.last().cloned();
+        Some((path, parent))
+    }) {
+        Some(found) => found,
+        None => return,
+    };
+    record_closed(&path, parent.as_deref(), us);
+}
+
+fn record_closed(path: &str, parent: Option<&str>, us: u64) {
+    let mut nodes = NODES.lock().unwrap_or_else(|e| e.into_inner());
+    let node = nodes.entry(path.to_owned()).or_default();
+    node.count += 1;
+    node.cum_us += us;
+    node.hist.record(us);
+    if let Some(parent) = parent {
+        nodes.entry(parent.to_owned()).or_default().child_us += us;
+    }
+}
+
+/// Folds one hand-built span occurrence into the tree: `frames` is the
+/// stack root-first (e.g. `&["fig8", "sim.run", "appro.run"]`) and `us`
+/// the span's cumulative wall time. Parents must be recorded separately
+/// (they usually are: record each frame of the tree once). Used by tests
+/// and harnesses that replay recorded trees.
+pub fn record_span(frames: &[&str], us: u64) {
+    if frames.is_empty() {
+        return;
+    }
+    let path = frames.join(&PATH_SEPARATOR.to_string());
+    let parent =
+        (frames.len() > 1).then(|| frames[..frames.len() - 1].join(&PATH_SEPARATOR.to_string()));
+    record_closed(&path, parent.as_deref(), us);
+}
+
+/// Discards all accumulated profile data (this thread's open-frame stack
+/// included).
+pub fn reset_profile() {
+    NODES.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    STACK.with(|stack| stack.borrow_mut().clear());
+}
+
+/// One node of a drained call tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Folded path from the root frame, `;`-separated (`a;b;c`).
+    pub path: String,
+    /// Last frame of the path (the span's own name).
+    pub name: String,
+    /// Nesting depth (root frames are 0).
+    pub depth: usize,
+    /// Number of times this exact stack closed.
+    pub count: u64,
+    /// Total wall time spent in this stack, children included (µs).
+    pub cum_us: u64,
+    /// Wall time spent in this stack minus directly nested spans (µs).
+    pub self_us: u64,
+    /// Interpolated median per-invocation duration (µs).
+    pub p50_us: u64,
+    /// Interpolated 95th-percentile per-invocation duration (µs).
+    pub p95_us: u64,
+    /// Largest single invocation (µs).
+    pub max_us: u64,
+}
+
+/// A drained span call tree, nodes sorted by folded path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    /// All nodes that closed at least once, in path order.
+    pub nodes: Vec<ProfileNode>,
+}
+
+impl Profile {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the largest self time, if any.
+    pub fn top_self(&self) -> Option<&ProfileNode> {
+        self.nodes.iter().max_by_key(|n| n.self_us)
+    }
+}
+
+/// Drains the accumulated call tree into a [`Profile`], leaving the tree
+/// empty. Call after the profiled work joined all its worker threads.
+pub fn take_profile() -> Profile {
+    let drained = std::mem::take(&mut *NODES.lock().unwrap_or_else(|e| e.into_inner()));
+    let nodes = drained
+        .into_iter()
+        .filter(|(_, stats)| stats.count > 0)
+        .map(|(path, stats)| {
+            let name = path
+                .rsplit(PATH_SEPARATOR)
+                .next()
+                .unwrap_or(path.as_str())
+                .to_owned();
+            let depth = path.matches(PATH_SEPARATOR).count();
+            ProfileNode {
+                name,
+                depth,
+                count: stats.count,
+                cum_us: stats.cum_us,
+                self_us: stats.cum_us.saturating_sub(stats.child_us),
+                p50_us: stats.hist.quantile(0.5),
+                p95_us: stats.hist.quantile(0.95),
+                max_us: stats.hist.max(),
+                path,
+            }
+        })
+        .collect();
+    Profile { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+
+    fn node<'a>(p: &'a Profile, path: &str) -> &'a ProfileNode {
+        p.nodes
+            .iter()
+            .find(|n| n.path == path)
+            .unwrap_or_else(|| panic!("no node {path} in {:?}", p.nodes))
+    }
+
+    #[test]
+    fn live_spans_nest_into_paths() {
+        let _g = test_support::lock();
+        reset_profile();
+        enable_profiling();
+        {
+            let _outer = crate::span("test", "prof.outer");
+            {
+                let _inner = crate::span("test", "prof.inner");
+            }
+            {
+                let _inner = crate::span("test", "prof.inner");
+            }
+        }
+        disable_profiling();
+        let p = take_profile();
+        let outer = node(&p, "prof.outer");
+        let inner = node(&p, "prof.outer;prof.inner");
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.count, 2);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.name, "prof.inner");
+        assert!(outer.cum_us >= inner.cum_us, "{outer:?} vs {inner:?}");
+        assert_eq!(outer.self_us, outer.cum_us - inner.cum_us);
+    }
+
+    #[test]
+    fn spans_on_other_threads_root_their_own_subtrees() {
+        let _g = test_support::lock();
+        reset_profile();
+        enable_profiling();
+        {
+            let _outer = crate::span("test", "prof.main");
+            std::thread::spawn(|| {
+                let _w = crate::span("test", "prof.worker");
+            })
+            .join()
+            .unwrap();
+        }
+        disable_profiling();
+        let p = take_profile();
+        assert_eq!(node(&p, "prof.worker").depth, 0);
+        assert_eq!(node(&p, "prof.main").self_us, node(&p, "prof.main").cum_us);
+    }
+
+    #[test]
+    fn hand_built_tree_aggregates_counts_and_self_time() {
+        let _g = test_support::lock();
+        reset_profile();
+        record_span(&["a", "b"], 10);
+        record_span(&["a", "b"], 30);
+        record_span(&["a", "c"], 5);
+        record_span(&["a"], 100);
+        let p = take_profile();
+        let a = node(&p, "a");
+        assert_eq!(a.count, 1);
+        assert_eq!(a.cum_us, 100);
+        assert_eq!(a.self_us, 100 - 10 - 30 - 5);
+        let b = node(&p, "a;b");
+        assert_eq!(b.count, 2);
+        assert_eq!(b.cum_us, 40);
+        assert_eq!(b.self_us, 40); // leaf: self == cum
+        assert_eq!(b.max_us, 30);
+        assert!(b.p50_us >= 10 && b.p50_us <= 30, "{b:?}");
+        assert_eq!(p.top_self(), Some(a));
+    }
+
+    #[test]
+    fn take_profile_drains() {
+        let _g = test_support::lock();
+        reset_profile();
+        record_span(&["x"], 1);
+        assert!(!take_profile().is_empty());
+        assert!(take_profile().is_empty());
+    }
+
+    /// Property test over randomly generated well-nested trees: every
+    /// node's self time ≤ its cumulative time, and its children's
+    /// cumulative sum ≤ its own cumulative. Trees are generated with a
+    /// deterministic LCG so failures replay.
+    #[test]
+    fn self_and_child_time_invariants_hold() {
+        let _g = test_support::lock();
+
+        struct Lcg(u64);
+        impl Lcg {
+            fn next(&mut self, bound: u64) -> u64 {
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (self.0 >> 33) % bound
+            }
+        }
+
+        // Recursively "runs" a span: children first, then the node's own
+        // cumulative = children total + its own self time.
+        fn run_tree(rng: &mut Lcg, frames: &mut Vec<&'static str>, depth: usize) -> u64 {
+            const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+            let mut child_total = 0u64;
+            if depth < 3 {
+                for _ in 0..rng.next(3) {
+                    let name = NAMES[rng.next(NAMES.len() as u64) as usize];
+                    frames.push(name);
+                    child_total += run_tree(rng, frames, depth + 1);
+                    frames.pop();
+                }
+            }
+            let cum = child_total + rng.next(50);
+            record_span(frames, cum);
+            cum
+        }
+
+        for seed in 0..20u64 {
+            reset_profile();
+            let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).max(1));
+            let mut frames = vec!["root"];
+            run_tree(&mut rng, &mut frames, 0);
+            let p = take_profile();
+            for n in &p.nodes {
+                assert!(n.self_us <= n.cum_us, "seed {seed}: {n:?}");
+                assert!(
+                    n.p50_us <= n.max_us && n.p95_us <= n.max_us,
+                    "seed {seed}: {n:?}"
+                );
+                let child_sum: u64 = p
+                    .nodes
+                    .iter()
+                    .filter(|c| {
+                        c.depth == n.depth + 1
+                            && c.path.starts_with(&n.path)
+                            && c.path.as_bytes().get(n.path.len()) == Some(&(PATH_SEPARATOR as u8))
+                    })
+                    .map(|c| c.cum_us)
+                    .sum();
+                assert!(
+                    child_sum <= n.cum_us,
+                    "seed {seed}: children of {} sum to {child_sum} > {}",
+                    n.path,
+                    n.cum_us
+                );
+                assert_eq!(n.self_us, n.cum_us - child_sum, "seed {seed}: {n:?}");
+            }
+        }
+        reset_profile();
+    }
+}

@@ -250,6 +250,8 @@ pub struct HistogramSnapshot {
     pub name: String,
     /// Sample count.
     pub count: u64,
+    /// Sum of all samples (lets [`Snapshot::delta`] derive interval means).
+    pub sum: u64,
     /// Mean sample.
     pub mean: f64,
     /// Median (interpolated within the containing log2 bucket).
@@ -297,6 +299,7 @@ pub fn snapshot() -> Snapshot {
         .map(|(n, h)| HistogramSnapshot {
             name: n.clone(),
             count: h.count(),
+            sum: h.sum(),
             mean: h.mean(),
             p50: h.quantile(0.5),
             p95: h.quantile(0.95),
@@ -307,6 +310,81 @@ pub fn snapshot() -> Snapshot {
         counters,
         gauges,
         histograms,
+    }
+}
+
+impl Snapshot {
+    /// The change since `baseline`: counters and histogram counts/sums are
+    /// subtracted (saturating), gauges report their difference, and
+    /// entries that did not move are dropped. Histogram distribution
+    /// stats (p50/p95/max) cannot be un-merged from two snapshots, so
+    /// they carry the *later* snapshot's values; the delta `mean` is the
+    /// true interval mean (`Δsum / Δcount`).
+    ///
+    /// Because snapshots are plain values, two calls to [`snapshot`]
+    /// around a measured region diff cleanly even while other threads
+    /// keep writing. The delta of a delta with itself is empty — see the
+    /// `delta_of_delta_is_zero` test.
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        let base_counter: BTreeMap<&str, u64> = baseline
+            .counters
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(n, v)| {
+                let d = v.saturating_sub(base_counter.get(n.as_str()).copied().unwrap_or(0));
+                (d != 0).then(|| (n.clone(), d))
+            })
+            .collect();
+        let base_gauge: BTreeMap<&str, f64> = baseline
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .filter_map(|(n, v)| {
+                let d = v - base_gauge.get(n.as_str()).copied().unwrap_or(0.0);
+                (d != 0.0).then(|| (n.clone(), d))
+            })
+            .collect();
+        let base_hist: BTreeMap<&str, &HistogramSnapshot> = baseline
+            .histograms
+            .iter()
+            .map(|h| (h.name.as_str(), h))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                let (bcount, bsum) = base_hist
+                    .get(h.name.as_str())
+                    .map_or((0, 0), |b| (b.count, b.sum));
+                let count = h.count.saturating_sub(bcount);
+                if count == 0 {
+                    return None;
+                }
+                let sum = h.sum.saturating_sub(bsum);
+                Some(HistogramSnapshot {
+                    name: h.name.clone(),
+                    count,
+                    sum,
+                    mean: sum as f64 / count as f64,
+                    p50: h.p50,
+                    p95: h.p95,
+                    max: h.max,
+                })
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
     }
 }
 
@@ -331,13 +409,31 @@ pub fn render_summary() -> String {
             let _ = writeln!(out, "  {name:<44} {v:>12.3}");
         }
     }
-    if !snap.histograms.is_empty() {
+    let (spans, plain): (Vec<_>, Vec<_>) = snap
+        .histograms
+        .iter()
+        .partition(|h| h.name.starts_with("span.") && h.name.ends_with("_us"));
+    if !spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "spans{:<41} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            "", "count", "mean_us", "p50_us", "p95_us", "max_us"
+        );
+        for h in &spans {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>12.1} {:>10} {:>10} {:>10}",
+                h.name, h.count, h.mean, h.p50, h.p95, h.max
+            );
+        }
+    }
+    if !plain.is_empty() {
         let _ = writeln!(
             out,
             "histograms{:<36} {:>8} {:>12} {:>10} {:>10} {:>10}",
             "", "count", "mean", "p50", "p95", "max"
         );
-        for h in &snap.histograms {
+        for h in &plain {
             let _ = writeln!(
                 out,
                 "  {:<44} {:>8} {:>12.1} {:>10} {:>10} {:>10}",
@@ -463,6 +559,69 @@ mod tests {
         assert!(table.contains("histograms"));
         reset_registry();
         assert!(render_summary().contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn summary_splits_span_histograms_into_their_own_section() {
+        let _g = test_support::lock();
+        reset_registry();
+        histogram("span.test.solve_us").record(12);
+        histogram("test.plain.h").record(3);
+        let table = render_summary();
+        let spans_at = table.find("spans").expect("spans section");
+        let hist_at = table.find("histograms").expect("histograms section");
+        assert!(spans_at < hist_at, "{table}");
+        assert!(table.contains("p50_us"), "{table}");
+        assert!(table.contains("p95_us"), "{table}");
+        assert!(table.contains("span.test.solve_us"), "{table}");
+        // The span histogram is not repeated in the plain section.
+        assert_eq!(table.matches("span.test.solve_us").count(), 1, "{table}");
+        reset_registry();
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_and_drops_unchanged() {
+        let _g = test_support::lock();
+        reset_registry();
+        counter("test.delta.c").add(5);
+        counter("test.delta.still").add(2);
+        gauge("test.delta.g").set(1.0);
+        histogram("test.delta.h").record(10);
+        let before = snapshot();
+        counter("test.delta.c").add(3);
+        gauge("test.delta.g").set(4.0);
+        histogram("test.delta.h").record(30);
+        histogram("test.delta.new").record(7);
+        let after = snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counters, vec![("test.delta.c".into(), 3)]);
+        assert_eq!(d.gauges, vec![("test.delta.g".into(), 3.0)]);
+        assert_eq!(d.histograms.len(), 2);
+        let dh = &d.histograms[0];
+        assert_eq!(dh.name, "test.delta.h");
+        assert_eq!(dh.count, 1);
+        assert_eq!(dh.sum, 30);
+        assert_eq!(dh.mean, 30.0);
+        let dn = &d.histograms[1];
+        assert_eq!(
+            (dn.name.as_str(), dn.count, dn.sum),
+            ("test.delta.new", 1, 7)
+        );
+        reset_registry();
+    }
+
+    #[test]
+    fn delta_of_delta_is_zero() {
+        let _g = test_support::lock();
+        reset_registry();
+        counter("test.dd.c").add(9);
+        gauge("test.dd.g").set(2.5);
+        histogram("test.dd.h").record(4);
+        let before = Snapshot::default();
+        let d = snapshot().delta(&before);
+        assert!(!d.counters.is_empty() && !d.gauges.is_empty() && !d.histograms.is_empty());
+        assert_eq!(d.delta(&d), Snapshot::default());
+        reset_registry();
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Renderers for drained [`Profile`] call trees.
+//!
+//! Two export formats:
+//!
+//! * [`render_self_table`] — a human-facing table sorted by self time
+//!   (descending), one row per distinct stack, with cumulative time,
+//!   invocation counts, and interpolated p50/p95 per invocation.
+//! * [`render_folded`] — folded-stacks text (`a;b;c <self_us>` per
+//!   line), the interchange format consumed by standard flamegraph
+//!   tooling (`flamegraph.pl`, `inferno-flamegraph`, speedscope).
+
+use std::fmt::Write as _;
+
+use crate::profile::{Profile, ProfileNode};
+
+/// Renders the call tree as folded stacks: one `path self_us` line per
+/// node, in path order. Feed the output straight into flamegraph
+/// tooling.
+pub fn render_folded(profile: &Profile) -> String {
+    let mut out = String::new();
+    for n in &profile.nodes {
+        let _ = writeln!(out, "{} {}", n.path, n.self_us);
+    }
+    out
+}
+
+/// Renders the call tree as a table sorted by self time, descending
+/// (ties broken by path so the output is deterministic).
+pub fn render_self_table(profile: &Profile) -> String {
+    let mut out = String::new();
+    if profile.is_empty() {
+        out.push_str("(no spans profiled)\n");
+        return out;
+    }
+    let mut nodes: Vec<&ProfileNode> = profile.nodes.iter().collect();
+    nodes.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.path.cmp(&b.path)));
+    let total_self: u64 = nodes.iter().map(|n| n.self_us).sum::<u64>().max(1);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>6} {:>10} {:>8} {:>8} {:>8}  span",
+        "self_us", "self%", "cum_us", "count", "p50_us", "p95_us"
+    );
+    for n in nodes {
+        let pct = 100.0 * n.self_us as f64 / total_self as f64;
+        let _ = writeln!(
+            out,
+            "{:>10} {:>5.1}% {:>10} {:>8} {:>8} {:>8}  {}{}",
+            n.self_us,
+            pct,
+            n.cum_us,
+            n.count,
+            n.p50_us,
+            n.p95_us,
+            "  ".repeat(n.depth),
+            n.name
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{record_span, reset_profile, take_profile};
+    use crate::test_support;
+
+    /// Golden test: a hand-built span tree renders to exactly this folded
+    /// text (path order, self times after child subtraction).
+    #[test]
+    fn folded_stacks_golden() {
+        let _g = test_support::lock();
+        reset_profile();
+        record_span(&["fig8", "sim.run", "appro.run"], 70);
+        record_span(&["fig8", "sim.run", "appro.run"], 30);
+        record_span(&["fig8", "sim.run", "sim.loop"], 40);
+        record_span(&["fig8", "sim.run"], 200);
+        record_span(&["fig8"], 250);
+        let p = take_profile();
+        let folded = render_folded(&p);
+        let expected = "\
+fig8 50
+fig8;sim.run 60
+fig8;sim.run;appro.run 100
+fig8;sim.run;sim.loop 40
+";
+        assert_eq!(folded, expected);
+    }
+
+    #[test]
+    fn self_table_sorts_by_self_time_and_reports_percent() {
+        let _g = test_support::lock();
+        reset_profile();
+        record_span(&["outer", "hot"], 75);
+        record_span(&["outer"], 100);
+        let p = take_profile();
+        let table = render_self_table(&p);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("self_us"), "{table}");
+        assert!(lines[0].contains("p95_us"), "{table}");
+        // hot (self 75) outranks outer (self 25).
+        assert!(lines[1].trim_start().starts_with("75"), "{table}");
+        assert!(lines[1].contains("hot"), "{table}");
+        assert!(lines[2].trim_start().starts_with("25"), "{table}");
+        assert!(lines[2].contains("outer"), "{table}");
+        assert!(lines[1].contains("75.0%"), "{table}");
+    }
+
+    #[test]
+    fn empty_profile_renders_placeholder() {
+        let _g = test_support::lock();
+        reset_profile();
+        let p = take_profile();
+        assert_eq!(render_folded(&p), "");
+        assert!(render_self_table(&p).contains("no spans profiled"));
+    }
+}

@@ -18,6 +18,9 @@ pub struct SpanTimer {
     target: &'static str,
     name: &'static str,
     start: Option<Instant>,
+    /// Stack depth of the profiler frame this span opened, when
+    /// [`crate::profile`] was enabled at open time.
+    frame: Option<usize>,
 }
 
 impl SpanTimer {
@@ -32,25 +35,36 @@ impl Drop for SpanTimer {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        histogram(&format!("span.{}_us", self.name)).record(us);
-        emit(
-            self.target,
-            self.name,
-            "span.close",
-            &[("duration_us", Value::U64(us))],
-        );
+        if let Some(depth) = self.frame.take() {
+            crate::profile::close_frame(depth, us);
+        }
+        if crate::enabled(self.target) {
+            histogram(&format!("span.{}_us", self.name)).record(us);
+            emit(
+                self.target,
+                self.name,
+                "span.close",
+                &[("duration_us", Value::U64(us))],
+            );
+        }
     }
 }
 
 /// Opens a timed span under `target` named `name` (e.g.
-/// `span("appro", "appro.run")`). Disabled targets get an inert guard.
+/// `span("appro", "appro.run")`). Disabled targets get an inert guard —
+/// unless span-tree profiling is on ([`crate::profile`]), which times
+/// every span so the call tree stays complete regardless of the trace
+/// filter.
 #[inline]
 pub fn span(target: &'static str, name: &'static str) -> SpanTimer {
-    let start = crate::enabled(target).then(Instant::now);
+    let profiling = crate::profile::profiling_enabled();
+    let start = (profiling || crate::enabled(target)).then(Instant::now);
+    let frame = profiling.then(|| crate::profile::open_frame(name));
     SpanTimer {
         target,
         name,
         start,
+        frame,
     }
 }
 

@@ -70,12 +70,23 @@ pub enum AnalyticsResult {
 pub fn evaluate(kind: AnalyticsKind, records: &[Record]) -> AnalyticsResult {
     match kind {
         AnalyticsKind::TopApps { k } => {
-            let mut durations: std::collections::HashMap<u32, u64> =
-                std::collections::HashMap::new();
+            // App ids are a compact 0..apps index, so a dense tally beats
+            // hashing every record on the testbed's hot path. The presence
+            // flag keeps zero-duration apps that appear in the trace, like
+            // the map-based formulation did.
+            let max_app = records.iter().map(|r| r.app).max().unwrap_or(0) as usize;
+            let mut durations = vec![(false, 0u64); max_app + 1];
             for r in records {
-                *durations.entry(r.app).or_insert(0) += r.duration_s as u64;
+                let slot = &mut durations[r.app as usize];
+                slot.0 = true;
+                slot.1 += r.duration_s as u64;
             }
-            let mut pairs: Vec<(u32, u64)> = durations.into_iter().collect();
+            let mut pairs: Vec<(u32, u64)> = durations
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.0)
+                .map(|(app, slot)| (app as u32, slot.1))
+                .collect();
             pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             pairs.truncate(k);
             AnalyticsResult::TopApps(pairs)

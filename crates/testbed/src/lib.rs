@@ -45,6 +45,7 @@ pub mod geo;
 pub mod predict;
 pub mod rolling;
 pub mod sim;
+pub mod slo;
 pub mod topology;
 
 pub use fault::{FaultConfig, FaultPlan, FaultPlanError, LinkFault, NodeOutage};
@@ -52,4 +53,5 @@ pub use sim::{
     run_testbed, run_testbed_with_faults, try_run_testbed_with_faults, try_run_testbed_with_plan,
     ConsistencyConfig, DebugTraceConfig, NodeFailure, SimConfig, SimError, TestbedReport,
 };
+pub use slo::{render_slo_csv, SloSample};
 pub use topology::{build_fig6_topology, build_testbed_instance, TestbedConfig, TestbedWorld};

@@ -123,6 +123,33 @@ pub struct RollingReport {
     pub mean_forecast_wmape: Option<f64>,
 }
 
+impl RollingReport {
+    /// The run's SLO trajectory, one sample per epoch: `t_s` is the epoch
+    /// index, availability is the epoch's admitted fraction (its
+    /// complement is the QoS-miss rate — a rejected query is one whose
+    /// QoS could not be met), `prefetch_gb` accumulates across epochs,
+    /// and `forecast_wmape` is the epoch's own score. The rolling driver
+    /// has no fault model, so the repair backlog is always 0.
+    pub fn slo_series(&self) -> Vec<crate::slo::SloSample> {
+        let mut prefetch = 0.0;
+        self.per_epoch
+            .iter()
+            .enumerate()
+            .map(|(epoch, st)| {
+                prefetch += st.prefetch_gb;
+                crate::slo::SloSample {
+                    t_s: epoch as f64,
+                    availability: st.throughput,
+                    qos_miss_rate: (1.0 - st.throughput).max(0.0),
+                    repair_backlog: 0,
+                    prefetch_gb: prefetch,
+                    forecast_wmape: st.forecast_wmape,
+                }
+            })
+            .collect()
+    }
+}
+
 /// Builds the epoch-`e` instance: same topology geometry and datasets
 /// (regenerated deterministically from `cfg.seed`), fresh queries whose
 /// homes cluster on the epoch's hotspot group.
@@ -520,6 +547,26 @@ mod tests {
             "prefetching a rotating hotspot should cost no more than the \
              oracle's repeated migrations ({predictive_traffic} vs {periodic_traffic})"
         );
+    }
+
+    #[test]
+    fn slo_series_tracks_per_epoch_stats() {
+        let cfg = drift_cfg();
+        let report = run_rolling(&ApproG::default(), &cfg, predictive_seasonal());
+        let series = report.slo_series();
+        assert_eq!(series.len(), report.per_epoch.len());
+        let mut cumulative = 0.0;
+        for (epoch, (sample, stats)) in series.iter().zip(&report.per_epoch).enumerate() {
+            assert_eq!(sample.t_s, epoch as f64);
+            assert_eq!(sample.availability, stats.throughput);
+            assert!((sample.availability + sample.qos_miss_rate - 1.0).abs() < 1e-9);
+            assert_eq!(sample.repair_backlog, 0);
+            cumulative += stats.prefetch_gb;
+            assert!((sample.prefetch_gb - cumulative).abs() < 1e-9);
+            assert_eq!(sample.forecast_wmape, stats.forecast_wmape);
+        }
+        // The predictive run prefetches, so the trajectory actually climbs.
+        assert!(series.last().unwrap().prefetch_gb > 0.0);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use rand::{Rng, SeedableRng};
 use crate::analytics::{evaluate, merge, AnalyticsResult};
 use crate::event::{EventQueue, SimTime};
 use crate::fault::{FaultPlan, FaultPlanError};
+use crate::slo::SloSample;
 use crate::topology::TestbedWorld;
 
 /// Retry policy for transfers blocked by a dead source or a partitioned
@@ -149,6 +150,10 @@ pub struct SimConfig {
     pub repair: bool,
     /// Optional bounded event-loop trace, dumped on QoS misses.
     pub debug_trace: Option<DebugTraceConfig>,
+    /// Sample the SLO state (availability, QoS-miss rate, repair
+    /// backlog) every this many simulated seconds into
+    /// [`TestbedReport::slo_series`]. `None` disables sampling.
+    pub slo_sample_interval_s: Option<f64>,
     /// RNG seed for arrivals (placement is deterministic given the world).
     pub seed: u64,
 }
@@ -161,6 +166,7 @@ impl Default for SimConfig {
             consistency: None,
             repair: false,
             debug_trace: None,
+            slo_sample_interval_s: None,
             seed: 1,
         }
     }
@@ -240,6 +246,10 @@ pub struct TestbedReport {
     pub peak_event_queue: usize,
     /// Analytics answers produced (one per completed query).
     pub answers: Vec<(QueryId, AnalyticsResult)>,
+    /// SLO trajectory sampled every [`SimConfig::slo_sample_interval_s`]
+    /// simulated seconds (plus one closing sample at drain); empty when
+    /// sampling is off.
+    pub slo_series: Vec<SloSample>,
 }
 
 #[derive(Debug)]
@@ -283,6 +293,8 @@ enum Event {
     RetryTransfer {
         job: usize,
     },
+    /// Snapshot SLO state into the report's time series.
+    SloSample,
 }
 
 /// What a deferred transfer job carries.
@@ -386,7 +398,10 @@ pub fn try_run_testbed_with_plan(
     let trace_debug = obs::enabled_at("sim", obs::Level::Debug);
 
     // --- 1. Controller -------------------------------------------------
-    let plan = alg.solve(inst);
+    let plan = {
+        let _controller_span = obs::span("sim", "sim.controller");
+        alg.solve(inst)
+    };
     plan.validate(inst).map_err(|errs| {
         SimError::InfeasibleControllerPlan(
             errs.iter()
@@ -395,6 +410,8 @@ pub fn try_run_testbed_with_plan(
                 .join("; "),
         )
     })?;
+
+    let planned_admitted = plan.admitted_count();
 
     // --- 2. Replication phase ------------------------------------------
     let mut replication_gb = 0.0;
@@ -450,6 +467,13 @@ pub fn try_run_testbed_with_plan(
             Event::ConsistencyCheck,
         );
     }
+    if let Some(interval) = cfg.slo_sample_interval_s {
+        assert!(
+            interval > 0.0 && interval.is_finite(),
+            "slo_sample_interval_s must be positive and finite, got {interval}"
+        );
+        queue.push(SimTime::from_secs_f64(interval), Event::SloSample);
+    }
 
     let mut runs: Vec<Option<QueryRun>> = vec![None; inst.queries().len()];
     let mut free_ghz: Vec<f64> = cloud.compute_ids().map(|v| cloud.available(v)).collect();
@@ -489,6 +513,7 @@ pub fn try_run_testbed_with_plan(
     let mut ring: std::collections::VecDeque<(SimTime, &'static str, i64, i64)> =
         std::collections::VecDeque::new();
     let mut qos_miss_dumps = 0usize;
+    let mut slo_series: Vec<SloSample> = Vec::new();
     // Per-node NIC: the instant the egress link frees up.
     let mut nic_free_at = vec![SimTime::ZERO; cloud.compute_count()];
     // Background (repair) egress cursor: repairs serialize among
@@ -538,6 +563,9 @@ pub fn try_run_testbed_with_plan(
         }
     };
 
+    // The drain gets its own span so profiles separate event-loop time
+    // from the controller's solve (`sim.controller` → solver spans).
+    let loop_span = obs::span("sim", "sim.loop");
     while let Some((now, ev)) = queue.pop() {
         events_processed += 1;
         peak_event_queue = peak_event_queue.max(queue.len() + 1);
@@ -558,6 +586,7 @@ pub fn try_run_testbed_with_plan(
                 Event::LinkUp { a, b } => ("link_up", a.index() as i64, b.index() as i64),
                 Event::RepairDone { job } => ("repair_done", *job as i64, -1),
                 Event::RetryTransfer { job } => ("retry_transfer", *job as i64, -1),
+                Event::SloSample => ("slo_sample", -1, -1),
             };
             if ring.len() >= tc.capacity.max(1) {
                 ring.pop_front();
@@ -704,7 +733,12 @@ pub fn try_run_testbed_with_plan(
                     continue;
                 };
                 // Evaluate the analytics for real, then ship the result.
-                let partial = evaluate(world.query_kinds[q.index()], &world.records[d.index()]);
+                // Its own span: real computation must not hide inside the
+                // event loop's self time in profiles.
+                let partial = {
+                    let _analytics_span = obs::span("sim", "sim.analytics");
+                    evaluate(world.query_kinds[q.index()], &world.records[d.index()])
+                };
                 run.partials[demand] = Some(partial);
                 let query = inst.query(q);
                 let result_gb = query.demands[demand].selectivity * inst.size(d);
@@ -1085,7 +1119,41 @@ pub fn try_run_testbed_with_plan(
                     queue.push(next, Event::ConsistencyCheck);
                 }
             }
+            Event::SloSample => {
+                let interval = cfg
+                    .slo_sample_interval_s
+                    .expect("sample scheduled only with config");
+                slo_series.push(snapshot_slo(
+                    now.as_secs_f64(),
+                    inst,
+                    &completed,
+                    queries_lost,
+                    planned_admitted,
+                    repairs_scheduled,
+                    repairs_completed,
+                    replication_gb + repair_gb,
+                ));
+                // Keep sampling until the query phase has drained.
+                if now <= query_horizon {
+                    queue.push(now.after_secs(interval), Event::SloSample);
+                }
+            }
         }
+    }
+    drop(loop_span);
+    if cfg.slo_sample_interval_s.is_some() {
+        // Close the series at drain time so the final state is always a
+        // row even when the run is shorter than one interval.
+        slo_series.push(snapshot_slo(
+            last_event_t.as_secs_f64(),
+            inst,
+            &completed,
+            queries_lost,
+            planned_admitted,
+            repairs_scheduled,
+            repairs_completed,
+            replication_gb + repair_gb,
+        ));
     }
 
     // --- 4. Report -------------------------------------------------------
@@ -1120,7 +1188,6 @@ pub fn try_run_testbed_with_plan(
         }
     };
     let planned_volume = plan.admitted_volume(inst);
-    let planned_admitted = plan.admitted_count();
     let mean_queue_wait_s = if demands_started == 0 {
         0.0
     } else {
@@ -1209,8 +1276,45 @@ pub fn try_run_testbed_with_plan(
         events_processed,
         peak_event_queue,
         answers,
+        slo_series,
         plan,
     })
+}
+
+/// Snapshot of SLO state mid-run (see [`SimConfig::slo_sample_interval_s`]).
+#[allow(clippy::too_many_arguments)]
+fn snapshot_slo(
+    t_s: f64,
+    inst: &edgerep_model::Instance,
+    completed: &[(QueryId, SimTime, SimTime)],
+    queries_lost: usize,
+    planned_admitted: usize,
+    repairs_scheduled: usize,
+    repairs_completed: usize,
+    prefetch_gb: f64,
+) -> SloSample {
+    let misses = completed
+        .iter()
+        .filter(|&&(q, arrival, finish)| {
+            finish.as_secs_f64() - arrival.as_secs_f64() > inst.query(q).deadline + 1e-9
+        })
+        .count();
+    SloSample {
+        t_s,
+        availability: if planned_admitted == 0 {
+            1.0
+        } else {
+            (1.0 - queries_lost as f64 / planned_admitted as f64).max(0.0)
+        },
+        qos_miss_rate: if completed.is_empty() {
+            0.0
+        } else {
+            misses as f64 / completed.len() as f64
+        },
+        repair_backlog: repairs_scheduled.saturating_sub(repairs_completed),
+        prefetch_gb,
+        forecast_wmape: None,
+    }
 }
 
 #[cfg(test)]
@@ -1259,6 +1363,33 @@ mod tests {
             report.plan.admitted_count(),
             "all planned-admitted queries complete eventually"
         );
+    }
+
+    #[test]
+    fn slo_sampling_produces_a_monotone_series() {
+        let world = small_world(2, 3);
+        let cfg = SimConfig {
+            slo_sample_interval_s: Some(5.0),
+            ..Default::default()
+        };
+        let report = run_testbed(&ApproG::default(), &world, &cfg);
+        assert!(!report.slo_series.is_empty(), "sampling on → rows");
+        for pair in report.slo_series.windows(2) {
+            assert!(pair[0].t_s <= pair[1].t_s, "t_s must be monotone");
+        }
+        for s in &report.slo_series {
+            assert!((0.0..=1.0).contains(&s.availability), "{s:?}");
+            assert!((0.0..=1.0).contains(&s.qos_miss_rate), "{s:?}");
+            assert!(s.prefetch_gb >= 0.0, "{s:?}");
+            assert_eq!(s.forecast_wmape, None, "plain sim has no forecaster");
+        }
+        // The closing sample reflects the final report state.
+        let last = report.slo_series.last().unwrap();
+        assert!((last.availability - report.availability).abs() < 1e-9);
+        // Sampling must not perturb the simulation itself.
+        let plain = run_testbed(&ApproG::default(), &world, &SimConfig::default());
+        assert_eq!(plain.measured_admitted, report.measured_admitted);
+        assert_eq!(plain.measured_volume, report.measured_volume);
     }
 
     #[test]

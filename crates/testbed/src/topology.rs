@@ -8,6 +8,7 @@
 //! randomly distributed over the VMs exactly as §4.3 describes.
 
 use edgerep_model::prelude::*;
+use edgerep_obs as obs;
 use edgerep_workload::mobile_trace::{self, Record, TraceConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -171,6 +172,9 @@ pub fn build_fig6_topology(
 /// Builds the whole testbed world from a seed: topology, trace-backed
 /// datasets, and analytics queries.
 pub fn build_testbed_instance(cfg: &TestbedConfig, seed: u64) -> TestbedWorld {
+    // Trace generation + partitioning is a real cost; give it its own
+    // profile frame instead of letting it hide in the caller's self time.
+    let _span = obs::span("sim", "sim.build_world");
     assert!(cfg.windows >= 1, "need at least one dataset window");
     assert!(cfg.query_count >= 1, "need at least one query");
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Measured benchmark trajectory: run the zero-dependency suite and append
+# a new BENCH_<n>.json snapshot at the repo root, then gate against the
+# previous snapshot.
+#
+#   scripts/bench.sh             # full measurement -> BENCH_<n>.json + diff gate
+#   scripts/bench.sh --smoke     # 1 warmup + 1 iteration (shape check only)
+#   scripts/bench.sh --threshold 15   # custom regression threshold (percent)
+#
+# The diff gate exits nonzero when any entry's median regresses beyond the
+# threshold (default 10%) AND the move clears the noise floor (3x MAD).
+# Delete the newest BENCH file to retract a bad measurement. Run on a
+# quiet machine; smoke runs are for wiring checks, not for committing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke=()
+threshold=()
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+        --smoke) smoke=(--smoke); shift ;;
+        --threshold)
+            [ "$#" -ge 2 ] || { echo "--threshold needs a value" >&2; exit 2; }
+            threshold=(--threshold "$2"); shift 2 ;;
+        *) echo "unknown flag: $1" >&2; exit 2 ;;
+    esac
+done
+
+echo "== build (release) =="
+cargo build -q --release -p edgerep-bench --bin bench
+bench=target/release/bench
+
+# Next index in the BENCH_<n>.json trajectory, and the previous snapshot.
+# The trajectory starts at 6 — the PR that introduced the harness — so
+# file numbers line up with the PR sequence in CHANGES.md.
+prev=""
+next=6
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n="${f#BENCH_}"
+    n="${n%.json}"
+    case "$n" in *[!0-9]*) continue ;; esac
+    if [ "$n" -ge "$next" ]; then
+        next=$((n + 1))
+        prev="$f"
+    fi
+done
+out="BENCH_${next}.json"
+
+echo "== measure -> $out =="
+"$bench" run "${smoke[@]}" --out "$out"
+
+if [ -n "$prev" ]; then
+    echo "== regression gate: $prev -> $out =="
+    "$bench" diff "${threshold[@]}" "$prev" "$out"
+else
+    echo "(no previous BENCH file: $out is the trajectory baseline)"
+fi

@@ -61,17 +61,52 @@ tail -n 1 "$trace_tmp/ext-forecast.ndjson" | grep -q '"event":"dump.done"' \
 grep -q '"span":"forecast.predict"' "$trace_tmp/ext-forecast.ndjson" \
     || { echo "ext-forecast trace has no forecast.predict span event" >&2; exit 1; }
 
+# Smoke the span-tree profiler end to end: folded stacks are written and
+# the traced stream carries the profile.dump completion event.
+echo "== repro --profile smoke =="
+cargo run -q -p edgerep-exp --release --bin repro -- fig2 --seeds 1 \
+    --profile "$trace_tmp/fig2.folded" --trace "$trace_tmp/fig2prof.ndjson" > /dev/null
+test -s "$trace_tmp/fig2.folded" \
+    || { echo "repro --profile wrote no folded stacks" >&2; exit 1; }
+grep -q '"event":"profile.dump"' "$trace_tmp/fig2prof.ndjson" \
+    || { echo "traced profile run has no profile.dump event" >&2; exit 1; }
+
+# Bench harness smoke: 1 warmup + 1 iteration per entry, schema-validated
+# JSON, and the regression gate runs clean against itself (report-only).
+# The full measured run + BENCH_<n>.json trajectory is scripts/bench.sh.
+echo "== bench smoke =="
+cargo run -q -p edgerep-bench --release --bin bench -- run --smoke \
+    --out "$trace_tmp/BENCH_smoke.json"
+if command -v python3 > /dev/null; then
+    python3 - "$trace_tmp/BENCH_smoke.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "edgerep-bench/v1", doc["schema"]
+assert isinstance(doc["created_unix_s"], int)
+assert len(doc["entries"]) >= 7, len(doc["entries"])
+for e in doc["entries"]:
+    for key in ("name", "kind", "iters_per_sample", "samples",
+                "median_ns", "mad_ns", "mean_ns", "min_ns", "max_ns"):
+        assert key in e, (e, key)
+EOF
+fi
+cargo run -q -p edgerep-bench --release --bin bench -- diff --report-only \
+    "$trace_tmp/BENCH_smoke.json" "$trace_tmp/BENCH_smoke.json" > /dev/null
+
 # Opt-in perf gate (ROADMAP): the obs_overhead bench's `disabled` path
 # must stay within noise of the recorded `ci` criterion baseline. Needs a
-# quiet machine, hence env-var guarded. Protocol + how to read the
-# report: results/obs_overhead_baseline.md.
+# quiet machine (and cargo-registry access for criterion), hence env-var
+# guarded. Protocol + how to read the report:
+# results/obs_overhead_baseline.md.
 if [ "${EDGEREP_BENCH_GATE:-0}" = "1" ]; then
     echo "== opt-in: obs_overhead bench vs 'ci' baseline =="
     if compgen -G "target/criterion/*/*/ci" > /dev/null; then
-        cargo bench -p edgerep-bench --bench obs_overhead -- --baseline ci
+        cargo bench -p edgerep-bench --features criterion-benches \
+            --bench obs_overhead -- --baseline ci
     else
         echo "(no 'ci' baseline yet: recording one)"
-        cargo bench -p edgerep-bench --bench obs_overhead -- --save-baseline ci
+        cargo bench -p edgerep-bench --features criterion-benches \
+            --bench obs_overhead -- --save-baseline ci
     fi
 fi
 
