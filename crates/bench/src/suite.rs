@@ -21,13 +21,14 @@ use crate::representative_instance;
 
 /// Every suite entry as `(name, kind)`, run order. Kinds: `"micro"` or
 /// `"e2e"`.
-pub const BENCH_NAMES: [(&str, &str); 8] = [
+pub const BENCH_NAMES: [(&str, &str); 9] = [
     ("appro.dual_update_special", "micro"),
     ("appro.dual_update_general", "micro"),
     ("appro.candidate_scan", "micro"),
     ("admission.check", "micro"),
     ("repair.plan", "micro"),
     ("forecast.predict", "micro"),
+    ("transfer.rarest_first", "micro"),
     ("figure.fig2", "e2e"),
     ("figure.fig8", "e2e"),
 ];
@@ -167,6 +168,45 @@ pub fn run_suite(
                 run_bench(name, kind, effort, || {
                     for f in &forecasters {
                         black_box(f.predict(black_box(&history)));
+                    }
+                })
+            }
+            "transfer.rarest_first" => {
+                // Rarest-first chunk selection across a swarm of eight
+                // concurrent 64 GB fetches of the same dataset with
+                // staggered progress — the chunked engine's inner loop.
+                use edgerep_testbed::event::SimTime;
+                use edgerep_testbed::transfer::{Engine, SourcePath};
+                use edgerep_testbed::{ChunkLedger, ChunkedConfig, FlowTier};
+                let cfg = ChunkedConfig::default();
+                let mut eng = Engine::new(cfg, 32);
+                let sources: Vec<SourcePath> = (0..4)
+                    .map(|n| SourcePath {
+                        node: n,
+                        delay_s_per_gb: 0.02 + n as f64 * 0.01,
+                        factor: 1.0,
+                    })
+                    .collect();
+                let ids: Vec<usize> = (0..8)
+                    .map(|i| {
+                        let mut ledger = ChunkLedger::new(64.0, cfg.chunk_gb);
+                        // Stagger verified prefixes so rarity differs.
+                        for c in 0..(i * 17) {
+                            ledger.mark_verified(c);
+                        }
+                        eng.begin(
+                            SimTime(0),
+                            8 + i,
+                            FlowTier::Background,
+                            Some(0),
+                            ledger,
+                            &sources,
+                        )
+                    })
+                    .collect();
+                run_bench(name, kind, effort, || {
+                    for &id in &ids {
+                        black_box(black_box(&eng).pick_chunk(id));
                     }
                 })
             }

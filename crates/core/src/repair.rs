@@ -66,23 +66,41 @@ pub fn pick_source(
     d: DatasetId,
     target: ComputeNodeId,
 ) -> Option<ComputeNodeId> {
+    pick_sources(inst, sol, alive, d, target).first().copied()
+}
+
+/// Every live node `d` can be copied from, nearest-first: the surviving
+/// replica holders sorted by delay to `target` (ties: lowest id), then the
+/// dataset's origin when it is alive and not already listed. The chunked
+/// transfer engine fetches from all of them in parallel; the legacy
+/// point-to-point model takes the head. Empty means the bytes are
+/// unreachable until something recovers.
+pub fn pick_sources(
+    inst: &Instance,
+    sol: &Solution,
+    alive: &[bool],
+    d: DatasetId,
+    target: ComputeNodeId,
+) -> Vec<ComputeNodeId> {
     let cloud = inst.cloud();
-    let holder = sol
+    let mut holders: Vec<ComputeNodeId> = sol
         .replicas_of(d)
         .iter()
         .copied()
         .filter(|v| alive[v.index()] && *v != target)
-        .min_by(|&a, &b| {
-            cloud
-                .min_delay(a, target)
-                .partial_cmp(&cloud.min_delay(b, target))
-                .expect("delays comparable")
-                .then(a.0.cmp(&b.0))
-        });
-    holder.or_else(|| {
-        let origin = inst.dataset(d).origin;
-        (alive[origin.index()] && origin != target).then_some(origin)
-    })
+        .collect();
+    holders.sort_by(|&a, &b| {
+        cloud
+            .min_delay(a, target)
+            .partial_cmp(&cloud.min_delay(b, target))
+            .expect("delays comparable")
+            .then(a.0.cmp(&b.0))
+    });
+    let origin = inst.dataset(d).origin;
+    if alive[origin.index()] && origin != target && !holders.contains(&origin) {
+        holders.push(origin);
+    }
+    holders
 }
 
 /// Plans the repair transfers that restore each under-replicated dataset
@@ -271,6 +289,60 @@ mod tests {
             bare.remove_node_replicas(v);
         }
         assert!(plan_replacements(&inst, &bare, &alive, &needed).is_empty());
+    }
+
+    #[test]
+    fn pick_sources_is_nearest_first_with_origin_fallback() {
+        let inst = workload();
+        let sol = ApproG::default().solve(&inst);
+        let alive = vec![true; inst.cloud().compute_count()];
+        let cloud = inst.cloud();
+        for d in inst.dataset_ids() {
+            let target = cloud
+                .compute_ids()
+                .find(|v| !sol.replicas_of(d).contains(v))
+                .unwrap();
+            let sources = pick_sources(&inst, &sol, &alive, d, target);
+            // Head agrees with the single-source picker.
+            assert_eq!(sources.first().copied(), pick_source(&inst, &sol, &alive, d, target));
+            // Holders are sorted nearest-first; no duplicates; never the
+            // target itself.
+            for w in sources.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if sol.replicas_of(d).contains(&a) && sol.replicas_of(d).contains(&b) {
+                    assert!(
+                        cloud.min_delay(a, target) <= cloud.min_delay(b, target) + 1e-12
+                    );
+                }
+            }
+            let mut dedup = sources.clone();
+            dedup.sort_by_key(|v| v.0);
+            dedup.dedup();
+            assert_eq!(dedup.len(), sources.len());
+            assert!(!sources.contains(&target));
+            // The origin is reachable from somewhere in the list.
+            let origin = inst.dataset(d).origin;
+            if origin != target {
+                assert!(sources.contains(&origin) || !sol.replicas_of(d).is_empty());
+            }
+        }
+        // With every holder dead, only a live origin remains.
+        let d = inst.dataset_ids().next().unwrap();
+        let mut down = alive.clone();
+        for v in sol.replicas_of(d) {
+            down[v.index()] = false;
+        }
+        let origin = inst.dataset(d).origin;
+        let target = cloud
+            .compute_ids()
+            .find(|v| down[v.index()] && *v != origin)
+            .unwrap();
+        let srcs = pick_sources(&inst, &sol, &down, d, target);
+        if down[origin.index()] {
+            assert_eq!(srcs, vec![origin]);
+        } else {
+            assert!(srcs.is_empty());
+        }
     }
 
     #[test]

@@ -40,8 +40,10 @@ fn usage() -> String {
         .collect();
     format!(
         "usage: repro [{}]... \
-[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE] [--trace FILE] \
-[--profile FILE]
+[--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE] [--storm] \
+[--trace FILE] [--profile FILE]
+    --storm         run ext-availability under correlated region failure
+                    storms instead of independent MTBF/MTTR faults
     --trace FILE    enable all observability targets and write NDJSON trace
                     events to FILE, ending each figure with a registry dump
     --profile FILE  profile the run's span tree: folded stacks to FILE,
@@ -58,6 +60,7 @@ fn main() {
     let mut svg_dir: Option<String> = None;
     let mut md_dir: Option<String> = None;
     let mut fault_plan: Option<FaultPlan> = None;
+    let mut storm = false;
     let mut trace_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut i = 0;
@@ -110,6 +113,7 @@ fn main() {
                     .unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
                 fault_plan = Some(plan);
             }
+            "--storm" => storm = true,
             "--trace" => {
                 i += 1;
                 trace_path = Some(
@@ -197,9 +201,11 @@ fn main() {
             "ext-faults" => extensions::ext_faults(seeds),
             "ext-rolling" => extensions::ext_rolling(seeds),
             "ext-forecast" => extensions::ext_forecast(seeds),
-            "ext-availability" => match &fault_plan {
-                Some(plan) => extensions::ext_availability_with_plan(seeds, plan),
-                None => extensions::ext_availability(seeds),
+            "ext-availability" => match (&fault_plan, storm) {
+                (Some(_), true) => die("--storm and --fault-plan are mutually exclusive"),
+                (Some(plan), false) => extensions::ext_availability_with_plan(seeds, plan),
+                (None, true) => extensions::ext_availability_storm(seeds),
+                (None, false) => extensions::ext_availability(seeds),
             },
             "fig3" => figures::fig3(seeds),
             "fig4" => figures::fig4(seeds),

@@ -21,7 +21,8 @@ use edgerep_forecast::ForecasterKind;
 use edgerep_testbed::rolling::{run_rolling, ReplanPolicy, RollingConfig};
 use edgerep_testbed::{
     render_slo_csv, run_testbed, run_testbed_with_faults, try_run_testbed_with_plan,
-    ConsistencyConfig, FaultConfig, FaultPlan, NodeFailure, SimConfig, SloSample, TestbedConfig,
+    ChunkedConfig, ConsistencyConfig, FaultConfig, FaultPlan, NodeFailure, SimConfig, SloSample,
+    TestbedConfig, TransferModel,
 };
 use edgerep_workload::params::TopologyModel;
 use edgerep_workload::{generate_instance, WorkloadParams};
@@ -322,21 +323,74 @@ fn availability_fault_profile(fraction: f64, seed: u64) -> FaultConfig {
     .with_seed(seed)
 }
 
-/// Measured volume and availability for one (world, plan, repair) cell.
+/// The three transfer/repair arms every availability figure compares:
+/// no repair, point-to-point repair (the legacy engine), and chunked
+/// resumable multi-source repair. `(label, repair on, chunked engine)`.
+const AVAIL_ARMS: [(&str, bool, bool); 3] = [
+    ("no-repair", false, false),
+    ("repair", true, false),
+    ("repair+chunked", true, true),
+];
+
+fn arm_transfer(chunked: bool) -> TransferModel {
+    if chunked {
+        TransferModel::Chunked(ChunkedConfig::default())
+    } else {
+        TransferModel::PointToPoint
+    }
+}
+
+/// Measured volume and availability for one (world, plan, arm) cell.
+/// The plain availability figure keeps NIC contention off so the
+/// point-to-point and chunked engines run the same uncontended physics
+/// and differ only in how they survive faults (with no faults they are
+/// byte-identical — pinned in tests); the storm figure turns it on so
+/// flows last long enough for correlated bursts to catch them mid-air.
 fn availability_cell(
     world: &edgerep_testbed::TestbedWorld,
     plan: &FaultPlan,
     seed: u64,
     repair: bool,
+    transfer: TransferModel,
+    nic_contention: bool,
 ) -> (f64, f64) {
     let sim = SimConfig {
         seed,
         repair,
+        transfer,
+        nic_contention,
         ..Default::default()
     };
     let report = try_run_testbed_with_plan(&ApproG::default(), world, &sim, plan)
         .expect("generated fault plans validate");
     (report.measured_volume, report.availability)
+}
+
+/// All three [`AVAIL_ARMS`] for one (world, plan) cell.
+fn availability_cells(
+    world: &edgerep_testbed::TestbedWorld,
+    plan: &FaultPlan,
+    seed: u64,
+    nic_contention: bool,
+) -> [(f64, f64); 3] {
+    AVAIL_ARMS.map(|(_, repair, chunked)| {
+        availability_cell(world, plan, seed, repair, arm_transfer(chunked), nic_contention)
+    })
+}
+
+/// Blast-radius grouping of the Fig. 6 testbed for correlated storms:
+/// each DC VM (nodes 0–3) is its own region; the 16 cloudlets form
+/// four metro "racks" of four (nodes 4–7, 8–11, 12–15, 16–19).
+fn testbed_storm_regions(nodes: usize) -> Vec<u32> {
+    (0..nodes)
+        .map(|i| {
+            if i < 4 {
+                i as u32
+            } else {
+                4 + ((i - 4) / 4) as u32
+            }
+        })
+        .collect()
 }
 
 /// Availability sweep: measured volume (panel a) and availability — the
@@ -358,7 +412,7 @@ pub fn ext_availability(seeds: usize) -> FigureData {
     let tasks: Vec<(usize, usize, usize)> = (0..fractions.len())
         .flat_map(|fi| (0..ks.len()).flat_map(move |ki| (0..seeds).map(move |s| (fi, ki, s))))
         .collect();
-    let flat: Vec<((f64, f64), (f64, f64))> = par_map(&tasks, |&(fi, ki, s)| {
+    let flat: Vec<[(f64, f64); 3]> = par_map(&tasks, |&(fi, ki, s)| {
         let seed = s as u64;
         let world = worlds[ki * seeds + s].get_or_init(|| {
             let cfg = TestbedConfig::default().with_max_replicas(ks[ki]);
@@ -366,24 +420,20 @@ pub fn ext_availability(seeds: usize) -> FigureData {
         });
         let plan = availability_fault_profile(fractions[fi], seed)
             .generate(world.instance.cloud().compute_count());
-        (
-            availability_cell(world, &plan, seed, false),
-            availability_cell(world, &plan, seed, true),
-        )
+        availability_cells(world, &plan, seed, false)
     });
     let rows = fractions
         .iter()
         .zip(flat.chunks(ks.len() * seeds))
         .map(|(&frac, frac_cells)| {
-            let mut results = Vec::with_capacity(ks.len() * 2);
+            let mut results = Vec::with_capacity(ks.len() * AVAIL_ARMS.len());
             for (&k, samples) in ks.iter().zip(frac_cells.chunks(seeds)) {
-                for (repair, label) in [(false, "no-repair"), (true, "repair")] {
-                    let pick = |s: &((f64, f64), (f64, f64))| if repair { s.1 } else { s.0 };
+                for (ai, (label, _, _)) in AVAIL_ARMS.iter().enumerate() {
                     results.push(AlgResult {
                         name: format!("Appro-G K={k} {label}"),
-                        volume: Summary::of(&samples.iter().map(|s| pick(s).0).collect::<Vec<_>>()),
+                        volume: Summary::of(&samples.iter().map(|s| s[ai].0).collect::<Vec<_>>()),
                         throughput: Summary::of(
-                            &samples.iter().map(|s| pick(s).1).collect::<Vec<_>>(),
+                            &samples.iter().map(|s| s[ai].1).collect::<Vec<_>>(),
                         ),
                     });
                 }
@@ -401,12 +451,14 @@ pub fn ext_availability(seeds: usize) -> FigureData {
         let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
         let plan = availability_fault_profile(*fractions.last().expect("non-empty"), seed)
             .generate(world.instance.cloud().compute_count());
-        let series: Vec<(String, Vec<SloSample>)> = [(false, "no-repair"), (true, "repair")]
+        let series: Vec<(String, Vec<SloSample>)> = AVAIL_ARMS
             .iter()
-            .map(|&(repair, label)| {
+            .map(|&(label, repair, chunked)| {
                 let sim = SimConfig {
                     seed,
                     repair,
+                    transfer: arm_transfer(chunked),
+                    nic_contention: false,
                     slo_sample_interval_s: Some(30.0),
                     ..Default::default()
                 };
@@ -419,7 +471,7 @@ pub fn ext_availability(seeds: usize) -> FigureData {
     };
     FigureData {
         id: "ext-availability".to_owned(),
-        title: "Extension: availability under transient MTBF/MTTR node faults                 (panel (a) measured volume, panel (b) column reports availability;                 repair off vs on per K)"
+        title: "Extension: availability under transient MTBF/MTTR node faults                 (panel (a) measured volume, panel (b) column reports availability;                 no repair vs p2p repair vs chunked repair per K)"
             .to_owned(),
         x_label: "fault fraction".to_owned(),
         rows,
@@ -432,31 +484,24 @@ pub fn ext_availability(seeds: usize) -> FigureData {
 pub fn ext_availability_with_plan(seeds: usize, fault_plan: &FaultPlan) -> FigureData {
     assert!(seeds >= 1);
     let ks = [1usize, 2, 3, 4];
-    // One flat K × seed grid; both repair arms share the cell's world.
-    let per_k: Vec<Vec<((f64, f64), (f64, f64))>> = run_grid(ks.len(), seeds, |ki, seed| {
+    // One flat K × seed grid; all three arms share the cell's world.
+    let per_k: Vec<Vec<[(f64, f64); 3]>> = run_grid(ks.len(), seeds, |ki, seed| {
         let seed = seed as u64;
         let cfg = TestbedConfig::default().with_max_replicas(ks[ki]);
         let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
-        (
-            availability_cell(&world, fault_plan, seed, false),
-            availability_cell(&world, fault_plan, seed, true),
-        )
+        availability_cells(&world, fault_plan, seed, false)
     });
     let rows = ks
         .iter()
         .zip(&per_k)
         .map(|(&k, samples)| {
-            let results = [(false, "no-repair"), (true, "repair")]
+            let results = AVAIL_ARMS
                 .iter()
-                .map(|&(repair, label)| {
-                    let pick = |s: &((f64, f64), (f64, f64))| if repair { s.1 } else { s.0 };
-                    AlgResult {
-                        name: format!("Appro-G {label}"),
-                        volume: Summary::of(&samples.iter().map(|s| pick(s).0).collect::<Vec<_>>()),
-                        throughput: Summary::of(
-                            &samples.iter().map(|s| pick(s).1).collect::<Vec<_>>(),
-                        ),
-                    }
+                .enumerate()
+                .map(|(ai, (label, _, _))| AlgResult {
+                    name: format!("Appro-G {label}"),
+                    volume: Summary::of(&samples.iter().map(|s| s[ai].0).collect::<Vec<_>>()),
+                    throughput: Summary::of(&samples.iter().map(|s| s[ai].1).collect::<Vec<_>>()),
                 })
                 .collect();
             FigureRow {
@@ -467,9 +512,88 @@ pub fn ext_availability_with_plan(seeds: usize, fault_plan: &FaultPlan) -> Figur
         .collect();
     FigureData {
         id: "ext-availability".to_owned(),
-        title: "Extension: availability under a user-supplied fault plan                 (x = K; repair off vs on; panel (b) column reports availability)"
+        title: "Extension: availability under a user-supplied fault plan                 (x = K; no repair vs p2p repair vs chunked repair;                 panel (b) column reports availability)"
             .to_owned(),
         x_label: "K".to_owned(),
+        rows,
+        timeseries: None,
+    }
+}
+
+/// The correlated failure-storm profile `repro ext-availability --storm`
+/// sweeps: background MTBF noise on 30% of nodes (short transient
+/// outages that park multi-chunk repairs and let them *resume*), plus
+/// each storm taking 75% of one blast-radius region down within a 5 s
+/// window and isolating the region's paths to the outside for an MTTR
+/// that dwarfs the transfer retry budget — the *abandonment* path. One
+/// run therefore exercises both ends of the chunked engine's
+/// interruption spectrum.
+fn availability_storm_profile(storms: usize, seed: u64) -> FaultConfig {
+    FaultConfig {
+        node_mtbf_s: 40.0,
+        node_mttr_s: 30.0,
+        ..Default::default()
+    }
+    .with_node_fraction(0.3)
+    .with_storms(storms)
+    .with_seed(seed)
+}
+
+/// Availability under correlated failure storms: x = storms per run,
+/// K ∈ {1..4}, the three [`AVAIL_ARMS`] per K. Storms blast the Fig. 6
+/// regions from [`testbed_storm_regions`], so a single event takes a
+/// whole metro rack (or a DC VM) down and partitions it — unlike the
+/// independent MTBF faults of [`ext_availability`], every in-flight
+/// transfer touching the region dies at once. Cells run with NIC
+/// contention enabled (unlike the plain figure) so flows are long
+/// enough for bursts to catch them mid-air.
+pub fn ext_availability_storm(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let storm_counts = [0usize, 1, 2];
+    let ks = [1usize, 2, 3, 4];
+    let worlds: Vec<OnceLock<edgerep_testbed::TestbedWorld>> =
+        (0..ks.len() * seeds).map(|_| OnceLock::new()).collect();
+    let tasks: Vec<(usize, usize, usize)> = (0..storm_counts.len())
+        .flat_map(|si| (0..ks.len()).flat_map(move |ki| (0..seeds).map(move |s| (si, ki, s))))
+        .collect();
+    let flat: Vec<[(f64, f64); 3]> = par_map(&tasks, |&(si, ki, s)| {
+        let seed = s as u64;
+        let world = worlds[ki * seeds + s].get_or_init(|| {
+            let cfg = TestbedConfig::default().with_max_replicas(ks[ki]);
+            edgerep_testbed::build_testbed_instance(&cfg, seed)
+        });
+        let nodes = world.instance.cloud().compute_count();
+        let plan = availability_storm_profile(storm_counts[si], seed)
+            .generate_with_regions(&testbed_storm_regions(nodes));
+        availability_cells(world, &plan, seed, true)
+    });
+    let rows = storm_counts
+        .iter()
+        .zip(flat.chunks(ks.len() * seeds))
+        .map(|(&count, count_cells)| {
+            let mut results = Vec::with_capacity(ks.len() * AVAIL_ARMS.len());
+            for (&k, samples) in ks.iter().zip(count_cells.chunks(seeds)) {
+                for (ai, (label, _, _)) in AVAIL_ARMS.iter().enumerate() {
+                    results.push(AlgResult {
+                        name: format!("Appro-G K={k} {label}"),
+                        volume: Summary::of(&samples.iter().map(|s| s[ai].0).collect::<Vec<_>>()),
+                        throughput: Summary::of(
+                            &samples.iter().map(|s| s[ai].1).collect::<Vec<_>>(),
+                        ),
+                    });
+                }
+            }
+            FigureRow {
+                x: count as f64,
+                results,
+            }
+        })
+        .collect();
+    FigureData {
+        id: "ext-availability".to_owned(),
+        title: "Extension: availability under correlated region failure storms                 (x = storms per run; no repair vs p2p repair vs chunked repair;                 panel (b) column reports availability)"
+            .to_owned(),
+        x_label: "storms".to_owned(),
         rows,
         timeseries: None,
     }
@@ -710,23 +834,72 @@ mod tests {
         let fig = ext_availability(1);
         assert_eq!(fig.rows.len(), 4);
         let clean = &fig.rows[0]; // fraction 0.0
-        assert_eq!(clean.results.len(), 8); // K ∈ {1..4} × {off, on}
-        for pair in clean.results.chunks(2) {
+        assert_eq!(clean.results.len(), 12); // K ∈ {1..4} × three arms
+        for arms in clean.results.chunks(3) {
+            // Without faults all three arms are byte-identical: repair is
+            // inert, and the chunked engine coalesces to the same
+            // point-to-point physics (the sim pins this bitwise too).
             assert_eq!(
-                pair[0].volume.mean, pair[1].volume.mean,
+                arms[0].volume.mean, arms[1].volume.mean,
                 "repair must be inert without faults"
             );
-            assert_eq!(pair[0].throughput.mean, 1.0, "no faults, full availability");
-            assert_eq!(pair[1].throughput.mean, 1.0);
+            assert_eq!(
+                arms[1].volume.mean, arms[2].volume.mean,
+                "chunked transfers must match p2p without faults"
+            );
+            for arm in arms {
+                assert_eq!(arm.throughput.mean, 1.0, "no faults, full availability");
+            }
         }
-        // The trajectory sidecar carries both repair arms as labeled,
+        // The trajectory sidecar carries all three arms as labeled,
         // multi-sample SLO series.
         let ts = fig.timeseries.as_deref().expect("availability trajectory");
         assert!(ts.starts_with("series,t_s,availability"), "{ts}");
-        for label in ["no-repair,", "repair,"] {
+        for label in ["no-repair,", "repair,", "repair+chunked,"] {
             assert!(
                 ts.lines().filter(|l| l.starts_with(label)).count() >= 2,
                 "series {label} too short:\n{ts}"
+            );
+        }
+    }
+
+    #[test]
+    fn availability_storm_rows_are_coherent() {
+        let fig = ext_availability_storm(1);
+        assert_eq!(fig.rows.len(), 3);
+        assert_eq!(fig.x_label, "storms");
+        for (row, &storms) in fig.rows.iter().zip(&[0.0f64, 1.0, 2.0]) {
+            assert_eq!(row.x, storms);
+            assert_eq!(row.results.len(), 12); // K ∈ {1..4} × three arms
+            for arms in row.results.chunks(3) {
+                assert!(arms[0].name.contains("no-repair"));
+                assert!(arms[1].name.ends_with(" repair"));
+                assert!(arms[2].name.ends_with("repair+chunked"));
+                for arm in arms {
+                    assert!(
+                        (0.0..=1.0).contains(&arm.throughput.mean),
+                        "{}: availability out of range",
+                        arm.name
+                    );
+                }
+            }
+        }
+        // Storms hurt: aggregated over K, layering two region storms on
+        // the background noise cannot beat the storm-free row per arm.
+        for ai in 0..3 {
+            let sum = |row: &FigureRow| -> f64 {
+                row.results
+                    .iter()
+                    .skip(ai)
+                    .step_by(3)
+                    .map(|a| a.throughput.mean)
+                    .sum()
+            };
+            let calm = sum(&fig.rows[0]);
+            let stormy = sum(&fig.rows[2]);
+            assert!(
+                stormy <= calm + 1e-9,
+                "arm {ai}: stormy availability {stormy} above calm {calm}"
             );
         }
     }
@@ -743,16 +916,22 @@ mod tests {
         assert!((row.x - 0.1).abs() < 1e-12);
         let mut off_sum = 0.0;
         let mut on_sum = 0.0;
+        let mut chunked_sum = 0.0;
         let mut off_avail = 0.0;
         let mut on_avail = 0.0;
-        for pair in row.results.chunks(2).skip(1) {
-            // pairs are (no-repair, repair) per K; skip(1) drops K = 1.
-            assert!(pair[0].name.contains("no-repair"));
-            assert!(pair[1].name.contains(" repair") || pair[1].name.ends_with("repair"));
-            off_sum += pair[0].volume.mean;
-            on_sum += pair[1].volume.mean;
-            off_avail += pair[0].throughput.mean;
-            on_avail += pair[1].throughput.mean;
+        let mut chunked_avail = 0.0;
+        for arms in row.results.chunks(3).skip(1) {
+            // arms are (no-repair, repair, repair+chunked) per K;
+            // skip(1) drops K = 1.
+            assert!(arms[0].name.contains("no-repair"));
+            assert!(arms[1].name.ends_with(" repair"));
+            assert!(arms[2].name.ends_with("repair+chunked"));
+            off_sum += arms[0].volume.mean;
+            on_sum += arms[1].volume.mean;
+            chunked_sum += arms[2].volume.mean;
+            off_avail += arms[0].throughput.mean;
+            on_avail += arms[1].throughput.mean;
+            chunked_avail += arms[2].throughput.mean;
         }
         assert!(
             on_sum > off_sum,
@@ -762,6 +941,16 @@ mod tests {
         assert!(
             on_avail >= off_avail,
             "repair must not lower availability (on {on_avail} vs off {off_avail})"
+        );
+        assert!(
+            chunked_sum > off_sum,
+            "chunked repair must strictly raise measured volume under faults \
+             (chunked {chunked_sum} vs off {off_sum})"
+        );
+        assert!(
+            chunked_avail >= off_avail,
+            "chunked repair must not lower availability \
+             (chunked {chunked_avail} vs off {off_avail})"
         );
     }
 
@@ -780,7 +969,7 @@ mod tests {
         assert_eq!(fig.rows.len(), 4);
         let (mut off_volume, mut on_volume) = (0.0, 0.0);
         for row in &fig.rows {
-            assert_eq!(row.results.len(), 2);
+            assert_eq!(row.results.len(), 3);
             off_volume += row.results[0].volume.mean;
             on_volume += row.results[1].volume.mean;
             // Repair never loses more queries to the outage than no

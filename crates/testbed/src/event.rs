@@ -28,6 +28,16 @@ impl SimTime {
         assert!(dt >= 0.0 && dt.is_finite(), "invalid delta {dt}");
         SimTime(self.0 + (dt * 1e6).round() as u64)
     }
+
+    /// Seconds elapsed since `earlier` (clamped to zero if `earlier` is
+    /// actually later — callers integrate forward only).
+    pub fn secs_since(self, earlier: SimTime) -> f64 {
+        if self <= earlier {
+            0.0
+        } else {
+            self.as_secs_f64() - earlier.as_secs_f64()
+        }
+    }
 }
 
 struct Entry<E> {
@@ -121,6 +131,15 @@ mod tests {
     #[should_panic(expected = "invalid sim time")]
     fn negative_time_rejected() {
         SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn secs_since_is_forward_only() {
+        let a = SimTime::from_secs_f64(1.0);
+        let b = SimTime::from_secs_f64(3.5);
+        assert!((b.secs_since(a) - 2.5).abs() < 1e-12);
+        assert_eq!(a.secs_since(b), 0.0);
+        assert_eq!(a.secs_since(a), 0.0);
     }
 
     #[test]

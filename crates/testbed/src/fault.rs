@@ -85,6 +85,14 @@ pub enum FaultPlanError {
     InvalidDelayFactor(f64),
     /// A link fault whose endpoints coincide.
     SelfLink(ComputeNodeId),
+    /// More scheduled windows than any plausible run needs — almost
+    /// always a runaway storm configuration.
+    TooManyOutages {
+        /// Scheduled windows (node outages + link faults).
+        count: usize,
+        /// The accepted ceiling.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -103,6 +111,9 @@ impl std::fmt::Display for FaultPlanError {
                 write!(f, "link delay factor {x} must be finite and >= 1")
             }
             FaultPlanError::SelfLink(v) => write!(f, "link fault from {v} to itself"),
+            FaultPlanError::TooManyOutages { count, limit } => {
+                write!(f, "{count} fault windows exceed the {limit} ceiling")
+            }
         }
     }
 }
@@ -156,8 +167,18 @@ impl FaultPlan {
         }
     }
 
+    /// Ceiling on scheduled windows accepted by [`FaultPlan::validate`].
+    pub const MAX_WINDOWS: usize = 100_000;
+
     /// Checks every window against a world with `nodes` compute nodes.
     pub fn validate(&self, nodes: usize) -> Result<(), FaultPlanError> {
+        let count = self.node_outages.len() + self.link_faults.len();
+        if count > Self::MAX_WINDOWS {
+            return Err(FaultPlanError::TooManyOutages {
+                count,
+                limit: Self::MAX_WINDOWS,
+            });
+        }
         for o in &self.node_outages {
             if o.node.index() >= nodes {
                 return Err(FaultPlanError::UnknownNode {
@@ -275,6 +296,22 @@ pub struct FaultConfig {
     pub partition_prob: f64,
     /// Generation horizon, simulated seconds.
     pub horizon_s: f64,
+    /// Correlated failure storms: how many rack/region blasts to
+    /// schedule across the horizon (`0` disables storms entirely — and
+    /// adds **no** RNG draws, so plans stay byte-equal to pre-storm
+    /// configs).
+    pub storm_count: usize,
+    /// Fraction of the struck region's nodes a storm takes down.
+    pub storm_region_fraction: f64,
+    /// Stagger window: victims go down within this many seconds of the
+    /// storm trigger.
+    pub storm_window_s: f64,
+    /// Mean outage duration of a storm victim, seconds.
+    pub storm_mttr_s: f64,
+    /// Whether the struck region is also network-isolated (its paths to
+    /// every outside node partition) for the storm's span — the
+    /// blast-radius semantics of a ToR/aggregation failure.
+    pub storm_isolate: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -291,6 +328,11 @@ impl Default for FaultConfig {
             degrade_factor: 8.0,
             partition_prob: 0.3,
             horizon_s: 240.0,
+            storm_count: 0,
+            storm_region_fraction: 0.75,
+            storm_window_s: 5.0,
+            storm_mttr_s: 150.0,
+            storm_isolate: true,
             seed: 0,
         }
     }
@@ -307,6 +349,12 @@ impl FaultConfig {
     /// Sets the generator seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Schedules `count` correlated failure storms.
+    pub fn with_storms(mut self, count: usize) -> Self {
+        self.storm_count = count;
         self
     }
 
@@ -335,8 +383,20 @@ impl FaultConfig {
     ///
     /// The first `ceil(node_fraction * nodes)` nodes of a seeded shuffle
     /// are fault-prone (so scanning the fraction grows the *same* fault
-    /// set), and similarly for pairs.
+    /// set), and similarly for pairs. Storms (if any) treat the whole
+    /// world as one region; use [`FaultConfig::generate_with_regions`]
+    /// for a real blast-radius grouping.
     pub fn generate(&self, nodes: usize) -> FaultPlan {
+        self.generate_with_regions(&vec![0; nodes])
+    }
+
+    /// Like [`FaultConfig::generate`], but with a region id per node so
+    /// correlated storms have a blast radius: each storm picks a region,
+    /// takes `storm_region_fraction` of its members down within
+    /// `storm_window_s` of the trigger, and (when `storm_isolate` is on)
+    /// partitions every member's path to the outside for the storm span.
+    pub fn generate_with_regions(&self, region_of: &[u32]) -> FaultPlan {
+        let nodes = region_of.len();
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xFA17_7E57);
         let mut plan = FaultPlan::empty();
 
@@ -384,6 +444,54 @@ impl FaultConfig {
                         up_at_s: Some(up),
                         delay_factor,
                     });
+                }
+            }
+        }
+
+        // Correlated failure storms. Guarded so a disabled storm config
+        // draws nothing: existing seeds keep producing byte-equal plans.
+        if self.storm_count > 0 && nodes > 0 {
+            let mut region_ids: Vec<u32> = region_of.to_vec();
+            region_ids.sort_unstable();
+            region_ids.dedup();
+            let seg = self.horizon_s / self.storm_count as f64;
+            for k in 0..self.storm_count {
+                let trigger = k as f64 * seg + rng.gen::<f64>() * (0.3 * seg);
+                let region = region_ids[rng.gen_range(0..region_ids.len())];
+                let mut members: Vec<u32> = (0..nodes as u32)
+                    .filter(|&i| region_of[i as usize] == region)
+                    .collect();
+                for i in (1..members.len()).rev() {
+                    members.swap(i, rng.gen_range(0..=i));
+                }
+                let victims = ((self.storm_region_fraction * members.len() as f64).ceil()
+                    as usize)
+                    .min(members.len());
+                let span_end = trigger + self.storm_window_s + self.storm_mttr_s;
+                for &m in &members[..victims] {
+                    let down = trigger + rng.gen::<f64>() * self.storm_window_s;
+                    let dur = Self::draw_exp(&mut rng, self.storm_mttr_s).max(1e-3);
+                    plan.node_outages.push(NodeOutage {
+                        node: ComputeNodeId(m),
+                        down_at_s: down,
+                        up_at_s: Some(down + dur),
+                    });
+                }
+                if self.storm_isolate {
+                    for &m in &members {
+                        for o in 0..nodes as u32 {
+                            if region_of[o as usize] == region {
+                                continue;
+                            }
+                            plan.link_faults.push(LinkFault {
+                                a: ComputeNodeId(m),
+                                b: ComputeNodeId(o),
+                                down_at_s: trigger,
+                                up_at_s: Some(span_end),
+                                delay_factor: None,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -549,5 +657,74 @@ mod tests {
         let plan = FaultConfig::default().with_node_fraction(0.0).generate(20);
         assert!(plan.node_outages.is_empty());
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn disabled_storms_change_nothing() {
+        // storm_count == 0 must add zero RNG draws: plans stay byte-equal
+        // to what pre-storm configs produced for the same seed.
+        let base = FaultConfig::default().with_node_fraction(0.25);
+        let with_knobs = FaultConfig {
+            storm_region_fraction: 1.0,
+            storm_window_s: 1.0,
+            storm_mttr_s: 10.0,
+            ..base
+        };
+        assert_eq!(base.generate(20), with_knobs.generate(20));
+    }
+
+    #[test]
+    fn storms_blast_a_fraction_of_one_region_within_the_window() {
+        // 3 regions of 4 nodes each.
+        let region_of: Vec<u32> = (0..12).map(|i| i / 4).collect();
+        let cfg = FaultConfig {
+            node_fraction: 0.0,
+            storm_region_fraction: 0.75,
+            storm_window_s: 5.0,
+            storm_mttr_s: 30.0,
+            storm_isolate: true,
+            ..FaultConfig::default()
+        }
+        .with_storms(2)
+        .with_seed(3);
+        let plan = cfg.generate_with_regions(&region_of);
+        assert_eq!(plan, cfg.generate_with_regions(&region_of), "deterministic");
+        assert!(plan.validate(12).is_ok(), "storm plans must validate");
+        // Two storms × ceil(0.75 * 4) victims each.
+        assert_eq!(plan.node_outages.len(), 6);
+        // Victims of one storm share a region and a 5 s stagger window.
+        for chunk in plan.node_outages.chunks(3) {
+            let r = region_of[chunk[0].node.index()];
+            let lo = chunk.iter().map(|o| o.down_at_s).fold(f64::MAX, f64::min);
+            for o in chunk {
+                assert_eq!(region_of[o.node.index()], r, "blast stays in one region");
+                assert!(o.down_at_s - lo <= 5.0 + 1e-9, "stagger bounded by window");
+                assert!(o.up_at_s.unwrap() > o.down_at_s);
+            }
+        }
+        // Isolation cuts every member↔outside pair, never intra-region.
+        assert!(!plan.link_faults.is_empty());
+        for l in &plan.link_faults {
+            assert_ne!(region_of[l.a.index()], region_of[l.b.index()]);
+            assert_eq!(l.delay_factor, None, "isolation is a partition");
+        }
+        // 2 storms × 4 members × 8 outside nodes.
+        assert_eq!(plan.link_faults.len(), 64);
+    }
+
+    #[test]
+    fn validate_rejects_runaway_plans() {
+        let mut plan = FaultPlan::empty();
+        for i in 0..=FaultPlan::MAX_WINDOWS {
+            plan.node_outages.push(NodeOutage {
+                node: ComputeNodeId((i % 4) as u32),
+                down_at_s: i as f64,
+                up_at_s: Some(i as f64 + 0.5),
+            });
+        }
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::TooManyOutages { .. })
+        ));
     }
 }

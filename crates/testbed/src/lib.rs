@@ -32,6 +32,11 @@
 //!   new-data ratio at a dataset's origin crosses a threshold, updates
 //!   propagate to every replica and the traffic is accounted.
 
+//! * [`transfer`] — the chunked, resumable multi-source transfer engine:
+//!   per-replica chunk ledgers, rarest-chunk-first swarm fetch, strict
+//!   priority tiers (immediate / scheduled / background) over a per-link
+//!   max-min fair-share fluid bandwidth model, selected per run via
+//!   [`sim::SimConfig::transfer`];
 //! * [`rolling`] / [`predict`] — multi-epoch operation under workload
 //!   drift: `Static` / `Periodic` / `Predictive` replanning policies,
 //!   with `Predictive` forecasting the next epoch via
@@ -47,6 +52,7 @@ pub mod rolling;
 pub mod sim;
 pub mod slo;
 pub mod topology;
+pub mod transfer;
 
 pub use fault::{FaultConfig, FaultPlan, FaultPlanError, LinkFault, NodeOutage};
 pub use sim::{
@@ -55,3 +61,4 @@ pub use sim::{
 };
 pub use slo::{render_slo_csv, SloSample};
 pub use topology::{build_fig6_topology, build_testbed_instance, TestbedConfig, TestbedWorld};
+pub use transfer::{ChunkLedger, ChunkedConfig, FlowTier, TransferModel};

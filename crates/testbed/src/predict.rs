@@ -7,7 +7,7 @@
 //! plain `(home, dataset)` index pairs so it stays dependency-free);
 //! everything that speaks [`Instance`] / [`Solution`] lives here.
 
-use edgerep_core::repair::{pick_source, RepairAction};
+use edgerep_core::repair::{pick_sources, RepairAction};
 use edgerep_forecast::{DemandForecast, DemandKey, EpochDemand, ProfileStore, TransferLedger};
 use edgerep_model::{ComputeNodeId, DatasetId, Demand, Instance, InstanceBuilder, Solution};
 
@@ -119,7 +119,13 @@ pub fn plan_prefetch(
         for &target in next.replicas_of(d) {
             let gb = inst.size(d);
             if ledger.charge(d.0, target.0, gb) {
-                let source = pick_source(inst, current, &alive, d, target).unwrap_or(origin);
+                // Nearest of the multi-source candidate list: the ledger
+                // charges one copy, and Scheduled-tier prefetch flows fan
+                // out over the rest when the chunked engine is active.
+                let source = pick_sources(inst, current, &alive, d, target)
+                    .first()
+                    .copied()
+                    .unwrap_or(origin);
                 actions.push(RepairAction {
                     dataset: d,
                     source,
@@ -211,10 +217,11 @@ mod tests {
             .dataset_ids()
             .flat_map(|d| {
                 let origin = inst.dataset(d).origin;
+                let size = inst.size(d);
                 sol.replicas_of(d)
                     .iter()
                     .filter(move |&&v| v != origin)
-                    .map(move |_| inst.size(d))
+                    .map(move |_| size)
             })
             .sum();
         assert!((gb - expected).abs() < 1e-9, "{gb} vs {expected}");

@@ -411,6 +411,10 @@ pub fn run_rolling(
                         ("epoch", epoch.into()),
                         ("transfers", actions.len().into()),
                         ("gb", gb.into()),
+                        // Prefetch rides the Scheduled tier of the chunked
+                        // transfer engine: preempted by Immediate result
+                        // flows, ahead of Background repair.
+                        ("tier", crate::transfer::FlowTier::Scheduled.label().into()),
                     ],
                 );
                 prefetch = gb;

@@ -32,6 +32,7 @@ use crate::event::{EventQueue, SimTime};
 use crate::fault::{FaultPlan, FaultPlanError};
 use crate::slo::SloSample;
 use crate::topology::TestbedWorld;
+use crate::transfer::{self, ChunkLedger, FlowTier, SourcePath, TransferModel};
 
 /// Retry policy for transfers blocked by a dead source or a partitioned
 /// path: capped exponential backoff, then give up (counted, never panic).
@@ -154,6 +155,12 @@ pub struct SimConfig {
     /// backlog) every this many simulated seconds into
     /// [`TestbedReport::slo_series`]. `None` disables sampling.
     pub slo_sample_interval_s: Option<f64>,
+    /// Which data-movement model the run uses: the legacy point-to-point
+    /// flows, or the chunked resumable multi-source engine
+    /// ([`crate::transfer`]). With the chunked engine,
+    /// [`SimConfig::nic_contention`] `false` maps to uncontended
+    /// (infinite) NICs in the fluid model.
+    pub transfer: TransferModel,
     /// RNG seed for arrivals (placement is deterministic given the world).
     pub seed: u64,
 }
@@ -167,6 +174,7 @@ impl Default for SimConfig {
             repair: false,
             debug_trace: None,
             slo_sample_interval_s: None,
+            transfer: TransferModel::default(),
             seed: 1,
         }
     }
@@ -223,6 +231,26 @@ pub struct TestbedReport {
     pub repair_retries: usize,
     /// Query result transfers deferred by backoff (partitioned path).
     pub transfer_retries: usize,
+    /// Interrupted chunked transfers that relaunched with verified chunks
+    /// intact instead of restarting from zero.
+    pub transfer_resumes: usize,
+    /// Volume those resumes did **not** re-transfer: GB of already
+    /// verified chunks carried across interruptions.
+    pub chunk_gb_saved: f64,
+    /// Transfers abandoned after retry exhaustion because no live holder
+    /// of the data remained.
+    pub abandoned_dead_source: usize,
+    /// Transfers abandoned after retry exhaustion because every path to
+    /// the destination stayed partitioned.
+    pub abandoned_partitioned: usize,
+    /// Mean wall-clock from a repair job's creation to its replica
+    /// landing (across retries, backoff, and resumed chunks), seconds.
+    /// `0.0` when no repair completed.
+    pub repair_completion_mean_s: f64,
+    /// Mean chunked-flow completion time per priority tier
+    /// (`[immediate, scheduled, background]`), seconds; all zero under
+    /// the point-to-point model.
+    pub tier_completion_mean_s: [f64; 3],
     /// Total node-seconds spent down over the run.
     pub node_downtime_s: f64,
     /// Availability under faults: the fraction of planned-admitted
@@ -293,6 +321,12 @@ enum Event {
     RetryTransfer {
         job: usize,
     },
+    /// Wake the chunked transfer engine at its next predicted chunk
+    /// completion. Stale generations (the engine settled again since the
+    /// push) are no-ops: the engine is advanced before every event anyway.
+    FlowProgress {
+        generation: u64,
+    },
     /// Snapshot SLO state into the report's time series.
     SloSample,
 }
@@ -318,8 +352,211 @@ struct XferJob {
     /// later means the target died and the job is void.
     dest_epoch: u32,
     attempts: u32,
-    /// Launched, delivered, or abandoned — no further retries.
+    /// Launched, delivered, or abandoned — no further retries. The
+    /// chunked engine keeps jobs unresolved across interruptions until
+    /// they complete or are abandoned, so repair planning still sees
+    /// parked jobs as reserving their replica slot.
     resolved: bool,
+    /// When the job was created (repair completion latency is measured
+    /// from here, across every retry and resume).
+    born: SimTime,
+}
+
+/// Who owns a chunked-engine transfer.
+#[derive(Debug, Clone, Copy)]
+enum EngineOwner {
+    /// Entry in the transfer-job table (result or repair).
+    Job(usize),
+    /// A §2.4 consistency push: fire-and-forget, no retries.
+    Consistency {
+        source: ComputeNodeId,
+        dest: ComputeNodeId,
+    },
+}
+
+/// The chunked transfer engine plus the simulator-side bookkeeping that
+/// maps engine transfer ids back to jobs.
+struct ChunkedState {
+    eng: transfer::Engine,
+    /// Engine transfer id → owner, parallel to the engine's table.
+    jobs: Vec<EngineOwner>,
+    /// Last `FlowProgress` generation pushed; a matching generation means
+    /// the event is already queued at the right instant.
+    last_pushed_gen: u64,
+}
+
+/// Builds the [`SourcePath`] for one (source, dest) pair, or `None` when
+/// the path is partitioned right now.
+fn source_path(
+    cloud: &edgerep_model::EdgeCloud,
+    fault_plan: &FaultPlan,
+    source: ComputeNodeId,
+    dest: ComputeNodeId,
+    now: SimTime,
+) -> Option<SourcePath> {
+    let factor = fault_plan.link_factor(source, dest, now.as_secs_f64());
+    if factor.is_infinite() {
+        return None;
+    }
+    Some(SourcePath {
+        node: source.index(),
+        delay_s_per_gb: cloud.min_delay(source, dest),
+        factor,
+    })
+}
+
+/// Every reachable live holder of `dataset` (nearest first), as engine
+/// source paths; truncated to the single nearest when multi-source fetch
+/// is off.
+#[allow(clippy::too_many_arguments)]
+fn repair_source_paths(
+    inst: &edgerep_model::Instance,
+    fault_plan: &FaultPlan,
+    live_sol: &Solution,
+    alive: &[bool],
+    dataset: DatasetId,
+    dest: ComputeNodeId,
+    now: SimTime,
+    multi_source: bool,
+) -> Vec<SourcePath> {
+    let mut srcs: Vec<SourcePath> = repair::pick_sources(inst, live_sol, alive, dataset, dest)
+        .into_iter()
+        .filter_map(|s| source_path(inst.cloud(), fault_plan, s, dest, now))
+        .collect();
+    if !multi_source {
+        srcs.truncate(1);
+    }
+    srcs
+}
+
+/// Interrupts an in-flight chunked transfer: the ledger (verified chunks
+/// intact unless resume is off) is parked on the job and a retry is
+/// scheduled immediately — the retry handler owns backoff and abandonment.
+fn park_job(
+    ch: &mut ChunkedState,
+    now: SimTime,
+    tid: usize,
+    job: usize,
+    job_ledger: &mut [Option<ChunkLedger>],
+    job_active: &mut [Option<usize>],
+    queue: &mut EventQueue<Event>,
+) {
+    let mut ledger = ch.eng.cancel(now, tid);
+    if !ch.eng.config().resume {
+        ledger.reset();
+    }
+    job_ledger[job] = Some(ledger);
+    job_active[job] = None;
+    queue.push(now, Event::RetryTransfer { job });
+}
+
+/// Re-prices every in-flight chunked flow after a link transition: factors
+/// are re-read from the fault plan, freshly partitioned flows are parked
+/// (results, repairs) or dropped (consistency pushes), and repair swarms
+/// are recomputed over the currently reachable holders.
+#[allow(clippy::too_many_arguments)]
+fn refresh_link_flows(
+    ch: &mut ChunkedState,
+    now: SimTime,
+    inst: &edgerep_model::Instance,
+    fault_plan: &FaultPlan,
+    live_sol: &Solution,
+    alive: &[bool],
+    xfer_jobs: &mut [XferJob],
+    job_ledger: &mut [Option<ChunkLedger>],
+    job_active: &mut [Option<usize>],
+    queue: &mut EventQueue<Event>,
+) {
+    for tid in 0..ch.jobs.len() {
+        if ch.eng.is_done(tid) {
+            continue;
+        }
+        match ch.jobs[tid] {
+            EngineOwner::Consistency { source, dest } => {
+                match source_path(inst.cloud(), fault_plan, source, dest, now) {
+                    Some(p) => ch.eng.set_sources(now, tid, &[p]),
+                    None => {
+                        ch.eng.cancel(now, tid);
+                    }
+                }
+            }
+            EngineOwner::Job(job) => {
+                let j = xfer_jobs[job];
+                match j.kind {
+                    XferKind::Result { .. } => {
+                        match source_path(inst.cloud(), fault_plan, j.source, j.dest, now) {
+                            Some(p) => ch.eng.set_sources(now, tid, &[p]),
+                            None => {
+                                park_job(ch, now, tid, job, job_ledger, job_active, queue);
+                            }
+                        }
+                    }
+                    XferKind::Repair { dataset } => {
+                        let srcs = repair_source_paths(
+                            inst,
+                            fault_plan,
+                            live_sol,
+                            alive,
+                            dataset,
+                            j.dest,
+                            now,
+                            ch.eng.config().multi_source,
+                        );
+                        if srcs.is_empty() {
+                            park_job(ch, now, tid, job, job_ledger, job_active, queue);
+                        } else {
+                            ch.eng.set_sources(now, tid, &srcs);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drains engine completions due by `now` (pushing the same
+/// `TransferDone` / `RepairDone` events the legacy model uses, at the
+/// completion instant) and keeps exactly one fresh `FlowProgress` event
+/// queued at the engine's next predicted completion.
+#[allow(clippy::too_many_arguments)]
+fn pump_engine(
+    ch: &mut ChunkedState,
+    now: SimTime,
+    queue: &mut EventQueue<Event>,
+    xfer_jobs: &mut [XferJob],
+    job_active: &mut [Option<usize>],
+    transfer_durations: &mut Vec<f64>,
+    tier_sum_s: &mut [f64; 3],
+    tier_count: &mut [u64; 3],
+) {
+    for tid in ch.eng.advance(now) {
+        let dur = now.secs_since(ch.eng.started(tid));
+        let ti = ch.eng.tier(tid).index();
+        tier_sum_s[ti] += dur;
+        tier_count[ti] += 1;
+        match ch.jobs[tid] {
+            EngineOwner::Job(job) => {
+                xfer_jobs[job].resolved = true;
+                job_active[job] = None;
+                match xfer_jobs[job].kind {
+                    XferKind::Result { q, demand } => {
+                        transfer_durations.push(dur);
+                        queue.push(now, Event::TransferDone { q, demand });
+                    }
+                    XferKind::Repair { .. } => {
+                        queue.push(now, Event::RepairDone { job });
+                    }
+                }
+            }
+            EngineOwner::Consistency { .. } => {}
+        }
+    }
+    if let Some((at, generation)) = ch.eng.next_event() {
+        if generation != ch.last_pushed_gen {
+            ch.last_pushed_gen = generation;
+            queue.push(at, Event::FlowProgress { generation });
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -500,6 +737,31 @@ pub fn try_run_testbed_with_plan(
     let mut live_sol = plan.clone();
     let target_counts: Vec<usize> = inst.dataset_ids().map(|d| plan.replica_count(d)).collect();
     let mut xfer_jobs: Vec<XferJob> = Vec::new();
+    // Chunked-engine bookkeeping, parallel to `xfer_jobs`: the parked
+    // ledger of an interrupted job (verified chunks waiting to resume)
+    // and the job's active engine transfer id, if any.
+    let mut job_ledger: Vec<Option<ChunkLedger>> = Vec::new();
+    let mut job_active: Vec<Option<usize>> = Vec::new();
+    let mut chunked: Option<ChunkedState> = match cfg.transfer {
+        TransferModel::PointToPoint => None,
+        TransferModel::Chunked(mut c) => {
+            if !cfg.nic_contention {
+                c.nic_gb_per_s = f64::INFINITY;
+            }
+            Some(ChunkedState {
+                eng: transfer::Engine::new(c, cloud.compute_count()),
+                jobs: Vec::new(),
+                last_pushed_gen: 0,
+            })
+        }
+    };
+    let mut transfer_resumes = 0usize;
+    let mut chunk_gb_saved = 0.0;
+    let mut abandoned_dead_source = 0usize;
+    let mut abandoned_partitioned = 0usize;
+    let mut repair_durations: Vec<f64> = Vec::new();
+    let mut tier_sum_s = [0.0f64; 3];
+    let mut tier_count = [0u64; 3];
     let mut repairs_scheduled = 0usize;
     let mut repairs_completed = 0usize;
     let mut repair_gb = 0.0;
@@ -526,8 +788,10 @@ pub fn try_run_testbed_with_plan(
     let mut demands_started: u64 = 0;
     let mut demands_queued: u64 = 0;
     let mut queue_wait_sum_s = 0.0;
-    let mut transfer_sum_s = 0.0;
-    let mut transfers: u64 = 0;
+    // Result-transfer durations; summed in sorted order at the end so the
+    // mean is independent of completion order (the chunked engine records
+    // at completion, the legacy model at scheduling).
+    let mut transfer_durations: Vec<f64> = Vec::new();
 
     let start_demand = |now: SimTime,
                         q: QueryId,
@@ -586,12 +850,28 @@ pub fn try_run_testbed_with_plan(
                 Event::LinkUp { a, b } => ("link_up", a.index() as i64, b.index() as i64),
                 Event::RepairDone { job } => ("repair_done", *job as i64, -1),
                 Event::RetryTransfer { job } => ("retry_transfer", *job as i64, -1),
+                Event::FlowProgress { generation } => ("flow_progress", *generation as i64, -1),
                 Event::SloSample => ("slo_sample", -1, -1),
             };
             if ring.len() >= tc.capacity.max(1) {
                 ring.pop_front();
             }
             ring.push_back((now, kind, a, b));
+        }
+        // The chunked engine advances to every event instant first, so
+        // completions due *at* `now` land (as `TransferDone` /
+        // `RepairDone` pushes) before any same-instant fault touches them.
+        if let Some(ch) = chunked.as_mut() {
+            pump_engine(
+                ch,
+                now,
+                &mut queue,
+                &mut xfer_jobs,
+                &mut job_active,
+                &mut transfer_durations,
+                &mut tier_sum_s,
+                &mut tier_count,
+            );
         }
         match ev {
             Event::Arrival { q } => {
@@ -743,9 +1023,12 @@ pub fn try_run_testbed_with_plan(
                 let query = inst.query(q);
                 let result_gb = query.demands[demand].selectivity * inst.size(d);
                 let factor = fault_plan.link_factor(node, query.home, now.as_secs_f64());
-                if factor.is_infinite() {
-                    // Path home is partitioned: park the result and retry
-                    // with backoff instead of losing the query outright.
+                if chunked.is_some() || factor.is_infinite() {
+                    // Chunked engine: every result becomes a retryable job
+                    // and launches through the retry handler (immediately
+                    // when the path is up — same simulated instant).
+                    // Legacy: only a partitioned result parks here, to
+                    // retry with backoff instead of losing the query.
                     let job = xfer_jobs.len();
                     xfer_jobs.push(XferJob {
                         kind: XferKind::Result { q, demand },
@@ -755,7 +1038,10 @@ pub fn try_run_testbed_with_plan(
                         dest_epoch: 0,
                         attempts: 0,
                         resolved: false,
+                        born: now,
                     });
+                    job_ledger.push(None);
+                    job_active.push(None);
                     queue.push(now, Event::RetryTransfer { job });
                     continue;
                 }
@@ -770,8 +1056,7 @@ pub fn try_run_testbed_with_plan(
                 if cfg.nic_contention {
                     nic_free_at[node.index()] = done;
                 }
-                transfer_sum_s += done.as_secs_f64() - now.as_secs_f64();
-                transfers += 1;
+                transfer_durations.push(done.secs_since(now));
                 queue.push(done, Event::TransferDone { q, demand });
             }
             Event::TransferDone { q, demand } => {
@@ -870,6 +1155,82 @@ pub fn try_run_testbed_with_plan(
                     );
                 }
                 held_at_down[idx] = orphans;
+                // Sweep the chunked engine: flows touching the dead node
+                // react now instead of flying on to a void completion.
+                if let Some(ch) = chunked.as_mut() {
+                    for tid in 0..ch.jobs.len() {
+                        if ch.eng.is_done(tid) {
+                            continue;
+                        }
+                        match ch.jobs[tid] {
+                            EngineOwner::Consistency { source, dest } => {
+                                if source == node || dest == node {
+                                    ch.eng.cancel(now, tid);
+                                }
+                            }
+                            EngineOwner::Job(job) => {
+                                let j = xfer_jobs[job];
+                                match j.kind {
+                                    XferKind::Result { q, .. } => {
+                                        // Source death poisoned the run
+                                        // above; its in-flight bytes die
+                                        // with it (legacy semantics).
+                                        if runs[q.index()].is_none() {
+                                            ch.eng.cancel(now, tid);
+                                            xfer_jobs[job].resolved = true;
+                                            job_active[job] = None;
+                                        }
+                                    }
+                                    XferKind::Repair { dataset } => {
+                                        if j.dest == node {
+                                            // Target died: the job is void.
+                                            ch.eng.cancel(now, tid);
+                                            xfer_jobs[job].resolved = true;
+                                            job_active[job] = None;
+                                            continue;
+                                        }
+                                        // The holder set shrank: refresh
+                                        // the swarm, or park the verified
+                                        // chunks if nobody is reachable.
+                                        let srcs = repair_source_paths(
+                                            inst,
+                                            fault_plan,
+                                            &live_sol,
+                                            &alive,
+                                            dataset,
+                                            j.dest,
+                                            now,
+                                            ch.eng.config().multi_source,
+                                        );
+                                        if srcs.is_empty() {
+                                            park_job(
+                                                ch,
+                                                now,
+                                                tid,
+                                                job,
+                                                &mut job_ledger,
+                                                &mut job_active,
+                                                &mut queue,
+                                            );
+                                        } else {
+                                            ch.eng.set_sources(now, tid, &srcs);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    pump_engine(
+                        ch,
+                        now,
+                        &mut queue,
+                        &mut xfer_jobs,
+                        &mut job_active,
+                        &mut transfer_durations,
+                        &mut tier_sum_s,
+                        &mut tier_count,
+                    );
+                }
                 // Controller repair: re-place orphaned replicas on live
                 // feasible nodes, timed as real transfers below.
                 if cfg.repair {
@@ -895,7 +1256,10 @@ pub fn try_run_testbed_with_plan(
                             dest_epoch: node_epoch[a.target.index()],
                             attempts: 0,
                             resolved: false,
+                            born: now,
                         });
+                        job_ledger.push(None);
+                        job_active.push(None);
                         queue.push(now, Event::RetryTransfer { job });
                     }
                 }
@@ -927,14 +1291,74 @@ pub fn try_run_testbed_with_plan(
                         live_sol.place_replica(d, node);
                     }
                 }
+                // Recovered replicas widen every repair swarm: refresh the
+                // source sets of in-flight chunked repairs.
+                if let Some(ch) = chunked.as_mut() {
+                    for tid in 0..ch.jobs.len() {
+                        if ch.eng.is_done(tid) {
+                            continue;
+                        }
+                        if let EngineOwner::Job(job) = ch.jobs[tid] {
+                            if let XferKind::Repair { dataset } = xfer_jobs[job].kind {
+                                let srcs = repair_source_paths(
+                                    inst,
+                                    fault_plan,
+                                    &live_sol,
+                                    &alive,
+                                    dataset,
+                                    xfer_jobs[job].dest,
+                                    now,
+                                    ch.eng.config().multi_source,
+                                );
+                                if !srcs.is_empty() {
+                                    ch.eng.set_sources(now, tid, &srcs);
+                                }
+                            }
+                        }
+                    }
+                    pump_engine(
+                        ch,
+                        now,
+                        &mut queue,
+                        &mut xfer_jobs,
+                        &mut job_active,
+                        &mut transfer_durations,
+                        &mut tier_sum_s,
+                        &mut tier_count,
+                    );
+                }
                 if trace_debug {
                     obs::emit_debug("sim", "sim.run", "node.up", &[("node", idx.into())]);
                 }
             }
             Event::LinkDown { a, b } => {
-                // Timing effects come from `FaultPlan::link_factor`
-                // lookups at transfer-scheduling time; the event marks the
-                // transition for traces and the replay ring.
+                // Legacy timing effects come from `FaultPlan::link_factor`
+                // lookups at transfer-scheduling time; the chunked engine
+                // additionally re-prices (or parks) in-flight flows here.
+                if let Some(ch) = chunked.as_mut() {
+                    refresh_link_flows(
+                        ch,
+                        now,
+                        inst,
+                        fault_plan,
+                        &live_sol,
+                        &alive,
+                        &mut xfer_jobs,
+                        &mut job_ledger,
+                        &mut job_active,
+                        &mut queue,
+                    );
+                    pump_engine(
+                        ch,
+                        now,
+                        &mut queue,
+                        &mut xfer_jobs,
+                        &mut job_active,
+                        &mut transfer_durations,
+                        &mut tier_sum_s,
+                        &mut tier_count,
+                    );
+                }
                 if trace_debug {
                     obs::emit_debug(
                         "sim",
@@ -945,6 +1369,30 @@ pub fn try_run_testbed_with_plan(
                 }
             }
             Event::LinkUp { a, b } => {
+                if let Some(ch) = chunked.as_mut() {
+                    refresh_link_flows(
+                        ch,
+                        now,
+                        inst,
+                        fault_plan,
+                        &live_sol,
+                        &alive,
+                        &mut xfer_jobs,
+                        &mut job_ledger,
+                        &mut job_active,
+                        &mut queue,
+                    );
+                    pump_engine(
+                        ch,
+                        now,
+                        &mut queue,
+                        &mut xfer_jobs,
+                        &mut job_active,
+                        &mut transfer_durations,
+                        &mut tier_sum_s,
+                        &mut tier_count,
+                    );
+                }
                 if trace_debug {
                     obs::emit_debug(
                         "sim",
@@ -968,6 +1416,7 @@ pub fn try_run_testbed_with_plan(
                     live_sol.place_replica(dataset, j.dest);
                     repairs_completed += 1;
                     repair_gb += j.gb;
+                    repair_durations.push(now.secs_since(j.born));
                     if trace_debug {
                         obs::emit_debug(
                             "sim",
@@ -986,6 +1435,169 @@ pub fn try_run_testbed_with_plan(
                 if j.resolved {
                     continue;
                 }
+                if let Some(ch) = chunked.as_mut() {
+                    if job_active[job].is_some() {
+                        continue; // already relaunched by an earlier event
+                    }
+                    match j.kind {
+                        XferKind::Result { q, .. } => {
+                            if runs[q.index()].is_none() {
+                                xfer_jobs[job].resolved = true; // poisoned
+                                continue;
+                            }
+                            let Some(path) =
+                                source_path(cloud, fault_plan, j.source, j.dest, now)
+                            else {
+                                if j.attempts >= XFER_MAX_ATTEMPTS {
+                                    xfer_jobs[job].resolved = true;
+                                    runs[q.index()] = None;
+                                    queries_lost += 1;
+                                    abandoned_partitioned += 1;
+                                    obs::emit(
+                                        "sim",
+                                        "sim.run",
+                                        "transfer.abandoned",
+                                        &[
+                                            ("kind", "result".into()),
+                                            ("reason", "partitioned".into()),
+                                            ("job", job.into()),
+                                            ("attempts", (j.attempts as usize).into()),
+                                        ],
+                                    );
+                                } else {
+                                    xfer_jobs[job].attempts += 1;
+                                    transfer_retries += 1;
+                                    queue.push(
+                                        now.after_secs(backoff_s(j.attempts)),
+                                        Event::RetryTransfer { job },
+                                    );
+                                }
+                                continue;
+                            };
+                            let ledger = job_ledger[job].take().unwrap_or_else(|| {
+                                ChunkLedger::new(j.gb, ch.eng.config().chunk_gb)
+                            });
+                            if ledger.verified_count() > 0 {
+                                transfer_resumes += 1;
+                                chunk_gb_saved += ledger.verified_gb();
+                                obs::emit(
+                                    "sim",
+                                    "sim.run",
+                                    "transfer.resume",
+                                    &[
+                                        ("kind", "result".into()),
+                                        ("job", job.into()),
+                                        ("verified_gb", ledger.verified_gb().into()),
+                                        ("missing_gb", ledger.missing_gb().into()),
+                                    ],
+                                );
+                            }
+                            let tid = ch.eng.begin(
+                                now,
+                                j.dest.index(),
+                                FlowTier::Immediate,
+                                None,
+                                ledger,
+                                &[path],
+                            );
+                            debug_assert_eq!(tid, ch.jobs.len());
+                            ch.jobs.push(EngineOwner::Job(job));
+                            job_active[job] = Some(tid);
+                        }
+                        XferKind::Repair { dataset } => {
+                            if node_epoch[j.dest.index()] != j.dest_epoch {
+                                xfer_jobs[job].resolved = true; // target died
+                                continue;
+                            }
+                            let holders =
+                                repair::pick_sources(inst, &live_sol, &alive, dataset, j.dest);
+                            let mut srcs: Vec<SourcePath> = holders
+                                .iter()
+                                .filter_map(|&s| source_path(cloud, fault_plan, s, j.dest, now))
+                                .collect();
+                            if !ch.eng.config().multi_source {
+                                srcs.truncate(1);
+                            }
+                            if srcs.is_empty() {
+                                // No live holder at all, or holders exist
+                                // but every path is partitioned.
+                                let reason = if holders.is_empty() {
+                                    "dead-source"
+                                } else {
+                                    "partitioned"
+                                };
+                                if j.attempts >= XFER_MAX_ATTEMPTS {
+                                    xfer_jobs[job].resolved = true; // abandoned
+                                    if holders.is_empty() {
+                                        abandoned_dead_source += 1;
+                                    } else {
+                                        abandoned_partitioned += 1;
+                                    }
+                                    obs::emit(
+                                        "sim",
+                                        "sim.run",
+                                        "transfer.abandoned",
+                                        &[
+                                            ("kind", "repair".into()),
+                                            ("reason", reason.into()),
+                                            ("job", job.into()),
+                                            ("attempts", (j.attempts as usize).into()),
+                                        ],
+                                    );
+                                } else {
+                                    xfer_jobs[job].attempts += 1;
+                                    repair_retries += 1;
+                                    queue.push(
+                                        now.after_secs(backoff_s(j.attempts)),
+                                        Event::RetryTransfer { job },
+                                    );
+                                }
+                                continue;
+                            }
+                            xfer_jobs[job].source = ComputeNodeId(srcs[0].node as u32);
+                            let ledger = job_ledger[job].take().unwrap_or_else(|| {
+                                ChunkLedger::new(j.gb, ch.eng.config().chunk_gb)
+                            });
+                            if ledger.verified_count() > 0 {
+                                transfer_resumes += 1;
+                                chunk_gb_saved += ledger.verified_gb();
+                                obs::emit(
+                                    "sim",
+                                    "sim.run",
+                                    "transfer.resume",
+                                    &[
+                                        ("kind", "repair".into()),
+                                        ("job", job.into()),
+                                        ("verified_gb", ledger.verified_gb().into()),
+                                        ("missing_gb", ledger.missing_gb().into()),
+                                    ],
+                                );
+                            }
+                            let tid = ch.eng.begin(
+                                now,
+                                j.dest.index(),
+                                FlowTier::Background,
+                                Some(dataset.index()),
+                                ledger,
+                                &srcs,
+                            );
+                            debug_assert_eq!(tid, ch.jobs.len());
+                            ch.jobs.push(EngineOwner::Job(job));
+                            job_active[job] = Some(tid);
+                        }
+                    }
+                    pump_engine(
+                        ch,
+                        now,
+                        &mut queue,
+                        &mut xfer_jobs,
+                        &mut job_active,
+                        &mut transfer_durations,
+                        &mut tier_sum_s,
+                        &mut tier_count,
+                    );
+                    continue;
+                }
                 match j.kind {
                     XferKind::Result { q, demand } => {
                         if runs[q.index()].is_none() {
@@ -1002,6 +1614,18 @@ pub fn try_run_testbed_with_plan(
                                 xfer_jobs[job].resolved = true;
                                 runs[q.index()] = None;
                                 queries_lost += 1;
+                                abandoned_partitioned += 1;
+                                obs::emit(
+                                    "sim",
+                                    "sim.run",
+                                    "transfer.abandoned",
+                                    &[
+                                        ("kind", "result".into()),
+                                        ("reason", "partitioned".into()),
+                                        ("job", job.into()),
+                                        ("attempts", (j.attempts as usize).into()),
+                                    ],
+                                );
                             } else {
                                 xfer_jobs[job].attempts += 1;
                                 transfer_retries += 1;
@@ -1022,8 +1646,7 @@ pub fn try_run_testbed_with_plan(
                         if cfg.nic_contention {
                             nic_free_at[j.source.index()] = done;
                         }
-                        transfer_sum_s += done.as_secs_f64() - now.as_secs_f64();
-                        transfers += 1;
+                        transfer_durations.push(done.secs_since(now));
                         xfer_jobs[job].resolved = true;
                         queue.push(done, Event::TransferDone { q, demand });
                     }
@@ -1047,6 +1670,24 @@ pub fn try_run_testbed_with_plan(
                         if !alive[source.index()] || factor.is_infinite() {
                             if j.attempts >= XFER_MAX_ATTEMPTS {
                                 xfer_jobs[job].resolved = true; // abandoned
+                                let reason = if !alive[source.index()] {
+                                    abandoned_dead_source += 1;
+                                    "dead-source"
+                                } else {
+                                    abandoned_partitioned += 1;
+                                    "partitioned"
+                                };
+                                obs::emit(
+                                    "sim",
+                                    "sim.run",
+                                    "transfer.abandoned",
+                                    &[
+                                        ("kind", "repair".into()),
+                                        ("reason", reason.into()),
+                                        ("job", job.into()),
+                                        ("attempts", (j.attempts as usize).into()),
+                                    ],
+                                );
                             } else {
                                 xfer_jobs[job].attempts += 1;
                                 repair_retries += 1;
@@ -1097,6 +1738,40 @@ pub fn try_run_testbed_with_plan(
                         if synced > 0 {
                             consistency_gb += new_data_gb[d.index()] * synced as f64;
                             consistency_rounds += 1;
+                            // The chunked engine carries the update push as
+                            // real Scheduled-tier flows, so consistency
+                            // traffic contends with (and yields to) result
+                            // transfers; accounting above stays identical.
+                            if let Some(ch) = chunked.as_mut() {
+                                let gb = new_data_gb[d.index()];
+                                if gb > 0.0 && alive[origin.index()] {
+                                    for &v in replicas {
+                                        if v == origin || !alive[v.index()] {
+                                            continue;
+                                        }
+                                        let Some(p) =
+                                            source_path(cloud, fault_plan, origin, v, now)
+                                        else {
+                                            continue;
+                                        };
+                                        let ledger =
+                                            ChunkLedger::new(gb, ch.eng.config().chunk_gb);
+                                        let tid = ch.eng.begin(
+                                            now,
+                                            v.index(),
+                                            FlowTier::Scheduled,
+                                            None,
+                                            ledger,
+                                            &[p],
+                                        );
+                                        debug_assert_eq!(tid, ch.jobs.len());
+                                        ch.jobs.push(EngineOwner::Consistency {
+                                            source: origin,
+                                            dest: v,
+                                        });
+                                    }
+                                }
+                            }
                             if trace_debug {
                                 obs::emit_debug(
                                     "sim",
@@ -1113,11 +1788,28 @@ pub fn try_run_testbed_with_plan(
                         new_data_gb[d.index()] = 0.0;
                     }
                 }
+                if let Some(ch) = chunked.as_mut() {
+                    pump_engine(
+                        ch,
+                        now,
+                        &mut queue,
+                        &mut xfer_jobs,
+                        &mut job_active,
+                        &mut transfer_durations,
+                        &mut tier_sum_s,
+                        &mut tier_count,
+                    );
+                }
                 // Keep checking until the query phase has drained.
                 let next = now.after_secs(c.check_interval_s);
                 if now <= query_horizon {
                     queue.push(next, Event::ConsistencyCheck);
                 }
+            }
+            Event::FlowProgress { .. } => {
+                // The pre-match pump above already advanced the engine to
+                // `now`, fired due chunk completions, and re-armed the
+                // next wake-up; stale generations needed nothing anyway.
             }
             Event::SloSample => {
                 let interval = cfg
@@ -1193,11 +1885,23 @@ pub fn try_run_testbed_with_plan(
     } else {
         queue_wait_sum_s / demands_started as f64
     };
-    let mean_transfer_s = if transfers == 0 {
-        0.0
-    } else {
-        transfer_sum_s / transfers as f64
+    // Sorted-order sums: the mean depends only on the multiset of
+    // durations, never on completion order.
+    let sorted_mean = |mut v: Vec<f64>| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+        let n = v.len() as f64;
+        v.into_iter().sum::<f64>() / n
     };
+    let mean_transfer_s = sorted_mean(transfer_durations);
+    let repair_completion_mean_s = sorted_mean(repair_durations);
+    let tier_completion_mean_s = [
+        if tier_count[0] == 0 { 0.0 } else { tier_sum_s[0] / tier_count[0] as f64 },
+        if tier_count[1] == 0 { 0.0 } else { tier_sum_s[1] / tier_count[1] as f64 },
+        if tier_count[2] == 0 { 0.0 } else { tier_sum_s[2] / tier_count[2] as f64 },
+    ];
     let availability = if planned_admitted == 0 {
         1.0
     } else {
@@ -1212,6 +1916,9 @@ pub fn try_run_testbed_with_plan(
     obs::counter("sim.repairs_completed").add(repairs_completed as u64);
     obs::counter("sim.repair_retries").add(repair_retries as u64);
     obs::counter("sim.transfer_retries").add(transfer_retries as u64);
+    obs::counter("sim.transfer_resumes").add(transfer_resumes as u64);
+    obs::counter("sim.transfers_abandoned")
+        .add((abandoned_dead_source + abandoned_partitioned) as u64);
     obs::gauge("sim.peak_event_queue").set_max(peak_event_queue as f64);
     obs::gauge("sim.node_downtime_s").set_max(node_downtime_s);
     obs::emit(
@@ -1233,6 +1940,10 @@ pub fn try_run_testbed_with_plan(
             ("queries_lost", queries_lost.into()),
             ("repairs_scheduled", repairs_scheduled.into()),
             ("repairs_completed", repairs_completed.into()),
+            ("transfer_resumes", transfer_resumes.into()),
+            ("chunk_gb_saved", chunk_gb_saved.into()),
+            ("abandoned_dead_source", abandoned_dead_source.into()),
+            ("abandoned_partitioned", abandoned_partitioned.into()),
             ("availability", availability.into()),
         ],
     );
@@ -1267,6 +1978,12 @@ pub fn try_run_testbed_with_plan(
         repair_gb,
         repair_retries,
         transfer_retries,
+        transfer_resumes,
+        chunk_gb_saved,
+        abandoned_dead_source,
+        abandoned_partitioned,
+        repair_completion_mean_s,
+        tier_completion_mean_s,
         node_downtime_s,
         availability,
         qos_miss_dumps,
@@ -1484,6 +2201,95 @@ mod tests {
             without.mean_response_s
         );
         assert!(with_nic.measured_admitted <= without.measured_admitted);
+    }
+
+    #[test]
+    fn chunked_without_faults_is_byte_identical_to_p2p() {
+        // With no faults and uncontended NICs the chunked engine coalesces
+        // every transfer into a single flow priced by the same
+        // `(delay/GB * GB) * factor` product the point-to-point model
+        // uses, so every completion lands on the same microsecond and the
+        // two reports agree bit for bit.
+        let world = small_world(2, 3);
+        let base = SimConfig {
+            nic_contention: false,
+            consistency: Some(ConsistencyConfig {
+                growth_gb_per_hour: 100.0,
+                threshold: 0.05,
+                check_interval_s: 10.0,
+            }),
+            arrival_rate_per_s: 0.05,
+            seed: 3,
+            ..Default::default()
+        };
+        let chunked_cfg = SimConfig {
+            transfer: TransferModel::Chunked(transfer::ChunkedConfig::default()),
+            ..base
+        };
+        let p2p = run_testbed(&ApproG::default(), &world, &base);
+        let ch = run_testbed(&ApproG::default(), &world, &chunked_cfg);
+        assert_eq!(p2p.measured_admitted, ch.measured_admitted);
+        assert_eq!(p2p.measured_volume.to_bits(), ch.measured_volume.to_bits());
+        assert_eq!(p2p.mean_response_s.to_bits(), ch.mean_response_s.to_bits());
+        assert_eq!(p2p.p50_response_s.to_bits(), ch.p50_response_s.to_bits());
+        assert_eq!(p2p.p95_response_s.to_bits(), ch.p95_response_s.to_bits());
+        assert_eq!(p2p.max_response_s.to_bits(), ch.max_response_s.to_bits());
+        assert_eq!(p2p.mean_transfer_s.to_bits(), ch.mean_transfer_s.to_bits());
+        assert_eq!(
+            p2p.mean_queue_wait_s.to_bits(),
+            ch.mean_queue_wait_s.to_bits()
+        );
+        assert_eq!(p2p.availability.to_bits(), ch.availability.to_bits());
+        assert_eq!(p2p.consistency_rounds, ch.consistency_rounds);
+        assert!(p2p.consistency_rounds > 0, "exercise the scheduled tier");
+        assert_eq!(p2p.consistency_gb.to_bits(), ch.consistency_gb.to_bits());
+        assert_eq!(p2p.answers.len(), ch.answers.len());
+        // No faults: nothing to resume or abandon in either model.
+        assert_eq!(ch.transfer_resumes, 0);
+        assert_eq!(ch.chunk_gb_saved, 0.0);
+        assert_eq!(ch.abandoned_dead_source, 0);
+        assert_eq!(ch.abandoned_partitioned, 0);
+    }
+
+    #[test]
+    fn chunked_populates_tier_stats() {
+        let world = small_world(2, 3);
+        let cfg = SimConfig {
+            transfer: TransferModel::Chunked(transfer::ChunkedConfig::default()),
+            ..Default::default()
+        };
+        let report = run_testbed(&ApproG::default(), &world, &cfg);
+        // Result shipping rides the immediate tier; no repairs or
+        // consistency pushes ran, so the other tiers stay empty.
+        assert!(report.tier_completion_mean_s[0] > 0.0);
+        assert_eq!(report.tier_completion_mean_s[1], 0.0);
+        assert_eq!(report.tier_completion_mean_s[2], 0.0);
+        assert_eq!(report.repair_completion_mean_s, 0.0);
+        assert!(report.mean_transfer_s > 0.0);
+    }
+
+    #[test]
+    fn chunked_nic_contention_only_slows_things_down() {
+        // Fair-shared finite NICs can only stretch flows relative to
+        // infinite ones — the fluid analogue of the legacy FIFO-NIC test.
+        let world = small_world(3, 3);
+        let storm = SimConfig {
+            arrival_rate_per_s: 50.0,
+            transfer: TransferModel::Chunked(transfer::ChunkedConfig::default()),
+            ..Default::default()
+        };
+        let free = SimConfig {
+            nic_contention: false,
+            ..storm
+        };
+        let with_nic = run_testbed(&ApproG::default(), &world, &storm);
+        let without = run_testbed(&ApproG::default(), &world, &free);
+        assert!(
+            with_nic.mean_response_s >= without.mean_response_s - 1e-9,
+            "fair-shared NICs cannot be faster ({} vs {})",
+            with_nic.mean_response_s,
+            without.mean_response_s
+        );
     }
 
     #[test]

@@ -330,6 +330,193 @@ fn zero_fault_plan_reproduces_clean_run_exactly() {
     assert_eq!(clean.answers, faulted.answers);
 }
 
+// ---------------------------------------------------------------------
+// The chunked, resumable multi-source transfer engine under faults.
+// ---------------------------------------------------------------------
+
+use edgerep_testbed::{ChunkedConfig, TransferModel};
+
+fn chunked_sim(seed: u64, repair: bool) -> SimConfig {
+    SimConfig {
+        seed,
+        repair,
+        transfer: TransferModel::Chunked(ChunkedConfig::default()),
+        // Uncontended NICs: both engines run identical path physics, so
+        // any divergence is purely fault-handling (resume/multi-source).
+        nic_contention: false,
+        ..Default::default()
+    }
+}
+
+/// Seeded MTBF/MTTR plans through the chunked engine: no panic, coherent
+/// accounting, and resume bookkeeping that never invents bytes — saved
+/// chunk volume exists only when a transfer actually resumed.
+#[test]
+fn chunked_generated_plans_stay_coherent_and_conserve_resume_volume() {
+    let mut resumes_total = 0usize;
+    for seed in 0..10u64 {
+        let k = 1 + (seed as usize % 4);
+        let w = world(k, seed);
+        let nodes = w.instance.cloud().compute_count();
+        let plan = FaultConfig {
+            link_fraction: 0.1,
+            link_mtbf_s: 50.0,
+            link_mttr_s: 20.0,
+            ..Default::default()
+        }
+        .with_node_fraction(0.35)
+        .with_seed(seed * 31)
+        .generate(nodes);
+        let report =
+            try_run_testbed_with_plan(&ApproG::default(), &w, &chunked_sim(seed, true), &plan)
+                .expect("generated plans validate");
+        assert!(report.measured_admitted <= report.planned_admitted);
+        assert!(report.measured_volume <= report.planned_volume + 1e-9);
+        assert!(report.answers.len() + report.queries_lost_to_faults <= report.total_queries);
+        assert!((0.0..=1.0).contains(&report.availability));
+        assert!(report.repairs_completed <= report.repairs_scheduled);
+        // Resume conservation: bytes saved only by transfers that
+        // actually resumed, and durations/tier means stay sane.
+        assert!(report.chunk_gb_saved >= 0.0 && report.chunk_gb_saved.is_finite());
+        if report.transfer_resumes == 0 {
+            assert_eq!(report.chunk_gb_saved, 0.0);
+        }
+        assert!(report.repair_completion_mean_s >= 0.0);
+        for t in report.tier_completion_mean_s {
+            assert!(t >= 0.0 && t.is_finite());
+        }
+        resumes_total += report.transfer_resumes;
+        for d in w.instance.dataset_ids() {
+            assert!(report.live_plan.replica_count(d) <= w.instance.max_replicas());
+        }
+    }
+    assert!(
+        resumes_total > 0,
+        "a 10-seed 35%-fraction sweep must interrupt at least one transfer"
+    );
+}
+
+/// Chunked fault runs are deterministic, including the new accounting.
+#[test]
+fn chunked_fault_runs_are_deterministic() {
+    let w = world(3, 11);
+    let plan = FaultConfig::default()
+        .with_node_fraction(0.3)
+        .with_seed(11)
+        .generate(w.instance.cloud().compute_count());
+    let sim = chunked_sim(11, true);
+    let a = try_run_testbed_with_plan(&ApproG::default(), &w, &sim, &plan).unwrap();
+    let b = try_run_testbed_with_plan(&ApproG::default(), &w, &sim, &plan).unwrap();
+    assert_eq!(a.measured_volume, b.measured_volume);
+    assert_eq!(a.measured_admitted, b.measured_admitted);
+    assert_eq!(a.availability, b.availability);
+    assert_eq!(a.transfer_resumes, b.transfer_resumes);
+    assert_eq!(a.chunk_gb_saved, b.chunk_gb_saved);
+    assert_eq!(a.abandoned_dead_source, b.abandoned_dead_source);
+    assert_eq!(a.abandoned_partitioned, b.abandoned_partitioned);
+    assert_eq!(a.repair_completion_mean_s, b.repair_completion_mean_s);
+    assert_eq!(a.tier_completion_mean_s, b.tier_completion_mean_s);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.live_plan, b.live_plan);
+}
+
+/// The PR's acceptance pin: under the same seeded transient fault plans
+/// (40% of nodes fault-prone, K = 3), the chunked engine's availability
+/// is no worse than point-to-point and its mean repair completion time
+/// is no slower, aggregated over three seeds — resume plus multi-source
+/// swarm can only help.
+#[test]
+fn chunked_repair_no_worse_than_p2p_under_transient_faults() {
+    let mut p2p_avail = 0.0;
+    let mut ch_avail = 0.0;
+    let mut p2p_repair_s = 0.0;
+    let mut ch_repair_s = 0.0;
+    let mut repairs = 0usize;
+    for seed in 0..3u64 {
+        let w = world(3, seed);
+        let plan = FaultConfig::default()
+            .with_node_fraction(0.4)
+            .with_seed(seed)
+            .generate(w.instance.cloud().compute_count());
+        let p2p_cfg = SimConfig {
+            seed,
+            repair: true,
+            nic_contention: false,
+            ..Default::default()
+        };
+        let p2p = try_run_testbed_with_plan(&ApproG::default(), &w, &p2p_cfg, &plan).unwrap();
+        let ch =
+            try_run_testbed_with_plan(&ApproG::default(), &w, &chunked_sim(seed, true), &plan)
+                .unwrap();
+        p2p_avail += p2p.availability;
+        ch_avail += ch.availability;
+        p2p_repair_s += p2p.repair_completion_mean_s;
+        ch_repair_s += ch.repair_completion_mean_s;
+        repairs += ch.repairs_completed;
+    }
+    assert!(repairs > 0, "the scenario must exercise repair");
+    assert!(
+        ch_avail >= p2p_avail - 1e-9,
+        "chunked availability {ch_avail} below p2p {p2p_avail}"
+    );
+    assert!(
+        ch_repair_s <= p2p_repair_s + 1e-9,
+        "chunked repair completion {ch_repair_s} slower than p2p {p2p_repair_s}"
+    );
+}
+
+/// A correlated region storm over background MTBF noise interrupts
+/// enough transfers that every interruption outcome fires in one run:
+/// resume (short outage, partial chunks kept), dead-source abandonment
+/// (no live holder through the retry budget), and partitioned
+/// abandonment (region isolation outlives the budget). The contended
+/// slow NIC stretches flows so bursts catch them mid-air — the same
+/// ingredients the `--storm` figure and the `scripts/ci.sh` trace
+/// smoke rely on.
+#[test]
+fn storms_force_resumes_and_abandonments() {
+    let w = world(1, 9);
+    let nodes = w.instance.cloud().compute_count();
+    // DC VMs 0-3 are their own regions; cloudlets form racks of four.
+    let regions: Vec<u32> = (0..nodes)
+        .map(|i| if i < 4 { i as u32 } else { 4 + ((i - 4) / 4) as u32 })
+        .collect();
+    let plan = FaultConfig {
+        node_mtbf_s: 40.0,
+        node_mttr_s: 30.0,
+        ..Default::default()
+    }
+    .with_node_fraction(0.3)
+    .with_storms(2)
+    .with_seed(9)
+    .generate_with_regions(&regions);
+    let sim = SimConfig {
+        seed: 9,
+        repair: true,
+        transfer: TransferModel::Chunked(ChunkedConfig {
+            nic_gb_per_s: 0.05,
+            ..Default::default()
+        }),
+        nic_contention: true,
+        ..Default::default()
+    };
+    let report = try_run_testbed_with_plan(&ApproG::default(), &w, &sim, &plan).unwrap();
+    assert!(
+        report.transfer_resumes > 0,
+        "a short outage must park and resume at least one chunked transfer"
+    );
+    assert!(report.chunk_gb_saved > 0.0, "resumed chunks must be kept");
+    assert!(
+        report.abandoned_dead_source > 0,
+        "losing every holder through the retry budget must abandon"
+    );
+    assert!(
+        report.abandoned_partitioned > 0,
+        "a 150 s isolation outlives the retry budget: something must abandon"
+    );
+    assert!((0.0..=1.0).contains(&report.availability));
+}
+
 #[test]
 #[should_panic(expected = "unknown node")]
 fn fault_on_unknown_node_rejected() {

@@ -61,6 +61,18 @@ tail -n 1 "$trace_tmp/ext-forecast.ndjson" | grep -q '"event":"dump.done"' \
 grep -q '"span":"forecast.predict"' "$trace_tmp/ext-forecast.ndjson" \
     || { echo "ext-forecast trace has no forecast.predict span event" >&2; exit 1; }
 
+# Smoke the chunked transfer engine under the correlated-storm preset:
+# the traced run must show both interruption outcomes — at least one
+# transfer resumed with its verified chunks intact and at least one
+# abandoned after retry exhaustion.
+echo "== repro ext-availability --storm --trace smoke =="
+cargo run -q -p edgerep-exp --release --bin repro -- ext-availability --storm --quick \
+    --trace "$trace_tmp/storm.ndjson" > /dev/null
+grep -q '"event":"transfer.resume"' "$trace_tmp/storm.ndjson" \
+    || { echo "storm trace has no transfer.resume event" >&2; exit 1; }
+grep -q '"event":"transfer.abandoned"' "$trace_tmp/storm.ndjson" \
+    || { echo "storm trace has no transfer.abandoned event" >&2; exit 1; }
+
 # Smoke the span-tree profiler end to end: folded stacks are written and
 # the traced stream carries the profile.dump completion event.
 echo "== repro --profile smoke =="
