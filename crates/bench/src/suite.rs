@@ -21,7 +21,7 @@ use crate::representative_instance;
 
 /// Every suite entry as `(name, kind)`, run order. Kinds: `"micro"` or
 /// `"e2e"`.
-pub const BENCH_NAMES: [(&str, &str); 9] = [
+pub const BENCH_NAMES: [(&str, &str); 11] = [
     ("appro.dual_update_special", "micro"),
     ("appro.dual_update_general", "micro"),
     ("appro.candidate_scan", "micro"),
@@ -29,6 +29,8 @@ pub const BENCH_NAMES: [(&str, &str); 9] = [
     ("repair.plan", "micro"),
     ("forecast.predict", "micro"),
     ("transfer.rarest_first", "micro"),
+    ("ec.encode_plan", "micro"),
+    ("ec.degraded_read", "micro"),
     ("figure.fig2", "e2e"),
     ("figure.fig8", "e2e"),
 ];
@@ -207,6 +209,54 @@ pub fn run_suite(
                 run_bench(name, kind, effort, || {
                     for &id in &ids {
                         black_box(black_box(&eng).pick_chunk(id));
+                    }
+                })
+            }
+            "ec.encode_plan" => {
+                // Shard-layout derivation for every (scheme, size) pair an
+                // instance activation touches: the ext-ec arms over a
+                // spread of dataset sizes.
+                use edgerep_ec::RedundancyScheme;
+                let schemes = [
+                    RedundancyScheme::Replication { k: 3 },
+                    RedundancyScheme::ErasureCoded { k: 2, m: 1 },
+                    RedundancyScheme::ErasureCoded { k: 4, m: 2 },
+                    RedundancyScheme::ErasureCoded { k: 8, m: 3 },
+                ];
+                let sizes: Vec<f64> = (1..=32).map(|i| i as f64 * 0.75).collect();
+                run_bench(name, kind, effort, || {
+                    for &scheme in &schemes {
+                        for &gb in &sizes {
+                            black_box(edgerep_ec::encode_plan(
+                                black_box(scheme),
+                                black_box(gb),
+                            ));
+                        }
+                    }
+                })
+            }
+            "ec.degraded_read" => {
+                // Gather planning for a degraded EC(8,3) read: pick the
+                // k − 1 nearest live co-holders out of a 16-node pool —
+                // the per-arrival inner loop in the testbed sim.
+                use edgerep_ec::{plan_read, RedundancyScheme, ShardSource};
+                let scheme = RedundancyScheme::ErasureCoded { k: 8, m: 3 };
+                let others: Vec<ShardSource> = (0..16)
+                    .map(|n| ShardSource {
+                        node: n,
+                        delay_s_per_gb: 0.01 + (n as f64 * 0.37).sin().abs() * 0.2,
+                    })
+                    .collect();
+                run_bench(name, kind, effort, || {
+                    // Sweep the live-holder count across the quorum
+                    // boundary so both degraded and lost paths price.
+                    for live in 4..16 {
+                        black_box(plan_read(
+                            black_box(scheme),
+                            black_box(24.0),
+                            black_box(&others[..live]),
+                            11,
+                        ));
                     }
                 })
             }

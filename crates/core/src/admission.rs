@@ -10,7 +10,7 @@
 
 use std::cell::Cell;
 
-use edgerep_model::delay::assignment_delay;
+use edgerep_model::delay::{assignment_delay, read_overhead};
 use edgerep_model::{ComputeNodeId, DatasetId, Instance, QueryId, Solution};
 use edgerep_obs as obs;
 
@@ -206,9 +206,50 @@ impl<'a> AdmissionState<'a> {
         self.tally.set(t);
     }
 
-    /// Whether `d` still has replica budget for a *new* location.
+    /// Whether `d` still has holder budget for a *new* location — the
+    /// per-dataset `slots(d)` generalization of constraint (5)'s `K`.
     pub fn replica_budget_left(&self, d: DatasetId) -> bool {
-        self.sol.replica_count(d) < self.inst.max_replicas()
+        self.sol.replica_count(d) < self.inst.slots(d)
+    }
+
+    /// The holder set `d` would have after serving a read at `v`:
+    /// existing holders ∪ plan-pending holders for `d` ∪ `{v}`, extended
+    /// with the nearest fill nodes (by delay to `v`, ties lowest id)
+    /// until the scheme's read quorum is met — the `k`-shard bootstrap an
+    /// erasure-coded dataset performs on first activation. For
+    /// replication this is just "existing plus `v`"; the fill step never
+    /// runs.
+    pub fn planned_holders_with(
+        &self,
+        d: DatasetId,
+        v: ComputeNodeId,
+        pending: &[(DatasetId, ComputeNodeId)],
+    ) -> Vec<ComputeNodeId> {
+        let mut holders: Vec<ComputeNodeId> = self.sol.replicas_of(d).to_vec();
+        for &(pd, pv) in pending {
+            if pd == d && !holders.contains(&pv) {
+                holders.push(pv);
+            }
+        }
+        if !holders.contains(&v) {
+            holders.push(v);
+        }
+        let quorum = self.inst.scheme(d).min_read();
+        if holders.len() < quorum {
+            let cloud = self.inst.cloud();
+            let mut fills: Vec<ComputeNodeId> =
+                cloud.compute_ids().filter(|c| !holders.contains(c)).collect();
+            fills.sort_by(|&a, &b| {
+                cloud
+                    .min_delay(a, v)
+                    .partial_cmp(&cloud.min_delay(b, v))
+                    .expect("delays comparable")
+                    .then(a.0.cmp(&b.0))
+            });
+            fills.truncate(quorum - holders.len());
+            holders.extend(fills);
+        }
+        holders
     }
 
     /// Whether `v` already holds a replica of `d`.
@@ -259,15 +300,36 @@ impl<'a> AdmissionState<'a> {
     ) -> Result<(), RejectReason> {
         let res = (|| {
             let d = self.inst.query(q).demands[demand_idx].dataset;
-            if !self.has_replica(d, v) && !self.replica_budget_left(d) {
-                return Err(RejectReason::ReplicaBudget);
+            // Erasure-coded datasets admit shard *sets*: serving at `v`
+            // implies the whole bootstrap holder set must fit the budget,
+            // and the deadline must absorb the gather + decode overhead.
+            let planned = if self.inst.scheme(d).needs_decode() {
+                Some(self.planned_holders_with(d, v, &[]))
+            } else {
+                None
+            };
+            match &planned {
+                Some(holders) => {
+                    if holders.len() > self.inst.slots(d) {
+                        return Err(RejectReason::ReplicaBudget);
+                    }
+                }
+                None => {
+                    if !self.has_replica(d, v) && !self.replica_budget_left(d) {
+                        return Err(RejectReason::ReplicaBudget);
+                    }
+                }
             }
             if self.used[v.index()] + extra_load + self.compute_demand(q, demand_idx)
                 > self.inst.cloud().available(v) + 1e-9
             {
                 return Err(RejectReason::Capacity);
             }
-            if assignment_delay(self.inst, q, demand_idx, v) > self.inst.query(q).deadline + 1e-12 {
+            let mut delay = assignment_delay(self.inst, q, demand_idx, v);
+            if let Some(holders) = &planned {
+                delay += read_overhead(self.inst, d, v, holders);
+            }
+            if delay > self.inst.query(q).deadline + 1e-12 {
                 return Err(RejectReason::Deadline);
             }
             Ok(())
@@ -306,21 +368,31 @@ impl<'a> AdmissionState<'a> {
         let mut new_replicas: Vec<(DatasetId, ComputeNodeId)> = Vec::new();
         for (idx, p) in plan.iter().enumerate() {
             let d = query.demands[idx].dataset;
-            let have = self.has_replica(d, p.node)
-                || new_replicas.iter().any(|&(nd, nv)| nd == d && nv == p.node);
-            if !have {
-                let pending = new_replicas.iter().filter(|&&(nd, _)| nd == d).count();
-                if self.replica_count(d) + pending >= self.inst.max_replicas() {
-                    return false;
+            // Every holder the demand would materialize (just `p.node` for
+            // replication; the whole shard bootstrap set for EC) must fit
+            // the per-dataset slot budget, shared across the plan.
+            let planned = self.planned_holders_with(d, p.node, &new_replicas);
+            for &h in &planned {
+                let have = self.has_replica(d, h)
+                    || new_replicas.iter().any(|&(nd, nv)| nd == d && nv == h);
+                if !have {
+                    let pending = new_replicas.iter().filter(|&&(nd, _)| nd == d).count();
+                    if self.replica_count(d) + pending >= self.inst.slots(d) {
+                        return false;
+                    }
+                    new_replicas.push((d, h));
                 }
-                new_replicas.push((d, p.node));
             }
             if self.used[p.node.index()] + extra[p.node.index()] + self.compute_demand(q, idx)
                 > self.inst.cloud().available(p.node) + 1e-9
             {
                 return false;
             }
-            if assignment_delay(self.inst, q, idx, p.node) > query.deadline + 1e-12 {
+            let mut delay = assignment_delay(self.inst, q, idx, p.node);
+            if self.inst.scheme(d).needs_decode() {
+                delay += read_overhead(self.inst, d, p.node, &planned);
+            }
+            if delay > query.deadline + 1e-12 {
                 return false;
             }
             extra[p.node.index()] += self.compute_demand(q, idx);
@@ -344,7 +416,14 @@ impl<'a> AdmissionState<'a> {
         let nodes: Vec<ComputeNodeId> = plan.iter().map(|p| p.node).collect();
         for (idx, p) in plan.iter().enumerate() {
             let d = query.demands[idx].dataset;
-            self.sol.place_replica(d, p.node);
+            // Materialize the full holder set the feasibility pass planned:
+            // `p.node` alone for replication, the shard bootstrap set for
+            // EC. `place_replica` dedupes holders that already exist, so
+            // demands applied in plan order reproduce `plan_feasible`'s
+            // simulation exactly.
+            for h in self.planned_holders_with(d, p.node, &[]) {
+                self.sol.place_replica(d, h);
+            }
             self.used[p.node.index()] += self.compute_demand(q, idx);
         }
         self.sol.assign_query(q, nodes);
@@ -603,5 +682,88 @@ mod tests {
         assert_eq!(RejectReason::ReplicaBudget.label(), "replica_budget");
         assert_eq!(RejectReason::Capacity.label(), "capacity");
         assert_eq!(RejectReason::Deadline.label(), "deadline");
+    }
+
+    /// dc --0.05-- c0 --0.1-- c1 --0.1-- c2, one 4 GB dataset @ dc striped
+    /// ec(2,1): shard 2 GB, quorum 2, slots 3. q0 @ c0 wants it (α .5).
+    fn ec_setup() -> Instance {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let c0 = b.add_cloudlet(8.0, 0.01);
+        let c1 = b.add_cloudlet(8.0, 0.01);
+        let c2 = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, c0, 0.05);
+        b.link(c0, c1, 0.1);
+        b.link(c1, c2, 0.1);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 3);
+        let d0 = ib.add_dataset(4.0, dc);
+        ib.set_default_scheme(RedundancyScheme::erasure(2, 1).unwrap());
+        ib.add_query(c0, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
+        ib.build().unwrap()
+    }
+
+    #[test]
+    fn ec_commit_places_the_shard_bootstrap_set() {
+        let inst = ec_setup();
+        let c0 = ComputeNodeId(1);
+        let mut st = AdmissionState::new(&inst);
+        let plan = vec![PlannedDemand {
+            node: c0,
+            new_replica: true,
+        }];
+        assert!(st.plan_feasible(QueryId(0), &plan));
+        st.commit(QueryId(0), &plan);
+        // First activation bootstraps the read quorum: the serving node
+        // plus its nearest fill (the dc at 0.05, closer than c1 at 0.1).
+        assert_eq!(st.replica_count(DatasetId(0)), 2);
+        assert!(st.has_replica(DatasetId(0), c0));
+        assert!(st.has_replica(DatasetId(0), ComputeNodeId(0)));
+        let sol = st.into_solution();
+        assert!(sol.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn ec_budget_rejects_when_shard_set_exceeds_slots() {
+        let inst = ec_setup();
+        let d0 = DatasetId(0);
+        let mut st = AdmissionState::new(&inst);
+        // Fill all k + m = 3 slots by hand.
+        st.place_replica(d0, ComputeNodeId(1));
+        st.place_replica(d0, ComputeNodeId(0));
+        st.place_replica(d0, ComputeNodeId(2));
+        assert!(!st.replica_budget_left(d0));
+        // Reading at an existing holder is still fine…
+        assert!(st.demand_feasible(QueryId(0), 0, ComputeNodeId(1)));
+        // …but a fourth shard location would exceed k + m.
+        assert_eq!(
+            st.demand_check(QueryId(0), 0, ComputeNodeId(3), 0.0),
+            Err(RejectReason::ReplicaBudget)
+        );
+    }
+
+    #[test]
+    fn ec_deadline_check_charges_gather_and_decode() {
+        // Same topology, but a deadline tighter than the EC overhead:
+        // serving at c0 costs proc 0.04 + gather 0.05·2 + decode 0.02·4
+        // = 0.22 s, so a 0.2 s deadline admits plain replication (0.04 s)
+        // but rejects the striped read.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let c0 = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, c0, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 3);
+        let d0 = ib.add_dataset(4.0, dc);
+        ib.set_default_scheme(RedundancyScheme::erasure(2, 1).unwrap());
+        // Selectivity is irrelevant here: the query is served at its own
+        // home, so the result-shipping term is 0 either way.
+        ib.add_query(c0, vec![Demand::new(d0, 0.5)], 1.0, 0.2);
+        let inst = ib.build().unwrap();
+        let st = AdmissionState::new(&inst);
+        assert_eq!(
+            st.demand_check(QueryId(0), 0, c0, 0.0),
+            Err(RejectReason::Deadline)
+        );
     }
 }

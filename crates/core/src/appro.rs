@@ -41,8 +41,8 @@
 //! with intra-query load stacking and replica-budget sharing handled by
 //! [`AdmissionState::plan_feasible`].
 
-use edgerep_model::delay::assignment_delay;
-use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+use edgerep_model::delay::{assignment_delay, read_overhead};
+use edgerep_model::{ComputeNodeId, DatasetId, Instance, QueryId, Solution};
 use edgerep_obs as obs;
 
 use crate::admission::{AdmissionState, PlannedDemand, RejectReason};
@@ -139,20 +139,35 @@ impl Appro {
         idx: usize,
         v: ComputeNodeId,
         extra: &[f64],
-        pending_replicas: &[(u32, ComputeNodeId)],
+        pending_replicas: &[(DatasetId, ComputeNodeId)],
     ) -> Option<f64> {
         let inst = st.instance();
         let query = inst.query(q);
         let d = query.demands[idx].dataset;
-        let pending_here = pending_replicas
-            .iter()
-            .any(|&(pd, pv)| pd == d.0 && pv == v);
+        let pending_here = pending_replicas.iter().any(|&(pd, pv)| pd == d && pv == v);
         let have = st.has_replica(d, v) || pending_here;
-        let pending_count = pending_replicas
-            .iter()
-            .filter(|&&(pd, _)| pd == d.0)
-            .count();
-        if !have && st.replica_count(d) + pending_count >= inst.max_replicas() {
+        let pending_count = pending_replicas.iter().filter(|&&(pd, _)| pd == d).count();
+        // For erasure-coded datasets the candidate scan prices the whole
+        // shard set a read at `v` would materialize; for replication the
+        // planned set degenerates to `{v}` and the checks below reproduce
+        // the paper's single-copy rule bit for bit.
+        let scheme = inst.scheme(d);
+        let planned = if scheme.needs_decode() {
+            Some(st.planned_holders_with(d, v, pending_replicas))
+        } else {
+            None
+        };
+        let new_holders = match &planned {
+            Some(holders) => holders
+                .iter()
+                .filter(|&&h| {
+                    !st.has_replica(d, h)
+                        && !pending_replicas.iter().any(|&(pd, pv)| pd == d && pv == h)
+                })
+                .count(),
+            None => usize::from(!have),
+        };
+        if st.replica_count(d) + pending_count + new_holders > inst.slots(d) {
             st.note_check(Some(RejectReason::ReplicaBudget));
             return None;
         }
@@ -162,7 +177,10 @@ impl Appro {
             st.note_check(Some(RejectReason::Capacity));
             return None;
         }
-        let delay = assignment_delay(inst, q, idx, v);
+        let mut delay = assignment_delay(inst, q, idx, v);
+        if let Some(holders) = &planned {
+            delay += read_overhead(inst, d, v, holders);
+        }
         if delay > query.deadline + 1e-12 {
             st.note_check(Some(RejectReason::Deadline));
             return None;
@@ -181,11 +199,18 @@ impl Appro {
         };
         let capacity_price = query.compute_rate * self.theta(mu, x);
         let delay_price = self.config.delay_weight * delay / query.deadline;
-        let replica_price = if have {
-            0.0
-        } else {
+        // The replica price sums over every *new* holder the read would
+        // create: the i-th fresh location is priced (placed + pending + i)
+        // / slots, so a shard set pays for each slot it consumes. For
+        // replication (at most one new holder) this is exactly the paper's
+        // (count + pending)/K.
+        let replica_price = {
+            let base = st.replica_count(d) + pending_count;
+            let slots = inst.slots(d) as f64;
             self.config.replica_weight
-                * ((st.replica_count(d) + pending_count) as f64 / inst.max_replicas() as f64)
+                * (0..new_holders)
+                    .map(|i| (base + i) as f64 / slots)
+                    .sum::<f64>()
         };
         Some(capacity_price + delay_price + replica_price)
     }
@@ -210,7 +235,7 @@ impl Appro {
                 .expect("compute demands are finite")
         });
         let mut extra = vec![0.0; inst.cloud().compute_count()];
-        let mut pending: Vec<(u32, ComputeNodeId)> = Vec::new();
+        let mut pending: Vec<(DatasetId, ComputeNodeId)> = Vec::new();
         let mut plan = vec![
             PlannedDemand {
                 node: ComputeNodeId(0),
@@ -231,9 +256,15 @@ impl Appro {
             let (v, p) = best?;
             let d = query.demands[idx].dataset;
             let new_replica =
-                !st.has_replica(d, v) && !pending.iter().any(|&(pd, pv)| pd == d.0 && pv == v);
-            if new_replica {
-                pending.push((d.0, v));
+                !st.has_replica(d, v) && !pending.iter().any(|&(pd, pv)| pd == d && pv == v);
+            // Record every holder the chosen node commits the plan to:
+            // just `v` for replication, `v` plus the shard bootstrap set
+            // for erasure-coded datasets, so later demands price the
+            // remaining budget correctly.
+            for h in st.planned_holders_with(d, v, &pending) {
+                if !st.has_replica(d, h) && !pending.iter().any(|&(pd, pv)| pd == d && pv == h) {
+                    pending.push((d, h));
+                }
             }
             extra[v.index()] += st.compute_demand(q, idx);
             plan[idx] = PlannedDemand {
@@ -367,7 +398,11 @@ impl Appro {
     /// * dual objective (8) = `Σ_l A(v_l)·θ_l + K·Σ_m μ_qm`.
     ///
     /// For multi-dataset queries the per-demand volumes replace `|S_qm|`,
-    /// mirroring how Algorithm 2 invokes Algorithm 1 per demand.
+    /// mirroring how Algorithm 2 invokes Algorithm 1 per demand. With
+    /// per-dataset redundancy schemes the budget multiplier `K` becomes
+    /// `max_n slots(n)` — every dataset's holder count stays below it, so
+    /// the certificate remains a valid upper bound (and is unchanged when
+    /// all datasets use the default `Replication(K)`).
     pub fn dual_bound(&self, inst: &Instance, theta: &[f64]) -> f64 {
         let cloud = inst.cloud();
         let capacity_part: f64 = cloud
@@ -388,7 +423,12 @@ impl Appro {
             }
             worst_y_sum = worst_y_sum.max(y_sum);
         }
-        capacity_part + inst.max_replicas() as f64 * worst_y_sum
+        let k_max = inst
+            .dataset_ids()
+            .map(|d| inst.slots(d))
+            .max()
+            .unwrap_or(inst.max_replicas());
+        capacity_part + k_max as f64 * worst_y_sum
     }
 }
 
@@ -616,5 +656,74 @@ mod tests {
     fn names_match_paper() {
         assert_eq!(ApproS::default().name(), "Appro-S");
         assert_eq!(ApproG::default().name(), "Appro-G");
+    }
+
+    #[test]
+    fn erasure_coded_dataset_admits_with_shard_quorum() {
+        // dc --0.05-- c0 --0.1-- c1; 4 GB dataset striped ec(2,1): any
+        // admitted read must leave at least k = 2 shard holders placed.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let c0 = b.add_cloudlet(8.0, 0.01);
+        let c1 = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, c0, 0.05);
+        b.link(c0, c1, 0.1);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 3);
+        let d0 = ib.add_dataset(4.0, dc);
+        ib.set_default_scheme(RedundancyScheme::erasure(2, 1).unwrap());
+        ib.add_query(c0, vec![Demand::new(d0, 0.5)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        let report = Appro::default().run(&inst);
+        report.solution.validate(&inst).unwrap();
+        assert_eq!(report.solution.admitted_count(), 1);
+        assert!(report.solution.replica_count(DatasetId(0)) >= 2);
+        assert!(
+            report.dual_bound >= report.solution.admitted_volume(&inst) - 1e-9,
+            "dual certificate must still dominate under EC"
+        );
+    }
+
+    #[test]
+    fn ec_storage_undercuts_replication_at_equal_admitted_volume() {
+        // dc --0.05-- c0 --0.05-- c1 --0.05-- c2, one 4 GB dataset, three
+        // queries (α = 1) homed at c0..c2 with a 0.23 s deadline. Remote
+        // service costs ≥ 0.05·4 + proc > 0.23, so Replication(3) must
+        // materialize three full copies (12 GB). ec(2,2) serves each home
+        // locally (proc 0.04 + gather 0.05·2 + decode 0.02·4 = 0.22 s)
+        // from 2 GB shards: four holders, 8 GB, same admitted volume.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let c0 = b.add_cloudlet(16.0, 0.01);
+        let c1 = b.add_cloudlet(16.0, 0.01);
+        let c2 = b.add_cloudlet(16.0, 0.01);
+        b.link(dc, c0, 0.05);
+        b.link(c0, c1, 0.05);
+        b.link(c1, c2, 0.05);
+        let cloud = b.build().unwrap();
+        let mut results = Vec::new();
+        for scheme in [
+            RedundancyScheme::replication(3).unwrap(),
+            RedundancyScheme::erasure(2, 2).unwrap(),
+        ] {
+            let mut ib = InstanceBuilder::new(cloud.clone(), 3);
+            let d0 = ib.add_dataset(4.0, dc);
+            ib.set_default_scheme(scheme);
+            for home in [c0, c1, c2] {
+                ib.add_query(home, vec![Demand::new(d0, 1.0)], 1.0, 0.23);
+            }
+            let inst = ib.build().unwrap();
+            let sol = ApproG::default().solve(&inst);
+            sol.validate(&inst).unwrap();
+            results.push((sol.admitted_volume(&inst), sol.storage_gb(&inst)));
+        }
+        let (rep_vol, rep_gb) = results[0];
+        let (ec_vol, ec_gb) = results[1];
+        assert_eq!(rep_vol, 12.0);
+        assert_eq!(ec_vol, 12.0, "ec(2,2) must admit the same volume");
+        assert!(
+            ec_gb < rep_gb,
+            "ec(2,2) storage {ec_gb} must undercut replication(3) {rep_gb}"
+        );
     }
 }

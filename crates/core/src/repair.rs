@@ -15,7 +15,16 @@
 //! Planning reuses [`AdmissionState`] so the replica-budget constraint (5)
 //! is enforced by the same machinery the placement algorithms use:
 //! repairs never over-replicate.
+//!
+//! Erasure-coded datasets rebuild *shards*, not copies: when at least `k`
+//! shard holders survive, a replacement shard is re-encoded from any `k`
+//! of them (charged `k×` shard read volume plus encode compute); below
+//! quorum the live origin re-encodes locally and ships one shard. The
+//! [`scrub`] entry point wraps [`plan_replacements`] with the lost-shard
+//! census and `ec.scrub` trace accounting the testbed's scrubber emits on
+//! its periodic sweep.
 
+use edgerep_ec as ec;
 use edgerep_model::delay::assignment_delay;
 use edgerep_model::{ComputeNodeId, DatasetId, Instance, Solution};
 
@@ -127,7 +136,7 @@ pub fn plan_replacements(
     let mut actions = Vec::new();
 
     for d in inst.dataset_ids() {
-        let want = needed[d.index()].min(inst.max_replicas());
+        let want = needed[d.index()].min(inst.slots(d));
         loop {
             let have = state.replica_count(d);
             if have >= want || !state.replica_budget_left(d) {
@@ -151,16 +160,79 @@ pub fn plan_replacements(
             let Some(source) = pick_source(inst, state.solution(), alive, d, target) else {
                 break; // bytes unreachable until something recovers
             };
+            // Replication copies the full dataset; an erasure-coded shard
+            // is re-encoded from any k live shard holders (k× shard read
+            // volume), or from the live origin (which re-encodes locally
+            // and ships one shard) when the survivors are below quorum.
+            let scheme = inst.scheme(d);
+            let (source, gb) = if scheme.needs_decode() {
+                let live_holders = state
+                    .solution()
+                    .replicas_of(d)
+                    .iter()
+                    .filter(|h| alive[h.index()])
+                    .count();
+                let origin = inst.dataset(d).origin;
+                if live_holders >= scheme.min_read() {
+                    (source, ec::rebuild_charge(scheme, inst.size(d), false).read_gb)
+                } else if alive[origin.index()] && origin != target {
+                    (origin, ec::rebuild_charge(scheme, inst.size(d), true).read_gb)
+                } else {
+                    break; // below quorum and no live origin: unrecoverable
+                }
+            } else {
+                (source, inst.size(d))
+            };
             state.place_replica(d, target);
             actions.push(RepairAction {
                 dataset: d,
                 source,
                 target,
-                gb: inst.size(d),
+                gb,
             });
         }
     }
     actions
+}
+
+/// One scrub pass: detects datasets below their wanted shard/replica count,
+/// plans the Background-tier reconstruction transfers via
+/// [`plan_replacements`], and emits the `ec.scrub` accounting event. Returns
+/// the planned actions plus the [`ec::ScrubOutcome`] snapshot.
+pub fn scrub(
+    now_s: f64,
+    inst: &Instance,
+    current: &Solution,
+    alive: &[bool],
+    needed: &[usize],
+) -> (Vec<RepairAction>, ec::ScrubOutcome) {
+    let actions = plan_replacements(inst, current, alive, needed);
+    let mut shards_lost = 0usize;
+    for d in inst.dataset_ids() {
+        let live = current
+            .replicas_of(d)
+            .iter()
+            .filter(|v| alive[v.index()])
+            .count();
+        shards_lost += needed[d.index()].min(inst.slots(d)).saturating_sub(live);
+    }
+    let mut read_gb = 0.0;
+    let mut encode_gb = 0.0;
+    for a in &actions {
+        read_gb += a.gb;
+        if inst.scheme(a.dataset).needs_decode() {
+            encode_gb += inst.size(a.dataset);
+        }
+    }
+    let outcome = ec::ScrubOutcome {
+        datasets_scanned: inst.datasets().len(),
+        shards_lost,
+        rebuilds_planned: actions.len(),
+        read_gb,
+        encode_gb,
+    };
+    ec::note_scrub(now_s, &outcome);
+    (actions, outcome)
 }
 
 /// Static what-if: the admitted volume that survives with only `alive`
@@ -194,6 +266,7 @@ mod tests {
     use super::*;
     use crate::appro::ApproG;
     use crate::PlacementAlgorithm;
+    use edgerep_model::prelude::*;
     use edgerep_workload::{generate_instance, WorkloadParams};
 
     fn workload() -> Instance {
@@ -232,7 +305,7 @@ mod tests {
                 .enumerate()
                 .max_by_key(|(_, c)| **c)
                 .map(|(i, _)| i as u32)
-                .unwrap(),
+                .expect("workload has at least one compute node"),
         );
         assert!(
             holder_count[victim.index()] > 0,
@@ -301,7 +374,7 @@ mod tests {
             let target = cloud
                 .compute_ids()
                 .find(|v| !sol.replicas_of(d).contains(v))
-                .unwrap();
+                .expect("some node holds no replica of this dataset");
             let sources = pick_sources(&inst, &sol, &alive, d, target);
             // Head agrees with the single-source picker.
             assert_eq!(sources.first().copied(), pick_source(&inst, &sol, &alive, d, target));
@@ -327,7 +400,10 @@ mod tests {
             }
         }
         // With every holder dead, only a live origin remains.
-        let d = inst.dataset_ids().next().unwrap();
+        let d = inst
+            .dataset_ids()
+            .next()
+            .expect("workload has at least one dataset");
         let mut down = alive.clone();
         for v in sol.replicas_of(d) {
             down[v.index()] = false;
@@ -336,13 +412,66 @@ mod tests {
         let target = cloud
             .compute_ids()
             .find(|v| down[v.index()] && *v != origin)
-            .unwrap();
+            .expect("a live non-origin target exists");
         let srcs = pick_sources(&inst, &sol, &down, d, target);
         if down[origin.index()] {
             assert_eq!(srcs, vec![origin]);
         } else {
             assert!(srcs.is_empty());
         }
+    }
+
+    #[test]
+    fn scrub_conserves_reconstruction_volume() {
+        // dc --0.05-- c0 --0.05-- c1 --0.05-- c2; 4 GB dataset striped
+        // ec(2,1) with queries at every cloudlet so shards spread out.
+        // After killing one shard holder, the scrub must rebuild at most
+        // what was lost, and each rebuild reads between one shard and k
+        // shards (= |S| GB) of traffic.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let c0 = b.add_cloudlet(16.0, 0.01);
+        let c1 = b.add_cloudlet(16.0, 0.01);
+        let c2 = b.add_cloudlet(16.0, 0.01);
+        b.link(dc, c0, 0.05);
+        b.link(c0, c1, 0.05);
+        b.link(c1, c2, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 3);
+        let d0 = ib.add_dataset(4.0, dc);
+        ib.set_default_scheme(RedundancyScheme::erasure(2, 1).unwrap());
+        for home in [c0, c1, c2] {
+            ib.add_query(home, vec![Demand::new(d0, 1.0)], 1.0, 1.0);
+        }
+        let inst = ib.build().unwrap();
+        let sol = ApproG::default().solve(&inst);
+        sol.validate(&inst).unwrap();
+        let needed: Vec<usize> = inst.dataset_ids().map(|d| sol.replica_count(d)).collect();
+
+        let victim = sol.replicas_of(d0)[0];
+        let mut after = sol.clone();
+        after.remove_node_replicas(victim);
+        let mut alive = vec![true; inst.cloud().compute_count()];
+        alive[victim.index()] = false;
+
+        let (actions, outcome) = scrub(10.0, &inst, &after, &alive, &needed);
+        assert_eq!(outcome.rebuilds_planned, actions.len());
+        assert!(outcome.shards_lost >= 1);
+        assert!(
+            outcome.rebuilds_planned <= outcome.shards_lost,
+            "shards rebuilt ({}) must not exceed shards lost ({})",
+            outcome.rebuilds_planned,
+            outcome.shards_lost
+        );
+        let scheme = inst.scheme(d0);
+        for a in &actions {
+            assert!(a.gb >= scheme.shard_gb(inst.size(d0)) - 1e-12);
+            assert!(a.gb <= inst.size(d0) + 1e-12);
+            assert!(alive[a.source.index()] && alive[a.target.index()]);
+        }
+        let total: f64 = actions.iter().map(|a| a.gb).sum();
+        assert!((outcome.read_gb - total).abs() < 1e-12);
+        assert!(outcome.encode_gb <= outcome.rebuilds_planned as f64 * inst.size(d0) + 1e-12);
     }
 
     #[test]

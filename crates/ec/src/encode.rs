@@ -1,0 +1,100 @@
+//! Striping plans: how a dataset is cut into shards before placement.
+//!
+//! [`encode_plan`] is called once per EC dataset activation (and per
+//! scrub rebuild) and is cheap by construction — it derives counts and
+//! volumes, it does not touch bytes. It still carries an `ec.encode_plan`
+//! span so the bench suite and profiler see the call path.
+
+use edgerep_obs as obs;
+
+use crate::scheme::RedundancyScheme;
+
+/// The shard layout of one dataset under a scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodePlan {
+    /// The scheme the plan was derived from.
+    pub scheme: RedundancyScheme,
+    /// GB per shard (`|S|` for replication, `|S|/k` for EC).
+    pub shard_gb: f64,
+    /// Stripe width: shards that carry plain data (`k`; replication
+    /// counts each full copy as one data shard).
+    pub data_shards: usize,
+    /// Parity shards (`m`; 0 for replication).
+    pub parity_shards: usize,
+    /// GB run through the encoder to produce the parity: the full
+    /// dataset size when the scheme needs a decode, 0 otherwise (plain
+    /// copies are not encoded).
+    pub encode_gb: f64,
+}
+
+impl EncodePlan {
+    /// Total shards produced (`slots`).
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.parity_shards
+    }
+
+    /// GB written across all holders when every shard is placed.
+    pub fn total_gb(&self) -> f64 {
+        self.total_shards() as f64 * self.shard_gb
+    }
+
+    /// Encode compute time at `s_per_gb` seconds per GB encoded.
+    pub fn encode_s(&self, s_per_gb: f64) -> f64 {
+        self.encode_gb * s_per_gb
+    }
+}
+
+/// Derives the shard layout of a `size_gb` dataset under `scheme`.
+pub fn encode_plan(scheme: RedundancyScheme, size_gb: f64) -> EncodePlan {
+    let _span = obs::span("ec", "ec.encode_plan");
+    obs::counter("ec.encode_plans").inc();
+    let (data_shards, parity_shards) = match scheme {
+        RedundancyScheme::Replication { k } => (k, 0),
+        RedundancyScheme::ErasureCoded { k, m } => (k, m),
+    };
+    EncodePlan {
+        scheme,
+        shard_gb: scheme.shard_gb(size_gb),
+        data_shards,
+        parity_shards,
+        encode_gb: if scheme.needs_decode() { size_gb } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_plan_is_copy_shaped() {
+        let p = encode_plan(RedundancyScheme::Replication { k: 3 }, 6.0);
+        assert_eq!(p.data_shards, 3);
+        assert_eq!(p.parity_shards, 0);
+        assert_eq!(p.shard_gb, 6.0);
+        assert_eq!(p.total_shards(), 3);
+        assert_eq!(p.total_gb(), 18.0);
+        assert_eq!(p.encode_gb, 0.0);
+        assert_eq!(p.encode_s(0.05), 0.0);
+    }
+
+    #[test]
+    fn erasure_plan_stripes_and_charges_encode() {
+        let p = encode_plan(RedundancyScheme::ErasureCoded { k: 4, m: 2 }, 6.0);
+        assert_eq!(p.data_shards, 4);
+        assert_eq!(p.parity_shards, 2);
+        assert_eq!(p.shard_gb, 1.5);
+        assert_eq!(p.total_shards(), 6);
+        assert_eq!(p.total_gb(), 9.0);
+        assert_eq!(p.encode_gb, 6.0);
+        assert!((p.encode_s(0.05) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k1_erasure_plan_matches_replication() {
+        let ec = encode_plan(RedundancyScheme::ErasureCoded { k: 1, m: 2 }, 4.7);
+        let rep = encode_plan(RedundancyScheme::Replication { k: 3 }, 4.7);
+        assert_eq!(ec.shard_gb.to_bits(), rep.shard_gb.to_bits());
+        assert_eq!(ec.total_shards(), rep.total_shards());
+        assert_eq!(ec.encode_gb.to_bits(), rep.encode_gb.to_bits());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Erasure-coding redundancy schemes for the edgerep stack.
+//!
+//! The paper fixes redundancy at ≤ `K` full replicas; production edge
+//! stores choose *per dataset* between replication and `(k, m)` erasure
+//! coding, trading storage for read latency and repair traffic. This
+//! crate defines that choice — [`RedundancyScheme`] — and the pure
+//! arithmetic every other layer prices against:
+//!
+//! * [`scheme`] — shard counts, shard sizes, storage overhead, and the
+//!   `min_read` quorum (`k` shards reconstruct the dataset);
+//! * [`encode`] — striping plans: which shard indices are data vs parity
+//!   and how much volume the encoder touches ([`encode_plan`] is the hot
+//!   path behind the `ec.encode_plan` microbench);
+//! * [`read`] — degraded-read gather planning: pick the `k − 1` nearest
+//!   live co-holders, fan the shard pulls out in parallel, and charge the
+//!   decode CPU ([`plan_read`] backs the `ec.degraded_read` microbench);
+//! * [`scrub`] — rebuild charging (`k×` read volume + encode compute per
+//!   lost shard) and the `ec.scrub` accounting events.
+//!
+//! Everything is expressed over abstract node indices and GB volumes so
+//! the crate stays zero-dependency (plus `edgerep-obs` for metrics and
+//! trace events) and fully testable offline. The `(k, m)` degenerate
+//! case `k = 1` is *exactly* replication with `1 + m` copies: one "data
+//! shard" is the whole dataset, no gather, no decode — the equivalence
+//! the model/testbed pin tests rely on.
+
+pub mod encode;
+pub mod read;
+pub mod scheme;
+pub mod scrub;
+
+pub use encode::{encode_plan, EncodePlan};
+pub use read::{plan_read, ReadPlan, ShardSource};
+pub use scheme::{RedundancyScheme, SchemeError};
+pub use scrub::{note_degraded_read, note_scrub, rebuild_charge, RebuildCharge, ScrubOutcome};

@@ -1,0 +1,181 @@
+//! Degraded-read gather planning.
+//!
+//! A read of an EC dataset is served at a node holding one shard; the
+//! remaining `k − 1` stripes are pulled from the nearest live co-holders
+//! in parallel, then the dataset is decoded at `decode_s_per_gb · |S|`
+//! compute cost. When fewer than `k + m` but at least `k` shards survive
+//! a fault window the read still succeeds — *degraded*, not unavailable —
+//! which is exactly the availability edge the ext-ec figure measures.
+//! [`plan_read`] is pure and deterministic (nearest-first, ties by lowest
+//! node index); the `ec.degraded_read` trace event lives in
+//! [`crate::scrub::note_degraded_read`].
+
+use crate::scheme::RedundancyScheme;
+
+/// A live co-holder of one shard, as seen from the reading node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSource {
+    /// Abstract node index of the holder.
+    pub node: usize,
+    /// Transfer delay to the reader, seconds per GB.
+    pub delay_s_per_gb: f64,
+}
+
+/// The gather + decode work one read performs beyond local processing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadPlan {
+    /// The `min_read − 1` co-holders pulled from, nearest-first. Empty
+    /// when the scheme needs no decode (replication, `k = 1`).
+    pub sources: Vec<ShardSource>,
+    /// Total GB pulled over the network (`(k − 1) · |S|/k`).
+    pub gather_gb: f64,
+    /// Wall time of the parallel fan-out: the slowest chosen source's
+    /// `delay_s_per_gb · shard_gb`.
+    pub gather_s: f64,
+    /// GB decoded (the full dataset size when a decode happens, else 0).
+    pub decode_gb: f64,
+    /// Whether shards were lost (`live < placed`): the read succeeds but
+    /// runs on a partially-failed shard set.
+    pub degraded: bool,
+}
+
+impl ReadPlan {
+    /// Total extra read latency at `decode_s_per_gb` seconds of decode
+    /// compute per reconstructed GB.
+    pub fn overhead_s(&self, decode_s_per_gb: f64) -> f64 {
+        self.gather_s + self.decode_gb * decode_s_per_gb
+    }
+}
+
+/// Plans a read of a `size_gb` dataset served at a node that holds one
+/// live shard. `live_others` are the *other* live holders (the reader
+/// excluded); `placed` is the holder count before any losses, used only
+/// to classify the read as degraded.
+///
+/// Returns `None` when fewer than `min_read` shards are live — the
+/// dataset is unreadable until repair. Schemes with no decode step
+/// return an empty plan with zero overhead, bit-for-bit.
+pub fn plan_read(
+    scheme: RedundancyScheme,
+    size_gb: f64,
+    live_others: &[ShardSource],
+    placed: usize,
+) -> Option<ReadPlan> {
+    let live = 1 + live_others.len();
+    let degraded = live < placed;
+    if !scheme.needs_decode() {
+        return Some(ReadPlan {
+            sources: Vec::new(),
+            gather_gb: 0.0,
+            gather_s: 0.0,
+            decode_gb: 0.0,
+            degraded,
+        });
+    }
+    let need = scheme.min_read() - 1; // reader's own shard counts
+    if live_others.len() < need {
+        return None;
+    }
+    let mut ranked: Vec<ShardSource> = live_others.to_vec();
+    ranked.sort_by(|a, b| {
+        a.delay_s_per_gb
+            .partial_cmp(&b.delay_s_per_gb)
+            .expect("shard source delays comparable")
+            .then(a.node.cmp(&b.node))
+    });
+    ranked.truncate(need);
+    let shard_gb = scheme.shard_gb(size_gb);
+    let gather_s = ranked
+        .iter()
+        .map(|s| s.delay_s_per_gb * shard_gb)
+        .fold(0.0, f64::max);
+    Some(ReadPlan {
+        gather_gb: need as f64 * shard_gb,
+        gather_s,
+        decode_gb: size_gb,
+        sources: ranked,
+        degraded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(node: usize, delay: f64) -> ShardSource {
+        ShardSource {
+            node,
+            delay_s_per_gb: delay,
+        }
+    }
+
+    #[test]
+    fn replication_read_has_zero_overhead() {
+        let rep = RedundancyScheme::Replication { k: 3 };
+        let plan = plan_read(rep, 6.0, &[src(1, 0.5)], 3).expect("one live copy suffices");
+        assert!(plan.sources.is_empty());
+        assert_eq!(plan.gather_gb.to_bits(), 0.0f64.to_bits());
+        assert_eq!(plan.gather_s.to_bits(), 0.0f64.to_bits());
+        assert_eq!(plan.overhead_s(0.1).to_bits(), 0.0f64.to_bits());
+        assert!(plan.degraded, "3 placed, 2 live");
+        // Even with no co-holders at all the single live copy serves.
+        assert!(plan_read(rep, 6.0, &[], 1).is_some());
+    }
+
+    #[test]
+    fn k1_erasure_read_matches_replication_bitwise() {
+        let ec = RedundancyScheme::ErasureCoded { k: 1, m: 2 };
+        let rep = RedundancyScheme::Replication { k: 3 };
+        let a = plan_read(ec, 4.7, &[src(2, 0.3)], 3).unwrap();
+        let b = plan_read(rep, 4.7, &[src(2, 0.3)], 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.overhead_s(0.07).to_bits(), b.overhead_s(0.07).to_bits());
+    }
+
+    #[test]
+    fn gather_picks_nearest_k_minus_one() {
+        let ec = RedundancyScheme::ErasureCoded { k: 3, m: 2 };
+        let others = [src(4, 0.9), src(1, 0.2), src(3, 0.5), src(2, 0.2)];
+        let plan = plan_read(ec, 6.0, &others, 5).unwrap();
+        // Ties on delay break toward the lower node index.
+        assert_eq!(
+            plan.sources,
+            vec![src(1, 0.2), src(2, 0.2)],
+            "two nearest of four"
+        );
+        // shard = 2 GB; slowest chosen source at 0.2 s/GB.
+        assert!((plan.gather_s - 0.4).abs() < 1e-12);
+        assert!((plan.gather_gb - 4.0).abs() < 1e-12);
+        assert_eq!(plan.decode_gb, 6.0);
+        assert!(!plan.degraded, "reader + 4 others = 5 live of 5 placed");
+    }
+
+    #[test]
+    fn degraded_flag_tracks_losses() {
+        let ec = RedundancyScheme::ErasureCoded { k: 2, m: 1 };
+        let full = plan_read(ec, 4.0, &[src(1, 0.1), src(2, 0.2)], 3).unwrap();
+        assert!(!full.degraded);
+        let degraded = plan_read(ec, 4.0, &[src(1, 0.1)], 3).unwrap();
+        assert!(degraded.degraded);
+        assert_eq!(degraded.sources.len(), 1);
+    }
+
+    #[test]
+    fn unreadable_below_quorum() {
+        let ec = RedundancyScheme::ErasureCoded { k: 4, m: 2 };
+        // Reader + 2 others = 3 live < k = 4.
+        assert!(plan_read(ec, 6.0, &[src(1, 0.1), src(2, 0.2)], 6).is_none());
+        // Reader + 3 others = 4: readable again (fully degraded).
+        let plan = plan_read(ec, 6.0, &[src(1, 0.1), src(2, 0.2), src(3, 0.3)], 6).unwrap();
+        assert!(plan.degraded);
+        assert_eq!(plan.sources.len(), 3);
+    }
+
+    #[test]
+    fn overhead_adds_decode_compute() {
+        let ec = RedundancyScheme::ErasureCoded { k: 2, m: 1 };
+        let plan = plan_read(ec, 4.0, &[src(1, 0.5)], 3).unwrap();
+        // gather: 0.5 s/GB × 2 GB = 1 s; decode: 4 GB × 0.25 s/GB = 1 s.
+        assert!((plan.overhead_s(0.25) - 2.0).abs() < 1e-12);
+    }
+}

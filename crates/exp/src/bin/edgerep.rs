@@ -33,7 +33,11 @@ use edgerep_core::{
 use edgerep_model::spec::InstanceSpec;
 use edgerep_model::{Instance, Metrics};
 use edgerep_obs as obs;
-use edgerep_testbed::FaultPlan;
+use edgerep_testbed::analytics::AnalyticsKind;
+use edgerep_testbed::geo::Region;
+use edgerep_testbed::{
+    run_testbed, ChunkedConfig, FaultPlan, SimConfig, TestbedWorld, TransferModel,
+};
 use edgerep_workload::{generate_instance, WorkloadParams};
 
 const USAGE: &str = "usage:
@@ -41,6 +45,7 @@ const USAGE: &str = "usage:
   edgerep inspect -i FILE
   edgerep solve -i FILE --alg NAME [--metrics-json] [--trace FILE] [--stats]
                 [--profile FILE] [--fault-plan FILE]
+                [--transfer p2p|chunked] [--chunk-gb G]
     NAME: appro-g | appro-s | greedy-g | graph-g | popularity-g | centroid |
           online | optimal | all
     --trace FILE  enable all observability targets and write NDJSON trace
@@ -49,7 +54,12 @@ const USAGE: &str = "usage:
     --profile FILE  profile the span tree: folded stacks to FILE, sorted
                   self-time table to stdout
     --fault-plan FILE  load a JSON fault plan and report the admitted
-                  volume that statically survives the planned outages";
+                  volume that statically survives the planned outages
+    --transfer MODEL  additionally run the discrete-event testbed on the
+                  solved instance under the chosen transfer engine (p2p =
+                  legacy point-to-point, chunked = resumable multi-source)
+                  and report the measured QoS
+    --chunk-gb G  chunk size for --transfer chunked (default 0.25)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -183,9 +193,52 @@ fn panel_for(name: &str, single_dataset: bool) -> Vec<BoxedAlgorithm> {
     }
 }
 
+/// Parses `--transfer p2p|chunked` (with an optional `--chunk-gb G` for
+/// the chunked engine) into a [`TransferModel`].
+fn parse_transfer(args: &[String]) -> Option<TransferModel> {
+    let name = opt_value(args, "--transfer");
+    if name.is_none() && opt_value(args, "--chunk-gb").is_some() {
+        die("--chunk-gb needs --transfer chunked");
+    }
+    Some(match name? {
+        "p2p" => {
+            if opt_value(args, "--chunk-gb").is_some() {
+                die("--chunk-gb only applies to --transfer chunked");
+            }
+            TransferModel::PointToPoint
+        }
+        "chunked" => {
+            let mut cfg = ChunkedConfig::default();
+            if let Some(g) = opt_value(args, "--chunk-gb") {
+                let gb: f64 = parse_or_die(g, "--chunk-gb");
+                if !gb.is_finite() || gb <= 0.0 {
+                    die("--chunk-gb needs a positive number");
+                }
+                cfg.chunk_gb = gb;
+            }
+            TransferModel::Chunked(cfg)
+        }
+        other => die(&format!("unknown transfer model '{other}' (p2p|chunked)")),
+    })
+}
+
+/// Wraps a plain instance as a [`TestbedWorld`] so `solve --transfer`
+/// can drive the discrete-event simulator: query payloads and timing
+/// come from the instance itself, so empty trace records and a default
+/// analytics class per query are sufficient.
+fn testbed_world_for(inst: &Instance) -> TestbedWorld {
+    TestbedWorld {
+        instance: inst.clone(),
+        regions: vec![Region::Metro; inst.cloud().compute_count()],
+        records: vec![Vec::new(); inst.datasets().len()],
+        query_kinds: vec![AnalyticsKind::TopApps { k: 3 }; inst.queries().len()],
+    }
+}
+
 fn cmd_solve(args: &[String]) {
     let inst = load_instance(args);
     let alg = opt_value(args, "--alg").unwrap_or("appro-g");
+    let transfer = parse_transfer(args);
     let fault_plan = if args.iter().any(|a| a == "--fault-plan") {
         let path =
             opt_value(args, "--fault-plan").unwrap_or_else(|| die("--fault-plan needs FILE"));
@@ -224,6 +277,7 @@ fn cmd_solve(args: &[String]) {
         obs::enable_profiling();
     }
     let single = inst.queries().iter().all(|q| q.demands.len() == 1);
+    let world = transfer.map(|_| testbed_world_for(&inst));
     for algorithm in panel_for(alg, single) {
         // Each algorithm starts from a clean registry so its --stats table
         // and registry dump reflect this run alone.
@@ -266,6 +320,30 @@ fn cmd_solve(args: &[String]) {
                 "{:>14}  fault survival: {:.1} / {:.1} GB admitted volume ({:.0}%), {} node(s) faulted",
                 "", surviving, admitted, share * 100.0,
                 plan.node_outages.len()
+            );
+        }
+        if let (Some(model), Some(world)) = (transfer, &world) {
+            // A/B the transfer engines on the solved instance: one
+            // measured discrete-event run under the chosen model.
+            let label = match model {
+                TransferModel::PointToPoint => "p2p".to_owned(),
+                TransferModel::Chunked(c) => format!("chunked/{} GB", c.chunk_gb),
+            };
+            let sim = SimConfig {
+                transfer: model,
+                ..Default::default()
+            };
+            let report = run_testbed(algorithm.as_ref(), world, &sim);
+            println!(
+                "{:>14}  testbed[{label}]: measured {:.1} of {:.1} GB planned, \
+                 mean {:.3} s, p95 {:.3} s, replication {:.1} GB in {:.1} s",
+                "",
+                report.measured_volume,
+                report.planned_volume,
+                report.mean_response_s,
+                report.p95_response_s,
+                report.replication_gb,
+                report.replication_time_s
             );
         }
         if trace.is_some() {

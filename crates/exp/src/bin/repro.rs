@@ -42,8 +42,8 @@ fn usage() -> String {
         "usage: repro [{}]... \
 [--seeds N] [--quick] [--csv DIR] [--svg DIR] [--md DIR] [--fault-plan FILE] [--storm] \
 [--trace FILE] [--profile FILE]
-    --storm         run ext-availability under correlated region failure
-                    storms instead of independent MTBF/MTTR faults
+    --storm         run ext-availability / ext-ec under correlated region
+                    failure storms instead of independent MTBF/MTTR faults
     --trace FILE    enable all observability targets and write NDJSON trace
                     events to FILE, ending each figure with a registry dump
     --profile FILE  profile the run's span tree: folded stacks to FILE,
@@ -201,6 +201,13 @@ fn main() {
             "ext-faults" => extensions::ext_faults(seeds),
             "ext-rolling" => extensions::ext_rolling(seeds),
             "ext-forecast" => extensions::ext_forecast(seeds),
+            "ext-ec" => {
+                if storm {
+                    extensions::ext_ec_storm(seeds)
+                } else {
+                    extensions::ext_ec(seeds)
+                }
+            }
             "ext-availability" => match (&fault_plan, storm) {
                 (Some(_), true) => die("--storm and --fault-plan are mutually exclusive"),
                 (Some(plan), false) => extensions::ext_availability_with_plan(seeds, plan),

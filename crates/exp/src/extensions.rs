@@ -24,6 +24,7 @@ use edgerep_testbed::{
     ChunkedConfig, ConsistencyConfig, FaultConfig, FaultPlan, NodeFailure, SimConfig, SloSample,
     TestbedConfig, TransferModel,
 };
+use edgerep_model::RedundancyScheme;
 use edgerep_workload::params::TopologyModel;
 use edgerep_workload::{generate_instance, WorkloadParams};
 
@@ -35,7 +36,7 @@ use crate::runner::{run_grid, AlgResult};
 use crate::stats::Summary;
 
 /// Every extension figure id — the `repro ext` set.
-pub const EXT_IDS: [&str; 8] = [
+pub const EXT_IDS: [&str; 9] = [
     "ext-online",
     "ext-netbenefit",
     "ext-refine",
@@ -44,6 +45,7 @@ pub const EXT_IDS: [&str; 8] = [
     "ext-rolling",
     "ext-availability",
     "ext-forecast",
+    "ext-ec",
 ];
 
 /// Consistency-cost weights γ reported by [`ext_net_benefit`].
@@ -599,6 +601,227 @@ pub fn ext_availability_storm(seeds: usize) -> FigureData {
     }
 }
 
+/// The redundancy arms [`ext_ec`] compares: the paper's `K = 3` full
+/// replication vs three erasure-coded stripings with shrinking storage
+/// overhead (3.0× vs 1.5×, 1.5×, 1.375×) and growing holder fan-out
+/// (3 vs 3, 6, 11 slots). `(label, scheme)`.
+fn ec_arms() -> [(&'static str, RedundancyScheme); 4] {
+    [
+        (
+            "Replication(3)",
+            RedundancyScheme::replication(3).expect("valid scheme"),
+        ),
+        (
+            "EC(2,1)",
+            RedundancyScheme::erasure(2, 1).expect("valid scheme"),
+        ),
+        (
+            "EC(4,2)",
+            RedundancyScheme::erasure(4, 2).expect("valid scheme"),
+        ),
+        (
+            "EC(8,3)",
+            RedundancyScheme::erasure(8, 3).expect("valid scheme"),
+        ),
+    ]
+}
+
+/// Scrub cadence for the ext-ec cells: frequent enough that lost shards
+/// are detected and rebuilt within the testbed's ~150 s query horizon.
+const EC_SCRUB_INTERVAL_S: f64 = 20.0;
+
+/// Shared ext-ec world: the default testbed, tilted so the
+/// storage-for-fan-out tradeoff is actually load-bearing. Twice the
+/// default query demand over half the datasets makes per-holder compute
+/// the binding constraint, and with only `6 × K = 18` replica
+/// placements over ~20 nodes, `Replication(3)` strands the compute of
+/// every node that holds nothing — while a wide stripe's `k + m` slots
+/// (11 for `EC(8,3)`) put a readable shard almost everywhere. Deadlines
+/// are loosened so EC's shard-gather + decode overhead doesn't mask
+/// that effect. Every arm shares the identical workload; only the
+/// redundancy scheme differs.
+fn ec_world_cfg(scheme: RedundancyScheme) -> TestbedConfig {
+    TestbedConfig {
+        query_count: 120,
+        windows: 6,
+        deadline_base: (2.0, 8.0),
+        deadline_per_gb: (0.5, 1.5),
+        ..TestbedConfig::default()
+    }
+    .with_redundancy(scheme)
+}
+
+/// One (scheme-world, fault-plan) ext-ec cell: `[measured volume,
+/// availability, storage GB, mean response s, p95 response s,
+/// degraded-read fraction]`. Runs over the chunked engine (degraded
+/// reads fan shard gathers out through it) with the Background-tier
+/// shard scrubber on and controller repair off, so reconstruction
+/// traffic is the scrubber's alone.
+fn ec_cell(
+    world: &edgerep_testbed::TestbedWorld,
+    plan: &FaultPlan,
+    seed: u64,
+    nic_contention: bool,
+) -> [f64; 6] {
+    let sim = SimConfig {
+        seed,
+        scrub_interval_s: Some(EC_SCRUB_INTERVAL_S),
+        transfer: TransferModel::Chunked(ChunkedConfig::default()),
+        nic_contention,
+        ..Default::default()
+    };
+    let r = try_run_testbed_with_plan(&ApproG::default(), world, &sim, plan)
+        .expect("generated fault plans validate");
+    let degraded = if r.total_queries > 0 {
+        r.degraded_reads as f64 / r.total_queries as f64
+    } else {
+        0.0
+    };
+    [
+        r.measured_volume,
+        r.availability,
+        r.storage_gb,
+        r.mean_response_s,
+        r.p95_response_s,
+        degraded,
+    ]
+}
+
+/// Folds the flat (x × arm × seed) ext-ec cube into figure rows. Each
+/// scheme contributes three columns: `(volume, availability)`,
+/// `(storage GB, mean response s)`, `(p95 response s, degraded-read
+/// fraction)` — the title documents the packing.
+fn ec_rows(xs: &[f64], seeds: usize, flat: &[[f64; 6]]) -> Vec<FigureRow> {
+    let arms = ec_arms();
+    xs.iter()
+        .zip(flat.chunks(arms.len() * seeds))
+        .map(|(&x, x_cells)| {
+            let mut results = Vec::with_capacity(arms.len() * 3);
+            for ((label, _), samples) in arms.iter().zip(x_cells.chunks(seeds)) {
+                let col = |i: usize| -> Vec<f64> { samples.iter().map(|s| s[i]).collect() };
+                results.push(AlgResult {
+                    name: format!("Appro-G {label}"),
+                    volume: Summary::of(&col(0)),
+                    throughput: Summary::of(&col(1)),
+                });
+                results.push(AlgResult {
+                    name: format!("{label} storage/mean"),
+                    volume: Summary::of(&col(2)),
+                    throughput: Summary::of(&col(3)),
+                });
+                results.push(AlgResult {
+                    name: format!("{label} p95/degraded"),
+                    volume: Summary::of(&col(4)),
+                    throughput: Summary::of(&col(5)),
+                });
+            }
+            FigureRow { x, results }
+        })
+        .collect()
+}
+
+/// Erasure-coding tradeoff sweep: admitted volume, storage GB, mean/p95
+/// read delay, and availability for `Replication(3)` vs
+/// `EC{(2,1),(4,2),(8,3)}` across MTBF/MTTR fault fractions. EC spends
+/// decode CPU and shard-gather hops to buy back storage (a holder keeps
+/// `|S|/k`, not `|S|`) and serving fan-out (`k + m` slots vs `K`);
+/// under faults a dataset with `min_read ≤ live < placed` shards serves
+/// *degraded* reads instead of losing queries, and the Background-tier
+/// scrubber re-encodes lost shards from any `k` survivors.
+pub fn ext_ec(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let fractions = [0.0f64, 0.1, 0.2, 0.4];
+    let arms = ec_arms();
+    // Worlds depend only on (scheme, seed): memoized across the fault
+    // fractions exactly like the ext-availability grid.
+    let worlds: Vec<OnceLock<edgerep_testbed::TestbedWorld>> =
+        (0..arms.len() * seeds).map(|_| OnceLock::new()).collect();
+    let tasks: Vec<(usize, usize, usize)> = (0..fractions.len())
+        .flat_map(|fi| (0..arms.len()).flat_map(move |ai| (0..seeds).map(move |s| (fi, ai, s))))
+        .collect();
+    let flat: Vec<[f64; 6]> = par_map(&tasks, |&(fi, ai, s)| {
+        let seed = s as u64;
+        let world = worlds[ai * seeds + s].get_or_init(|| {
+            let cfg = ec_world_cfg(arms[ai].1);
+            edgerep_testbed::build_testbed_instance(&cfg, seed)
+        });
+        let plan = availability_fault_profile(fractions[fi], seed)
+            .generate(world.instance.cloud().compute_count());
+        ec_cell(world, &plan, seed, false)
+    });
+    let rows = ec_rows(&fractions, seeds, &flat);
+    // Trajectory sidecar: one seed-0 run per scheme at the harshest
+    // fraction, sampled every 30 simulated seconds — availability dips at
+    // each outage and recovers as the scrubber rebuilds shards.
+    let timeseries = {
+        let seed = 0u64;
+        let series: Vec<(String, Vec<SloSample>)> = par_map(&arms, |&(label, scheme)| {
+            let cfg = ec_world_cfg(scheme);
+            let world = edgerep_testbed::build_testbed_instance(&cfg, seed);
+            let plan = availability_fault_profile(*fractions.last().expect("non-empty"), seed)
+                .generate(world.instance.cloud().compute_count());
+            let sim = SimConfig {
+                seed,
+                scrub_interval_s: Some(EC_SCRUB_INTERVAL_S),
+                transfer: TransferModel::Chunked(ChunkedConfig::default()),
+                nic_contention: false,
+                slo_sample_interval_s: Some(30.0),
+                ..Default::default()
+            };
+            let report = try_run_testbed_with_plan(&ApproG::default(), &world, &sim, &plan)
+                .expect("generated fault plans validate");
+            (label.to_owned(), report.slo_series)
+        });
+        Some(render_slo_csv(&series))
+    };
+    FigureData {
+        id: "ext-ec".to_owned(),
+        title: "Extension: erasure coding vs replication under transient faults                 (three columns per scheme — volume with availability in panel (b),                 storage GB with mean response s, p95 response s with degraded-read                 fraction)"
+            .to_owned(),
+        x_label: "fault fraction".to_owned(),
+        rows,
+        timeseries,
+    }
+}
+
+/// [`ext_ec`] under correlated region failure storms (`repro ext-ec
+/// --storm`): x = storms per run, same scheme arms and column packing,
+/// NIC contention on so shard gathers and scrub rebuilds are long enough
+/// for a storm to catch them mid-air. A storm takes a whole metro rack
+/// down at once — the case where replication's three full copies can all
+/// share a blast radius but a wide shard stripe cannot.
+pub fn ext_ec_storm(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    let storm_counts = [0usize, 1, 2];
+    let arms = ec_arms();
+    let worlds: Vec<OnceLock<edgerep_testbed::TestbedWorld>> =
+        (0..arms.len() * seeds).map(|_| OnceLock::new()).collect();
+    let tasks: Vec<(usize, usize, usize)> = (0..storm_counts.len())
+        .flat_map(|si| (0..arms.len()).flat_map(move |ai| (0..seeds).map(move |s| (si, ai, s))))
+        .collect();
+    let flat: Vec<[f64; 6]> = par_map(&tasks, |&(si, ai, s)| {
+        let seed = s as u64;
+        let world = worlds[ai * seeds + s].get_or_init(|| {
+            let cfg = ec_world_cfg(arms[ai].1);
+            edgerep_testbed::build_testbed_instance(&cfg, seed)
+        });
+        let nodes = world.instance.cloud().compute_count();
+        let plan = availability_storm_profile(storm_counts[si], seed)
+            .generate_with_regions(&testbed_storm_regions(nodes));
+        ec_cell(world, &plan, seed, true)
+    });
+    let xs: Vec<f64> = storm_counts.iter().map(|&c| c as f64).collect();
+    let rows = ec_rows(&xs, seeds, &flat);
+    FigureData {
+        id: "ext-ec".to_owned(),
+        title: "Extension: erasure coding vs replication under correlated region                 failure storms (x = storms per run; three columns per scheme —                 volume with availability, storage GB with mean response s,                 p95 response s with degraded-read fraction)"
+            .to_owned(),
+        x_label: "storms".to_owned(),
+        rows,
+        timeseries: None,
+    }
+}
+
 /// Rolling-operation sweep: volume per epoch under a drifting query
 /// hotspot, static placement vs periodic replanning (panel (b) reuses the
 /// throughput column for per-epoch migration GB normalized by the
@@ -1040,6 +1263,77 @@ mod tests {
             .filter(|l| l.starts_with("Predictive") && !l.ends_with(','))
             .count();
         assert!(scored > 0, "no predictive epoch reported a wmape:\n{ts}");
+    }
+
+    #[test]
+    fn ec_extension_trades_storage_for_admission() {
+        let fig = ext_ec(1);
+        assert_eq!(fig.rows.len(), 4);
+        assert_eq!(fig.x_label, "fault fraction");
+        let clean = &fig.rows[0]; // fraction 0.0
+        assert_eq!(clean.results.len(), 12); // 4 schemes × 3 columns
+        for cols in clean.results.chunks(3) {
+            assert_eq!(
+                cols[0].throughput.mean, 1.0,
+                "{}: no faults, full availability",
+                cols[0].name
+            );
+            assert_eq!(
+                cols[2].throughput.mean, 0.0,
+                "{}: no faults, no degraded reads",
+                cols[2].name
+            );
+        }
+        // The tentpole tradeoff: at least one EC striping admits at least
+        // Replication(3)'s volume while storing strictly less.
+        let vol = |i: usize| clean.results[i * 3].volume.mean;
+        let storage = |i: usize| clean.results[i * 3 + 1].volume.mean;
+        assert!(
+            (1..4).any(|i| vol(i) >= vol(0) - 1e-9 && storage(i) < storage(0) - 1e-9),
+            "no EC arm admitted >= Replication(3)'s volume at lower storage \
+             (volumes {:?}, storage {:?})",
+            (0..4).map(vol).collect::<Vec<_>>(),
+            (0..4).map(storage).collect::<Vec<_>>()
+        );
+        // The trajectory sidecar carries one labeled series per scheme.
+        let ts = fig.timeseries.as_deref().expect("ec trajectory");
+        assert!(ts.starts_with("series,t_s,availability"), "{ts}");
+        for label in ["Replication(3),", "EC(2,1),", "EC(4,2),", "EC(8,3),"] {
+            assert!(
+                ts.lines().filter(|l| l.starts_with(label)).count() >= 2,
+                "series {label} too short:\n{ts}"
+            );
+        }
+    }
+
+    #[test]
+    fn ec_storm_rows_are_coherent() {
+        let fig = ext_ec_storm(1);
+        assert_eq!(fig.rows.len(), 3);
+        assert_eq!(fig.x_label, "storms");
+        for (row, &storms) in fig.rows.iter().zip(&[0.0f64, 1.0, 2.0]) {
+            assert_eq!(row.x, storms);
+            assert_eq!(row.results.len(), 12);
+            for cols in row.results.chunks(3) {
+                assert!(
+                    (0.0..=1.0).contains(&cols[0].throughput.mean),
+                    "{}: availability out of range",
+                    cols[0].name
+                );
+                assert!(
+                    (0.0..=1.0).contains(&cols[2].throughput.mean),
+                    "{}: degraded-read fraction out of range",
+                    cols[2].name
+                );
+                assert!(cols[1].volume.mean > 0.0, "{}: empty plan", cols[1].name);
+            }
+        }
+    }
+
+    #[test]
+    fn ec_extension_is_registered() {
+        assert_eq!(EXT_IDS.len(), 9, "the ext set is nine figures");
+        assert!(EXT_IDS.contains(&"ext-ec"));
     }
 
     #[test]

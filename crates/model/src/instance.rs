@@ -6,9 +6,19 @@
 //! `&Instance`, which guarantees it never sees a dangling dataset id, a
 //! non-positive size, or a selectivity outside `(0, 1]`.
 
+use edgerep_ec::{RedundancyScheme, SchemeError};
+
 use crate::data::{Dataset, DatasetId};
 use crate::network::{ComputeNodeId, EdgeCloud};
 use crate::query::{Demand, Query, QueryId};
+
+/// Default decode compute cost, seconds per reconstructed GB, charged on
+/// every read of an erasure-coded (`k ≥ 2`) dataset.
+pub const DEFAULT_DECODE_S_PER_GB: f64 = 0.02;
+
+/// Default encode compute cost, seconds per GB run through the encoder,
+/// charged when shards are first produced and on scrub re-encodes.
+pub const DEFAULT_ENCODE_S_PER_GB: f64 = 0.04;
 
 /// Errors detected while building an [`Instance`].
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +43,10 @@ pub enum InstanceError {
     InvalidDeadline(QueryId, f64),
     /// A query demands no datasets at all.
     EmptyDemands(QueryId),
+    /// A dataset's redundancy scheme has unusable shard counts.
+    InvalidScheme(DatasetId, SchemeError),
+    /// A decode/encode compute cost was negative or non-finite.
+    InvalidEcCost(f64),
 }
 
 impl std::fmt::Display for InstanceError {
@@ -62,6 +76,12 @@ impl std::fmt::Display for InstanceError {
                 write!(f, "query {q} has invalid deadline {d}")
             }
             InstanceError::EmptyDemands(q) => write!(f, "query {q} demands no datasets"),
+            InstanceError::InvalidScheme(d, e) => {
+                write!(f, "dataset {d} has invalid redundancy scheme: {e}")
+            }
+            InstanceError::InvalidEcCost(c) => {
+                write!(f, "erasure-coding compute cost {c} must be finite and >= 0")
+            }
         }
     }
 }
@@ -75,6 +95,12 @@ pub struct Instance {
     datasets: Vec<Dataset>,
     queries: Vec<Query>,
     max_replicas: usize,
+    /// Per-dataset redundancy scheme, aligned with `datasets`. Defaults
+    /// to `Replication { k: max_replicas }`, reproducing the paper's
+    /// uniform budget exactly.
+    schemes: Vec<RedundancyScheme>,
+    decode_s_per_gb: f64,
+    encode_s_per_gb: f64,
 }
 
 impl Instance {
@@ -93,9 +119,43 @@ impl Instance {
         &self.queries
     }
 
-    /// The replica budget `K`.
+    /// The replica budget `K`. With per-dataset redundancy schemes this
+    /// is the *default* budget; constraint checks should use
+    /// [`Self::slots`] instead.
     pub fn max_replicas(&self) -> usize {
         self.max_replicas
+    }
+
+    /// The redundancy scheme of a dataset.
+    #[inline]
+    pub fn scheme(&self, d: DatasetId) -> RedundancyScheme {
+        self.schemes[d.index()]
+    }
+
+    /// Maximum distinct holder nodes for `d` under its scheme — the
+    /// per-dataset generalization of the paper's `K` (constraint (5)).
+    #[inline]
+    pub fn slots(&self, d: DatasetId) -> usize {
+        self.schemes[d.index()].slots()
+    }
+
+    /// GB one holder of `d` stores: `|S_n|` for replication, `|S_n|/k`
+    /// per erasure-coded shard.
+    #[inline]
+    pub fn shard_gb(&self, d: DatasetId) -> f64 {
+        self.schemes[d.index()].shard_gb(self.size(d))
+    }
+
+    /// Decode compute cost, seconds per reconstructed GB.
+    #[inline]
+    pub fn decode_s_per_gb(&self) -> f64 {
+        self.decode_s_per_gb
+    }
+
+    /// Encode compute cost, seconds per GB encoded.
+    #[inline]
+    pub fn encode_s_per_gb(&self) -> f64 {
+        self.encode_s_per_gb
     }
 
     /// One dataset by id.
@@ -157,6 +217,12 @@ pub struct InstanceBuilder {
     datasets: Vec<Dataset>,
     queries: Vec<Query>,
     max_replicas: usize,
+    /// Explicit per-dataset schemes; `None` falls back to
+    /// `default_scheme`, then `Replication { k: max_replicas }`.
+    schemes: Vec<Option<RedundancyScheme>>,
+    default_scheme: Option<RedundancyScheme>,
+    decode_s_per_gb: f64,
+    encode_s_per_gb: f64,
 }
 
 impl InstanceBuilder {
@@ -167,13 +233,37 @@ impl InstanceBuilder {
             datasets: Vec::new(),
             queries: Vec::new(),
             max_replicas,
+            schemes: Vec::new(),
+            default_scheme: None,
+            decode_s_per_gb: DEFAULT_DECODE_S_PER_GB,
+            encode_s_per_gb: DEFAULT_ENCODE_S_PER_GB,
         }
+    }
+
+    /// Sets the redundancy scheme of one already-added dataset.
+    pub fn set_scheme(&mut self, d: DatasetId, scheme: RedundancyScheme) {
+        self.schemes[d.index()] = Some(scheme);
+    }
+
+    /// Sets the scheme applied to every dataset without an explicit
+    /// [`Self::set_scheme`] override (defaults to
+    /// `Replication { k: max_replicas }`).
+    pub fn set_default_scheme(&mut self, scheme: RedundancyScheme) {
+        self.default_scheme = Some(scheme);
+    }
+
+    /// Overrides the erasure-coding compute costs (seconds per GB
+    /// decoded / encoded).
+    pub fn set_ec_costs(&mut self, decode_s_per_gb: f64, encode_s_per_gb: f64) {
+        self.decode_s_per_gb = decode_s_per_gb;
+        self.encode_s_per_gb = encode_s_per_gb;
     }
 
     /// Adds a dataset and returns its id.
     pub fn add_dataset(&mut self, size_gb: f64, origin: ComputeNodeId) -> DatasetId {
         let id = DatasetId(self.datasets.len() as u32);
         self.datasets.push(Dataset::new(id, size_gb, origin));
+        self.schemes.push(None);
         id
     }
 
@@ -248,11 +338,32 @@ impl InstanceBuilder {
                 return Err(InstanceError::InvalidDeadline(q.id, q.deadline));
             }
         }
+        for cost in [self.decode_s_per_gb, self.encode_s_per_gb] {
+            if !(cost.is_finite() && cost >= 0.0) {
+                return Err(InstanceError::InvalidEcCost(cost));
+            }
+        }
+        let fallback = self
+            .default_scheme
+            .unwrap_or(RedundancyScheme::Replication {
+                k: self.max_replicas,
+            });
+        let mut schemes = Vec::with_capacity(self.datasets.len());
+        for (di, explicit) in self.schemes.iter().enumerate() {
+            let scheme = explicit.unwrap_or(fallback);
+            scheme
+                .validate()
+                .map_err(|e| InstanceError::InvalidScheme(DatasetId(di as u32), e))?;
+            schemes.push(scheme);
+        }
         Ok(Instance {
             cloud: self.cloud,
             datasets: self.datasets,
             queries: self.queries,
             max_replicas: self.max_replicas,
+            schemes,
+            decode_s_per_gb: self.decode_s_per_gb,
+            encode_s_per_gb: self.encode_s_per_gb,
         })
     }
 }
@@ -433,5 +544,62 @@ mod tests {
         let err = InstanceError::UnknownDataset(QueryId(3), DatasetId(7));
         assert!(err.to_string().contains("q3"));
         assert!(err.to_string().contains("S7"));
+    }
+
+    #[test]
+    fn default_scheme_is_uniform_replication() {
+        let inst = valid_builder().build().unwrap();
+        for d in inst.dataset_ids() {
+            assert_eq!(inst.scheme(d), RedundancyScheme::Replication { k: 2 });
+            assert_eq!(inst.slots(d), inst.max_replicas());
+            assert_eq!(inst.shard_gb(d).to_bits(), inst.size(d).to_bits());
+        }
+        assert_eq!(inst.decode_s_per_gb(), DEFAULT_DECODE_S_PER_GB);
+        assert_eq!(inst.encode_s_per_gb(), DEFAULT_ENCODE_S_PER_GB);
+    }
+
+    #[test]
+    fn per_dataset_schemes_override_the_default() {
+        let mut ib = valid_builder();
+        ib.set_default_scheme(RedundancyScheme::ErasureCoded { k: 4, m: 2 });
+        ib.set_scheme(DatasetId(1), RedundancyScheme::Replication { k: 1 });
+        ib.set_ec_costs(0.1, 0.2);
+        let inst = ib.build().unwrap();
+        assert_eq!(
+            inst.scheme(DatasetId(0)),
+            RedundancyScheme::ErasureCoded { k: 4, m: 2 }
+        );
+        assert_eq!(inst.slots(DatasetId(0)), 6);
+        assert_eq!(inst.shard_gb(DatasetId(0)), 0.5); // 2 GB / 4
+        assert_eq!(inst.scheme(DatasetId(1)), RedundancyScheme::Replication { k: 1 });
+        assert_eq!(inst.slots(DatasetId(1)), 1);
+        assert_eq!(inst.decode_s_per_gb(), 0.1);
+        assert_eq!(inst.encode_s_per_gb(), 0.2);
+    }
+
+    #[test]
+    fn invalid_scheme_rejected() {
+        let mut ib = valid_builder();
+        ib.set_scheme(DatasetId(0), RedundancyScheme::ErasureCoded { k: 0, m: 2 });
+        assert!(matches!(
+            ib.build().unwrap_err(),
+            InstanceError::InvalidScheme(DatasetId(0), _)
+        ));
+    }
+
+    #[test]
+    fn invalid_ec_cost_rejected() {
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let mut ib = valid_builder();
+            ib.set_ec_costs(bad, 0.0);
+            assert!(
+                matches!(ib.build().unwrap_err(), InstanceError::InvalidEcCost(_)),
+                "cost = {bad}"
+            );
+        }
+        // Zero costs are allowed (free codec, still shard-placed).
+        let mut ib = valid_builder();
+        ib.set_ec_costs(0.0, 0.0);
+        assert!(ib.build().is_ok());
     }
 }

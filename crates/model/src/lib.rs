@@ -15,10 +15,13 @@
 //! * [`instance`] — a validated problem instance bundling the above with the
 //!   replica budget `K`.
 //! * [`delay`] — the paper's delay law
-//!   `D = d(v)·|S_n| + dt(p(v, h_m))·α_nm·|S_n|` and deadline feasibility.
-//! * [`solution`] — placements (≤ `K` replicas per dataset), assignments,
-//!   admission semantics, and a full feasibility validator enforcing ILP
-//!   constraints (2)–(7).
+//!   `D = d(v)·|S_n| + dt(p(v, h_m))·α_nm·|S_n|` and deadline feasibility,
+//!   plus the erasure-coding gather + decode overhead
+//!   ([`delay::read_overhead`]) charged when a dataset is striped.
+//! * [`solution`] — placements (≤ `slots(d)` holders per dataset, where
+//!   the per-dataset [`RedundancyScheme`] generalizes the paper's `K`),
+//!   assignments, admission semantics, and a full feasibility validator
+//!   enforcing ILP constraints (2)–(7) plus the EC shard-quorum rule.
 //! * [`metrics`] — the paper's two evaluation metrics (admitted demanded
 //!   volume and system throughput) plus utilization diagnostics.
 //!
@@ -52,6 +55,7 @@ pub mod solution;
 pub mod spec;
 
 pub use data::{Dataset, DatasetId};
+pub use edgerep_ec::RedundancyScheme;
 pub use instance::{Instance, InstanceBuilder, InstanceError};
 pub use metrics::Metrics;
 pub use network::{ComputeNodeId, EdgeCloud, EdgeCloudBuilder, NetworkError, NodeKind};
@@ -62,7 +66,11 @@ pub use spec::InstanceSpec;
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::data::{Dataset, DatasetId};
-    pub use crate::delay::{assignment_delay, is_deadline_feasible, query_delay};
+    pub use crate::delay::{
+        assignment_delay, assignment_delay_with_holders, is_deadline_feasible, query_delay,
+        read_overhead,
+    };
+    pub use edgerep_ec::RedundancyScheme;
     pub use crate::instance::{Instance, InstanceBuilder, InstanceError};
     pub use crate::metrics::Metrics;
     pub use crate::network::{ComputeNodeId, EdgeCloud, EdgeCloudBuilder, NetworkError, NodeKind};

@@ -16,7 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::data::DatasetId;
-use crate::delay::assignment_delay;
+use crate::delay::assignment_delay_with_holders;
 use crate::instance::Instance;
 use crate::network::ComputeNodeId;
 use crate::query::QueryId;
@@ -39,8 +39,12 @@ pub enum SolutionError {
     /// A demand was assigned to a node without the dataset's replica
     /// (constraint (3)).
     NoReplicaAtAssignment(QueryId, DatasetId, ComputeNodeId),
-    /// A demand's delay exceeds the query deadline (constraint (4)).
+    /// A demand's delay exceeds the query deadline (constraint (4)),
+    /// including any erasure-coding gather + decode overhead.
     DeadlineViolated(QueryId, DatasetId, ComputeNodeId),
+    /// An assigned erasure-coded dataset has fewer placed shards than its
+    /// read quorum `k` — unreadable regardless of the deadline.
+    ShardQuorumUnmet(QueryId, DatasetId, usize, usize),
     /// A node's assigned compute exceeds its availability (constraint (2)).
     CapacityExceeded(ComputeNodeId, f64, f64),
 }
@@ -65,6 +69,9 @@ impl std::fmt::Display for SolutionError {
             }
             SolutionError::DeadlineViolated(q, d, v) => {
                 write!(f, "{q} misses its deadline serving {d} at {v}")
+            }
+            SolutionError::ShardQuorumUnmet(q, d, have, need) => {
+                write!(f, "{q} reads {d} with {have} shards placed, quorum {need}")
             }
             SolutionError::CapacityExceeded(v, used, avail) => {
                 write!(f, "node {v} assigned {used} GHz of {avail} available")
@@ -243,15 +250,24 @@ impl Solution {
         load
     }
 
+    /// Total GB stored across all placed replicas/shards — the storage
+    /// cost axis of the EC-vs-replication tradeoff. Each holder of `d`
+    /// stores [`Instance::shard_gb`] (`|S_n|` per copy, `|S_n|/k` per
+    /// shard).
+    pub fn storage_gb(&self, inst: &Instance) -> f64 {
+        inst.dataset_ids()
+            .map(|d| self.replica_count(d) as f64 * inst.shard_gb(d))
+            .sum()
+    }
+
     /// Re-checks every ILP constraint; returns all violations found.
     pub fn validate(&self, inst: &Instance) -> Result<(), Vec<SolutionError>> {
         let mut errors = Vec::new();
         let v_count = inst.cloud().compute_count() as u32;
-        let k = inst.max_replicas();
 
         for (di, nodes) in self.replicas.iter().enumerate() {
             let d = DatasetId(di as u32);
-            if nodes.len() > k {
+            if nodes.len() > inst.slots(d) {
                 errors.push(SolutionError::ReplicaBudgetExceeded(d, nodes.len()));
             }
             let mut seen = std::collections::HashSet::new();
@@ -277,7 +293,20 @@ impl Solution {
                     errors.push(SolutionError::NoReplicaAtAssignment(q, dem.dataset, v));
                     continue;
                 }
-                if assignment_delay(inst, q, idx, v) > query.deadline + FEASIBILITY_EPS {
+                let holders = self.replicas_of(dem.dataset);
+                let quorum = inst.scheme(dem.dataset).min_read();
+                if holders.len() < quorum {
+                    errors.push(SolutionError::ShardQuorumUnmet(
+                        q,
+                        dem.dataset,
+                        holders.len(),
+                        quorum,
+                    ));
+                    continue;
+                }
+                if assignment_delay_with_holders(inst, q, idx, v, holders)
+                    > query.deadline + FEASIBILITY_EPS
+                {
                     errors.push(SolutionError::DeadlineViolated(q, dem.dataset, v));
                 }
             }
@@ -510,6 +539,96 @@ mod tests {
         assert_eq!(sol.replica_count(DatasetId(1)), 0);
         assert!(sol.replicas_on(DC).is_empty());
         assert!(sol.remove_node_replicas(DC).is_empty());
+    }
+
+    #[test]
+    fn storage_gb_accounts_shard_sizes() {
+        use edgerep_ec::RedundancyScheme;
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let cl = b.add_cloudlet(10.0, 0.01);
+        b.link(dc, cl, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 6);
+        let d0 = ib.add_dataset(4.0, dc); // default rep(6)
+        let d1 = ib.add_dataset(4.0, dc);
+        ib.set_scheme(d1, RedundancyScheme::ErasureCoded { k: 4, m: 2 });
+        ib.add_query(cl, vec![Demand::new(d0, 0.5)], 1.0, 10.0);
+        let inst = ib.build().unwrap();
+        let mut sol = Solution::empty(&inst);
+        sol.place_replica(d0, DC);
+        sol.place_replica(d0, CL);
+        sol.place_replica(d1, DC);
+        sol.place_replica(d1, CL);
+        // Two full 4 GB copies + two 1 GB shards.
+        assert!((sol.storage_gb(&inst) - 10.0).abs() < 1e-12);
+        assert_eq!(Solution::empty(&inst).storage_gb(&inst), 0.0);
+    }
+
+    #[test]
+    fn ec_validation_checks_quorum_budget_and_decode_deadline() {
+        use edgerep_ec::RedundancyScheme;
+        let mut b = EdgeCloudBuilder::new();
+        let n0 = b.add_cloudlet(50.0, 0.001);
+        let n1 = b.add_cloudlet(50.0, 0.001);
+        let n2 = b.add_cloudlet(50.0, 0.001);
+        let n3 = b.add_cloudlet(50.0, 0.001);
+        b.link(n0, n1, 0.01);
+        b.link(n1, n2, 0.01);
+        b.link(n2, n3, 0.01);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 3);
+        let d = ib.add_dataset(4.0, n0);
+        ib.set_scheme(d, RedundancyScheme::ErasureCoded { k: 2, m: 1 });
+        ib.set_ec_costs(0.05, 0.1);
+        ib.add_query(n0, vec![Demand::new(d, 0.5)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+
+        // One shard placed + assigned: quorum unmet.
+        let mut sol = Solution::empty(&inst);
+        sol.place_replica(d, n0);
+        sol.assign_query(QueryId(0), vec![n0]);
+        let errs = sol.validate(&inst).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SolutionError::ShardQuorumUnmet(_, _, 1, 2))));
+
+        // Two shards: readable, decode overhead fits the 1 s deadline
+        // (proc 0.004 + gather 0.01·2 + decode 0.05·4 = 0.224).
+        sol.place_replica(d, n1);
+        assert!(sol.validate(&inst).is_ok());
+
+        // Budget: slots = k + m = 3; a fourth holder is over budget.
+        sol.place_replica(d, n2);
+        assert!(sol.validate(&inst).is_ok());
+        sol.place_replica(d, n3);
+        let errs = sol.validate(&inst).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SolutionError::ReplicaBudgetExceeded(_, 4))));
+    }
+
+    #[test]
+    fn ec_decode_overhead_can_violate_deadline() {
+        use edgerep_ec::RedundancyScheme;
+        let mut b = EdgeCloudBuilder::new();
+        let n0 = b.add_cloudlet(50.0, 0.001);
+        let n1 = b.add_cloudlet(50.0, 0.001);
+        b.link(n0, n1, 0.01);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        let d = ib.add_dataset(4.0, n0);
+        ib.set_scheme(d, RedundancyScheme::ErasureCoded { k: 2, m: 0 });
+        // Decode alone costs 1 s/GB × 4 GB = 4 s > the 1 s deadline.
+        ib.set_ec_costs(1.0, 0.1);
+        ib.add_query(n0, vec![Demand::new(d, 0.5)], 1.0, 1.0);
+        let inst = ib.build().unwrap();
+        let mut sol = Solution::empty(&inst);
+        sol.place_replica(d, n0);
+        sol.place_replica(d, n1);
+        sol.assign_query(QueryId(0), vec![n0]);
+        let errs = sol.validate(&inst).unwrap_err();
+        assert!(matches!(errs[0], SolutionError::DeadlineViolated(..)));
     }
 
     #[test]

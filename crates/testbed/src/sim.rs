@@ -22,6 +22,7 @@
 //! in Figs. 7 and 8.
 
 use edgerep_core::{repair, PlacementAlgorithm};
+use edgerep_ec as ec;
 use edgerep_model::{ComputeNodeId, DatasetId, QueryId, Solution};
 use edgerep_obs as obs;
 use rand::rngs::SmallRng;
@@ -155,6 +156,15 @@ pub struct SimConfig {
     /// backlog) every this many simulated seconds into
     /// [`TestbedReport::slo_series`]. `None` disables sampling.
     pub slo_sample_interval_s: Option<f64>,
+    /// Periodic shard scrubber for erasure-coded datasets: every this
+    /// many simulated seconds the controller compares live holder sets
+    /// against the plan and schedules Background-tier reconstruction of
+    /// lost shards (re-encoded from any `k` survivors, charged `k ×` the
+    /// read volume — see [`edgerep_core::repair::scrub`]). `None`
+    /// disables scrubbing. Independent of [`SimConfig::repair`], which
+    /// reacts to node deaths; the scrubber also catches losses that
+    /// repair abandoned or that happened while repair was off.
+    pub scrub_interval_s: Option<f64>,
     /// Which data-movement model the run uses: the legacy point-to-point
     /// flows, or the chunked resumable multi-source engine
     /// ([`crate::transfer`]). With the chunked engine,
@@ -174,6 +184,7 @@ impl Default for SimConfig {
             repair: false,
             debug_trace: None,
             slo_sample_interval_s: None,
+            scrub_interval_s: None,
             transfer: TransferModel::default(),
             seed: 1,
         }
@@ -217,6 +228,14 @@ pub struct TestbedReport {
     pub consistency_rounds: usize,
     /// Demands redirected to an alternative live replica after a fault.
     pub failovers: usize,
+    /// Erasure-coded demands served from a partially-failed shard set
+    /// (`min_read ≤ live < placed`): slower, but *not* lost — the
+    /// availability edge over losing the only replica.
+    pub degraded_reads: usize,
+    /// Storage footprint of the controller's plan, GB: one shard
+    /// (`|S|/k`) per placed holder under erasure coding, one full copy
+    /// under replication.
+    pub storage_gb: f64,
     /// Queries lost to faults (no live feasible replica, in flight on a
     /// failing node, or result transfer abandoned after retries).
     pub queries_lost_to_faults: usize,
@@ -329,6 +348,9 @@ enum Event {
     },
     /// Snapshot SLO state into the report's time series.
     SloSample,
+    /// Periodic erasure-coding scrub pass (see
+    /// [`SimConfig::scrub_interval_s`]).
+    Scrub,
 }
 
 /// What a deferred transfer job carries.
@@ -369,6 +391,13 @@ enum EngineOwner {
     Job(usize),
     /// A §2.4 consistency push: fire-and-forget, no retries.
     Consistency {
+        source: ComputeNodeId,
+        dest: ComputeNodeId,
+    },
+    /// An erasure-coded read's shard fan-in from one live co-holder:
+    /// fire-and-forget wire traffic (its latency is charged analytically
+    /// on the demand's service time), contending with everything else.
+    Gather {
         source: ComputeNodeId,
         dest: ComputeNodeId,
     },
@@ -472,7 +501,7 @@ fn refresh_link_flows(
             continue;
         }
         match ch.jobs[tid] {
-            EngineOwner::Consistency { source, dest } => {
+            EngineOwner::Consistency { source, dest } | EngineOwner::Gather { source, dest } => {
                 match source_path(inst.cloud(), fault_plan, source, dest, now) {
                     Some(p) => ch.eng.set_sources(now, tid, &[p]),
                     None => {
@@ -548,7 +577,7 @@ fn pump_engine(
                     }
                 }
             }
-            EngineOwner::Consistency { .. } => {}
+            EngineOwner::Consistency { .. } | EngineOwner::Gather { .. } => {}
         }
     }
     if let Some((at, generation)) = ch.eng.next_event() {
@@ -569,6 +598,10 @@ struct QueryRun {
     nodes: Vec<ComputeNodeId>,
     /// Which demands are still incomplete (no TransferDone yet).
     incomplete: Vec<bool>,
+    /// Per-demand erasure-coding read overhead (shard gather + decode),
+    /// seconds; all zero for replicated datasets. Charged on top of the
+    /// demand's compute time, including when it dequeues after a wait.
+    read_extra: Vec<f64>,
 }
 
 /// A pending demand waiting for compute at a node.
@@ -659,7 +692,9 @@ pub fn try_run_testbed_with_plan(
             if v == origin {
                 continue; // the origin already holds the data
             }
-            let gb = inst.size(d);
+            // One shard per holder: |S|/k under erasure coding, the full
+            // dataset (`shard_gb == size`) under replication.
+            let gb = inst.shard_gb(d);
             let t = cloud.min_delay(origin, v) * gb;
             replication_gb += gb;
             replication_time_s = replication_time_s.max(t);
@@ -710,6 +745,13 @@ pub fn try_run_testbed_with_plan(
             "slo_sample_interval_s must be positive and finite, got {interval}"
         );
         queue.push(SimTime::from_secs_f64(interval), Event::SloSample);
+    }
+    if let Some(interval) = cfg.scrub_interval_s {
+        assert!(
+            interval > 0.0 && interval.is_finite(),
+            "scrub_interval_s must be positive and finite, got {interval}"
+        );
+        queue.push(SimTime::from_secs_f64(interval), Event::Scrub);
     }
 
     let mut runs: Vec<Option<QueryRun>> = vec![None; inst.queries().len()];
@@ -769,6 +811,7 @@ pub fn try_run_testbed_with_plan(
     let mut transfer_retries = 0usize;
     let mut failovers = 0usize;
     let mut queries_lost = 0usize;
+    let mut degraded_reads = 0usize;
     let mut last_event_t = SimTime::ZERO;
     // Bounded event ring for QoS-miss replay (S3): every popped event is
     // recorded; on a miss the ring is dumped through `edgerep-obs`.
@@ -798,6 +841,7 @@ pub fn try_run_testbed_with_plan(
                         demand: usize,
                         node: ComputeNodeId,
                         epoch: u32,
+                        read_extra_s: f64,
                         free: &mut [f64],
                         waiting: &mut [std::collections::VecDeque<Waiting>],
                         queue: &mut EventQueue<Event>,
@@ -806,7 +850,8 @@ pub fn try_run_testbed_with_plan(
         let need = inst.size(inst.query(q).demands[demand].dataset) * inst.query(q).compute_rate;
         if free[node.index()] + 1e-9 >= need {
             free[node.index()] -= need;
-            let proc = cloud.proc_delay(node) * inst.size(inst.query(q).demands[demand].dataset);
+            let proc = cloud.proc_delay(node) * inst.size(inst.query(q).demands[demand].dataset)
+                + read_extra_s;
             queue.push(
                 now.after_secs(proc),
                 Event::ProcDone {
@@ -852,6 +897,7 @@ pub fn try_run_testbed_with_plan(
                 Event::RetryTransfer { job } => ("retry_transfer", *job as i64, -1),
                 Event::FlowProgress { generation } => ("flow_progress", *generation as i64, -1),
                 Event::SloSample => ("slo_sample", -1, -1),
+                Event::Scrub => ("scrub", -1, -1),
             };
             if ring.len() >= tc.capacity.max(1) {
                 ring.pop_front();
@@ -930,6 +976,98 @@ pub fn try_run_testbed_with_plan(
                     queries_lost += 1;
                     continue;
                 }
+                // Erasure-coded demands additionally need a live read
+                // quorum: the serving node's shard plus `k − 1` gathered
+                // from the nearest live co-holders. Between `k` and
+                // `k + m` live shards the read is *degraded* (slower, but
+                // served); below `k` the query is lost outright.
+                let mut read_extra = vec![0.0f64; resolved.len()];
+                let mut gather_launches: Vec<(usize, Vec<ec::ShardSource>)> = Vec::new();
+                let mut quorum_ok = true;
+                for (demand, &node) in resolved.iter().enumerate() {
+                    let d = inst.query(q).demands[demand].dataset;
+                    let scheme = inst.scheme(d);
+                    if !scheme.needs_decode() {
+                        continue;
+                    }
+                    let others: Vec<ec::ShardSource> = live_sol
+                        .replicas_of(d)
+                        .iter()
+                        .filter(|&&h| alive[h.index()] && h != node)
+                        .map(|&h| ec::ShardSource {
+                            node: h.index(),
+                            delay_s_per_gb: cloud.min_delay(h, node),
+                        })
+                        .collect();
+                    let placed = target_counts[d.index()];
+                    match ec::plan_read(scheme, inst.size(d), &others, placed) {
+                        Some(plan) => {
+                            read_extra[demand] = plan.overhead_s(inst.decode_s_per_gb());
+                            if plan.degraded {
+                                degraded_reads += 1;
+                                ec::note_degraded_read(
+                                    now.as_secs_f64(),
+                                    d.index(),
+                                    1 + others.len(),
+                                    placed,
+                                    scheme.min_read(),
+                                );
+                            }
+                            if !plan.sources.is_empty() {
+                                gather_launches.push((demand, plan.sources));
+                            }
+                        }
+                        None => {
+                            quorum_ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !quorum_ok {
+                    queries_lost += 1;
+                    continue;
+                }
+                // The shard fan-in rides the chunked engine when it is
+                // on: Immediate-tier flows from each chosen co-holder
+                // contend on the wire with everything else. The read's
+                // latency itself is charged analytically via
+                // `read_extra`, identically under both transfer models.
+                if let Some(ch) = chunked.as_mut() {
+                    for (demand, sources) in &gather_launches {
+                        let d = inst.query(q).demands[*demand].dataset;
+                        let dest = resolved[*demand];
+                        for s in sources {
+                            let src = ComputeNodeId(s.node as u32);
+                            let Some(p) = source_path(cloud, fault_plan, src, dest, now) else {
+                                continue;
+                            };
+                            let ledger =
+                                ChunkLedger::new(inst.shard_gb(d), ch.eng.config().chunk_gb);
+                            let tid = ch.eng.begin(
+                                now,
+                                dest.index(),
+                                FlowTier::Immediate,
+                                Some(d.index()),
+                                ledger,
+                                &[p],
+                            );
+                            debug_assert_eq!(tid, ch.jobs.len());
+                            ch.jobs.push(EngineOwner::Gather { source: src, dest });
+                        }
+                    }
+                    if !gather_launches.is_empty() {
+                        pump_engine(
+                            ch,
+                            now,
+                            &mut queue,
+                            &mut xfer_jobs,
+                            &mut job_active,
+                            &mut transfer_durations,
+                            &mut tier_sum_s,
+                            &mut tier_count,
+                        );
+                    }
+                }
                 failovers += this_failovers;
                 let n = resolved.len();
                 runs[q.index()] = Some(QueryRun {
@@ -939,6 +1077,7 @@ pub fn try_run_testbed_with_plan(
                     partials: vec![None; n],
                     nodes: resolved.clone(),
                     incomplete: vec![true; n],
+                    read_extra: read_extra.clone(),
                 });
                 demands_started += n as u64;
                 for (demand, node) in resolved.into_iter().enumerate() {
@@ -948,6 +1087,7 @@ pub fn try_run_testbed_with_plan(
                         demand,
                         node,
                         node_epoch[node.index()],
+                        read_extra[demand],
                         &mut free_ghz,
                         &mut waiting,
                         &mut queue,
@@ -993,8 +1133,14 @@ pub fn try_run_testbed_with_plan(
                                 ],
                             );
                         }
+                        // EC gather + decode overhead still applies when
+                        // the demand dequeues after a compute wait.
+                        let extra_s = runs[w.q.index()]
+                            .as_ref()
+                            .map_or(0.0, |r| r.read_extra[w.demand]);
                         let proc = cloud.proc_delay(node)
-                            * inst.size(inst.query(w.q).demands[w.demand].dataset);
+                            * inst.size(inst.query(w.q).demands[w.demand].dataset)
+                            + extra_s;
                         queue.push(
                             now.after_secs(proc),
                             Event::ProcDone {
@@ -1163,7 +1309,8 @@ pub fn try_run_testbed_with_plan(
                             continue;
                         }
                         match ch.jobs[tid] {
-                            EngineOwner::Consistency { source, dest } => {
+                            EngineOwner::Consistency { source, dest }
+                            | EngineOwner::Gather { source, dest } => {
                                 if source == node || dest == node {
                                     ch.eng.cancel(now, tid);
                                 }
@@ -1285,9 +1432,7 @@ pub fn try_run_testbed_with_plan(
                 // them where the dataset is still under budget.
                 let held = std::mem::take(&mut held_at_down[idx]);
                 for d in held {
-                    if live_sol.replica_count(d) < inst.max_replicas()
-                        && !live_sol.has_replica(d, node)
-                    {
+                    if live_sol.replica_count(d) < inst.slots(d) && !live_sol.has_replica(d, node) {
                         live_sol.place_replica(d, node);
                     }
                 }
@@ -1410,7 +1555,7 @@ pub fn try_run_testbed_with_plan(
                 // Valid only if the target survived since launch and the
                 // dataset still wants the replica.
                 if node_epoch[j.dest.index()] == j.dest_epoch
-                    && live_sol.replica_count(dataset) < inst.max_replicas()
+                    && live_sol.replica_count(dataset) < inst.slots(dataset)
                     && !live_sol.has_replica(dataset, j.dest)
                 {
                     live_sol.place_replica(dataset, j.dest);
@@ -1811,6 +1956,45 @@ pub fn try_run_testbed_with_plan(
                 // `now`, fired due chunk completions, and re-armed the
                 // next wake-up; stale generations needed nothing anyway.
             }
+            Event::Scrub => {
+                let interval = cfg
+                    .scrub_interval_s
+                    .expect("scrub scheduled only with config");
+                // Plan against the live state plus every in-flight
+                // repair, so the scrubber never double-books a shard
+                // slot the death-triggered repair path already claimed.
+                let mut planning = live_sol.clone();
+                for j in &xfer_jobs {
+                    if let XferKind::Repair { dataset } = j.kind {
+                        if !j.resolved && node_epoch[j.dest.index()] == j.dest_epoch {
+                            planning.place_replica(dataset, j.dest);
+                        }
+                    }
+                }
+                let (actions, _outcome) =
+                    repair::scrub(now.as_secs_f64(), inst, &planning, &alive, &target_counts);
+                for a in actions {
+                    repairs_scheduled += 1;
+                    let job = xfer_jobs.len();
+                    xfer_jobs.push(XferJob {
+                        kind: XferKind::Repair { dataset: a.dataset },
+                        source: a.source,
+                        dest: a.target,
+                        gb: a.gb,
+                        dest_epoch: node_epoch[a.target.index()],
+                        attempts: 0,
+                        resolved: false,
+                        born: now,
+                    });
+                    job_ledger.push(None);
+                    job_active.push(None);
+                    queue.push(now, Event::RetryTransfer { job });
+                }
+                // Keep scrubbing until the query phase has drained.
+                if now <= query_horizon {
+                    queue.push(now.after_secs(interval), Event::Scrub);
+                }
+            }
             Event::SloSample => {
                 let interval = cfg
                     .slo_sample_interval_s
@@ -1937,6 +2121,8 @@ pub fn try_run_testbed_with_plan(
             ("consistency_rounds", consistency_rounds.into()),
             ("measured_admitted", measured_admitted.into()),
             ("failovers", failovers.into()),
+            ("degraded_reads", degraded_reads.into()),
+            ("storage_gb", plan.storage_gb(inst).into()),
             ("queries_lost", queries_lost.into()),
             ("repairs_scheduled", repairs_scheduled.into()),
             ("repairs_completed", repairs_completed.into()),
@@ -1972,6 +2158,8 @@ pub fn try_run_testbed_with_plan(
         consistency_gb,
         consistency_rounds,
         failovers,
+        degraded_reads,
+        storage_gb: plan.storage_gb(inst),
         queries_lost_to_faults: queries_lost,
         repairs_scheduled,
         repairs_completed,
@@ -2305,5 +2493,186 @@ mod tests {
             .map(|d| d.size_gb * world.instance.max_replicas() as f64)
             .sum();
         assert!(report.replication_gb <= max_possible + 1e-9);
+    }
+
+    use edgerep_model::{Demand, EdgeCloudBuilder, Instance, InstanceBuilder, RedundancyScheme};
+
+    /// Serves a pre-built plan — lets fault tests pin exact shard layouts.
+    struct FixedPlan(Solution);
+
+    impl PlacementAlgorithm for FixedPlan {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn solve(&self, _inst: &Instance) -> Solution {
+            self.0.clone()
+        }
+    }
+
+    /// dc —0.05— c0 —0.1— c1 —0.1— c2, one 4 GB dataset at the DC striped
+    /// ec(2,1) (shards on c0, c1, c2), two queries homed and served at
+    /// c0 / c1. Killing c2 loses one parity shard (degraded reads);
+    /// killing c1 and c2 drops below the k = 2 quorum.
+    fn tiny_ec_world() -> (TestbedWorld, Solution) {
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let c0 = b.add_cloudlet(8.0, 0.01);
+        let c1 = b.add_cloudlet(8.0, 0.01);
+        let c2 = b.add_cloudlet(8.0, 0.01);
+        b.link(dc, c0, 0.05);
+        b.link(c0, c1, 0.1);
+        b.link(c1, c2, 0.1);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 3);
+        ib.set_default_scheme(RedundancyScheme::erasure(2, 1).unwrap());
+        let d0 = ib.add_dataset(4.0, dc);
+        ib.add_query(c0, vec![Demand::new(d0, 0.5)], 0.5, 10.0);
+        ib.add_query(c1, vec![Demand::new(d0, 0.5)], 0.5, 10.0);
+        let inst = ib.build().unwrap();
+        let mut plan = Solution::empty(&inst);
+        for v in [c0, c1, c2] {
+            plan.place_replica(d0, v);
+        }
+        plan.assign_query(QueryId(0), vec![c0]);
+        plan.assign_query(QueryId(1), vec![c1]);
+        plan.validate(&inst).expect("hand-built EC plan is feasible");
+        let world = TestbedWorld {
+            instance: inst,
+            regions: vec![crate::geo::Region::Metro; 4],
+            records: vec![Vec::new()],
+            query_kinds: vec![crate::analytics::AnalyticsKind::TopApps { k: 3 }; 2],
+        };
+        (world, plan)
+    }
+
+    #[test]
+    fn ec_fault_degrades_reads_without_losing_queries() {
+        // One of three shards dies before any arrival: both queries still
+        // read (their own shard + the surviving co-holder's ≥ k = 2), but
+        // every read is counted degraded — served, not lost.
+        let (world, plan) = tiny_ec_world();
+        let faults = [NodeFailure {
+            node: ComputeNodeId(3), // c2: pure shard holder, serves nothing
+            at_s: 0.0,
+        }];
+        let report =
+            run_testbed_with_faults(&FixedPlan(plan), &world, &SimConfig::default(), &faults);
+        assert_eq!(report.degraded_reads, 2, "both arrivals read 2 of 3 shards");
+        assert_eq!(report.queries_lost_to_faults, 0);
+        assert_eq!(report.measured_admitted, 2);
+        assert_eq!(report.availability, 1.0);
+    }
+
+    #[test]
+    fn ec_below_quorum_loses_queries() {
+        // Two of three shards die: one survivor < k = 2, so reads cannot
+        // reconstruct and the queries are lost — availability, not delay.
+        let (world, plan) = tiny_ec_world();
+        let faults = [
+            NodeFailure {
+                node: ComputeNodeId(2), // c1
+                at_s: 0.0,
+            },
+            NodeFailure {
+                node: ComputeNodeId(3), // c2
+                at_s: 0.0,
+            },
+        ];
+        let report =
+            run_testbed_with_faults(&FixedPlan(plan), &world, &SimConfig::default(), &faults);
+        assert_eq!(report.queries_lost_to_faults, 2, "1 live shard < k = 2");
+        assert_eq!(report.measured_admitted, 0);
+        assert_eq!(report.degraded_reads, 0);
+        assert_eq!(report.availability, 0.0);
+    }
+
+    #[test]
+    fn ec_reads_charge_gather_and_decode_time() {
+        // No faults: nothing is degraded, but every EC read still pays the
+        // shard gather (0.1 s/GB × 2 GB from the nearest co-holder) plus
+        // the decode (0.02 s/GB × 4 GB) on top of local processing.
+        let (world, plan) = tiny_ec_world();
+        let report = run_testbed(&FixedPlan(plan), &world, &SimConfig::default());
+        assert_eq!(report.degraded_reads, 0);
+        assert_eq!(report.measured_admitted, 2);
+        // proc 0.04 + gather 0.2 + decode 0.08 = 0.32 s, no result delay
+        // (home == serving node).
+        assert!(
+            (report.max_response_s - 0.32).abs() < 1e-9,
+            "got {}",
+            report.max_response_s
+        );
+        // Three shard copies of 2 GB each left the origin.
+        assert!((report.replication_gb - 6.0).abs() < 1e-9);
+        assert!((report.storage_gb - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scrubber_rebuilds_lost_shards_in_background() {
+        // Repair is OFF: only the periodic scrubber notices the lost
+        // parity shard, re-encodes it from the k = 2 survivors (charged
+        // k × |S|/k = 4 GB of read volume), and restores the full set.
+        let (world, plan) = tiny_ec_world();
+        let d0 = world.instance.dataset_ids().next().unwrap();
+        let faults = [NodeFailure {
+            node: ComputeNodeId(3), // c2
+            at_s: 0.0,
+        }];
+        let cfg = SimConfig {
+            scrub_interval_s: Some(2.0),
+            arrival_rate_per_s: 0.05, // long horizon: several scrub passes
+            repair: false,
+            ..Default::default()
+        };
+        let report = run_testbed_with_faults(&FixedPlan(plan), &world, &cfg, &faults);
+        assert!(report.repairs_scheduled >= 1, "scrub found the lost shard");
+        assert_eq!(report.repairs_completed, 1, "rebuilt once, then clean passes");
+        assert!((report.repair_gb - 4.0).abs() < 1e-9, "k × shard volume");
+        assert_eq!(report.live_plan.replica_count(d0), 3, "full set restored");
+        assert_eq!(report.queries_lost_to_faults, 0);
+    }
+
+    fn small_world_scheme(f: usize, k: usize, scheme: RedundancyScheme) -> TestbedWorld {
+        let cfg = TestbedConfig {
+            trace: edgerep_workload::mobile_trace::TraceConfig {
+                users: 200,
+                apps: 30,
+                days: 10,
+                ..Default::default()
+            },
+            windows: 6,
+            query_count: 20,
+            ..Default::default()
+        }
+        .with_max_datasets_per_query(f)
+        .with_max_replicas(k)
+        .with_redundancy(scheme);
+        build_testbed_instance(&cfg, 11)
+    }
+
+    #[test]
+    fn ec_k1_is_byte_identical_to_replication() {
+        // ErasureCoded{k: 1, m: r − 1} stores r full-size shards, needs no
+        // decode, and has zero read overhead — with faults off it must be
+        // indistinguishable from Replication{r}, bit for bit, end to end
+        // (controller, replication phase, query phase, report).
+        let rep_world = small_world(2, 3);
+        let ec_world = small_world_scheme(2, 3, RedundancyScheme::erasure(1, 2).unwrap());
+        let cfg = SimConfig::default();
+        let a = run_testbed(&ApproG::default(), &rep_world, &cfg);
+        let b = run_testbed(&ApproG::default(), &ec_world, &cfg);
+        assert_eq!(a.planned_admitted, b.planned_admitted);
+        assert_eq!(a.measured_admitted, b.measured_admitted);
+        assert_eq!(a.measured_volume.to_bits(), b.measured_volume.to_bits());
+        assert_eq!(a.mean_response_s.to_bits(), b.mean_response_s.to_bits());
+        assert_eq!(a.p50_response_s.to_bits(), b.p50_response_s.to_bits());
+        assert_eq!(a.p95_response_s.to_bits(), b.p95_response_s.to_bits());
+        assert_eq!(a.max_response_s.to_bits(), b.max_response_s.to_bits());
+        assert_eq!(a.mean_transfer_s.to_bits(), b.mean_transfer_s.to_bits());
+        assert_eq!(a.mean_queue_wait_s.to_bits(), b.mean_queue_wait_s.to_bits());
+        assert_eq!(a.availability.to_bits(), b.availability.to_bits());
+        assert_eq!(a.replication_gb.to_bits(), b.replication_gb.to_bits());
+        assert_eq!(a.storage_gb.to_bits(), b.storage_gb.to_bits());
+        assert_eq!(b.degraded_reads, 0);
     }
 }

@@ -50,6 +50,9 @@ pub struct TestbedConfig {
     pub deadline_per_gb: (f64, f64),
     /// Replica budget `K` (Fig. 8's x-axis).
     pub max_replicas: usize,
+    /// Redundancy scheme applied to every dataset. `None` keeps the
+    /// paper's plain replication at budget `K` (`Replication{max_replicas}`).
+    pub redundancy: Option<RedundancyScheme>,
 }
 
 impl Default for TestbedConfig {
@@ -75,6 +78,7 @@ impl Default for TestbedConfig {
             deadline_base: (1.0, 6.0),
             deadline_per_gb: (0.2, 1.0),
             max_replicas: 3,
+            redundancy: None,
         }
     }
 }
@@ -91,6 +95,13 @@ impl TestbedConfig {
     pub fn with_max_replicas(mut self, k: usize) -> Self {
         assert!(k >= 1);
         self.max_replicas = k;
+        self
+    }
+
+    /// Stores every dataset under `scheme` (the ext-ec arms): erasure
+    /// coding with `k` data + `m` parity shards, or explicit replication.
+    pub fn with_redundancy(mut self, scheme: RedundancyScheme) -> Self {
+        self.redundancy = Some(scheme);
         self
     }
 }
@@ -196,6 +207,9 @@ pub fn build_testbed_instance(cfg: &TestbedConfig, seed: u64) -> TestbedWorld {
     let vmax = *volumes.iter().max().expect("windows >= 1") as f64;
     let (glo, ghi) = cfg.dataset_size_gb;
     let mut ib = InstanceBuilder::new(cloud, cfg.max_replicas);
+    if let Some(scheme) = cfg.redundancy {
+        ib.set_default_scheme(scheme);
+    }
     for &v in &volumes {
         let t = if vmax > vmin {
             (v as f64 - vmin) / (vmax - vmin)
@@ -312,6 +326,21 @@ mod tests {
             assert!(q.home.0 >= 4, "query {} homes on a DC", q.id);
         }
         assert_eq!(world.query_kinds.len(), cfg.query_count);
+    }
+
+    #[test]
+    fn redundancy_knob_stripes_every_dataset() {
+        let scheme = RedundancyScheme::erasure(4, 2).unwrap();
+        let cfg = TestbedConfig::default().with_redundancy(scheme);
+        let world = build_testbed_instance(&cfg, 11);
+        for d in world.instance.dataset_ids() {
+            assert_eq!(world.instance.scheme(d), scheme);
+            assert_eq!(world.instance.slots(d), 6);
+            assert!(
+                (world.instance.shard_gb(d) - world.instance.size(d) / 4.0).abs() < 1e-12,
+                "shards are |S|/k"
+            );
+        }
     }
 
     #[test]

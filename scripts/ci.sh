@@ -73,6 +73,17 @@ grep -q '"event":"transfer.resume"' "$trace_tmp/storm.ndjson" \
 grep -q '"event":"transfer.abandoned"' "$trace_tmp/storm.ndjson" \
     || { echo "storm trace has no transfer.abandoned event" >&2; exit 1; }
 
+# Smoke the erasure-coding extension: the traced run must show shard-set
+# physics actually exercised — degraded reads served below full shard
+# strength and the Background-tier scrubber detecting/rebuilding shards.
+echo "== repro ext-ec --quick --trace smoke =="
+cargo run -q -p edgerep-exp --release --bin repro -- ext-ec --quick \
+    --trace "$trace_tmp/ec.ndjson" > /dev/null
+grep -q '"event":"ec.degraded_read"' "$trace_tmp/ec.ndjson" \
+    || { echo "ext-ec trace has no ec.degraded_read event" >&2; exit 1; }
+grep -q '"event":"ec.scrub"' "$trace_tmp/ec.ndjson" \
+    || { echo "ext-ec trace has no ec.scrub event" >&2; exit 1; }
+
 # Smoke the span-tree profiler end to end: folded stacks are written and
 # the traced stream carries the profile.dump completion event.
 echo "== repro --profile smoke =="
