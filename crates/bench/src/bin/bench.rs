@@ -133,6 +133,13 @@ fn cmd_diff(mut args: Vec<String>) -> ExitCode {
     };
     let report = diff(&old, &new, threshold);
     print!("{}", report.render());
+    if old.entries.is_empty() {
+        // An empty trajectory baseline (fresh checkout, retracted
+        // measurement) has nothing to gate against — succeed loudly
+        // instead of silently comparing zero entries.
+        println!("no baseline entries in {old_path}: gate skipped");
+        return ExitCode::SUCCESS;
+    }
     if report.has_regressions() && !report_only {
         ExitCode::from(1)
     } else {

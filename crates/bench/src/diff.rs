@@ -218,6 +218,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_baseline_never_gates() {
+        // A fresh checkout has no BENCH trajectory; everything shows as
+        // added and the gate passes (`bench diff` also prints an
+        // explicit "gate skipped" note in this case).
+        let old = file(&[]);
+        let new = file(&[("fresh", 100, 1)]);
+        let report = diff(&old, &new, DEFAULT_THRESHOLD_PCT);
+        assert!(!report.has_regressions());
+        assert!(report.entries.iter().all(|e| e.status == DiffStatus::Added));
+        assert!(report.render().contains("1 entries compared, 0 regressed"));
+    }
+
+    #[test]
     fn small_drift_is_unchanged() {
         let old = file(&[("steady", 1000, 2)]);
         let new = file(&[("steady", 1050, 2)]); // +5% < 10%

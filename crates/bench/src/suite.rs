@@ -21,12 +21,13 @@ use crate::representative_instance;
 
 /// Every suite entry as `(name, kind)`, run order. Kinds: `"micro"` or
 /// `"e2e"`.
-pub const BENCH_NAMES: [(&str, &str); 11] = [
+pub const BENCH_NAMES: [(&str, &str); 12] = [
     ("appro.dual_update_special", "micro"),
     ("appro.dual_update_general", "micro"),
     ("appro.candidate_scan", "micro"),
     ("admission.check", "micro"),
     ("repair.plan", "micro"),
+    ("rolling.incremental_replan", "micro"),
     ("forecast.predict", "micro"),
     ("transfer.rarest_first", "micro"),
     ("ec.encode_plan", "micro"),
@@ -153,6 +154,32 @@ pub fn run_suite(
                         &solution,
                         &alive,
                         &needed,
+                    ));
+                })
+            }
+            "rolling.incremental_replan" => {
+                // A short Periodic rolling run: epoch instances stamped
+                // from a cached world (no per-epoch Dijkstra), each epoch
+                // replanned through the demand-group diff gate.
+                use edgerep_core::appro::ApproG;
+                use edgerep_testbed::rolling::{run_rolling, ReplanPolicy, RollingConfig};
+                use edgerep_testbed::topology::TestbedConfig;
+                let cfg = RollingConfig {
+                    testbed: TestbedConfig {
+                        query_count: 12,
+                        windows: 4,
+                        ..Default::default()
+                    },
+                    epochs: 3,
+                    seed: 7,
+                    ..Default::default()
+                };
+                let alg = ApproG::default();
+                run_bench(name, kind, effort, || {
+                    black_box(run_rolling(
+                        black_box(&alg),
+                        black_box(&cfg),
+                        ReplanPolicy::Periodic,
                     ));
                 })
             }

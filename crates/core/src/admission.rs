@@ -11,7 +11,7 @@
 use std::cell::Cell;
 
 use edgerep_model::delay::{assignment_delay, read_overhead};
-use edgerep_model::{ComputeNodeId, DatasetId, Instance, QueryId, Solution};
+use edgerep_model::{ComputeNodeId, DatasetId, Instance, QueryId, Solution, FEASIBILITY_EPS};
 use edgerep_obs as obs;
 
 /// Why a single (demand, node) feasibility check failed — the three hard
@@ -242,8 +242,7 @@ impl<'a> AdmissionState<'a> {
             fills.sort_by(|&a, &b| {
                 cloud
                     .min_delay(a, v)
-                    .partial_cmp(&cloud.min_delay(b, v))
-                    .expect("delays comparable")
+                    .total_cmp(&cloud.min_delay(b, v))
                     .then(a.0.cmp(&b.0))
             });
             fills.truncate(quorum - holders.len());
@@ -321,7 +320,7 @@ impl<'a> AdmissionState<'a> {
                 }
             }
             if self.used[v.index()] + extra_load + self.compute_demand(q, demand_idx)
-                > self.inst.cloud().available(v) + 1e-9
+                > self.inst.cloud().available(v) + FEASIBILITY_EPS
             {
                 return Err(RejectReason::Capacity);
             }
@@ -329,7 +328,7 @@ impl<'a> AdmissionState<'a> {
             if let Some(holders) = &planned {
                 delay += read_overhead(self.inst, d, v, holders);
             }
-            if delay > self.inst.query(q).deadline + 1e-12 {
+            if delay > self.inst.query(q).deadline + FEASIBILITY_EPS {
                 return Err(RejectReason::Deadline);
             }
             Ok(())
@@ -384,7 +383,7 @@ impl<'a> AdmissionState<'a> {
                 }
             }
             if self.used[p.node.index()] + extra[p.node.index()] + self.compute_demand(q, idx)
-                > self.inst.cloud().available(p.node) + 1e-9
+                > self.inst.cloud().available(p.node) + FEASIBILITY_EPS
             {
                 return false;
             }
@@ -392,7 +391,7 @@ impl<'a> AdmissionState<'a> {
             if self.inst.scheme(d).needs_decode() {
                 delay += read_overhead(self.inst, d, p.node, &planned);
             }
-            if delay > query.deadline + 1e-12 {
+            if delay > query.deadline + FEASIBILITY_EPS {
                 return false;
             }
             extra[p.node.index()] += self.compute_demand(q, idx);

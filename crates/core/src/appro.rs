@@ -42,7 +42,7 @@
 //! [`AdmissionState::plan_feasible`].
 
 use edgerep_model::delay::{assignment_delay, read_overhead};
-use edgerep_model::{ComputeNodeId, DatasetId, Instance, QueryId, Solution};
+use edgerep_model::{ComputeNodeId, DatasetId, Instance, QueryId, Solution, FEASIBILITY_EPS};
 use edgerep_obs as obs;
 
 use crate::admission::{AdmissionState, PlannedDemand, RejectReason};
@@ -102,6 +102,21 @@ pub struct ApproReport {
     pub theta: Vec<f64>,
 }
 
+/// Reusable scratch buffers for [`Appro::plan_query`]: one allocation
+/// per run instead of one per (query, dataset) invocation.
+#[derive(Debug, Default)]
+struct PlanScratch {
+    /// Tentative extra load per node from demands already planned for
+    /// the current query; only `touched` entries are non-zero.
+    extra: Vec<f64>,
+    /// Node indices with non-zero `extra`, zeroed lazily on entry.
+    touched: Vec<usize>,
+    /// Replicas the current plan would create.
+    pending: Vec<(DatasetId, ComputeNodeId)>,
+    /// Demand indices in planning order (largest compute demand first).
+    order: Vec<usize>,
+}
+
 /// The shared primal-dual engine behind `Appro-S` and `Appro-G`.
 #[derive(Debug, Clone, Default)]
 pub struct Appro {
@@ -127,9 +142,20 @@ impl Appro {
         (mu.powf(x.clamp(0.0, 1.0)) - 1.0) / (mu - 1.0)
     }
 
-    /// Price of serving demand `idx` of `q` at `v`, given tentative extra
-    /// load per node and replicas pending within the same plan. Returns
-    /// `None` when the pair is infeasible.
+    /// `θ_l` at node `v`'s committed load — the batched capacity price
+    /// the candidate scan reuses for every node the current plan has not
+    /// stacked extra load on. Bit-identical to pricing `used + 0.0`
+    /// inline (`used ≥ 0`, so adding `+0.0` is the identity).
+    fn theta_committed(&self, st: &AdmissionState<'_>, mu: f64, v: ComputeNodeId) -> f64 {
+        let avail = st.instance().cloud().available(v);
+        let x = if avail > 0.0 { st.used(v) / avail } else { 1.0 };
+        self.theta(mu, x)
+    }
+
+    /// Price of serving demand `idx` of `q` at `v`, given the cached
+    /// base assignment delay of the pair, tentative extra load per node,
+    /// replicas pending within the same plan, and the batched capacity
+    /// prices `theta0`. Returns `None` when the pair is infeasible.
     #[allow(clippy::too_many_arguments)]
     fn demand_price(
         &self,
@@ -138,8 +164,10 @@ impl Appro {
         q: QueryId,
         idx: usize,
         v: ComputeNodeId,
+        base_delay: f64,
         extra: &[f64],
         pending_replicas: &[(DatasetId, ComputeNodeId)],
+        theta0: &[f64],
     ) -> Option<f64> {
         let inst = st.instance();
         let query = inst.query(q);
@@ -173,15 +201,15 @@ impl Appro {
         }
         let need = st.compute_demand(q, idx);
         let avail = inst.cloud().available(v);
-        if st.used(v) + extra[v.index()] + need > avail + 1e-9 {
+        if st.used(v) + extra[v.index()] + need > avail + FEASIBILITY_EPS {
             st.note_check(Some(RejectReason::Capacity));
             return None;
         }
-        let mut delay = assignment_delay(inst, q, idx, v);
+        let mut delay = base_delay;
         if let Some(holders) = &planned {
             delay += read_overhead(inst, d, v, holders);
         }
-        if delay > query.deadline + 1e-12 {
+        if delay > query.deadline + FEASIBILITY_EPS {
             st.note_check(Some(RejectReason::Deadline));
             return None;
         }
@@ -191,13 +219,19 @@ impl Appro {
         // the pre-assignment load — a post-assignment price would tax
         // large demands quadratically and fragment capacity across many
         // small queries, hurting exactly the big-volume admissions the
-        // objective rewards).
-        let x = if avail > 0.0 {
-            (st.used(v) + extra[v.index()]) / avail
+        // objective rewards). The batched `theta0` already holds θ_l at
+        // the committed load; only nodes stacked by the current plan
+        // (extra ≠ 0, rare) need a fresh `powf`.
+        let capacity_price = if extra[v.index()] == 0.0 {
+            query.compute_rate * theta0[v.index()]
         } else {
-            1.0
+            let x = if avail > 0.0 {
+                (st.used(v) + extra[v.index()]) / avail
+            } else {
+                1.0
+            };
+            query.compute_rate * self.theta(mu, x)
         };
-        let capacity_price = query.compute_rate * self.theta(mu, x);
         let delay_price = self.config.delay_weight * delay / query.deadline;
         // The replica price sums over every *new* holder the read would
         // create: the i-th fresh location is priced (placed + pending + i)
@@ -219,23 +253,39 @@ impl Appro {
     /// demands are planned hardest-first (largest compute demand), each at
     /// its min-price node, with intra-plan stacking. Returns the plan and
     /// its total price.
+    ///
+    /// `naive` selects the reference per-node probe (used by the
+    /// equivalence suite); the default path scans the instance's cached
+    /// deadline-feasible candidate list instead. Both visit surviving
+    /// candidates in ascending node-id order with strict `<` improvement,
+    /// so tie-breaks — and therefore output — are bit-for-bit identical.
     fn plan_query(
         &self,
         st: &AdmissionState<'_>,
         mu: f64,
         q: QueryId,
+        theta0: &[f64],
+        scratch: &mut PlanScratch,
+        naive: bool,
     ) -> Option<(Vec<PlannedDemand>, f64)> {
         let inst = st.instance();
         let query = inst.query(q);
         let n_demands = query.demands.len();
-        let mut order: Vec<usize> = (0..n_demands).collect();
-        order.sort_by(|&a, &b| {
-            st.compute_demand(q, b)
-                .partial_cmp(&st.compute_demand(q, a))
-                .expect("compute demands are finite")
-        });
-        let mut extra = vec![0.0; inst.cloud().compute_count()];
-        let mut pending: Vec<(DatasetId, ComputeNodeId)> = Vec::new();
+        let PlanScratch {
+            extra,
+            touched,
+            pending,
+            order,
+        } = scratch;
+        extra.resize(inst.cloud().compute_count(), 0.0);
+        for &vi in touched.iter() {
+            extra[vi] = 0.0;
+        }
+        touched.clear();
+        pending.clear();
+        order.clear();
+        order.extend(0..n_demands);
+        order.sort_by(|&a, &b| st.compute_demand(q, b).total_cmp(&st.compute_demand(q, a)));
         let mut plan = vec![
             PlannedDemand {
                 node: ComputeNodeId(0),
@@ -244,12 +294,27 @@ impl Appro {
             n_demands
         ];
         let mut total_price = 0.0;
-        for &idx in &order {
+        for &idx in order.iter() {
             let mut best: Option<(ComputeNodeId, f64)> = None;
-            for v in inst.cloud().compute_ids() {
-                if let Some(p) = self.demand_price(st, mu, q, idx, v, &extra, &pending) {
-                    if best.is_none_or(|(_, bp)| p < bp) {
-                        best = Some((v, p));
+            if naive {
+                for v in inst.cloud().compute_ids() {
+                    let base = assignment_delay(inst, q, idx, v);
+                    if let Some(p) =
+                        self.demand_price(st, mu, q, idx, v, base, extra, pending, theta0)
+                    {
+                        if best.is_none_or(|(_, bp)| p < bp) {
+                            best = Some((v, p));
+                        }
+                    }
+                }
+            } else {
+                for (v, base) in inst.solver_cache().candidates(q, idx) {
+                    if let Some(p) =
+                        self.demand_price(st, mu, q, idx, v, base, extra, pending, theta0)
+                    {
+                        if best.is_none_or(|(_, bp)| p < bp) {
+                            best = Some((v, p));
+                        }
                     }
                 }
             }
@@ -261,10 +326,13 @@ impl Appro {
             // just `v` for replication, `v` plus the shard bootstrap set
             // for erasure-coded datasets, so later demands price the
             // remaining budget correctly.
-            for h in st.planned_holders_with(d, v, &pending) {
+            for h in st.planned_holders_with(d, v, pending) {
                 if !st.has_replica(d, h) && !pending.iter().any(|&(pd, pv)| pd == d && pv == h) {
                     pending.push((d, h));
                 }
+            }
+            if extra[v.index()] == 0.0 {
+                touched.push(v.index());
             }
             extra[v.index()] += st.compute_demand(q, idx);
             plan[idx] = PlannedDemand {
@@ -287,15 +355,46 @@ impl Appro {
         st: &AdmissionState<'_>,
         q: QueryId,
     ) -> Option<(Vec<PlannedDemand>, f64)> {
-        let mu = self.mu(st.instance());
-        self.plan_query(st, mu, q)
+        let inst = st.instance();
+        let mu = self.mu(inst);
+        let theta0: Vec<f64> = inst
+            .cloud()
+            .compute_ids()
+            .map(|v| self.theta_committed(st, mu, v))
+            .collect();
+        let mut scratch = PlanScratch::default();
+        self.plan_query(st, mu, q, &theta0, &mut scratch, false)
     }
 
     /// Runs the engine, returning the solution plus the dual certificate.
     pub fn run(&self, inst: &Instance) -> ApproReport {
+        self.run_inner(inst, false)
+    }
+
+    /// Reference path kept for the equivalence suite: prices every
+    /// compute node through [`assignment_delay`] per probe instead of the
+    /// pre-filtered candidate matrix. Tests pin [`Appro::run`]
+    /// byte-identical to this; it is not meant for production use.
+    #[doc(hidden)]
+    pub fn run_naive(&self, inst: &Instance) -> ApproReport {
+        self.run_inner(inst, true)
+    }
+
+    fn run_inner(&self, inst: &Instance, naive: bool) -> ApproReport {
         let _run_span = obs::span("appro", "appro.run");
         let mu = self.mu(inst);
         let mut st = AdmissionState::new(inst);
+        // One scratch allocation for the whole run, reused across every
+        // per-(query, dataset) invocation the engine makes.
+        let mut scratch = PlanScratch::default();
+        // Batched capacity prices: θ_l at each node's committed load,
+        // recomputed only for the nodes a commit touches instead of per
+        // candidate probe (`µ^x` is the scan's priciest flop).
+        let mut theta0: Vec<f64> = inst
+            .cloud()
+            .compute_ids()
+            .map(|v| self.theta_committed(&st, mu, v))
+            .collect();
         // Tallied locally in plain integers and flushed to the registry
         // once at the end: the hot loop stays free of atomics.
         let mut iterations: u64 = 0;
@@ -312,7 +411,9 @@ impl Appro {
                     let mut best: Option<(usize, Vec<PlannedDemand>, f64)> = None;
                     for (i, &q) in pending.iter().enumerate() {
                         plans += 1;
-                        if let Some((plan, price)) = self.plan_query(&st, mu, q) {
+                        if let Some((plan, price)) =
+                            self.plan_query(&st, mu, q, &theta0, &mut scratch, naive)
+                        {
                             // Cheapest dual price per admitted GB first:
                             // the discrete uniform-raise winner.
                             let density = price / inst.demanded_volume(q).max(1e-12);
@@ -325,6 +426,9 @@ impl Appro {
                     let Some((i, plan, _)) = best else { break };
                     let q = pending.swap_remove(i);
                     st.commit(q, &plan);
+                    for p in &plan {
+                        theta0[p.node.index()] = self.theta_committed(&st, mu, p.node);
+                    }
                 }
             }
             one_pass => {
@@ -332,23 +436,22 @@ impl Appro {
                 match one_pass {
                     QueryOrder::Input => {}
                     QueryOrder::VolumeDesc => queue.sort_by(|&a, &b| {
-                        inst.demanded_volume(b)
-                            .partial_cmp(&inst.demanded_volume(a))
-                            .expect("volumes are finite")
+                        inst.demanded_volume(b).total_cmp(&inst.demanded_volume(a))
                     }),
-                    QueryOrder::DeadlineAsc => queue.sort_by(|&a, &b| {
-                        inst.query(a)
-                            .deadline
-                            .partial_cmp(&inst.query(b).deadline)
-                            .expect("deadlines are finite")
-                    }),
+                    QueryOrder::DeadlineAsc => queue
+                        .sort_by(|&a, &b| inst.query(a).deadline.total_cmp(&inst.query(b).deadline)),
                     QueryOrder::GlobalCheapestFirst => unreachable!(),
                 }
                 for q in queue {
                     iterations += 1;
                     plans += 1;
-                    if let Some((plan, _)) = self.plan_query(&st, mu, q) {
+                    if let Some((plan, _)) =
+                        self.plan_query(&st, mu, q, &theta0, &mut scratch, naive)
+                    {
                         st.commit(q, &plan);
+                        for p in &plan {
+                            theta0[p.node.index()] = self.theta_committed(&st, mu, p.node);
+                        }
                     }
                 }
             }
@@ -656,6 +759,89 @@ mod tests {
     fn names_match_paper() {
         assert_eq!(ApproS::default().name(), "Appro-S");
         assert_eq!(ApproG::default().name(), "Appro-G");
+    }
+
+    /// Asserts `run()` (cached candidate matrix, batched θ) and
+    /// `run_naive()` (per-probe `assignment_delay` over every node)
+    /// produce byte-identical reports: same replicas and assignments,
+    /// bit-for-bit equal duals.
+    fn assert_cached_matches_naive(inst: &Instance, cfg: ApproConfig) {
+        let appro = Appro::with_config(cfg);
+        let cached = appro.run(inst);
+        let naive = appro.run_naive(inst);
+        assert_eq!(
+            cached.solution, naive.solution,
+            "cached scan changed the solution (order {:?})",
+            cfg.order
+        );
+        assert_eq!(
+            cached.dual_bound.to_bits(),
+            naive.dual_bound.to_bits(),
+            "dual bound drifted: {} vs {}",
+            cached.dual_bound,
+            naive.dual_bound
+        );
+        for (c, n) in cached.theta.iter().zip(&naive.theta) {
+            assert_eq!(c.to_bits(), n.to_bits(), "theta drifted: {c} vs {n}");
+        }
+    }
+
+    #[test]
+    fn cached_scan_matches_naive_on_small_instances() {
+        for k in [1, 2, 3] {
+            let inst = two_node_instance(k);
+            for order in [
+                QueryOrder::GlobalCheapestFirst,
+                QueryOrder::Input,
+                QueryOrder::VolumeDesc,
+                QueryOrder::DeadlineAsc,
+            ] {
+                assert_cached_matches_naive(
+                    &inst,
+                    ApproConfig {
+                        order,
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_scan_matches_naive_on_fig2_and_fig3_workloads() {
+        use edgerep_workload::{generate_instance, presets};
+        for seed in 0..3u64 {
+            let special = generate_instance(&presets::fig2_special_case(32), seed);
+            assert_cached_matches_naive(&special, ApproConfig::default());
+            let general = generate_instance(&presets::fig3_general_case(32), seed);
+            assert_cached_matches_naive(&general, ApproConfig::default());
+        }
+        // One larger point so the pre-filter actually prunes.
+        let big = generate_instance(&presets::fig3_general_case(60), 1);
+        assert_cached_matches_naive(&big, ApproConfig::default());
+    }
+
+    #[test]
+    fn cached_scan_matches_naive_under_erasure_coding() {
+        // EC read overhead is applied on top of the cached base delay;
+        // the filter must stay output-safe.
+        let mut b = EdgeCloudBuilder::new();
+        let dc = b.add_data_center(100.0, 0.001);
+        let c0 = b.add_cloudlet(16.0, 0.01);
+        let c1 = b.add_cloudlet(16.0, 0.01);
+        let c2 = b.add_cloudlet(16.0, 0.01);
+        b.link(dc, c0, 0.05);
+        b.link(c0, c1, 0.05);
+        b.link(c1, c2, 0.05);
+        let cloud = b.build().unwrap();
+        let mut ib = InstanceBuilder::new(cloud, 3);
+        let d0 = ib.add_dataset(4.0, dc);
+        ib.set_default_scheme(RedundancyScheme::erasure(2, 2).unwrap());
+        for home in [c0, c1, c2] {
+            ib.add_query(home, vec![Demand::new(d0, 1.0)], 1.0, 0.23);
+        }
+        let inst = ib.build().unwrap();
+        assert_cached_matches_naive(&inst, ApproConfig::default());
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl PlacementAlgorithm for Centroid {
                             .fold(f64::INFINITY, f64::min);
                         (home, best)
                     })
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("delays comparable"));
+                    .max_by(|a, b| a.1.total_cmp(&b.1));
                 let Some((worst_home, worst_delay)) = worst else {
                     break;
                 };
@@ -93,8 +93,7 @@ impl PlacementAlgorithm for Centroid {
         let mut queries: Vec<QueryId> = inst.query_ids().collect();
         queries.sort_by(|&a, &b| {
             inst.demanded_volume(b)
-                .partial_cmp(&inst.demanded_volume(a))
-                .expect("volumes are finite")
+                .total_cmp(&inst.demanded_volume(a))
                 .then(a.cmp(&b))
         });
         for q in queries {
@@ -107,8 +106,7 @@ impl PlacementAlgorithm for Centroid {
                     st.solution().replicas_of(dem.dataset).to_vec();
                 replicas.sort_by(|&a, &b| {
                     assignment_delay(inst, q, idx, a)
-                        .partial_cmp(&assignment_delay(inst, q, idx, b))
-                        .expect("delays comparable")
+                        .total_cmp(&assignment_delay(inst, q, idx, b))
                         .then(a.cmp(&b))
                 });
                 match replicas

@@ -31,7 +31,7 @@
 use edgerep_graph::partition::partition_kway;
 use edgerep_graph::Graph;
 use edgerep_model::delay::assignment_delay;
-use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution, FEASIBILITY_EPS};
 use edgerep_obs as obs;
 
 use crate::admission::{AdmissionState, PlannedDemand};
@@ -89,18 +89,13 @@ impl PlacementAlgorithm for GraphPartition {
                     .position(|dem| dem.dataset == d)
                     .expect("consumer demands d");
                 for v in inst.cloud().compute_ids() {
-                    if assignment_delay(inst, q.id, idx, v) <= q.deadline + 1e-12 {
+                    if assignment_delay(inst, q.id, idx, v) <= q.deadline + FEASIBILITY_EPS {
                         score[v.index()] += inst.size(d);
                     }
                 }
             }
             let mut ranked: Vec<ComputeNodeId> = inst.cloud().compute_ids().collect();
-            ranked.sort_by(|&a, &b| {
-                score[b.index()]
-                    .partial_cmp(&score[a.index()])
-                    .expect("scores are finite")
-                    .then(a.cmp(&b))
-            });
+            ranked.sort_by(|&a, &b| score[b.index()].total_cmp(&score[a.index()]).then(a.cmp(&b)));
             for v in ranked
                 .into_iter()
                 .filter(|v| score[v.index()] > 0.0)
@@ -136,8 +131,7 @@ impl PlacementAlgorithm for GraphPartition {
         let mut queries: Vec<QueryId> = inst.query_ids().collect();
         queries.sort_by(|&a, &b| {
             inst.demanded_volume(b)
-                .partial_cmp(&inst.demanded_volume(a))
-                .expect("volumes are finite")
+                .total_cmp(&inst.demanded_volume(a))
                 .then(a.cmp(&b))
         });
         for q in queries {
@@ -158,8 +152,7 @@ impl PlacementAlgorithm for GraphPartition {
                         .cmp(&local_a)
                         .then_with(|| {
                             assignment_delay(inst, q, idx, a)
-                                .partial_cmp(&assignment_delay(inst, q, idx, b))
-                                .expect("delays are comparable")
+                                .total_cmp(&assignment_delay(inst, q, idx, b))
                         })
                         .then(a.cmp(&b))
                 });

@@ -68,12 +68,7 @@ fn attempt_query(st: &mut AdmissionState<'_>, q: QueryId) {
         // Nodes by available compute, descending (the published order),
         // ties broken by node id for determinism.
         let mut nodes: Vec<ComputeNodeId> = inst.cloud().compute_ids().collect();
-        nodes.sort_by(|&a, &b| {
-            st.remaining(b)
-                .partial_cmp(&st.remaining(a))
-                .expect("remaining capacity is finite")
-                .then(a.cmp(&b))
-        });
+        nodes.sort_by(|&a, &b| st.remaining(b).total_cmp(&st.remaining(a)).then(a.cmp(&b)));
         let mut chosen = None;
         for v in nodes {
             let had_replica = st.has_replica(d, v);

@@ -16,7 +16,7 @@
 
 use edgerep_lp::problem::{Cmp, LinearProgram, VarId};
 use edgerep_model::delay::assignment_delay;
-use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution};
+use edgerep_model::{ComputeNodeId, Instance, QueryId, Solution, FEASIBILITY_EPS};
 
 /// Mapping from ILP columns back to model entities.
 #[derive(Debug, Clone)]
@@ -61,7 +61,7 @@ pub fn build_ilp(inst: &Instance) -> IlpModel {
         for i in 0..query.demands.len() {
             let mut feasible = Vec::new();
             for v in inst.cloud().compute_ids() {
-                if assignment_delay(inst, q, i, v) <= query.deadline + 1e-12 {
+                if assignment_delay(inst, q, i, v) <= query.deadline + FEASIBILITY_EPS {
                     let var = lp.add_binary_var(&format!("pi_{}_{i}_{}", q.0, v.0), 0.0);
                     feasible.push((v, var));
                 }

@@ -76,11 +76,7 @@ fn attempt_query(st: &mut AdmissionState<'_>, q: QueryId, replicas_on: &mut [usi
         nodes.sort_by(|&a, &b| {
             replicas_on[b.index()]
                 .cmp(&replicas_on[a.index()])
-                .then_with(|| {
-                    st.remaining(b)
-                        .partial_cmp(&st.remaining(a))
-                        .expect("remaining capacity is finite")
-                })
+                .then_with(|| st.remaining(b).total_cmp(&st.remaining(a)))
                 .then(a.cmp(&b))
         });
         let mut chosen = None;

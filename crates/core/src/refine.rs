@@ -101,11 +101,7 @@ pub fn refine(inst: &Instance, sol: &Solution) -> Solution {
         let mut st = state_of(inst, &best);
         let mut rejected: Vec<QueryId> =
             inst.query_ids().filter(|&q| !best.is_admitted(q)).collect();
-        rejected.sort_by(|&a, &b| {
-            inst.demanded_volume(b)
-                .partial_cmp(&inst.demanded_volume(a))
-                .expect("volumes are finite")
-        });
+        rejected.sort_by(|&a, &b| inst.demanded_volume(b).total_cmp(&inst.demanded_volume(a)));
         for q in &rejected {
             if try_admit(&mut st, &engine, *q) {
                 improved = true;
@@ -127,11 +123,7 @@ pub fn refine(inst: &Instance, sol: &Solution) -> Solution {
                 .filter(|&v| inst.demanded_volume(v) < q_vol)
                 .collect();
             // Evict the smallest viable victim first.
-            victims.sort_by(|&a, &b| {
-                inst.demanded_volume(a)
-                    .partial_cmp(&inst.demanded_volume(b))
-                    .expect("volumes are finite")
-            });
+            victims.sort_by(|&a, &b| inst.demanded_volume(a).total_cmp(&inst.demanded_volume(b)));
             for victim in victims {
                 let mut candidate = best.clone();
                 candidate.unassign_query(victim);

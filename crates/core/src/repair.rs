@@ -26,7 +26,7 @@
 
 use edgerep_ec as ec;
 use edgerep_model::delay::assignment_delay;
-use edgerep_model::{ComputeNodeId, DatasetId, Instance, Solution};
+use edgerep_model::{ComputeNodeId, DatasetId, Instance, Solution, FEASIBILITY_EPS};
 
 use crate::admission::AdmissionState;
 
@@ -56,7 +56,7 @@ fn coverage(inst: &Instance, sol: &Solution, d: DatasetId, v: ComputeNodeId) -> 
             if dem.dataset != d {
                 continue;
             }
-            if assignment_delay(inst, q, idx, v) <= query.deadline + 1e-12 {
+            if assignment_delay(inst, q, idx, v) <= query.deadline + FEASIBILITY_EPS {
                 covered += 1;
             }
         }
@@ -101,8 +101,7 @@ pub fn pick_sources(
     holders.sort_by(|&a, &b| {
         cloud
             .min_delay(a, target)
-            .partial_cmp(&cloud.min_delay(b, target))
-            .expect("delays comparable")
+            .total_cmp(&cloud.min_delay(b, target))
             .then(a.0.cmp(&b.0))
     });
     let origin = inst.dataset(d).origin;
@@ -148,12 +147,7 @@ pub fn plan_replacements(
                 .map(|v| (v, coverage(inst, state.solution(), d, v)))
                 .max_by(|(va, ca), (vb, cb)| {
                     ca.cmp(cb)
-                        .then_with(|| {
-                            state
-                                .load_fraction(*vb)
-                                .partial_cmp(&state.load_fraction(*va))
-                                .expect("load fractions comparable")
-                        })
+                        .then_with(|| state.load_fraction(*vb).total_cmp(&state.load_fraction(*va)))
                         .then(vb.0.cmp(&va.0))
                 });
             let Some((target, _)) = candidate else { break };
@@ -250,7 +244,8 @@ pub fn surviving_volume(inst: &Instance, sol: &Solution, alive: &[bool]) -> f64 
                 continue;
             }
             let recoverable = sol.replicas_of(dem.dataset).iter().any(|&alt| {
-                alive[alt.index()] && assignment_delay(inst, q, idx, alt) <= query.deadline + 1e-12
+                alive[alt.index()]
+                    && assignment_delay(inst, q, idx, alt) <= query.deadline + FEASIBILITY_EPS
             });
             if !recoverable {
                 continue 'queries;

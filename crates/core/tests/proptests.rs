@@ -193,6 +193,78 @@ proptest! {
         }
     }
 
+    /// Solvers never panic on instances with *infinite* inter-node
+    /// delays. The graph builder rejects non-finite link weights, so the
+    /// reachable poison is `+inf` from disconnected node pairs
+    /// ([`edgerep_graph`]'s `delay_or_inf`): every comparator on the
+    /// solver paths is `f64::total_cmp` (which orders ±inf and NaN
+    /// totally, where `partial_cmp(..).unwrap()` would abort), and the
+    /// cached candidate matrix drops non-finite base delays at build
+    /// time. Outputs are not pinned here — an unreachable node is simply
+    /// unattractive — the property is "no panic, cache stays inert".
+    /// (NaN inertness of the cache filter is unit-tested in
+    /// `edgerep_model::cache`; no validated instance can carry one.)
+    #[test]
+    fn solvers_tolerate_disconnected_topologies(
+        seed in 0u64..10_000,
+        island_count in 1usize..3,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xbad);
+        let mut b = EdgeCloudBuilder::new();
+        let nodes: Vec<_> = (0..6)
+            .map(|i| {
+                if i == 0 {
+                    b.add_data_center(50.0, 0.002)
+                } else {
+                    b.add_cloudlet(8.0, rng.gen_range(0.005..0.05))
+                }
+            })
+            .collect();
+        // Chain the mainland; leave the last `island_count` nodes fully
+        // unlinked, so every (mainland, island) delay is +inf.
+        let mainland = nodes.len() - island_count;
+        for w in 0..mainland - 1 {
+            b.link(nodes[w], nodes[w + 1], rng.gen_range(0.01..0.5));
+        }
+        let cloud = b.build().expect("disconnected cloud still builds");
+        let mut ib = InstanceBuilder::new(cloud, 2);
+        for _ in 0..3 {
+            ib.add_dataset(rng.gen_range(0.5..4.0), nodes[0]);
+        }
+        for _ in 0..6 {
+            ib.add_query(
+                nodes[rng.gen_range(0..nodes.len())],
+                vec![Demand::new(DatasetId(rng.gen_range(0..3)), rng.gen_range(0.1..1.0))],
+                rng.gen_range(0.75..1.25),
+                rng.gen_range(0.05..2.0),
+            );
+        }
+        let inst = ib.build().expect("poisoned instance still builds");
+        // The cached matrix must exclude any candidate with a poisoned
+        // base delay (NaN fails ≤, +inf exceeds every finite deadline).
+        for q in inst.query_ids() {
+            for idx in 0..inst.query(q).demands.len() {
+                for (_, d) in inst.solver_cache().candidates(q, idx) {
+                    prop_assert!(d.is_finite(), "cached candidate with delay {d}");
+                }
+            }
+        }
+        let report = Appro::default().run(&inst);
+        let _ = report.solution.validate(&inst);
+        let naive = Appro::default().run_naive(&inst);
+        let _ = naive.solution.validate(&inst);
+        for alg in [
+            Box::new(edgerep_core::appro::ApproG::default()) as Box<dyn PlacementAlgorithm>,
+            Box::new(Greedy::general()),
+            Box::new(GraphPartition::general()),
+            Box::new(Popularity::general()),
+            Box::new(Centroid),
+            Box::new(OnlineAppro::default()),
+        ] {
+            let _ = alg.solve(&inst); // must not panic
+        }
+    }
+
     /// Zero-availability nodes never receive assignments.
     #[test]
     fn saturated_nodes_serve_nothing(seed in 0u64..10_000) {

@@ -79,8 +79,7 @@ pub fn plan_read(
     let mut ranked: Vec<ShardSource> = live_others.to_vec();
     ranked.sort_by(|a, b| {
         a.delay_s_per_gb
-            .partial_cmp(&b.delay_s_per_gb)
-            .expect("shard source delays comparable")
+            .total_cmp(&b.delay_s_per_gb)
             .then(a.node.cmp(&b.node))
     });
     ranked.truncate(need);

@@ -14,8 +14,10 @@ use crate::graph::{Graph, NodeId};
 
 /// A (delay, node) heap entry ordered as a min-heap over the delay.
 ///
-/// Delays are finite non-negative `f64` by the [`Graph`] construction
-/// invariant, so the total order below never observes NaN.
+/// Ordered with [`f64::total_cmp`] so NaN link delays (possible when a
+/// caller injects poisoned edge weights) degrade into a deterministic
+/// ordering instead of a mid-solve panic; NaN tentative distances never
+/// relax a neighbour, so they stay inert.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct HeapEntry {
     delay: f64,
@@ -30,8 +32,7 @@ impl Ord for HeapEntry {
         // tie-break on node id for determinism.
         other
             .delay
-            .partial_cmp(&self.delay)
-            .expect("delays are never NaN")
+            .total_cmp(&self.delay)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

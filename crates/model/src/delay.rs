@@ -22,6 +22,7 @@ use crate::data::DatasetId;
 use crate::instance::Instance;
 use crate::network::ComputeNodeId;
 use crate::query::QueryId;
+use crate::solution::FEASIBILITY_EPS;
 
 /// Delay of serving demand index `demand_idx` of query `q` at node `v`.
 ///
@@ -63,7 +64,7 @@ pub fn read_overhead(inst: &Instance, d: DatasetId, v: ComputeNodeId, holders: &
     if gather.len() < need {
         return f64::INFINITY;
     }
-    gather.sort_by(|a, b| a.partial_cmp(b).expect("delays comparable"));
+    gather.sort_by(f64::total_cmp);
     let shard = inst.shard_gb(d);
     let slowest = gather[need - 1]; // need ≥ 1 because k ≥ 2
     slowest * shard + inst.decode_s_per_gb() * inst.size(d)
@@ -94,7 +95,7 @@ pub fn is_deadline_feasible(
     demand_idx: usize,
     v: ComputeNodeId,
 ) -> bool {
-    assignment_delay(inst, q, demand_idx, v) <= inst.query(q).deadline + 1e-12
+    assignment_delay(inst, q, demand_idx, v) <= inst.query(q).deadline + FEASIBILITY_EPS
 }
 
 /// End-to-end delay of a fully assigned query: the max over its demands

@@ -6,8 +6,11 @@
 //! `&Instance`, which guarantees it never sees a dangling dataset id, a
 //! non-positive size, or a selectivity outside `(0, 1]`.
 
+use std::sync::OnceLock;
+
 use edgerep_ec::{RedundancyScheme, SchemeError};
 
+use crate::cache::SolverCache;
 use crate::data::{Dataset, DatasetId};
 use crate::network::{ComputeNodeId, EdgeCloud};
 use crate::query::{Demand, Query, QueryId};
@@ -101,12 +104,24 @@ pub struct Instance {
     schemes: Vec<RedundancyScheme>,
     decode_s_per_gb: f64,
     encode_s_per_gb: f64,
+    /// Lazily-built per-(query, demand) deadline-feasible candidate
+    /// matrix (see [`crate::cache`]). An `Instance` is immutable after
+    /// `build()`, so the cache can never go stale; a topology change
+    /// means a new `Instance` and thus a fresh (empty) cell.
+    solver_cache: OnceLock<SolverCache>,
 }
 
 impl Instance {
     /// The edge cloud.
     pub fn cloud(&self) -> &EdgeCloud {
         &self.cloud
+    }
+
+    /// The deadline-feasible candidate matrix, built on first access and
+    /// reused for the instance's lifetime (clones carry the built cache
+    /// along).
+    pub fn solver_cache(&self) -> &SolverCache {
+        self.solver_cache.get_or_init(|| SolverCache::build(self))
     }
 
     /// The dataset collection `S`, indexed by [`DatasetId`].
@@ -364,6 +379,7 @@ impl InstanceBuilder {
             schemes,
             decode_s_per_gb: self.decode_s_per_gb,
             encode_s_per_gb: self.encode_s_per_gb,
+            solver_cache: OnceLock::new(),
         })
     }
 }

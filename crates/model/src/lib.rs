@@ -45,6 +45,7 @@
 //! assert_eq!(instance.queries().len(), 1);
 //! ```
 
+pub mod cache;
 pub mod data;
 pub mod delay;
 pub mod instance;
@@ -54,17 +55,19 @@ pub mod query;
 pub mod solution;
 pub mod spec;
 
+pub use cache::SolverCache;
 pub use data::{Dataset, DatasetId};
 pub use edgerep_ec::RedundancyScheme;
 pub use instance::{Instance, InstanceBuilder, InstanceError};
 pub use metrics::Metrics;
 pub use network::{ComputeNodeId, EdgeCloud, EdgeCloudBuilder, NetworkError, NodeKind};
 pub use query::{Demand, Query, QueryId};
-pub use solution::{Solution, SolutionError};
+pub use solution::{Solution, SolutionError, FEASIBILITY_EPS};
 pub use spec::InstanceSpec;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::cache::SolverCache;
     pub use crate::data::{Dataset, DatasetId};
     pub use crate::delay::{
         assignment_delay, assignment_delay_with_holders, is_deadline_feasible, query_delay,
@@ -75,5 +78,5 @@ pub mod prelude {
     pub use crate::metrics::Metrics;
     pub use crate::network::{ComputeNodeId, EdgeCloud, EdgeCloudBuilder, NetworkError, NodeKind};
     pub use crate::query::{Demand, Query, QueryId};
-    pub use crate::solution::{Solution, SolutionError};
+    pub use crate::solution::{Solution, SolutionError, FEASIBILITY_EPS};
 }

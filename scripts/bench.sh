@@ -54,5 +54,5 @@ if [ -n "$prev" ]; then
     echo "== regression gate: $prev -> $out =="
     "$bench" diff "${threshold[@]}" "$prev" "$out"
 else
-    echo "(no previous BENCH file: $out is the trajectory baseline)"
+    echo "(empty BENCH trajectory — no baseline, gate skipped; $out is the new baseline)"
 fi

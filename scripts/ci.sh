@@ -36,6 +36,16 @@ cargo test -q
 echo "== determinism: flattened schedule == sequential baseline =="
 cargo test -q -p edgerep-exp --test integration_determinism
 
+# The solver hot path (cached candidate matrix, batched dual prices) and
+# the rolling incremental-replan fast path must stay byte-identical to
+# their naive reference paths: run the equivalence pins by name so a
+# filtered run can never silently skip them.
+echo "== equivalence: cached hot path == naive reference =="
+cargo test -q -p edgerep-core --lib appro::tests::cached_scan
+cargo test -q -p edgerep-core --test proptests solvers_tolerate_disconnected_topologies
+cargo test -q -p edgerep-testbed --lib rolling::tests::replan_skips_on_empty_diff_and_reuses_layout_verbatim
+cargo test -q -p edgerep-testbed --lib rolling::tests::cached_world_stamps_identical_instances
+
 # Smoke the traced figure regeneration: every line must be JSON and the
 # file must end in the registry-dump completion marker.
 echo "== repro --trace smoke =="
@@ -113,6 +123,12 @@ for e in doc["entries"]:
         assert key in e, (e, key)
 EOF
 fi
+# The two hot-path microbenches must stay in the suite under their stable
+# names — the BENCH_<n>.json trajectory keys on them.
+for name in appro.candidate_scan rolling.incremental_replan; do
+    grep -q "\"name\": \"$name\"" "$trace_tmp/BENCH_smoke.json" \
+        || { echo "bench smoke output is missing $name" >&2; exit 1; }
+done
 cargo run -q -p edgerep-bench --release --bin bench -- diff --report-only \
     "$trace_tmp/BENCH_smoke.json" "$trace_tmp/BENCH_smoke.json" > /dev/null
 

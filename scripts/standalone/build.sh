@@ -1,0 +1,196 @@
+#!/bin/bash
+# Standalone full-crate verification harness (v3).
+#
+# Compiles every workspace crate and its unit-test binary with plain
+# `rustc` — no cargo, no registry access — for machines without a crates.io
+# mirror. Real dependencies are replaced:
+#
+#   * serde derives are stripped textually (`strip_serde`);
+#   * `rand` is a committed xorshift stub (stubs/rand.rs) — deterministic
+#     but NOT bit-compatible with the real crate, so tests asserting exact
+#     generator streams must gate themselves on EDGEREP_STUB_HARNESS;
+#   * `serde_json` is a committed `unimplemented!()` stub
+#     (stubs/serde_json.rs) — serde round-trip tests gate likewise.
+#
+# Usage:
+#   REPO=/path/to/repo WORK=/tmp/edgerep-standalone scripts/standalone/build.sh
+#   scripts/standalone/run.sh        # builds, then runs every *_tests binary
+#
+# The run script exports EDGEREP_STUB_HARNESS=1, which the gated tests
+# check via std::env::var_os to early-return under the stubs. A real
+# `cargo test` run never sets it, so the full suite still covers them.
+set -e
+STUBS="$(cd "$(dirname "$0")/stubs" && pwd)"
+R=${REPO:-$(cd "$(dirname "$0")/../.." && pwd)}/crates
+WORK=${WORK:-/tmp/edgerep-standalone}
+mkdir -p "$WORK"
+cd "$WORK"
+
+strip_serde() { # $1 src dir, $2 dst dir
+  mkdir -p "$2"
+  for f in "$1"/*.rs; do
+    sed -e '/^use serde::/d' \
+        -e 's/Serialize, Deserialize, //' \
+        -e 's/, Serialize, Deserialize//' \
+        -e '/^[[:space:]]*#\[serde(/d' \
+        "$f" > "$2/$(basename "$f")"
+  done
+}
+
+rustc --edition 2021 -O --crate-type lib --crate-name rand "$STUBS/rand.rs" -o librand.rlib
+rustc --edition 2021 -O --crate-type lib --crate-name serde_json "$STUBS/serde_json.rs" -o libserde_json.rlib
+
+strip_serde $R/obs/src obs
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_obs obs/lib.rs -o libedgerep_obs.rlib
+
+strip_serde $R/ec/src ec
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_ec ec/lib.rs \
+  -L . --extern edgerep_obs=libedgerep_obs.rlib -o libedgerep_ec.rlib
+rustc --edition 2021 -O --test --crate-name edgerep_ec ec/lib.rs \
+  -L . --extern edgerep_obs=libedgerep_obs.rlib -o ec_tests
+echo EC_BUILD_OK
+
+strip_serde $R/graph/src graph
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_graph graph/lib.rs \
+  -L . --extern rand=librand.rlib -o libedgerep_graph.rlib
+
+strip_serde $R/model/src model
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_model model/lib.rs \
+  -L . --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_ec=libedgerep_ec.rlib -o libedgerep_model.rlib
+rustc --edition 2021 -O --test --crate-name edgerep_model model/lib.rs \
+  -L . --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_ec=libedgerep_ec.rlib \
+  --extern serde_json=libserde_json.rlib \
+  --extern rand=librand.rlib -o model_tests
+echo MODEL_BUILD_OK
+
+strip_serde $R/lp/src lp
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_lp lp/lib.rs -o libedgerep_lp.rlib
+
+strip_serde $R/forecast/src forecast
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_forecast forecast/lib.rs \
+  -L . --extern edgerep_obs=libedgerep_obs.rlib -o libedgerep_forecast.rlib
+
+strip_serde $R/core/src core
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_core core/lib.rs \
+  -L . --extern edgerep_ec=libedgerep_ec.rlib \
+  --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_lp=libedgerep_lp.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib -o libedgerep_core.rlib
+
+strip_serde $R/workload/src workload
+# The stub rand cannot back-propagate the range item type from the
+# surrounding multiplication; pin the literal (no semantic change).
+sed -i 's/2_000\.\.200_000/2_000u64..200_000u64/' workload/mobile_trace.rs
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_workload workload/lib.rs \
+  -L . --extern rand=librand.rlib \
+  --extern edgerep_forecast=libedgerep_forecast.rlib \
+  --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib -o libedgerep_workload.rlib
+
+rustc --edition 2021 -O --test --crate-name edgerep_core core/lib.rs \
+  -L . --extern edgerep_ec=libedgerep_ec.rlib \
+  --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_lp=libedgerep_lp.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern rand=librand.rlib -o core_tests
+echo CORE_BUILD_OK
+
+strip_serde $R/testbed/src testbed
+# Pin literal range types the stub rand cannot infer from field context.
+sed -i 's/k: rng.gen_range(3\.\.10)/k: rng.gen_range(3usize..10)/;
+        s/app: rng.gen_range(0\.\.20)/app: rng.gen_range(0u32..20)/;
+        s/user: rng.gen_range(0\.\.100)/user: rng.gen_range(0u32..100)/' testbed/analytics.rs
+rustc --edition 2021 -O --test --crate-name edgerep_testbed testbed/lib.rs \
+  -L . --extern rand=librand.rlib \
+  --extern edgerep_ec=libedgerep_ec.rlib \
+  --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern edgerep_core=libedgerep_core.rlib \
+  --extern edgerep_forecast=libedgerep_forecast.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib -o testbed_tests
+echo TESTBED_BUILD_OK
+
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_testbed testbed/lib.rs \
+  -L . --extern rand=librand.rlib \
+  --extern edgerep_ec=libedgerep_ec.rlib \
+  --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern edgerep_core=libedgerep_core.rlib \
+  --extern edgerep_forecast=libedgerep_forecast.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib -o libedgerep_testbed_lib.rlib
+
+strip_serde $R/exp/src exp
+strip_serde $R/exp/src/bin exp/bin
+rustc --edition 2021 -O --test --crate-name edgerep_exp exp/lib.rs \
+  -L . --extern rand=librand.rlib \
+  --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern edgerep_core=libedgerep_core.rlib \
+  --extern edgerep_forecast=libedgerep_forecast.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib \
+  --extern edgerep_lp=libedgerep_lp.rlib \
+  --extern edgerep_testbed=libedgerep_testbed_lib.rlib -o exp_tests
+echo EXP_BUILD_OK
+
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_exp exp/lib.rs \
+  -L . --extern rand=librand.rlib \
+  --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern edgerep_core=libedgerep_core.rlib \
+  --extern edgerep_forecast=libedgerep_forecast.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib \
+  --extern edgerep_lp=libedgerep_lp.rlib \
+  --extern edgerep_testbed=libedgerep_testbed_lib.rlib -o libedgerep_exp.rlib
+
+# repro: unit tests (usage drift guards) + runnable binary for smokes.
+rustc --edition 2021 -O --test --crate-name repro exp/bin/repro.rs \
+  -L . --extern edgerep_exp=libedgerep_exp.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern edgerep_testbed=libedgerep_testbed_lib.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib \
+  --extern serde_json=libserde_json.rlib -o repro_tests
+rustc --edition 2021 -O --crate-name repro exp/bin/repro.rs \
+  -L . --extern edgerep_exp=libedgerep_exp.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern edgerep_testbed=libedgerep_testbed_lib.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib \
+  --extern serde_json=libserde_json.rlib -o repro_bin
+echo REPRO_BUILD_OK
+
+# edgerep CLI: type-check only (json!/to_string_pretty are stubbed).
+rustc --edition 2021 -O --test --crate-name edgerep exp/bin/edgerep.rs \
+  -L . --extern edgerep_exp=libedgerep_exp.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_core=libedgerep_core.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern edgerep_testbed=libedgerep_testbed_lib.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib \
+  --extern serde_json=libserde_json.rlib -o edgerep_tests
+echo EDGEREP_BUILD_OK
+
+strip_serde $R/bench/src bench_src
+strip_serde $R/bench/src/bin bench_src/bin
+rustc --edition 2021 -O --test --crate-name edgerep_bench bench_src/lib.rs \
+  -L . --extern rand=librand.rlib \
+  --extern edgerep_ec=libedgerep_ec.rlib \
+  --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib \
+  --extern edgerep_core=libedgerep_core.rlib \
+  --extern edgerep_forecast=libedgerep_forecast.rlib \
+  --extern edgerep_testbed=libedgerep_testbed_lib.rlib \
+  --extern edgerep_exp=libedgerep_exp.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib -o bench_tests
+echo BENCH_BUILD_OK
+echo BUILD_ALL_OK

@@ -1,0 +1,25 @@
+#!/bin/bash
+# Builds (scripts/standalone/build.sh) and runs every crate's unit-test
+# binary under the stub harness. EDGEREP_STUB_HARNESS=1 tells the handful
+# of tests that depend on real `rand` streams or real `serde_json` to
+# early-return — everything else runs for real.
+#
+#   scripts/standalone/run.sh                  # build + run all suites
+#   WORK=/elsewhere scripts/standalone/run.sh  # custom scratch dir
+set -e
+here="$(cd "$(dirname "$0")" && pwd)"
+WORK=${WORK:-/tmp/edgerep-standalone}
+export WORK
+bash "$here/build.sh"
+
+cd "$WORK"
+export EDGEREP_STUB_HARNESS=1
+fail=0
+for t in ec model core testbed exp repro edgerep bench; do
+    echo "== ${t}_tests =="
+    "./${t}_tests" || fail=1
+done
+[ "$fail" -eq 0 ] && echo "standalone: all suites passed" || {
+    echo "standalone: FAILURES above" >&2
+    exit 1
+}

@@ -1,0 +1,81 @@
+pub mod rngs {
+    pub struct SmallRng(pub u64);
+}
+pub trait SeedableRng {
+    fn seed_from_u64(s: u64) -> Self;
+}
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(s: u64) -> Self {
+        Self(s ^ 0x9E3779B97F4A7C15)
+    }
+}
+pub trait Sample {
+    fn sample(raw: u64) -> Self;
+}
+impl Sample for f64 {
+    fn sample(raw: u64) -> f64 {
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+pub trait RangeSample {
+    type Out;
+    fn pick(self, raw: u64) -> Self::Out;
+}
+impl RangeSample for std::ops::Range<usize> {
+    type Out = usize;
+    fn pick(self, raw: u64) -> usize {
+        self.start + (raw as usize) % (self.end - self.start)
+    }
+}
+impl RangeSample for std::ops::RangeInclusive<usize> {
+    type Out = usize;
+    fn pick(self, raw: u64) -> usize {
+        self.start() + (raw as usize) % (self.end() - self.start() + 1)
+    }
+}
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+    fn gen_range<R: RangeSample>(&mut self, r: R) -> R::Out {
+        r.pick(self.next_u64())
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Sample>::sample(self.next_u64()) < p
+    }
+}
+impl Rng for rngs::SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl RangeSample for std::ops::Range<f64> {
+    type Out = f64;
+    fn pick(self, raw: u64) -> f64 {
+        self.start + <f64 as Sample>::sample(raw) * (self.end - self.start)
+    }
+}
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl RangeSample for std::ops::Range<$t> {
+            type Out = $t;
+            fn pick(self, raw: u64) -> $t {
+                self.start + ((raw % (self.end - self.start) as u64) as $t)
+            }
+        }
+        impl RangeSample for std::ops::RangeInclusive<$t> {
+            type Out = $t;
+            fn pick(self, raw: u64) -> $t {
+                self.start() + ((raw % (self.end() - self.start() + 1) as u64) as $t)
+            }
+        }
+    )*};
+}
+int_range!(u64, u32, i32, i64);
