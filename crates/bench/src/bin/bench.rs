@@ -158,7 +158,9 @@ fn main() -> ExitCode {
         "run" => cmd_run(args),
         "diff" => cmd_diff(args),
         "list" => {
-            for (name, kind) in BENCH_NAMES {
+            let mut entries = BENCH_NAMES;
+            entries.sort_unstable_by_key(|(name, _)| *name);
+            for (name, kind) in entries {
                 println!("{name} ({kind})");
             }
             ExitCode::SUCCESS

@@ -21,7 +21,7 @@ use crate::representative_instance;
 
 /// Every suite entry as `(name, kind)`, run order. Kinds: `"micro"` or
 /// `"e2e"`.
-pub const BENCH_NAMES: [(&str, &str); 12] = [
+pub const BENCH_NAMES: [(&str, &str); 13] = [
     ("appro.dual_update_special", "micro"),
     ("appro.dual_update_general", "micro"),
     ("appro.candidate_scan", "micro"),
@@ -32,6 +32,7 @@ pub const BENCH_NAMES: [(&str, &str); 12] = [
     ("transfer.rarest_first", "micro"),
     ("ec.encode_plan", "micro"),
     ("ec.degraded_read", "micro"),
+    ("shard.partition_solve", "micro"),
     ("figure.fig2", "e2e"),
     ("figure.fig8", "e2e"),
 ];
@@ -287,6 +288,23 @@ pub fn run_suite(
                     }
                 })
             }
+            "shard.partition_solve" => {
+                // Region extraction plus a four-way sharded ApproG solve
+                // with boundary reconciliation — the ext-shard cell body.
+                use edgerep_core::appro::ApproG;
+                use edgerep_shard::{ShardConfig, ShardedSolver};
+                let inst = representative_instance(60, 3, 3);
+                let solver = ShardedSolver::new(
+                    ApproG::default(),
+                    ShardConfig {
+                        regions: 4,
+                        reconcile: true,
+                    },
+                );
+                run_bench(name, kind, effort, || {
+                    black_box(solver.solve_sharded(black_box(&inst)));
+                })
+            }
             "figure.fig2" => run_bench(name, kind, effort, || {
                 black_box(edgerep_exp::figures::fig2(1));
             }),
@@ -315,6 +333,19 @@ mod tests {
         let e2e = BENCH_NAMES.iter().filter(|(_, k)| *k == "e2e").count();
         assert!(micro >= 5, "need ≥5 microbenches, have {micro}");
         assert!(e2e >= 2, "need ≥2 e2e figure timings, have {e2e}");
+    }
+
+    #[test]
+    fn suite_membership_is_pinned() {
+        // Drift guard: adding or removing an entry must be a conscious
+        // decision — it changes what `BENCH_<n>.json` tracks over time.
+        assert_eq!(BENCH_NAMES.len(), 13, "bench suite size drifted");
+        assert!(
+            BENCH_NAMES
+                .iter()
+                .any(|(n, k)| *n == "shard.partition_solve" && *k == "micro"),
+            "shard.partition_solve missing from the suite"
+        );
     }
 
     #[test]

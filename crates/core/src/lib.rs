@@ -72,6 +72,19 @@ pub trait PlacementAlgorithm {
 /// algorithm panels per figure.
 pub type BoxedAlgorithm = Box<dyn PlacementAlgorithm + Send + Sync>;
 
+/// A boxed algorithm is itself an algorithm, so wrappers generic over
+/// `A: PlacementAlgorithm` (e.g. the sharded regional solver) accept the
+/// harness's panel entries without unboxing.
+impl PlacementAlgorithm for BoxedAlgorithm {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn solve(&self, inst: &Instance) -> Solution {
+        (**self).solve(inst)
+    }
+}
+
 /// The standard simulation panel of the paper's figures:
 /// Appro vs Greedy vs Graph, in the figure's display order.
 pub fn simulation_panel() -> Vec<BoxedAlgorithm> {

@@ -33,6 +33,7 @@ use edgerep_core::{
 use edgerep_model::spec::InstanceSpec;
 use edgerep_model::{Instance, Metrics};
 use edgerep_obs as obs;
+use edgerep_shard::{ShardConfig, ShardedSolver};
 use edgerep_testbed::analytics::AnalyticsKind;
 use edgerep_testbed::geo::Region;
 use edgerep_testbed::{
@@ -41,13 +42,18 @@ use edgerep_testbed::{
 use edgerep_workload::{generate_instance, WorkloadParams};
 
 const USAGE: &str = "usage:
-  edgerep gen [--seed N] [--network-size N] [--f F] [--k K] [--queries LO HI] -o FILE
+  edgerep gen [--seed N] [--network-size N] [--f F] [--k K] [--queries LO HI]
+              [--scale N] -o FILE
   edgerep inspect -i FILE
-  edgerep solve -i FILE --alg NAME [--metrics-json] [--trace FILE] [--stats]
-                [--profile FILE] [--fault-plan FILE]
+  edgerep solve -i FILE --alg NAME [--shards R] [--metrics-json] [--trace FILE]
+                [--stats] [--profile FILE] [--fault-plan FILE]
                 [--transfer p2p|chunked] [--chunk-gb G]
     NAME: appro-g | appro-s | greedy-g | graph-g | popularity-g | centroid |
           online | optimal | all
+    --scale N     multiply the generated workload volume (query and dataset
+                  count bounds) by N; the topology size is unchanged
+    --shards R    partition the topology into R regions, solve shards in
+                  parallel and reconcile the boundary (R <= 1 = global solve)
     --trace FILE  enable all observability targets and write NDJSON trace
                   events (span timings, admission summaries) to FILE
     --stats       print the metrics-registry summary table per algorithm
@@ -95,6 +101,13 @@ fn cmd_gen(args: &[String]) {
     }
     if let Some(k) = opt_value(args, "--k") {
         params = params.with_max_replicas(parse_or_die(k, "--k"));
+    }
+    if let Some(s) = opt_value(args, "--scale") {
+        let scale: usize = parse_or_die(s, "--scale");
+        if scale == 0 {
+            die("--scale needs a positive integer");
+        }
+        params = params.with_scale(scale);
     }
     if let Some(i) = args.iter().position(|a| a == "--queries") {
         let lo = args.get(i + 1).map(|s| parse_or_die(s, "--queries lo"));
@@ -238,6 +251,10 @@ fn testbed_world_for(inst: &Instance) -> TestbedWorld {
 fn cmd_solve(args: &[String]) {
     let inst = load_instance(args);
     let alg = opt_value(args, "--alg").unwrap_or("appro-g");
+    let shards: usize = opt_value(args, "--shards").map_or(1, |s| parse_or_die(s, "--shards"));
+    if shards == 0 {
+        die("--shards needs a positive integer");
+    }
     let transfer = parse_transfer(args);
     let fault_plan = if args.iter().any(|a| a == "--fault-plan") {
         let path =
@@ -278,7 +295,25 @@ fn cmd_solve(args: &[String]) {
     }
     let single = inst.queries().iter().all(|q| q.demands.len() == 1);
     let world = transfer.map(|_| testbed_world_for(&inst));
-    for algorithm in panel_for(alg, single) {
+    let mut panel = panel_for(alg, single);
+    if shards > 1 {
+        // Wrap every panel entry in the sharded regional solver: the
+        // boxed algorithm is itself a PlacementAlgorithm, so the wrapper
+        // composes without unboxing.
+        panel = panel
+            .into_iter()
+            .map(|inner| -> BoxedAlgorithm {
+                Box::new(ShardedSolver::new(
+                    inner,
+                    ShardConfig {
+                        regions: shards,
+                        reconcile: true,
+                    },
+                ))
+            })
+            .collect();
+    }
+    for algorithm in panel {
         // Each algorithm starts from a clean registry so its --stats table
         // and registry dump reflect this run alone.
         obs::reset_registry();

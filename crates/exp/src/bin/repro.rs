@@ -208,6 +208,7 @@ fn main() {
                     extensions::ext_ec(seeds)
                 }
             }
+            "ext-shard" => extensions::ext_shard(seeds),
             "ext-availability" => match (&fault_plan, storm) {
                 (Some(_), true) => die("--storm and --fault-plan are mutually exclusive"),
                 (Some(plan), false) => extensions::ext_availability_with_plan(seeds, plan),

@@ -25,10 +25,12 @@ use edgerep_testbed::{
     TestbedConfig, TransferModel,
 };
 use edgerep_model::RedundancyScheme;
+use edgerep_shard::{ShardConfig, ShardedSolver};
 use edgerep_workload::params::TopologyModel;
 use edgerep_workload::{generate_instance, WorkloadParams};
 
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use crate::figures::{FigureData, FigureRow};
 use crate::parallel::par_map;
@@ -36,7 +38,7 @@ use crate::runner::{run_grid, AlgResult};
 use crate::stats::Summary;
 
 /// Every extension figure id — the `repro ext` set.
-pub const EXT_IDS: [&str; 9] = [
+pub const EXT_IDS: [&str; 10] = [
     "ext-online",
     "ext-netbenefit",
     "ext-refine",
@@ -46,6 +48,7 @@ pub const EXT_IDS: [&str; 9] = [
     "ext-availability",
     "ext-forecast",
     "ext-ec",
+    "ext-shard",
 ];
 
 /// Consistency-cost weights γ reported by [`ext_net_benefit`].
@@ -983,6 +986,107 @@ pub fn ext_forecast(seeds: usize) -> FigureData {
     }
 }
 
+/// Region counts swept by [`ext_shard`].
+pub const SHARD_REGIONS: [usize; 4] = [1, 2, 4, 8];
+
+/// Sharded-solver scaling study: solve wall-clock and net-benefit gap vs
+/// the number of regions R on a scaled-up generator world.
+///
+/// Per row (R), two packed series:
+/// * `"sharded Appro-G"` — admitted volume in the volume panel, solve
+///   time in **milliseconds** in the throughput panel;
+/// * `"vs global (gap % | speedup x)"` — the net-benefit gap
+///   `100 · (global − sharded) / global` admitted volume in the volume
+///   panel, wall-clock speedup `t_global / t_sharded` in the throughput
+///   panel.
+///
+/// The R = 1 row *is* the global `Appro-G` baseline (the sharded wrapper
+/// delegates verbatim), so its gap is exactly 0 and its speedup exactly 1.
+///
+/// Unlike every other figure this one runs its cells **sequentially**:
+/// the quantity under measurement is wall-clock solve time, and the R-way
+/// parallelism under test comes from the sharded solver's own `par_map`
+/// over shards — a `run_grid` fan-out would both defeat it (nested
+/// `par_map` falls back to sequential) and corrupt the timings through
+/// CPU contention.
+pub fn ext_shard(seeds: usize) -> FigureData {
+    assert!(seeds >= 1);
+    // Scaled world: hundreds of queries per instance on a 64-node metro —
+    // large enough that the solver's quadratic term dominates and sharding
+    // pays, small enough for a --quick CI smoke.
+    let params = WorkloadParams::default().with_network_size(64).with_scale(8);
+    let instances: Vec<_> = (0..seeds)
+        .map(|s| generate_instance(&params, s as u64))
+        .collect();
+    // Global (R = 1) baseline per seed: admitted volume + solve seconds.
+    let globals: Vec<(f64, f64)> = instances
+        .iter()
+        .map(|inst| {
+            let t0 = Instant::now();
+            let sol = ApproG::default().solve(inst);
+            (sol.admitted_volume(inst), t0.elapsed().as_secs_f64())
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for &regions in &SHARD_REGIONS {
+        let mut volumes = Vec::with_capacity(seeds);
+        let mut solve_ms = Vec::with_capacity(seeds);
+        let mut gaps = Vec::with_capacity(seeds);
+        let mut speedups = Vec::with_capacity(seeds);
+        for (inst, &(global_volume, global_secs)) in instances.iter().zip(&globals) {
+            let (volume, secs) = if regions <= 1 {
+                (global_volume, global_secs)
+            } else {
+                let solver = ShardedSolver::new(
+                    ApproG::default(),
+                    ShardConfig {
+                        regions,
+                        reconcile: true,
+                    },
+                );
+                let t0 = Instant::now();
+                let sol = solver.solve(inst);
+                let secs = t0.elapsed().as_secs_f64();
+                sol.validate(inst)
+                    .expect("reconciled sharded solutions stay feasibility-clean");
+                (sol.admitted_volume(inst), secs)
+            };
+            volumes.push(volume);
+            solve_ms.push(secs * 1e3);
+            gaps.push(if global_volume > 0.0 {
+                (global_volume - volume) / global_volume * 100.0
+            } else {
+                0.0
+            });
+            speedups.push(if secs > 0.0 { global_secs / secs } else { 1.0 });
+        }
+        rows.push(FigureRow {
+            x: regions as f64,
+            results: vec![
+                AlgResult {
+                    name: "sharded Appro-G".into(),
+                    volume: Summary::of(&volumes),
+                    throughput: Summary::of(&solve_ms),
+                },
+                AlgResult {
+                    name: "vs global (gap % | speedup x)".into(),
+                    volume: Summary::of(&gaps),
+                    throughput: Summary::of(&speedups),
+                },
+            ],
+        });
+    }
+    FigureData {
+        id: "ext-shard".into(),
+        title: "Sharded regional solve: wall-clock and net-benefit gap vs R \
+                (panel (a): admitted GB / gap %; panel (b): solve ms / speedup x)"
+            .into(),
+        x_label: "regions R".into(),
+        rows,
+        timeseries: None,
+    }
+}
+
 #[derive(Clone, Copy)]
 struct EpochSample {
     volume: f64,
@@ -1332,8 +1436,36 @@ mod tests {
 
     #[test]
     fn ec_extension_is_registered() {
-        assert_eq!(EXT_IDS.len(), 9, "the ext set is nine figures");
+        assert_eq!(EXT_IDS.len(), 10, "the ext set is ten figures");
         assert!(EXT_IDS.contains(&"ext-ec"));
+    }
+
+    #[test]
+    fn shard_extension_is_registered() {
+        assert!(EXT_IDS.contains(&"ext-shard"));
+        assert_eq!(SHARD_REGIONS, [1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn shard_rows_are_coherent() {
+        let fig = ext_shard(1);
+        assert_eq!(fig.rows.len(), SHARD_REGIONS.len());
+        for (row, &r) in fig.rows.iter().zip(&SHARD_REGIONS) {
+            assert_eq!(row.x, r as f64);
+            assert_eq!(row.results.len(), 2);
+            let sharded = &row.results[0];
+            let gap = &row.results[1];
+            assert!(sharded.volume.mean > 0.0, "R={r}: nothing admitted");
+            assert!(sharded.throughput.mean > 0.0, "R={r}: zero solve time");
+            assert!(
+                gap.volume.mean <= 100.0 + 1e-9,
+                "R={r}: gap above 100%"
+            );
+        }
+        // The R = 1 row is the global baseline itself: gap exactly 0,
+        // speedup exactly 1.
+        assert_eq!(fig.rows[0].results[1].volume.mean, 0.0);
+        assert_eq!(fig.rows[0].results[1].throughput.mean, 1.0);
     }
 
     #[test]

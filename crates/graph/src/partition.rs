@@ -123,17 +123,36 @@ fn kl_bisect(g: &Graph, members: &[NodeId]) -> Vec<bool> {
     side
 }
 
-/// Partitions the graph's nodes into `k` balanced parts by recursive
-/// Kernighan–Lin bisection; returns a part label in `0..k` per node.
+/// Partitions the graph's nodes into at most `k` balanced parts by
+/// recursive Kernighan–Lin bisection; returns a part label per node.
 ///
-/// `k` must be ≥ 1; `k = 1` labels everything `0`. `k` larger than the node
-/// count degenerates gracefully (trailing parts stay empty).
+/// `k` must be ≥ 1; `k = 1` labels everything `0`. The labeling is always
+/// a *valid covering partition*: labels are dense in `0..r` for some
+/// `r ≤ min(k, node count)` and every label in that range owns at least
+/// one node. Degenerate inputs — `k` larger than the node count, or a
+/// bisection handing an empty side to a subtree that was promised several
+/// parts — would leave label gaps in the raw recursion, so the result is
+/// compacted (first-seen order, deterministic) before it is returned.
 pub fn partition_kway(g: &Graph, k: usize) -> Vec<usize> {
     assert!(k >= 1, "k must be at least 1");
     let mut labels = vec![0usize; g.node_count()];
     let all: Vec<NodeId> = g.nodes().collect();
     recurse(g, &all, k, 0, &mut labels);
+    compact_labels(&mut labels);
     labels
+}
+
+/// Remaps labels onto `0..r` in first-appearance order so every label in
+/// the returned range is non-empty. Deterministic: the dense label only
+/// depends on the raw label sequence.
+fn compact_labels(labels: &mut [usize]) {
+    // Raw labels from `recurse` are < k but may exceed the node count when
+    // callers over-partition; a map keeps compaction O(n) regardless.
+    let mut dense: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for l in labels.iter_mut() {
+        let next = dense.len();
+        *l = *dense.entry(*l).or_insert(next);
+    }
 }
 
 fn recurse(g: &Graph, members: &[NodeId], k: usize, base: usize, labels: &mut [usize]) {
@@ -264,5 +283,36 @@ mod tests {
         for &l in &labels {
             assert!(seen.insert(l), "part {l} reused");
         }
+    }
+
+    #[test]
+    fn labels_are_always_a_dense_covering() {
+        // Over-partitioned inputs used to leave label gaps (e.g. 3 nodes at
+        // k = 10 labeled {0, 5, 8}); every label in 0..max+1 must now be
+        // non-empty so downstream region extraction can index by label.
+        for (nodes, k) in [(3usize, 10usize), (2, 4), (5, 5), (8, 7), (1, 9)] {
+            let mut g = Graph::with_nodes(nodes);
+            for u in 1..nodes as u32 {
+                g.add_edge(NodeId(u - 1), NodeId(u), 1.0);
+            }
+            let labels = partition_kway(&g, k);
+            let parts = labels.iter().copied().max().unwrap() + 1;
+            assert!(parts <= k.min(nodes), "k={k} nodes={nodes}: {labels:?}");
+            let mut seen = vec![false; parts];
+            for &l in &labels {
+                seen[l] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "gap in labels {labels:?}");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_the_grouping() {
+        // Compaction renames parts but never merges or splits them: the
+        // two-cluster cut is still found at every k.
+        let g = two_clusters();
+        let labels = partition_kway(&g, 2);
+        assert_eq!(cut_weight(&g, &labels), 0.5);
+        assert_eq!(labels[0], 0, "first-seen label must be 0");
     }
 }

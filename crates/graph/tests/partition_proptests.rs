@@ -1,0 +1,53 @@
+//! Property tests for `partition_kway`: every input — including the
+//! degenerate ones (k larger than the node count, disconnected graphs,
+//! empty sides after bisection) — must yield a valid covering labeling,
+//! and the labeling must be deterministic per input.
+
+use edgerep_graph::partition::partition_kway;
+use edgerep_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// Arbitrary small graph: `n` nodes plus a bag of random edges (parallel
+/// edges allowed, self-loops filtered — the graph type rejects them).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        1usize..32,
+        proptest::collection::vec((any::<u32>(), any::<u32>(), 0.01f64..10.0), 0..64),
+    )
+        .prop_map(|(n, edges)| {
+            let mut g = Graph::with_nodes(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    g.add_edge(NodeId(u), NodeId(v), w);
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Labels are a dense covering partition: one label per node, labels
+    /// dense in `0..r` with `r ≤ min(k, |V|)`, and every label non-empty.
+    #[test]
+    fn kway_labels_are_a_covering_partition(g in arb_graph(), k in 1usize..40) {
+        let labels = partition_kway(&g, k);
+        prop_assert_eq!(labels.len(), g.node_count());
+        let parts = labels.iter().copied().max().unwrap() + 1;
+        prop_assert!(parts <= k.min(g.node_count()));
+        let mut seen = vec![false; parts];
+        for &l in &labels {
+            seen[l] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "label gap in {:?}", labels);
+    }
+
+    /// The partition is a pure function of (graph, k) — reruns are
+    /// byte-identical, so experiment outputs stay reproducible per seed.
+    #[test]
+    fn kway_is_deterministic(g in arb_graph(), k in 1usize..40) {
+        prop_assert_eq!(partition_kway(&g, k), partition_kway(&g, k));
+    }
+}

@@ -190,6 +190,25 @@ impl EdgeCloud {
     pub fn total_available(&self) -> f64 {
         self.compute.iter().map(|c| c.available).sum()
     }
+
+    /// A clone of this cloud with available compute zeroed at every
+    /// compute node `keep` rejects.
+    ///
+    /// The cached all-pairs delay matrix is carried over verbatim —
+    /// availability never affects routing — so a regional sub-cloud costs
+    /// O(|V|) instead of a fresh all-pairs shortest-path sweep, and its
+    /// delays stay bit-identical to the parent's. Admission treats a
+    /// zero-available node as serving nothing, which is what confines a
+    /// regional solver to the kept nodes.
+    pub fn with_masked_availability(&self, mut keep: impl FnMut(ComputeNodeId) -> bool) -> Self {
+        let mut masked = self.clone();
+        for (i, node) in masked.compute.iter_mut().enumerate() {
+            if !keep(ComputeNodeId(i as u32)) {
+                node.available = 0.0;
+            }
+        }
+        masked
+    }
 }
 
 /// Builder assembling an [`EdgeCloud`] from roles, attributes and links.
@@ -360,6 +379,30 @@ mod tests {
         let d = c.min_delay(ComputeNodeId(0), ComputeNodeId(2));
         assert!((d - 0.07).abs() < 1e-12);
         assert_eq!(c.min_delay(ComputeNodeId(1), ComputeNodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn masked_availability_zeroes_rejected_nodes_only() {
+        let c = small_cloud();
+        let masked = c.with_masked_availability(|v| v == ComputeNodeId(1));
+        assert_eq!(masked.available(ComputeNodeId(0)), 0.0);
+        assert_eq!(masked.available(ComputeNodeId(1)), 10.0);
+        assert_eq!(masked.available(ComputeNodeId(2)), 0.0);
+        // Capacities and roles are untouched; only availability changes.
+        for v in c.compute_ids() {
+            assert_eq!(masked.capacity(v), c.capacity(v));
+            assert_eq!(masked.node(v).kind, c.node(v).kind);
+        }
+        // Routing is availability-independent: the cached delay matrix is
+        // reused and stays bit-identical to the parent's.
+        for u in c.compute_ids() {
+            for v in c.compute_ids() {
+                assert_eq!(
+                    masked.min_delay(u, v).to_bits(),
+                    c.min_delay(u, v).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

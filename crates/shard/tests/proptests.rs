@@ -1,0 +1,68 @@
+//! Property tests: sharded solutions never violate capacity, deadline,
+//! or replica-budget constraints on generated instances — including
+//! erasure-coded schemes — for any region count.
+//!
+//! Feasibility is checked through `Solution::validate`, which applies the
+//! workspace-wide `FEASIBILITY_EPS` to every capacity and deadline
+//! comparison, so the property is exactly the solver contract the rest of
+//! the test suite enforces.
+
+use edgerep_core::appro::ApproG;
+use edgerep_core::greedy::Greedy;
+use edgerep_core::PlacementAlgorithm;
+use edgerep_model::{Instance, InstanceBuilder, RedundancyScheme};
+use edgerep_shard::{ShardConfig, ShardedSolver};
+use edgerep_workload::{generate_instance, WorkloadParams};
+use proptest::prelude::*;
+
+fn with_ec_default(inst: &Instance) -> Instance {
+    let mut ib = InstanceBuilder::new(inst.cloud().clone(), inst.max_replicas());
+    for d in inst.datasets() {
+        ib.add_dataset(d.size_gb, d.origin);
+    }
+    ib.set_default_scheme(RedundancyScheme::ErasureCoded { k: 2, m: 1 });
+    for q in inst.queries() {
+        ib.add_query(q.home, q.demands.clone(), q.compute_rate, q.deadline);
+    }
+    ib.build().expect("EC rebuild of a valid instance is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_solutions_never_violate_constraints(
+        seed in 0u64..1000,
+        regions in 2usize..9,
+        reconcile in any::<bool>(),
+        ec in any::<bool>(),
+    ) {
+        let params = WorkloadParams::default().with_network_size(40);
+        let mut inst = generate_instance(&params, seed);
+        if ec {
+            inst = with_ec_default(&inst);
+        }
+        let solver = ShardedSolver::new(ApproG::default(), ShardConfig { regions, reconcile });
+        let sol = solver.solve(&inst);
+        prop_assert!(
+            sol.validate(&inst).is_ok(),
+            "seed {} R={} reconcile={} ec={}: {:?}",
+            seed, regions, reconcile, ec, sol.validate(&inst)
+        );
+    }
+
+    #[test]
+    fn sharding_any_inner_algorithm_stays_feasible(
+        seed in 0u64..1000,
+        regions in 2usize..7,
+    ) {
+        let params = WorkloadParams::default().with_network_size(32);
+        let inst = generate_instance(&params, seed);
+        let solver = ShardedSolver::new(
+            Greedy::general(),
+            ShardConfig { regions, reconcile: true },
+        );
+        let sol = solver.solve(&inst);
+        prop_assert!(sol.validate(&inst).is_ok());
+    }
+}

@@ -145,6 +145,28 @@ impl WorkloadParams {
         self
     }
 
+    /// Multiplies the workload volume — both `query_count` bounds and
+    /// both `dataset_count` bounds — by `s`, leaving the topology alone
+    /// (scale that separately via [`Self::with_network_size`]).
+    ///
+    /// This is the large-instance preset behind `edgerep gen --scale N`
+    /// and the `ext-shard` scaled world: defaults at `--scale 1000`
+    /// already draw 10^4–10^5 queries, and the generator builds them in
+    /// O(queries) memory (no quadratic intermediate allocations; pinned
+    /// by a unit test).
+    pub fn with_scale(mut self, s: usize) -> Self {
+        assert!(s >= 1, "scale must be at least 1");
+        self.query_count = (
+            self.query_count.0.saturating_mul(s),
+            self.query_count.1.saturating_mul(s),
+        );
+        self.dataset_count = (
+            self.dataset_count.0.saturating_mul(s),
+            self.dataset_count.1.saturating_mul(s),
+        );
+        self
+    }
+
     /// Sets the paper's `F` knob: max datasets demanded per query
     /// (Fig. 4 / Fig. 7 x-axis).
     pub fn with_max_datasets_per_query(mut self, f: usize) -> Self {

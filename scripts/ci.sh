@@ -45,6 +45,7 @@ cargo test -q -p edgerep-core --lib appro::tests::cached_scan
 cargo test -q -p edgerep-core --test proptests solvers_tolerate_disconnected_topologies
 cargo test -q -p edgerep-testbed --lib rolling::tests::replan_skips_on_empty_diff_and_reuses_layout_verbatim
 cargo test -q -p edgerep-testbed --lib rolling::tests::cached_world_stamps_identical_instances
+cargo test -q -p edgerep-shard --lib solver::tests::r1_is_byte_identical_for_every_query_order
 
 # Smoke the traced figure regeneration: every line must be JSON and the
 # file must end in the registry-dump completion marker.
@@ -94,6 +95,17 @@ grep -q '"event":"ec.degraded_read"' "$trace_tmp/ec.ndjson" \
 grep -q '"event":"ec.scrub"' "$trace_tmp/ec.ndjson" \
     || { echo "ext-ec trace has no ec.scrub event" >&2; exit 1; }
 
+# Smoke the sharded regional solver: the traced run must show the shard
+# fan-out (shard.solve) and the boundary reconciliation pass actually
+# running (shard.reconcile) for the R > 1 cells.
+echo "== repro ext-shard --quick --trace smoke =="
+cargo run -q -p edgerep-exp --release --bin repro -- ext-shard --quick \
+    --trace "$trace_tmp/shard.ndjson" > /dev/null
+grep -q '"span":"shard.solve"' "$trace_tmp/shard.ndjson" \
+    || { echo "ext-shard trace has no shard.solve span event" >&2; exit 1; }
+grep -q '"span":"shard.reconcile"' "$trace_tmp/shard.ndjson" \
+    || { echo "ext-shard trace has no shard.reconcile span event" >&2; exit 1; }
+
 # Smoke the span-tree profiler end to end: folded stacks are written and
 # the traced stream carries the profile.dump completion event.
 echo "== repro --profile smoke =="
@@ -125,7 +137,7 @@ EOF
 fi
 # The two hot-path microbenches must stay in the suite under their stable
 # names — the BENCH_<n>.json trajectory keys on them.
-for name in appro.candidate_scan rolling.incremental_replan; do
+for name in appro.candidate_scan rolling.incremental_replan shard.partition_solve; do
     grep -q "\"name\": \"$name\"" "$trace_tmp/BENCH_smoke.json" \
         || { echo "bench smoke output is missing $name" >&2; exit 1; }
 done

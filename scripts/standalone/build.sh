@@ -90,6 +90,20 @@ rustc --edition 2021 -O --crate-type lib --crate-name edgerep_workload workload/
   --extern edgerep_graph=libedgerep_graph.rlib \
   --extern edgerep_model=libedgerep_model.rlib -o libedgerep_workload.rlib
 
+strip_serde $R/shard/src shard
+rustc --edition 2021 -O --crate-type lib --crate-name edgerep_shard shard/lib.rs \
+  -L . --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_core=libedgerep_core.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib -o libedgerep_shard.rlib
+rustc --edition 2021 -O --test --crate-name edgerep_shard shard/lib.rs \
+  -L . --extern edgerep_graph=libedgerep_graph.rlib \
+  --extern edgerep_model=libedgerep_model.rlib \
+  --extern edgerep_core=libedgerep_core.rlib \
+  --extern edgerep_obs=libedgerep_obs.rlib \
+  --extern edgerep_workload=libedgerep_workload.rlib -o shard_tests
+echo SHARD_BUILD_OK
+
 rustc --edition 2021 -O --test --crate-name edgerep_core core/lib.rs \
   -L . --extern edgerep_ec=libedgerep_ec.rlib \
   --extern edgerep_graph=libedgerep_graph.rlib \
@@ -137,6 +151,7 @@ rustc --edition 2021 -O --test --crate-name edgerep_exp exp/lib.rs \
   --extern edgerep_forecast=libedgerep_forecast.rlib \
   --extern edgerep_obs=libedgerep_obs.rlib \
   --extern edgerep_lp=libedgerep_lp.rlib \
+  --extern edgerep_shard=libedgerep_shard.rlib \
   --extern edgerep_testbed=libedgerep_testbed_lib.rlib -o exp_tests
 echo EXP_BUILD_OK
 
@@ -149,6 +164,7 @@ rustc --edition 2021 -O --crate-type lib --crate-name edgerep_exp exp/lib.rs \
   --extern edgerep_forecast=libedgerep_forecast.rlib \
   --extern edgerep_obs=libedgerep_obs.rlib \
   --extern edgerep_lp=libedgerep_lp.rlib \
+  --extern edgerep_shard=libedgerep_shard.rlib \
   --extern edgerep_testbed=libedgerep_testbed_lib.rlib -o libedgerep_exp.rlib
 
 # repro: unit tests (usage drift guards) + runnable binary for smokes.
@@ -176,6 +192,7 @@ rustc --edition 2021 -O --test --crate-name edgerep exp/bin/edgerep.rs \
   --extern edgerep_workload=libedgerep_workload.rlib \
   --extern edgerep_testbed=libedgerep_testbed_lib.rlib \
   --extern edgerep_obs=libedgerep_obs.rlib \
+  --extern edgerep_shard=libedgerep_shard.rlib \
   --extern serde_json=libserde_json.rlib -o edgerep_tests
 echo EDGEREP_BUILD_OK
 
@@ -191,6 +208,7 @@ rustc --edition 2021 -O --test --crate-name edgerep_bench bench_src/lib.rs \
   --extern edgerep_forecast=libedgerep_forecast.rlib \
   --extern edgerep_testbed=libedgerep_testbed_lib.rlib \
   --extern edgerep_exp=libedgerep_exp.rlib \
+  --extern edgerep_shard=libedgerep_shard.rlib \
   --extern edgerep_obs=libedgerep_obs.rlib -o bench_tests
 echo BENCH_BUILD_OK
 echo BUILD_ALL_OK

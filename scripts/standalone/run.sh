@@ -15,7 +15,7 @@ bash "$here/build.sh"
 cd "$WORK"
 export EDGEREP_STUB_HARNESS=1
 fail=0
-for t in ec model core testbed exp repro edgerep bench; do
+for t in ec model shard core testbed exp repro edgerep bench; do
     echo "== ${t}_tests =="
     "./${t}_tests" || fail=1
 done
